@@ -1,0 +1,188 @@
+// Package repro is a from-scratch Go reproduction of Golubitsky,
+// Falconer, Maslov, "Synthesis of the Optimal 4-bit Reversible Circuits"
+// (DAC 2010, arXiv:1003.1914): provably gate-count-optimal synthesis of
+// any 4-bit reversible function over the NOT/CNOT/Toffoli/Toffoli-4
+// library, plus the paper's full experimental apparatus.
+//
+// # Quick start
+//
+//	synth, err := repro.NewSynthesizer(6)      // BFS depth k = 6
+//	if err != nil { ... }
+//	spec, err := repro.ParseSpec("[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]")
+//	if err != nil { ... }
+//	circ, err := synth.Synthesize(spec)        // provably minimal
+//	fmt.Println(circ)                          // TOF(a,b,d) CNOT(a,b) ...
+//	fmt.Println(repro.Render(circ))            // ASCII diagram
+//
+// The packed-word permutation arithmetic, symmetry reduction, hash
+// tables, breadth-first search, meet-in-the-middle search, linear-circuit
+// tooling, random-permutation experiments, Table 6 benchmark suite and
+// the peephole optimizer live in the internal packages; this package
+// re-exports the surface a downstream user needs.
+package repro
+
+import (
+	"io"
+
+	"repro/internal/benchfuncs"
+	"repro/internal/bfs"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/heuristic"
+	"repro/internal/linear"
+	"repro/internal/peephole"
+	"repro/internal/perm"
+	"repro/internal/randperm"
+	"repro/internal/render"
+	"repro/internal/rewrite"
+	"repro/internal/tablesio"
+)
+
+// Perm is a 4-bit reversible function packed into a 64-bit word (nibble i
+// holds f(i)).
+type Perm = perm.Perm
+
+// Identity is the identity function.
+const Identity = perm.Identity
+
+// Gate is one NOT/CNOT/TOF/TOF4 gate placement on the four wires.
+type Gate = gate.Gate
+
+// Circuit is a gate sequence applied left to right.
+type Circuit = circuit.Circuit
+
+// Synthesizer answers optimal-synthesis queries (paper Algorithm 1). It
+// is immutable and safe for concurrent use.
+type Synthesizer = core.Synthesizer
+
+// SynthConfig configures NewSynthesizerConfig; see core.Config.
+type SynthConfig = core.Config
+
+// Info carries query diagnostics (how a synthesis was answered).
+type Info = core.Info
+
+// Benchmark is one row of the paper's Table 6 suite.
+type Benchmark = benchfuncs.Benchmark
+
+// Affine is a linear reversible function x ↦ Mx ⊕ c (paper §4.3).
+type Affine = linear.Affine
+
+// ErrBeyondHorizon reports a query outside the synthesizer's guaranteed
+// range; raise K or MaxSplit.
+var ErrBeyondHorizon = core.ErrBeyondHorizon
+
+// NewSynthesizer precomputes the lookup tables with BFS depth k and full
+// meet-in-the-middle range (synthesis horizon 2k). Memory and
+// precomputation grow steeply with k: k = 5 is instant (≈10⁵ classes),
+// k = 6 takes seconds (≈1.6M classes), k = 7 takes about a minute and
+// ≈0.5 GB (≈21M classes). The paper's reference configuration is k = 9
+// on a 64 GB machine.
+func NewSynthesizer(k int) (*Synthesizer, error) {
+	return core.New(core.Config{K: k})
+}
+
+// NewSynthesizerConfig is NewSynthesizer with full control (weighted or
+// depth alphabets, split bounds, progress callbacks).
+func NewSynthesizerConfig(cfg SynthConfig) (*Synthesizer, error) {
+	return core.New(cfg)
+}
+
+// ParseSpec parses a truth-vector specification in the paper's format,
+// e.g. "[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]".
+func ParseSpec(s string) (Perm, error) { return perm.Parse(s) }
+
+// ParseCircuit parses the paper's circuit notation, e.g.
+// "TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)".
+func ParseCircuit(s string) (Circuit, error) { return circuit.Parse(s) }
+
+// ParseGate parses a single gate, e.g. "TOF4(a,b,d,c)".
+func ParseGate(s string) (Gate, error) { return gate.Parse(s) }
+
+// Render draws a circuit as a Unicode text diagram in the style of the
+// paper's figures.
+func Render(c Circuit) string { return render.Circuit(c, render.Unicode) }
+
+// RenderASCII draws a circuit using 7-bit glyphs only.
+func RenderASCII(c Circuit) string { return render.Circuit(c, render.ASCII) }
+
+// Benchmarks returns the paper's Table 6 suite.
+func Benchmarks() []Benchmark { return benchfuncs.All() }
+
+// BenchmarkByName looks up one Table 6 function.
+func BenchmarkByName(name string) (Benchmark, bool) { return benchfuncs.ByName(name) }
+
+// RandomPerms draws n uniformly random reversible functions with the
+// paper's generator (Mersenne twister + Fisher–Yates).
+func RandomPerms(n int, seed uint32) []Perm {
+	return randperm.New(seed).Sample(n)
+}
+
+// IsLinear reports whether f is a linear reversible function (computable
+// with NOT and CNOT gates only, paper §4.3).
+func IsLinear(f Perm) bool { return linear.IsLinear(f) }
+
+// LinearAlphabet exposes the NOT/CNOT building-block set for restricted
+// synthesis (Table 5 experiments).
+func LinearAlphabet() *bfs.Alphabet { return bfs.LinearAlphabet() }
+
+// LayerAlphabet exposes the 103 disjoint-support gate layers for
+// depth-optimal synthesis (paper §5 extension).
+func LayerAlphabet() *bfs.Alphabet { return bfs.LayerAlphabet() }
+
+// QuantumCostAlphabet exposes the 32 gates weighted by NCV quantum cost
+// (NOT/CNOT 1, TOF 5, TOF4 13) for cost-optimal synthesis (paper §5
+// extension).
+func QuantumCostAlphabet() (*bfs.Alphabet, error) {
+	return bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+}
+
+// WideCircuit is a reversible circuit on up to 24 wires, the input to the
+// peephole optimizer.
+type WideCircuit = peephole.Circuit
+
+// WideGate is a multiple-control Toffoli gate on a wide register.
+type WideGate = peephole.Gate
+
+// PeepholeOptimizer rewrites wide circuits by optimally re-synthesizing
+// 4-wire windows (the paper's §1 motivating application).
+type PeepholeOptimizer = peephole.Optimizer
+
+// NewPeepholeOptimizer wraps a synthesizer for window re-synthesis.
+func NewPeepholeOptimizer(s *Synthesizer) *PeepholeOptimizer {
+	return peephole.NewOptimizer(s)
+}
+
+// SynthesizeHeuristic runs the transformation-based (MMD-style)
+// bidirectional heuristic: fast and correct but generally far from
+// minimal — the baseline the paper proposes scoring against optima (§1).
+func SynthesizeHeuristic(f Perm) (Circuit, error) {
+	return heuristic.SynthesizeBidirectional(f)
+}
+
+// RewriteDB is a template database for rule-based circuit simplification
+// (the paper's ref [13] machinery).
+type RewriteDB = rewrite.DB
+
+// NewRewriteDB enumerates all minimal identity templates up to maxSize
+// (capped at 6) and returns a simplifier; apply with (*RewriteDB).Apply.
+func NewRewriteDB(maxSize int) *RewriteDB { return rewrite.NewDB(maxSize) }
+
+// SaveTables persists a synthesizer's precomputed search tables — the
+// paper's compute-once-on-a-big-machine workflow (§3.1, §4.1).
+func SaveTables(w io.Writer, s *Synthesizer) error {
+	return tablesio.Save(w, s.Result())
+}
+
+// LoadSynthesizer rehydrates tables written by SaveTables. The alphabet
+// must match the saved one; pass nil for the standard 32-gate library.
+func LoadSynthesizer(r io.Reader, alphabet *bfs.Alphabet) (*Synthesizer, error) {
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	res, err := tablesio.Load(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromResult(res, 0)
+}

@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce  sync.Once
+	apiSynth *Synthesizer
+)
+
+func apiFixture(t testing.TB) *Synthesizer {
+	apiOnce.Do(func() {
+		var err error
+		apiSynth, err = NewSynthesizer(5)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return apiSynth
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	synth := apiFixture(t)
+	spec, err := ParseSpec("[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]") // rd32
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := synth.Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circ) != 4 {
+		t.Fatalf("rd32 synthesized with %d gates, want 4", len(circ))
+	}
+	if circ.Perm() != spec {
+		t.Fatal("synthesized circuit does not implement the spec")
+	}
+	diagram := Render(circ)
+	if len(strings.Split(strings.TrimRight(diagram, "\n"), "\n")) != 4 {
+		t.Fatalf("diagram malformed:\n%s", diagram)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	c, err := ParseCircuit("TOF(a,b,d) CNOT(a,b)")
+	if err != nil || len(c) != 2 {
+		t.Fatalf("ParseCircuit: %v, %v", c, err)
+	}
+	g, err := ParseGate("TOF4(a,b,d,c)")
+	if err != nil || g.NumControls() != 3 {
+		t.Fatalf("ParseGate: %v, %v", g, err)
+	}
+	if _, err := ParseSpec("[bad]"); err == nil {
+		t.Fatal("ParseSpec accepted junk")
+	}
+}
+
+func TestBenchmarksExposed(t *testing.T) {
+	if len(Benchmarks()) != 13 {
+		t.Fatalf("Benchmarks() = %d entries", len(Benchmarks()))
+	}
+	b, ok := BenchmarkByName("rd32")
+	if !ok || b.OptimalSize != 4 {
+		t.Fatalf("BenchmarkByName(rd32) = %+v, %v", b, ok)
+	}
+}
+
+func TestRandomPermsAndLinear(t *testing.T) {
+	ps := RandomPerms(50, 1)
+	if len(ps) != 50 {
+		t.Fatalf("RandomPerms returned %d", len(ps))
+	}
+	linearSeen := 0
+	for _, p := range ps {
+		if !p.IsValid() {
+			t.Fatal("invalid random permutation")
+		}
+		if IsLinear(p) {
+			linearSeen++
+		}
+	}
+	// 322,560 / 16! ≈ 1.5×10⁻⁸: a random sample of 50 contains none.
+	if linearSeen != 0 {
+		t.Fatalf("%d random permutations reported linear", linearSeen)
+	}
+	if !IsLinear(Identity) {
+		t.Fatal("identity not linear")
+	}
+}
+
+func TestAlphabetAccessors(t *testing.T) {
+	if LinearAlphabet().Len() != 16 {
+		t.Fatal("linear alphabet size wrong")
+	}
+	if LayerAlphabet().Len() != 103 {
+		t.Fatal("layer alphabet size wrong")
+	}
+	qc, err := QuantumCostAlphabet()
+	if err != nil || qc.MaxCost() != 13 {
+		t.Fatalf("quantum alphabet: %v, max cost %d", err, qc.MaxCost())
+	}
+}
+
+func TestErrBeyondHorizonExposed(t *testing.T) {
+	small, err := NewSynthesizerConfig(SynthConfig{K: 1, MaxSplit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := ParseSpec("[0,2,4,12,8,5,9,11,1,6,10,13,3,14,7,15]") // hwb4, size 11
+	if _, err := small.Synthesize(spec); !errors.Is(err, ErrBeyondHorizon) {
+		t.Fatalf("error = %v, want ErrBeyondHorizon", err)
+	}
+}
+
+func TestPeepholeFacade(t *testing.T) {
+	synth := apiFixture(t)
+	opt := NewPeepholeOptimizer(synth)
+	c := WideCircuit{Wires: 6, Gates: []WideGate{
+		{Target: 1, Controls: 1},
+		{Target: 1, Controls: 1},
+		{Target: 5, Controls: 1 << 4},
+	}}
+	out, stats, err := opt.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GatesAfter != 1 || len(out.Gates) != 1 {
+		t.Fatalf("peephole result %+v / %v", stats, out.Gates)
+	}
+	if !c.Equivalent(out) {
+		t.Fatal("peephole changed function")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c, _ := ParseCircuit("TOF(a,c,d)")
+	out := RenderASCII(c)
+	for _, r := range out {
+		if r > 127 {
+			t.Fatalf("non-ASCII rune in RenderASCII output: %q", r)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command revbfs runs the breadth-first search of paper Algorithm 2 and
+// prints per-level class counts, full function counts, and hash-table
+// statistics.
+//
+// Usage:
+//
+//	revbfs [-k 6] [-alphabet gates|linear|layers|lnn|quantum] [-full] [-noreduce]
+//	revbfs -k 6 -save tables.bin          # persist (paper's §3.1 workflow)
+//	revbfs -load tables.bin               # reload instead of searching
+//
+// With -full the (much larger) unreduced function counts are derived from
+// equivalence-class sizes — the two columns of the paper's Table 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/gate"
+	"repro/internal/tablesio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revbfs: ")
+	var (
+		k        = flag.Int("k", 6, "search depth (cost horizon)")
+		alphabet = flag.String("alphabet", "gates", "gates, linear, layers, lnn, or quantum")
+		full     = flag.Bool("full", false, "also compute full (unreduced) function counts")
+		noreduce = flag.Bool("noreduce", false, "disable the ÷48 canonical reduction (ablation)")
+		save     = flag.String("save", "", "write the computed tables to this file (tablesio format)")
+		load     = flag.String("load", "", "read tables from this file instead of searching")
+	)
+	flag.Parse()
+
+	var a *bfs.Alphabet
+	var err error
+	hint := 0
+	switch *alphabet {
+	case "gates":
+		a = bfs.GateAlphabet()
+		if !*noreduce && *k < len(bfs.GateReducedCounts) {
+			hint = int(bfs.CumulativeGateReduced(*k))
+		}
+	case "linear":
+		a = bfs.LinearAlphabet()
+		hint = 322560
+	case "layers":
+		a = bfs.LayerAlphabet()
+	case "lnn":
+		a = bfs.LNNAlphabet()
+		*noreduce = true // not closed under relabeling
+	case "quantum":
+		a, err = bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown alphabet %q", *alphabet)
+	}
+
+	start := time.Now()
+	var res *bfs.Result
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err = tablesio.Load(f, a)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d entries from %s\n", res.TotalStored(), *load)
+	} else {
+		res, err = bfs.Search(a, *k, &bfs.Options{
+			NoReduction:  *noreduce,
+			CapacityHint: hint,
+			Progress: func(level, reps int) {
+				fmt.Fprintf(os.Stderr, "level %d: %d new\n", level, reps)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tablesio.Save(f, res); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, _ := os.Stat(*save)
+		fmt.Fprintf(os.Stderr, "saved tables to %s (%d bytes)\n", *save, st.Size())
+	}
+
+	fmt.Printf("alphabet=%s (%d elements, max cost %d), k=%d, reduced=%v\n",
+		*alphabet, a.Len(), a.MaxCost(), *k, res.Reduced)
+	if *full && res.Reduced {
+		fmt.Printf("%5s  %14s  %16s\n", "cost", "classes", "functions")
+	} else {
+		fmt.Printf("%5s  %14s\n", "cost", "entries")
+	}
+	for c := 0; c <= res.MaxCost; c++ {
+		if *full && res.Reduced {
+			fmt.Printf("%5d  %14d  %16d\n", c, res.ReducedCount(c), res.FullCount(c))
+		} else {
+			fmt.Printf("%5d  %14d\n", c, res.ReducedCount(c))
+		}
+	}
+	st := res.Table.ComputeStats()
+	fmt.Printf("\nsearch time %v; hash table: %s\n", elapsed.Round(time.Millisecond), st)
+}

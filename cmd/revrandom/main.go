@@ -1,0 +1,60 @@
+// Command revrandom runs the paper's §4.1 experiment: draw uniformly
+// random 4-bit reversible functions with the Mersenne twister, synthesize
+// each optimally, and report the size distribution (Table 3) plus the
+// Table 4 extrapolation.
+//
+// Usage:
+//
+//	revrandom [-n 100] [-k 6] [-seed 5489]
+//
+// The paper draws 10,000,000 samples with k = 9 in 29 hours on a 16-CPU,
+// 64 GB machine; the defaults here reproduce the distribution's shape at
+// container scale. Samples harder than the 2k horizon are tallied
+// separately (with k = 7 nothing is: no 4-bit function is known to need
+// more than 14 gates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revrandom: ")
+	var (
+		n    = flag.Int("n", 100, "number of random permutations")
+		k    = flag.Int("k", core.DefaultK, "BFS depth")
+		seed = flag.Uint("seed", 5489, "Mersenne twister seed")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "building k=%d tables...\n", *k)
+	start := time.Now()
+	synth, err := core.New(core.Config{K: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ready in %v; sampling %d permutations\n", time.Since(start).Round(time.Millisecond), *n)
+
+	sampleStart := time.Now()
+	out, d, err := report.Table3(synth, *n, uint32(*seed), func(done int) {
+		if done%10 == 0 || done == *n {
+			fmt.Fprintf(os.Stderr, "  %d/%d (%v elapsed)\n", done, *n, time.Since(sampleStart).Round(time.Second))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	elapsed := time.Since(sampleStart)
+	fmt.Printf("total %v, %.4f s/synthesis (paper: 0.01035 s/synthesis at k = 9)\n\n",
+		elapsed.Round(time.Millisecond), elapsed.Seconds()/float64(*n))
+	fmt.Print(report.Table4(synth, d))
+}

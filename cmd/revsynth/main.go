@@ -1,0 +1,152 @@
+// Command revsynth synthesizes a provably optimal circuit for one 4-bit
+// reversible specification.
+//
+// Usage:
+//
+//	revsynth -spec "[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]" [-k 6] [-metric gates|cost|depth] [-quiet]
+//	revsynth -name rd32
+//
+// The -k flag trades precomputation memory/time for query speed exactly
+// as in the paper (§3.1); k = 6 answers any function of size ≤ 12,
+// k = 7 any 4-bit reversible function of size ≤ 14 (no larger size is
+// known to exist — paper §4.2 conjectures none requires 17 and the
+// hardest found requires 14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/benchfuncs"
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/perm"
+	"repro/internal/render"
+	"repro/internal/tablesio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revsynth: ")
+	var (
+		spec   = flag.String("spec", "", "specification as a 16-entry truth vector, e.g. [1,0,2,...,15]")
+		name   = flag.String("name", "", "synthesize a named Table 6 benchmark instead of -spec")
+		k      = flag.Int("k", core.DefaultK, "BFS depth (precomputation); horizon is 2k")
+		metric = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		tables = flag.String("tables", "", "cache file for precomputed tables: loaded when present, written after a fresh build (the paper's store-once workflow, §3.1)")
+		quiet  = flag.Bool("quiet", false, "print only the circuit")
+	)
+	flag.Parse()
+
+	var f perm.Perm
+	switch {
+	case *name != "":
+		bm, ok := benchfuncs.ByName(*name)
+		if !ok {
+			log.Fatalf("unknown benchmark %q; known: rd32, hwb4, shift4, primes4, 4_49, 4bit-7-8, decode42, imark, mperk, oc5..oc8", *name)
+		}
+		f = bm.Spec
+	case *spec != "":
+		var err error
+		f, err = perm.Parse(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := core.Config{K: *k}
+	switch *metric {
+	case "gates":
+	case "cost":
+		a, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Alphabet = a
+	case "depth":
+		cfg.Alphabet = bfs.LayerAlphabet()
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+	if !*quiet {
+		cfg.Progress = func(level, reps int) {
+			fmt.Fprintf(os.Stderr, "bfs level %d: %d classes\n", level, reps)
+		}
+	}
+
+	buildStart := time.Now()
+	synth, err := buildSynthesizer(cfg, *tables, *quiet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(buildStart)
+
+	queryStart := time.Now()
+	c, info, err := synth.SynthesizeInfo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryTime := time.Since(queryStart)
+
+	if *quiet {
+		fmt.Println(c)
+		return
+	}
+	fmt.Printf("specification: %v\n", f)
+	fmt.Printf("optimal %s: %d (direct=%v, split=%d, candidates=%d)\n",
+		*metric, info.Cost, info.Direct, info.SplitPrefix, info.Candidates)
+	fmt.Printf("circuit: %s\n\n%s\n", c, render.Circuit(c, render.Unicode))
+	fmt.Printf("precompute %v (k=%d), query %v\n", buildTime.Round(time.Millisecond), *k, queryTime)
+}
+
+// buildSynthesizer loads cached tables when available, otherwise runs
+// the BFS and (when a cache path is given) persists the result — the
+// paper's compute-once, load-per-run workflow.
+func buildSynthesizer(cfg core.Config, cache string, quiet bool) (*core.Synthesizer, error) {
+	alphabet := cfg.Alphabet
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	if cache != "" {
+		if f, err := os.Open(cache); err == nil {
+			res, err := tablesio.Load(f, alphabet)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w (delete the file to rebuild)", cache, err)
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "loaded tables from %s (%d entries, k=%d)\n",
+					cache, res.TotalStored(), res.MaxCost)
+			}
+			return core.FromResult(res, cfg.MaxSplit)
+		}
+	}
+	synth, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cache != "" {
+		f, err := os.Create(cache)
+		if err != nil {
+			return nil, err
+		}
+		if err := tablesio.Save(f, synth.Result()); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "saved tables to %s\n", cache)
+		}
+	}
+	return synth, nil
+}

@@ -1,0 +1,131 @@
+// Command revtables regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	revtables -table all [-k 6] [-n 50] [-seed 5489]
+//	revtables -table 5
+//	revtables -table fig2
+//
+// Tables 1, 3, 4 and 6 need a synthesizer (built once per run); Tables 2
+// and 5 and Figure 1 are self-contained. With -k 7 every Table 6 row is
+// in range and Table 3 covers sizes through 14 (≈1 minute of
+// precomputation and ≈0.5 GB).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/report"
+	"repro/internal/rewrite"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revtables: ")
+	var (
+		table = flag.String("table", "all", "which artifact: fig1, fig2, 1, 2, 3, 4, 5, 6, ladder, or all")
+		k     = flag.Int("k", core.DefaultK, "BFS depth for the synthesizer-backed tables")
+		n     = flag.Int("n", 50, "random sample size for Tables 3/4 (paper: 10,000,000)")
+		seed  = flag.Uint("seed", 5489, "random seed for sampling experiments")
+		t1max = flag.Int("t1max", 11, "largest size timed in Table 1")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, t := range strings.Split(*table, ",") {
+		want[strings.TrimSpace(t)] = true
+	}
+	all := want["all"]
+	needsSynth := all || want["fig2"] || want["1"] || want["3"] || want["4"] || want["6"] || want["ladder"]
+
+	var synth *core.Synthesizer
+	if needsSynth {
+		fmt.Fprintf(os.Stderr, "building k=%d tables...\n", *k)
+		start := time.Now()
+		var err error
+		synth, err = core.New(core.Config{K: *k, Progress: func(level, reps int) {
+			fmt.Fprintf(os.Stderr, "  bfs level %d: %d classes\n", level, reps)
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tables ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	section := func(s string) { fmt.Println(s); fmt.Println() }
+
+	if all || want["fig1"] {
+		section(report.Figure1())
+	}
+	if all || want["fig2"] {
+		out, err := report.Figure2(synth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+	if all || want["1"] {
+		out, err := report.Table1(synth, *t1max, uint32(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+	if all || want["2"] {
+		ks := []int{5, 6}
+		if *k > 6 {
+			ks = append(ks, *k)
+		}
+		out, err := report.Table2(ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+	var dist distrib.Distribution
+	if all || want["3"] || want["4"] {
+		out, d, err := report.Table3(synth, *n, uint32(*seed), func(done int) {
+			if done%10 == 0 {
+				fmt.Fprintf(os.Stderr, "  sample %d/%d\n", done, *n)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist = d
+		if all || want["3"] {
+			section(out)
+		}
+	}
+	if all || want["4"] {
+		section(report.Table4(synth, dist))
+	}
+	if all || want["5"] {
+		out, err := report.Table5()
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+	if all || want["6"] {
+		out, err := report.Table6(synth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+	if all || want["ladder"] {
+		out, err := report.TableLadder(synth, rewrite.NewDB(6))
+		if err != nil {
+			log.Fatal(err)
+		}
+		section(out)
+	}
+}

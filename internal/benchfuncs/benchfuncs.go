@@ -1,0 +1,187 @@
+// Package benchfuncs is the paper's Table 6 benchmark suite: the thirteen
+// named reversible functions with their published specifications,
+// best-known sizes from prior literature (SBKC), proved-optimal sizes
+// found by the paper (SOC), and the paper's published optimal circuits.
+//
+// The suite drives the Table 6 reproduction: synthesizing every
+// specification and checking the optimal size, and validating that the
+// published circuits implement the published specifications (which also
+// pins down the wire-ordering conventions).
+package benchfuncs
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// Benchmark is one Table 6 row.
+type Benchmark struct {
+	// Name as used in the literature ("4_49" is printed "4 49" in the
+	// paper).
+	Name string
+	// Spec is the function as the output truth vector.
+	Spec perm.Perm
+	// BestKnownSize is the size of the best previously known circuit
+	// (SBKC); -1 when the paper introduces the function (primes4).
+	BestKnownSize int
+	// BestKnownProvedOptimal is Table 6's "PO?" column.
+	BestKnownProvedOptimal bool
+	// OptimalSize is the paper's proved-optimal gate count (SOC).
+	OptimalSize int
+	// PaperCircuit is the optimal circuit printed in Table 6, verbatim.
+	PaperCircuit circuit.Circuit
+	// RepairedCircuit is set only when the printed circuit does not
+	// implement the printed specification (oc8, where one gate was lost
+	// at a line break): the unique single-gate insertion restoring both
+	// the function and the printed optimal size.
+	RepairedCircuit circuit.Circuit
+	// PaperRuntimeSec is the paper's reported synthesis runtime on CS1
+	// with the k = 9 tables preloaded.
+	PaperRuntimeSec float64
+	// Note carries the paper's footnotes (e.g. mperk's asterisk).
+	Note string
+}
+
+// all is ordered as in the paper's Table 6.
+var all = []Benchmark{
+	{
+		Name:          "4_49",
+		Spec:          perm.MustFromValues([16]uint8{15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11}),
+		BestKnownSize: 12, OptimalSize: 12,
+		PaperCircuit: circuit.MustParse(
+			"NOT(a) CNOT(c,a) CNOT(a,d) TOF(a,b,d) CNOT(d,a) TOF(c,d,b) TOF(a,d,c) TOF(b,c,a) TOF(a,b,d) NOT(a) CNOT(d,b) CNOT(d,c)"),
+		PaperRuntimeSec: 0.000690,
+	},
+	{
+		Name:          "4bit-7-8",
+		Spec:          perm.MustFromValues([16]uint8{0, 1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15}),
+		BestKnownSize: 7, OptimalSize: 7,
+		PaperCircuit: circuit.MustParse(
+			"CNOT(d,b) CNOT(d,a) CNOT(c,d) TOF4(a,b,d,c) CNOT(c,d) CNOT(d,b) CNOT(d,a)"),
+		PaperRuntimeSec: 0.000003,
+	},
+	{
+		Name:          "decode42",
+		Spec:          perm.MustFromValues([16]uint8{1, 2, 4, 8, 0, 3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15}),
+		BestKnownSize: 11, OptimalSize: 10,
+		PaperCircuit: circuit.MustParse(
+			"CNOT(c,b) CNOT(d,a) CNOT(c,a) TOF(a,d,b) CNOT(b,c) TOF4(a,b,c,d) TOF(b,d,c) CNOT(c,a) CNOT(a,b) NOT(a)"),
+		PaperRuntimeSec: 0.000006,
+	},
+	{
+		Name:          "hwb4",
+		Spec:          perm.MustFromValues([16]uint8{0, 2, 4, 12, 8, 5, 9, 11, 1, 6, 10, 13, 3, 14, 7, 15}),
+		BestKnownSize: 11, BestKnownProvedOptimal: true, OptimalSize: 11,
+		PaperCircuit: circuit.MustParse(
+			"CNOT(b,d) CNOT(d,a) CNOT(a,c) TOF4(b,c,d,a) CNOT(d,b) CNOT(c,d) TOF(a,c,b) TOF4(b,c,d,a) CNOT(d,c) CNOT(a,c) CNOT(b,d)"),
+		PaperRuntimeSec: 0.000106,
+	},
+	{
+		Name:          "imark",
+		Spec:          perm.MustFromValues([16]uint8{4, 5, 2, 14, 0, 3, 6, 10, 11, 8, 15, 1, 12, 13, 7, 9}),
+		BestKnownSize: 7, OptimalSize: 7,
+		PaperCircuit: circuit.MustParse(
+			"TOF(c,d,a) TOF(a,b,d) CNOT(d,c) CNOT(b,c) CNOT(d,a) TOF(a,c,b) NOT(c)"),
+		PaperRuntimeSec: 0.000003,
+	},
+	{
+		Name:          "mperk",
+		Spec:          perm.MustFromValues([16]uint8{3, 11, 2, 10, 0, 7, 1, 6, 15, 8, 14, 9, 13, 5, 12, 4}),
+		BestKnownSize: 9, OptimalSize: 9,
+		PaperCircuit: circuit.MustParse(
+			"NOT(c) CNOT(d,c) TOF(c,d,b) TOF(a,c,d) CNOT(b,a) CNOT(d,a) CNOT(c,a) CNOT(a,b) CNOT(b,c)"),
+		PaperRuntimeSec: 0.000003,
+		Note:            "paper marks the prior 9-gate circuit with *: it needs extra SWAPs to map inputs to outputs",
+	},
+	{
+		Name:          "oc5",
+		Spec:          perm.MustFromValues([16]uint8{6, 0, 12, 15, 7, 1, 5, 2, 4, 10, 13, 3, 11, 8, 14, 9}),
+		BestKnownSize: 15, OptimalSize: 11,
+		PaperCircuit: circuit.MustParse(
+			"TOF(b,d,c) TOF(c,d,b) TOF(a,b,c) NOT(a) CNOT(d,b) CNOT(a,c) TOF(b,c,d) CNOT(a,b) CNOT(c,a) CNOT(a,c) TOF4(a,b,d,c)"),
+		PaperRuntimeSec: 0.000313,
+	},
+	{
+		Name:          "oc6",
+		Spec:          perm.MustFromValues([16]uint8{9, 0, 2, 15, 11, 6, 7, 8, 14, 3, 4, 13, 5, 1, 12, 10}),
+		BestKnownSize: 14, OptimalSize: 12,
+		PaperCircuit: circuit.MustParse(
+			"TOF4(b,c,d,a) TOF4(a,c,d,b) CNOT(d,c) TOF(b,c,d) TOF(c,d,a) TOF4(a,b,d,c) CNOT(b,a) NOT(a) CNOT(c,b) CNOT(d,c) CNOT(a,d) TOF(b,d,c)"),
+		PaperRuntimeSec: 0.000745,
+	},
+	{
+		Name:          "oc7",
+		Spec:          perm.MustFromValues([16]uint8{6, 15, 9, 5, 13, 12, 3, 7, 2, 10, 1, 11, 0, 14, 4, 8}),
+		BestKnownSize: 17, OptimalSize: 13,
+		PaperCircuit: circuit.MustParse(
+			"TOF(b,d,c) TOF(a,b,d) CNOT(b,a) TOF4(a,c,d,b) CNOT(c,b) CNOT(d,c) TOF(a,c,d) NOT(b) NOT(d) CNOT(b,c) TOF(b,d,a) TOF(a,c,d) CNOT(c,a)"),
+		PaperRuntimeSec: 0.0265,
+	},
+	{
+		Name:          "oc8",
+		Spec:          perm.MustFromValues([16]uint8{11, 3, 9, 2, 7, 13, 15, 14, 8, 1, 4, 10, 0, 12, 6, 5}),
+		BestKnownSize: 16, OptimalSize: 12,
+		PaperCircuit: circuit.MustParse(
+			"CNOT(d,a) TOF(b,c,a) TOF(c,d,b) TOF4(a,b,d,c) TOF(a,b,d) TOF(a,d,b) NOT(a) NOT(b) TOF(b,d,a) CNOT(a,d) TOF(b,c,d)"),
+		RepairedCircuit: circuit.MustParse(
+			"CNOT(a,b) CNOT(d,a) TOF(b,c,a) TOF(c,d,b) TOF4(a,b,d,c) TOF(a,b,d) TOF(a,d,b) NOT(a) NOT(b) TOF(b,d,a) CNOT(a,d) TOF(b,c,d)"),
+		PaperRuntimeSec: 0.001395,
+		Note:            "the paper prints 11 gates for a 12-gate SOC; the unique single-gate repair (CNOT(a,b) prepended) restores spec and size",
+	},
+	{
+		Name:          "primes4",
+		Spec:          perm.MustFromValues([16]uint8{2, 3, 5, 7, 11, 13, 0, 1, 4, 6, 8, 9, 10, 12, 14, 15}),
+		BestKnownSize: -1, OptimalSize: 10,
+		PaperCircuit: circuit.MustParse(
+			"CNOT(d,c) CNOT(c,a) CNOT(b,c) NOT(b) TOF(b,c,d) TOF4(a,b,d,c) TOF(a,c,b) NOT(a) TOF4(a,c,d,b) CNOT(b,a)"),
+		PaperRuntimeSec: 0.000012,
+		Note:            "introduced by the paper: maps i to the i-th prime for i < 6",
+	},
+	{
+		Name:          "rd32",
+		Spec:          perm.MustFromValues([16]uint8{0, 7, 6, 9, 4, 11, 10, 13, 8, 15, 14, 1, 12, 3, 2, 5}),
+		BestKnownSize: 4, BestKnownProvedOptimal: true, OptimalSize: 4,
+		PaperCircuit: circuit.MustParse(
+			"TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)"),
+		PaperRuntimeSec: 0.000002,
+		Note:            "the 1-bit full adder of Figure 2",
+	},
+	{
+		Name:          "shift4",
+		Spec:          perm.MustFromValues([16]uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0}),
+		BestKnownSize: 4, BestKnownProvedOptimal: true, OptimalSize: 4,
+		PaperCircuit: circuit.MustParse(
+			"TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)"),
+		PaperRuntimeSec: 0.000002,
+	},
+}
+
+// All returns the thirteen Table 6 benchmarks in the paper's order. The
+// slice is shared; callers must not modify it.
+func All() []Benchmark { return all }
+
+// ByName looks a benchmark up by its name.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range all {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// CircuitMatchesSpec reports whether the verbatim published circuit
+// implements the published specification exactly.
+func (b Benchmark) CircuitMatchesSpec() bool {
+	return b.PaperCircuit.Perm() == b.Spec
+}
+
+// VerifiedCircuit returns a circuit that provably implements Spec at the
+// published optimal size: the verbatim circuit when it matches, the
+// repaired circuit otherwise.
+func (b Benchmark) VerifiedCircuit() circuit.Circuit {
+	if b.CircuitMatchesSpec() {
+		return b.PaperCircuit
+	}
+	return b.RepairedCircuit
+}

@@ -1,0 +1,294 @@
+package bfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/hashtab"
+	"repro/internal/perm"
+)
+
+// Hash-table value packing: bit 15 flags that the stored element is the
+// FIRST element of the representative's minimal circuit (it is the last
+// element otherwise); the low 15 bits hold the element index, with all
+// ones marking the identity entry, which stores no element at all.
+const (
+	flagFirst   uint16 = 1 << 15
+	elemMask    uint16 = 0x7FFF
+	identityVal uint16 = elemMask
+)
+
+// Value is a decoded hash-table entry.
+type Value struct {
+	// Elem is the alphabet index of the stored boundary element;
+	// meaningless when IsIdentity.
+	Elem int
+	// First reports that Elem is the first element of a minimal circuit
+	// for the representative (inserted via the inversion symmetry); it is
+	// the last element otherwise. Paper Algorithm 2's IS_A_FIRST_GATE /
+	// IS_A_LAST_GATE.
+	First bool
+	// IsIdentity marks the identity's entry.
+	IsIdentity bool
+}
+
+func encodeValue(elem int, first bool) uint16 {
+	v := uint16(elem) & elemMask
+	if first {
+		v |= flagFirst
+	}
+	return v
+}
+
+func decodeValue(v uint16) Value {
+	if v&elemMask == identityVal {
+		return Value{IsIdentity: true}
+	}
+	return Value{Elem: int(v & elemMask), First: v&flagFirst != 0}
+}
+
+// Options configure a Search.
+type Options struct {
+	// NoReduction disables the canonical (÷48) symmetry reduction of
+	// paper §3.2, storing every function rather than class
+	// representatives. This is the ablation configuration; it is also the
+	// natural mode for exhausting small closed subgroups such as the
+	// linear functions of Table 5.
+	NoReduction bool
+	// CapacityHint pre-sizes the hash table (entries). Zero lets the
+	// table grow on demand.
+	CapacityHint int
+	// Progress, when non-nil, is called after each completed cost level
+	// with the level index and the number of new representatives.
+	Progress func(level, newReps int)
+}
+
+// Result is the outcome of a breadth-first search: the paper's lists Aᵢ
+// (canonical representatives by exact minimal cost) plus the hash table H
+// mapping each representative to one boundary element of a minimal
+// circuit.
+type Result struct {
+	Alphabet *Alphabet
+	// MaxCost is the search horizon k: every class with minimal cost
+	// ≤ MaxCost is present.
+	MaxCost int
+	// Levels[c] lists the representatives with minimal cost exactly c;
+	// Levels[0] is the identity. With weighted alphabets some levels may
+	// be empty.
+	Levels [][]perm.Perm
+	// Table maps each representative's packed word to its encoded value.
+	Table *hashtab.Table
+	// Reduced records whether canonical reduction was applied.
+	Reduced bool
+}
+
+// Search runs paper Algorithm 2 over the alphabet up to cost horizon k.
+// With unit costs this is plain breadth-first search by gate count; with
+// weighted alphabets it advances cost-by-cost (the paper §5 variant:
+// "search for small circuits via increasing cost by one").
+func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bfs: nil alphabet")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("bfs: negative horizon %d", k)
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	if !opts.NoReduction && !a.Relabelable() {
+		return nil, fmt.Errorf("bfs: alphabet is not closed under wire relabeling; set NoReduction (restricted architectures cannot use the ÷48 reduction)")
+	}
+	table := hashtab.New(max(opts.CapacityHint, 1<<10))
+	res := &Result{
+		Alphabet: a,
+		MaxCost:  k,
+		Levels:   make([][]perm.Perm, k+1),
+		Table:    table,
+		Reduced:  !opts.NoReduction,
+	}
+	table.Insert(uint64(perm.Identity), identityVal)
+	res.Levels[0] = []perm.Perm{perm.Identity}
+
+	// Group element indices by cost so level c expands from level
+	// c − cost(e) for each group.
+	costGroups := map[int][]int{}
+	for i := 0; i < a.Len(); i++ {
+		c := a.Element(i).Cost
+		costGroups[c] = append(costGroups[c], i)
+	}
+	costs := make([]int, 0, len(costGroups))
+	for c := range costGroups {
+		costs = append(costs, c)
+	}
+	sort.Ints(costs)
+
+	for c := 1; c <= k; c++ {
+		var lvl []perm.Perm
+		for _, ec := range costs {
+			src := c - ec
+			if src < 0 {
+				continue
+			}
+			elemIdxs := costGroups[ec]
+			for _, r := range res.Levels[src] {
+				if opts.NoReduction {
+					lvl = expandPlain(res, r, elemIdxs, lvl)
+					continue
+				}
+				lvl = expandReduced(res, r, elemIdxs, lvl)
+				if ri := r.Inverse(); ri != r {
+					lvl = expandReduced(res, ri, elemIdxs, lvl)
+				}
+			}
+		}
+		res.Levels[c] = lvl
+		if opts.Progress != nil {
+			opts.Progress(c, len(lvl))
+		}
+	}
+	return res, nil
+}
+
+// expandReduced appends one element to base (a representative or the
+// inverse of one), canonicalizes, and records newly discovered classes.
+// Paper Algorithm 2's inner loop.
+func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
+	a := res.Alphabet
+	for _, ei := range elemIdxs {
+		h := base.Then(a.Element(ei).P)
+		rep, sigma, inverted := canon.Canonical(h)
+		// The appended element is the last element of a minimal circuit
+		// for h. Conjugating h's circuit by σ yields rep's circuit when
+		// rep = conj(h, σ); when rep = conj(h⁻¹, σ) the circuit also
+		// reverses, making the conjugated element rep's first element.
+		ce := a.ConjugateElement(ei, sigma)
+		if _, inserted := res.Table.Insert(uint64(rep), encodeValue(ce, inverted)); inserted {
+			lvl = append(lvl, rep)
+		}
+	}
+	return lvl
+}
+
+// expandPlain is the unreduced variant: every function is its own key and
+// the appended element is always a last element.
+func expandPlain(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
+	a := res.Alphabet
+	for _, ei := range elemIdxs {
+		h := base.Then(a.Element(ei).P)
+		if _, inserted := res.Table.Insert(uint64(h), encodeValue(ei, false)); inserted {
+			lvl = append(lvl, h)
+		}
+	}
+	return lvl
+}
+
+// Lookup decodes the table entry for a key that must already be in
+// canonical form when the search was reduced.
+func (r *Result) Lookup(key perm.Perm) (Value, bool) {
+	raw, ok := r.Table.Lookup(uint64(key))
+	if !ok {
+		return Value{}, false
+	}
+	return decodeValue(raw), true
+}
+
+// Contains reports whether f's class (or f itself, unreduced) was reached
+// by the search, i.e. whether f has cost at most MaxCost.
+func (r *Result) Contains(f perm.Perm) bool {
+	if r.Reduced {
+		return r.Table.Contains(uint64(canon.Rep(f)))
+	}
+	return r.Table.Contains(uint64(f))
+}
+
+// CostOf returns f's minimal cost if it is within the search horizon. It
+// walks the stored boundary elements down to the identity, summing costs
+// — constant work per stripped element.
+func (r *Result) CostOf(f perm.Perm) (int, bool) {
+	key := f
+	if r.Reduced {
+		key = canon.Rep(f)
+	}
+	total := 0
+	for steps := 0; ; steps++ {
+		v, ok := r.Lookup(key)
+		if !ok {
+			return 0, false
+		}
+		if v.IsIdentity {
+			return total, true
+		}
+		e := r.Alphabet.Element(v.Elem)
+		total += e.Cost
+		var next perm.Perm
+		if v.First {
+			next = e.P.Then(key)
+		} else {
+			next = key.Then(e.P)
+		}
+		if r.Reduced {
+			next = canon.Rep(next)
+		}
+		key = next
+		if steps > 64 {
+			// A cycle here would mean corrupted table invariants.
+			panic("bfs: boundary-element walk did not terminate")
+		}
+	}
+}
+
+// ReducedCount returns the number of stored representatives with cost
+// exactly c — paper Table 4's "Reduced Functions" column when the search
+// is reduced, or the full count when not.
+func (r *Result) ReducedCount(c int) int { return len(r.Levels[c]) }
+
+// FullCount returns the number of functions (not classes) of cost exactly
+// c, by summing equivalence-class sizes — paper Table 4's "Functions"
+// column. For unreduced searches this equals ReducedCount.
+func (r *Result) FullCount(c int) int64 {
+	if !r.Reduced {
+		return int64(len(r.Levels[c]))
+	}
+	var total int64
+	for _, rep := range r.Levels[c] {
+		total += int64(canon.ClassSize(rep))
+	}
+	return total
+}
+
+// TotalStored returns the number of hash-table entries (identity
+// included).
+func (r *Result) TotalStored() int { return r.Table.Len() }
+
+// GateReducedCounts lists the paper's Table 4 "Reduced Functions" column
+// for sizes 0…9: the number of equivalence classes of each size under
+// the 32-gate alphabet. Search presizing and tests validate against it.
+var GateReducedCounts = []int64{1, 4, 33, 425, 6538, 101983, 1482686, 19466575, 225242556, 2208511226}
+
+// GateFullCounts lists the paper's Table 4 "Functions" column for sizes
+// 0…9.
+var GateFullCounts = []int64{1, 32, 784, 16204, 294507, 4807552, 70763560, 932651938, 10804681959, 105984823653}
+
+// LinearCounts lists the paper's Table 5 distribution: the number of
+// linear reversible functions of size 0…10 over the NOT/CNOT alphabet.
+// The total is 322,560 = |GL(4,2)| · 2⁴.
+var LinearCounts = []int64{1, 16, 162, 1206, 6589, 26182, 72062, 118424, 84225, 13555, 138}
+
+// CumulativeGateReduced returns the total number of classes of size ≤ k,
+// the natural CapacityHint for a reduced gate-alphabet search.
+func CumulativeGateReduced(k int) int64 {
+	var total int64
+	for i := 0; i <= k && i < len(GateReducedCounts); i++ {
+		total += GateReducedCounts[i]
+	}
+	return total
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

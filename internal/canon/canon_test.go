@@ -1,0 +1,331 @@
+package canon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+func randPerm(rng *rand.Rand) perm.Perm {
+	var vals [16]uint8
+	for i := range vals {
+		vals[i] = uint8(i)
+	}
+	for i := 15; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return perm.MustFromValues(vals)
+}
+
+func TestPlainChangesEnumeratesS4(t *testing.T) {
+	seen := map[[4]uint8]bool{}
+	for s := 0; s < SigmaCount; s++ {
+		sig := Sigma(s)
+		if seen[sig] {
+			t.Fatalf("relabeling %v repeated at position %d", sig, s)
+		}
+		seen[sig] = true
+	}
+	if len(seen) != 24 {
+		t.Fatalf("enumerated %d relabelings, want 24", len(seen))
+	}
+	if Sigma(0) != [4]uint8{0, 1, 2, 3} {
+		t.Fatalf("Sigma(0) = %v, want identity", Sigma(0))
+	}
+}
+
+func TestConsecutiveSigmasDifferByAdjacentSwap(t *testing.T) {
+	for s := 0; s+1 < SigmaCount; s++ {
+		a, b := Sigma(s), Sigma(s+1)
+		diff := 0
+		for i := 0; i < 4; i++ {
+			if a[i] != b[i] {
+				diff++
+			}
+		}
+		if diff != 2 {
+			t.Fatalf("positions %d and %d differ in %d slots, want 2", s, s+1, diff)
+		}
+	}
+}
+
+func TestShuffleOfIdentityIsIdentity(t *testing.T) {
+	if Shuffle(0) != perm.Identity {
+		t.Fatalf("Shuffle(0) = %v", Shuffle(0))
+	}
+}
+
+func TestInverseSigma(t *testing.T) {
+	for s := 0; s < SigmaCount; s++ {
+		if Shuffle(s).Then(Shuffle(InverseSigma(s))) != perm.Identity &&
+			Shuffle(InverseSigma(s)).Then(Shuffle(s)) != perm.Identity {
+			t.Fatalf("InverseSigma(%d) = %d is not an inverse", s, InverseSigma(s))
+		}
+	}
+}
+
+func TestCanonicalWitness(t *testing.T) {
+	// The returned (sigma, inverted) pair must reconstruct the
+	// representative exactly — this is what BFS/search rely on to
+	// translate stored gates back to the queried function.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		f := randPerm(rng)
+		rep, sigma, inverted := Canonical(f)
+		base := f
+		if inverted {
+			base = f.Inverse()
+		}
+		if got := perm.Conjugate(base, Shuffle(sigma)); got != rep {
+			t.Fatalf("witness failed for %v: conj(base,σ%d)=%v, rep=%v (inv=%v)",
+				f, sigma, got, rep, inverted)
+		}
+	}
+}
+
+func TestCanonicalIsClassInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		f := randPerm(rng)
+		rep := Rep(f)
+		if Rep(f.Inverse()) != rep {
+			t.Fatalf("Rep(f⁻¹) differs from Rep(f) for %v", f)
+		}
+		for s := 0; s < SigmaCount; s++ {
+			if Rep(perm.Conjugate(f, Shuffle(s))) != rep {
+				t.Fatalf("Rep of conjugate by σ%d differs for %v", s, f)
+			}
+		}
+	}
+}
+
+func TestCanonicalIsMinimumOfClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		f := randPerm(rng)
+		rep := Rep(f)
+		for _, v := range Class(f) {
+			if v < rep {
+				t.Fatalf("class member %v below representative %v", v, rep)
+			}
+		}
+		found := false
+		for _, v := range Class(f) {
+			if v == rep {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("representative %v not in its own class", rep)
+		}
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 500; trial++ {
+		f := randPerm(rng)
+		rep := Rep(f)
+		if Rep(rep) != rep {
+			t.Fatalf("Rep not idempotent: Rep(%v) = %v", rep, Rep(rep))
+		}
+	}
+}
+
+func TestClassSizeDividesIntoVariants(t *testing.T) {
+	// Class sizes must divide 48 (orbit-stabilizer for the group of order
+	// 48 acting by conjugation+inversion).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		f := randPerm(rng)
+		n := ClassSize(f)
+		if n < 1 || n > MaxClassSize || MaxClassSize%n != 0 {
+			t.Fatalf("class size %d does not divide %d", n, MaxClassSize)
+		}
+		if got := len(Class(f)); got != n {
+			t.Fatalf("ClassSize=%d but len(Class)=%d", n, got)
+		}
+	}
+}
+
+func TestMostClassesHaveFullSize(t *testing.T) {
+	// Paper §3.2: "a vast majority of functions have 48 distinct
+	// equivalent functions."
+	rng := rand.New(rand.NewSource(6))
+	full := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		if ClassSize(randPerm(rng)) == MaxClassSize {
+			full++
+		}
+	}
+	if full < trials*95/100 {
+		t.Fatalf("only %d/%d random functions have full 48-element classes", full, trials)
+	}
+}
+
+func TestIdentityClassIsSingleton(t *testing.T) {
+	if n := ClassSize(perm.Identity); n != 1 {
+		t.Fatalf("identity class size = %d, want 1", n)
+	}
+	if Rep(perm.Identity) != perm.Identity {
+		t.Fatal("identity is not its own representative")
+	}
+}
+
+func TestNOTClassMatchesPaperExample(t *testing.T) {
+	// Paper §3.2: "if f = NOT(a), then there exist only 4 distinct
+	// functions of the form fσ" — and NOT gates are self-inverse, so the
+	// full class (with inversion) is also exactly the 4 NOT gates.
+	f := gate.MustParse("NOT(a)").Perm()
+	cls := Class(f)
+	if len(cls) != 4 {
+		t.Fatalf("NOT(a) class size = %d, want 4", len(cls))
+	}
+	wantMembers := map[perm.Perm]bool{}
+	for w := 0; w < 4; w++ {
+		wantMembers[gate.MustNew(w, 0).Perm()] = true
+	}
+	for _, v := range cls {
+		if !wantMembers[v] {
+			t.Fatalf("unexpected member %v in NOT class", v)
+		}
+	}
+}
+
+func TestGateClassesAreGateKinds(t *testing.T) {
+	// Conjugation+inversion partitions the 32 gates into exactly the four
+	// kinds: 4 NOTs, 12 CNOTs, 12 TOFs, 4 TOF4s (paper Table 4, size-1
+	// row: 32 functions, 4 reduced).
+	reps := map[perm.Perm][]gate.Gate{}
+	for _, g := range gate.All() {
+		r := Rep(g.Perm())
+		reps[r] = append(reps[r], g)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("gates form %d classes, want 4", len(reps))
+	}
+	for r, gates := range reps {
+		kind := gates[0].Kind()
+		for _, g := range gates {
+			if g.Kind() != kind {
+				t.Fatalf("class of %v mixes kinds", r)
+			}
+		}
+		wantLen := map[gate.Kind]int{gate.NOT: 4, gate.CNOT: 12, gate.TOF: 12, gate.TOF4: 4}[kind]
+		if len(gates) != wantLen {
+			t.Fatalf("%v class has %d gates, want %d", kind, len(gates), wantLen)
+		}
+	}
+}
+
+func TestConjugateGateTable(t *testing.T) {
+	for s := 0; s < SigmaCount; s++ {
+		for _, g := range gate.All() {
+			cg := ConjugateGate(g, s)
+			if cg.Perm() != perm.Conjugate(g.Perm(), Shuffle(s)) {
+				t.Fatalf("ConjugateGate(%v, σ%d) = %v does not match conjugation", g, s, cg)
+			}
+			if cg.Kind() != g.Kind() {
+				t.Fatalf("conjugation changed gate kind: %v -> %v", g, cg)
+			}
+		}
+	}
+}
+
+func TestConjugateGateDistributes(t *testing.T) {
+	// conj(p.Then(q)) = conj(p).Then(conj(q)) specialized to gates: the
+	// identity the circuit-reconstruction logic depends on.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g1 := gate.FromIndex(rng.Intn(gate.Count))
+		g2 := gate.FromIndex(rng.Intn(gate.Count))
+		s := rng.Intn(SigmaCount)
+		lhs := perm.Conjugate(g1.Perm().Then(g2.Perm()), Shuffle(s))
+		rhs := ConjugateGate(g1, s).Perm().Then(ConjugateGate(g2, s).Perm())
+		if lhs != rhs {
+			t.Fatalf("gate conjugation does not distribute (σ%d, %v, %v)", s, g1, g2)
+		}
+	}
+}
+
+func TestForEachVariantCoversClassExactly48(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		f := randPerm(rng)
+		count := 0
+		seen := map[perm.Perm]bool{}
+		ForEachVariant(f, func(v perm.Perm) bool {
+			count++
+			seen[v] = true
+			return true
+		})
+		if count != MaxClassSize {
+			t.Fatalf("variant walk yielded %d values, want %d", count, MaxClassSize)
+		}
+		if len(seen) != ClassSize(f) {
+			t.Fatalf("variant walk covered %d distinct, class size %d", len(seen), ClassSize(f))
+		}
+	}
+}
+
+func TestForEachVariantEarlyStop(t *testing.T) {
+	count := 0
+	ForEachVariant(perm.Identity, func(perm.Perm) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop after %d calls, want 5", count)
+	}
+}
+
+func TestQuickEquivalentFunctionsShareRep(t *testing.T) {
+	f := func(seed int64, sRaw uint8, invert bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randPerm(rng)
+		v := perm.Conjugate(p, Shuffle(int(sRaw)%SigmaCount))
+		if invert {
+			v = v.Inverse()
+		}
+		return Rep(v) == Rep(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ps := make([]perm.Perm, 1024)
+	for i := range ps {
+		ps[i] = randPerm(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc perm.Perm
+	for i := 0; i < b.N; i++ {
+		r, _, _ := Canonical(ps[i&1023])
+		acc ^= r
+	}
+	_ = acc
+}
+
+func BenchmarkClassSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	ps := make([]perm.Perm, 256)
+	for i := range ps {
+		ps[i] = randPerm(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += ClassSize(ps[i&255])
+	}
+	_ = acc
+}

@@ -1,0 +1,187 @@
+// Package circuit implements reversible circuits over the paper's
+// NOT/CNOT/TOF/TOF4 gate library: gate sequences applied left to right on
+// four wires (paper §2).
+//
+// Reversible circuits are strings of gates: no feedback and no fan-out.
+// The function computed by the circuit g₁ g₂ … gₙ is therefore the
+// diagrammatic composition g₁ then g₂ then … then gₙ, and the circuit's
+// inverse is simply the reversed gate sequence because every library gate
+// is an involution (paper §3.2).
+package circuit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// Circuit is a sequence of gates applied left to right. The zero value is
+// the empty circuit, which computes the identity.
+type Circuit []gate.Gate
+
+// Perm returns the permutation of the sixteen states computed by the
+// circuit (the paper's f = g₁ ◦ g₂ ◦ … ◦ gₙ in diagrammatic order).
+func (c Circuit) Perm() perm.Perm {
+	p := perm.Identity
+	for _, g := range c {
+		p = p.Then(g.Perm())
+	}
+	return p
+}
+
+// Apply simulates the circuit on one 4-bit input state.
+func (c Circuit) Apply(x int) int {
+	for _, g := range c {
+		x = g.Apply(x)
+	}
+	return x
+}
+
+// Inverse returns a circuit computing the inverse function: the gate
+// sequence reversed (each gate is self-inverse).
+func (c Circuit) Inverse() Circuit {
+	inv := make(Circuit, len(c))
+	for i, g := range c {
+		inv[len(c)-1-i] = g
+	}
+	return inv
+}
+
+// Clone returns an independent copy of the circuit.
+func (c Circuit) Clone() Circuit {
+	out := make(Circuit, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two circuits are the same gate sequence (not
+// merely functionally equivalent).
+func (c Circuit) Equal(d Circuit) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether two circuits compute the same function.
+func (c Circuit) Equivalent(d Circuit) bool { return c.Perm() == d.Perm() }
+
+// GateCount returns the number of gates — the paper's primary cost metric
+// ("size").
+func (c Circuit) GateCount() int { return len(c) }
+
+// QuantumCost returns the summed NCV quantum cost of the gates
+// (NOT/CNOT = 1, TOF = 5, TOF4 = 13) — the gate-cost metric the paper's
+// §5 proposes as a search variant.
+func (c Circuit) QuantumCost() int {
+	total := 0
+	for _, g := range c {
+		total += g.QuantumCost()
+	}
+	return total
+}
+
+// Depth returns the circuit depth under ASAP scheduling: gates whose
+// supports are disjoint may fire in the same time step (the §5 depth
+// metric, where e.g. NOT(a) CNOT(b,c) counts as a single step). Gates are
+// greedily scheduled at the earliest layer after the last gate sharing a
+// wire with them.
+func (c Circuit) Depth() int {
+	var wireFree [4]int // earliest layer at which each wire is free
+	depth := 0
+	for _, g := range c {
+		support := g.Support()
+		layer := 0
+		for w := 0; w < 4; w++ {
+			if support&(1<<uint(w)) != 0 && wireFree[w] > layer {
+				layer = wireFree[w]
+			}
+		}
+		for w := 0; w < 4; w++ {
+			if support&(1<<uint(w)) != 0 {
+				wireFree[w] = layer + 1
+			}
+		}
+		if layer+1 > depth {
+			depth = layer + 1
+		}
+	}
+	return depth
+}
+
+// CountByKind returns how many gates of each shape the circuit uses.
+func (c Circuit) CountByKind() map[gate.Kind]int {
+	counts := make(map[gate.Kind]int, 4)
+	for _, g := range c {
+		counts[g.Kind()]++
+	}
+	return counts
+}
+
+// String renders the circuit in the paper's Table 6 notation: gates
+// separated by single spaces, e.g. "TOF(a,b,d) CNOT(a,b) TOF(b,c,d)".
+// The empty circuit renders as "IDENTITY".
+func (c Circuit) String() string {
+	if len(c) == 0 {
+		return "IDENTITY"
+	}
+	parts := make([]string, len(c))
+	for i, g := range c {
+		parts[i] = g.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse parses the String/Table-6 notation: whitespace-separated gates,
+// e.g. "NOT(a) CNOT(c,a) TOF(a,b,d)". "IDENTITY" or an empty string
+// parses to the empty circuit.
+func Parse(s string) (Circuit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "IDENTITY") {
+		return Circuit{}, nil
+	}
+	fields := strings.Fields(s)
+	c := make(Circuit, 0, len(fields))
+	for i, f := range fields {
+		g, err := gate.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: gate %d: %v", i, err)
+		}
+		c = append(c, g)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error; for static tables of published
+// circuits.
+func MustParse(s string) Circuit {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Simplify performs the trivial peephole rewrite the gate algebra
+// guarantees: adjacent identical gates cancel (every gate is an
+// involution). It repeats until no adjacent pair cancels and returns the
+// shortened circuit; the result computes the same function. This is a
+// cheap sanity pass, not optimal synthesis.
+func (c Circuit) Simplify() Circuit {
+	out := make(Circuit, 0, len(c))
+	for _, g := range c {
+		if n := len(out); n > 0 && out[n-1] == g {
+			out = out[:n-1]
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+func randCircuit(rng *rand.Rand, n int) Circuit {
+	c := make(Circuit, n)
+	for i := range c {
+		c[i] = gate.FromIndex(rng.Intn(gate.Count))
+	}
+	return c
+}
+
+func TestEmptyCircuitIsIdentity(t *testing.T) {
+	var c Circuit
+	if c.Perm() != perm.Identity {
+		t.Fatal("empty circuit is not the identity")
+	}
+	if c.GateCount() != 0 || c.Depth() != 0 || c.QuantumCost() != 0 {
+		t.Fatal("empty circuit has nonzero cost")
+	}
+	if c.String() != "IDENTITY" {
+		t.Fatalf("empty circuit renders as %q", c.String())
+	}
+}
+
+func TestPermMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		c := randCircuit(rng, rng.Intn(12))
+		p := c.Perm()
+		for x := 0; x < 16; x++ {
+			if p.Apply(x) != c.Apply(x) {
+				t.Fatalf("Perm/Apply disagree for %v at input %d", c, x)
+			}
+		}
+	}
+}
+
+func TestPermIsDiagrammaticOrder(t *testing.T) {
+	// NOT(a) then CNOT(a,b): input 0 → 1 → 3.
+	c := MustParse("NOT(a) CNOT(a,b)")
+	if got := c.Apply(0); got != 3 {
+		t.Fatalf("NOT(a) CNOT(a,b) applied to 0 gives %d, want 3", got)
+	}
+	// The reversed order gives 0 → 0 → 1.
+	d := MustParse("CNOT(a,b) NOT(a)")
+	if got := d.Apply(0); got != 1 {
+		t.Fatalf("CNOT(a,b) NOT(a) applied to 0 gives %d, want 1", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		c := randCircuit(rng, rng.Intn(10))
+		if c.Perm().Then(c.Inverse().Perm()) != perm.Identity {
+			t.Fatalf("c.Inverse() is not the inverse of %v", c)
+		}
+		if c.Inverse().Perm() != c.Perm().Inverse() {
+			t.Fatalf("circuit inverse disagrees with permutation inverse for %v", c)
+		}
+	}
+}
+
+func TestPaperTable6CircuitStrings(t *testing.T) {
+	// Spot-check that published circuits from the paper parse and
+	// round-trip; full spec validation lives in internal/benchfuncs.
+	published := []string{
+		"TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)",
+		"TOF4(a,b,c,d) TOF(a,b,c) CNOT(a,b) NOT(a)",
+		"CNOT(d,b) CNOT(d,a) CNOT(c,d) TOF4(a,b,d,c) CNOT(c,d) CNOT(d,b) CNOT(d,a)",
+	}
+	for _, s := range published {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if c.String() != s {
+			t.Fatalf("round trip changed %q into %q", s, c.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"NOT(a) XYZ(b)", "NOT(a) CNOT(a,a)", "NOT(e)"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseIdentityForms(t *testing.T) {
+	for _, s := range []string{"", "   ", "IDENTITY", "identity"} {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if len(c) != 0 {
+			t.Fatalf("Parse(%q) = %v, want empty", s, c)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		circ  string
+		depth int
+	}{
+		{"IDENTITY", 0},
+		{"NOT(a)", 1},
+		{"NOT(a) NOT(b)", 1},               // disjoint supports share a layer
+		{"NOT(a) CNOT(b,c)", 1},            // the paper's §5 example of a single depth unit
+		{"NOT(a) CNOT(a,b)", 2},            // share wire a
+		{"NOT(a) NOT(b) NOT(c) NOT(d)", 1}, // all four in parallel
+		{"TOF(a,b,c) NOT(d)", 1},
+		{"TOF(a,b,c) NOT(c)", 2},
+		{"TOF4(a,b,c,d) NOT(a)", 2}, // TOF4 blocks everything
+		{"CNOT(a,b) CNOT(c,d) CNOT(b,c)", 2},
+	}
+	for _, c := range cases {
+		circ := MustParse(c.circ)
+		if got := circ.Depth(); got != c.depth {
+			t.Errorf("Depth(%q) = %d, want %d", c.circ, got, c.depth)
+		}
+	}
+}
+
+func TestDepthNeverExceedsGateCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		c := randCircuit(rng, rng.Intn(15))
+		if d := c.Depth(); d > c.GateCount() {
+			t.Fatalf("depth %d exceeds gate count %d for %v", d, c.GateCount(), c)
+		}
+	}
+}
+
+func TestQuantumCost(t *testing.T) {
+	c := MustParse("NOT(a) CNOT(a,b) TOF(a,b,c) TOF4(a,b,c,d)")
+	if got := c.QuantumCost(); got != 1+1+5+13 {
+		t.Fatalf("QuantumCost = %d, want 20", got)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	c := MustParse("NOT(a) NOT(b) CNOT(a,b) TOF4(a,b,c,d)")
+	counts := c.CountByKind()
+	if counts[gate.NOT] != 2 || counts[gate.CNOT] != 1 || counts[gate.TOF] != 0 || counts[gate.TOF4] != 1 {
+		t.Fatalf("CountByKind = %v", counts)
+	}
+}
+
+func TestSimplifyCancelsAdjacentDuplicates(t *testing.T) {
+	c := MustParse("NOT(a) NOT(a)")
+	if got := c.Simplify(); len(got) != 0 {
+		t.Fatalf("Simplify(NOT NOT) = %v, want empty", got)
+	}
+	// Cascading cancellation: after the middle pair cancels, the outer
+	// pair becomes adjacent and cancels too.
+	c = MustParse("CNOT(a,b) TOF(a,b,c) TOF(a,b,c) CNOT(a,b) NOT(d)")
+	got := c.Simplify()
+	if len(got) != 1 || got[0] != gate.MustParse("NOT(d)") {
+		t.Fatalf("cascading Simplify = %v, want [NOT(d)]", got)
+	}
+}
+
+func TestSimplifyPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		c := randCircuit(rng, rng.Intn(20))
+		s := c.Simplify()
+		if s.Perm() != c.Perm() {
+			t.Fatalf("Simplify changed the function of %v", c)
+		}
+		if len(s) > len(c) {
+			t.Fatalf("Simplify grew the circuit")
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randCircuit(rng, 8)
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	d[0] = gate.FromIndex((d[0].Index() + 1) % gate.Count)
+	if c.Equal(d) {
+		t.Fatal("mutated clone still equal")
+	}
+	if c[0] == d[0] {
+		t.Fatal("clone shares backing storage")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// Same function, different gate sequences: CNOT(a,b) CNOT(b,a)
+	// CNOT(a,b) is the swap of wires a and b, as is the relabeled order.
+	c := MustParse("CNOT(a,b) CNOT(b,a) CNOT(a,b)")
+	d := MustParse("CNOT(b,a) CNOT(a,b) CNOT(b,a)")
+	if !c.Equivalent(d) {
+		t.Fatal("both 3-CNOT swap implementations must be equivalent")
+	}
+	if c.Equal(d) {
+		t.Fatal("they are different sequences")
+	}
+}
+
+func TestQuickInverseIsInvolution(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng, int(n%16))
+		return c.Inverse().Inverse().Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConcatenationComposes(t *testing.T) {
+	f := func(seed int64, n, m uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randCircuit(rng, int(n%10))
+		d := randCircuit(rng, int(m%10))
+		joint := append(c.Clone(), d...)
+		return joint.Perm() == c.Perm().Then(d.Perm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPerm10Gates(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	c := randCircuit(rng, 10)
+	b.ReportAllocs()
+	var acc perm.Perm
+	for i := 0; i < b.N; i++ {
+		acc ^= c.Perm()
+	}
+	_ = acc
+}

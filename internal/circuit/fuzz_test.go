@@ -1,0 +1,36 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the circuit parser never panics, that accepted
+// circuits round-trip through String, and that their functions are
+// well-formed permutations.
+func FuzzParse(f *testing.F) {
+	f.Add("TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)")
+	f.Add("IDENTITY")
+	f.Add("NOT(a)")
+	f.Add("not(A)  \t TOFFOLI(b,c,d)")
+	f.Add("NOT(a) NOT(a) NOT(a) NOT(a) NOT(a) NOT(a) NOT(a)")
+	f.Add("XOR(a,b)")
+	f.Add("TOF4(a,b,c,d CNOT(a")
+	f.Add(strings.Repeat("NOT(a) ", 500))
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !c.Perm().IsValid() {
+			t.Fatalf("Parse(%q) produced a circuit with an invalid function", s)
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", c.String(), err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip changed %q", s)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+// Package core implements the paper's primary contribution (Algorithm 1):
+// synthesis of a provably minimal circuit for any 4-bit reversible
+// function by search-and-lookup over precomputed canonical
+// representatives.
+//
+// Construction runs the breadth-first search of Algorithm 2 (package bfs)
+// up to depth k, producing the hash table H of canonical representatives
+// of all classes of size ≤ k with one boundary gate each, plus the
+// per-size representative lists Aᵢ.
+//
+// A query for f then proceeds exactly as in the paper:
+//
+//  1. If f's class is in H, a minimal circuit is reconstructed by
+//     repeatedly translating the stored boundary gate back through the
+//     canonicalization witness (σ, inverted) and stripping it.
+//  2. Otherwise f = p ⋄ s for a prefix p of some minimal size i and a
+//     suffix s of size ≤ k. All candidate prefixes of size i = 1, 2, …
+//     are enumerated as the ≤48 wire-relabeling/inversion variants of the
+//     stored representatives of size i; the first i for which some
+//     residue p⁻¹ ⋄ f lands in H yields a minimal circuit (for the unit
+//     cost metric — weighted metrics keep scanning until no shorter total
+//     is possible).
+//
+// A Synthesizer is immutable after construction and safe for concurrent
+// use.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bfs"
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// ErrBeyondHorizon reports that the function's minimal cost exceeds the
+// synthesizer's guaranteed search horizon.
+var ErrBeyondHorizon = errors.New("core: function size exceeds search horizon")
+
+// ErrInvalidFunction reports that the queried word is not a permutation.
+var ErrInvalidFunction = errors.New("core: not a valid 4-bit reversible function")
+
+// Config configures New.
+type Config struct {
+	// K is the BFS depth: every function of size ≤ K is answered by a
+	// single lookup-and-reconstruct. Memory grows with the number of
+	// classes of size ≤ K (paper Table 4): K = 5 needs ~10⁵ entries,
+	// K = 6 ~1.6×10⁶, K = 7 ~2.1×10⁷. The paper runs K = 9 on a 64 GB
+	// machine; K defaults to 6.
+	K int
+	// MaxSplit bounds the prefix sizes tried by the meet-in-the-middle
+	// stage; the unit-cost synthesis horizon is K + MaxSplit. MaxSplit
+	// cannot exceed K (prefixes are enumerated from the stored lists) and
+	// defaults to K.
+	MaxSplit int
+	// Alphabet selects the building blocks; nil means the paper's 32-gate
+	// library with unit costs. Weighted or layer alphabets turn the same
+	// machinery into the paper §5 gate-cost or depth-optimal variants.
+	Alphabet *bfs.Alphabet
+	// Progress is forwarded to the BFS.
+	Progress func(level, newReps int)
+}
+
+// DefaultK is the default BFS depth.
+const DefaultK = 6
+
+// Synthesizer answers minimal-circuit queries. Create with New or
+// FromResult.
+type Synthesizer struct {
+	res      *bfs.Result
+	maxSplit int
+}
+
+// New precomputes the search tables per cfg and returns a ready
+// synthesizer.
+func New(cfg Config) (*Synthesizer, error) {
+	if cfg.K == 0 {
+		cfg.K = DefaultK
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K = %d, want ≥ 1", cfg.K)
+	}
+	alphabet := cfg.Alphabet
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	hint := 0
+	if alphabet.Len() == 32 && alphabet.MaxCost() == 1 && cfg.K < len(bfs.GateReducedCounts) {
+		hint = int(bfs.CumulativeGateReduced(cfg.K))
+	}
+	res, err := bfs.Search(alphabet, cfg.K, &bfs.Options{
+		// Restricted-architecture alphabets (paper §5) are not closed
+		// under wire relabeling and therefore search unreduced.
+		NoReduction:  !alphabet.Relabelable(),
+		CapacityHint: hint,
+		Progress:     cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromResult(res, cfg.MaxSplit)
+}
+
+// FromResult wraps an existing BFS result (reduced or not) as a
+// synthesizer; maxSplit defaults to the BFS horizon and cannot exceed it.
+func FromResult(res *bfs.Result, maxSplit int) (*Synthesizer, error) {
+	if res == nil {
+		return nil, fmt.Errorf("core: nil BFS result")
+	}
+	if maxSplit == 0 {
+		maxSplit = res.MaxCost
+	}
+	if maxSplit < 0 || maxSplit > res.MaxCost {
+		return nil, fmt.Errorf("core: MaxSplit = %d out of range [0,%d]", maxSplit, res.MaxCost)
+	}
+	return &Synthesizer{res: res, maxSplit: maxSplit}, nil
+}
+
+// K returns the BFS depth.
+func (s *Synthesizer) K() int { return s.res.MaxCost }
+
+// MaxSplit returns the meet-in-the-middle prefix bound.
+func (s *Synthesizer) MaxSplit() int { return s.maxSplit }
+
+// Horizon returns the cost up to which synthesis is guaranteed: K +
+// MaxSplit for unit-cost alphabets; for weighted alphabets boundary
+// effects subtract MaxCost − 1.
+func (s *Synthesizer) Horizon() int {
+	return s.res.MaxCost + s.maxSplit - (s.res.Alphabet.MaxCost() - 1)
+}
+
+// Result exposes the underlying BFS tables (read-only).
+func (s *Synthesizer) Result() *bfs.Result { return s.res }
+
+// Info reports how a query was answered.
+type Info struct {
+	// Cost is the minimal cost (gate count for the unit metric) of the
+	// synthesized circuit.
+	Cost int
+	// Direct reports that the function was within the BFS horizon and
+	// answered by pure lookup (Algorithm 1's first branch).
+	Direct bool
+	// SplitPrefix is the prefix cost chosen by the meet-in-the-middle
+	// stage (0 when Direct).
+	SplitPrefix int
+	// Candidates counts composition+canonicalization+probe iterations
+	// spent in the meet-in-the-middle loop.
+	Candidates int64
+}
+
+// Synthesize returns a minimal circuit for f.
+func (s *Synthesizer) Synthesize(f perm.Perm) (circuit.Circuit, error) {
+	c, _, err := s.SynthesizeInfo(f)
+	return c, err
+}
+
+// Size returns the minimal number of cost units (gates, for the unit
+// metric) required to implement f — the paper's "size of a reversible
+// function".
+func (s *Synthesizer) Size(f perm.Perm) (int, error) {
+	_, info, err := s.SynthesizeInfo(f)
+	if err != nil {
+		return 0, err
+	}
+	return info.Cost, nil
+}
+
+// SynthesizeInfo is Synthesize with query diagnostics.
+func (s *Synthesizer) SynthesizeInfo(f perm.Perm) (circuit.Circuit, Info, error) {
+	if !f.IsValid() {
+		return nil, Info{}, ErrInvalidFunction
+	}
+	// Algorithm 1, first branch: f is within the BFS horizon.
+	if s.res.Contains(f) {
+		c, err := s.reconstruct(f)
+		if err != nil {
+			return nil, Info{}, err
+		}
+		return c, Info{Cost: s.costOf(c), Direct: true}, nil
+	}
+	// Meet in the middle: try prefix costs in increasing order.
+	var info Info
+	bestTotal := -1
+	var bestPrefix, bestResidue perm.Perm
+	bestSplit := 0
+	unit := s.res.Alphabet.MaxCost() == 1
+	for i := 1; i <= s.maxSplit; i++ {
+		if bestTotal >= 0 && i >= bestTotal {
+			break // any further split costs at least i ≥ bestTotal
+		}
+		for _, rep := range s.res.Levels[i] {
+			q, residue, tried := s.probeClass(rep, f)
+			info.Candidates += tried
+			if q == 0 {
+				continue
+			}
+			residueCost, ok := s.res.CostOf(residue)
+			if !ok {
+				return nil, info, fmt.Errorf("core: residue vanished from table (corrupt state)")
+			}
+			total := i + residueCost
+			if bestTotal < 0 || total < bestTotal {
+				bestTotal, bestPrefix, bestResidue, bestSplit = total, q.Inverse(), residue, i
+			}
+			if unit {
+				break // first hit is provably minimal for unit costs
+			}
+		}
+		if bestTotal >= 0 && unit {
+			break
+		}
+	}
+	if bestTotal < 0 {
+		return nil, info, fmt.Errorf("%w (horizon %d)", ErrBeyondHorizon, s.Horizon())
+	}
+	pc, err := s.reconstruct(bestPrefix)
+	if err != nil {
+		return nil, info, err
+	}
+	rc, err := s.reconstruct(bestResidue)
+	if err != nil {
+		return nil, info, err
+	}
+	out := append(pc, rc...)
+	info.Cost = bestTotal
+	info.SplitPrefix = bestSplit
+	return out, info, nil
+}
+
+// probeClass enumerates the variants q of rep (all functions of rep's
+// size) and returns the first with residue q ⋄ f inside the table,
+// along with that residue and the number of candidates tried. It returns
+// q = 0 if no variant hits.
+//
+// Writing the minimal circuit of f as p then s with p of rep's size, the
+// residue of the candidate prefix p = q⁻¹ is s = p⁻¹ ⋄ f = q ⋄ f.
+func (s *Synthesizer) probeClass(rep, f perm.Perm) (q, residue perm.Perm, tried int64) {
+	if !s.res.Reduced {
+		// Unreduced tables store every function directly; rep is itself
+		// the only candidate (the paper's "store full lists" variant).
+		tried = 1
+		r := rep.Then(f)
+		if s.res.Contains(r) {
+			return rep, r, tried
+		}
+		return 0, 0, tried
+	}
+	canon.ForEachVariant(rep, func(v perm.Perm) bool {
+		tried++
+		r := v.Then(f)
+		if s.res.Contains(r) {
+			q, residue = v, r
+			return false
+		}
+		return true
+	})
+	return q, residue, tried
+}
+
+// costOf sums the element costs a circuit's gates map to; for unit-cost
+// alphabets this is just the element count, but reconstruct emits gates,
+// so recompute from gate count only when the alphabet is the plain gate
+// set.
+func (s *Synthesizer) costOf(c circuit.Circuit) int {
+	if cost, ok := s.res.CostOf(c.Perm()); ok {
+		return cost
+	}
+	return len(c)
+}
+
+// reconstruct builds a minimal circuit for a function whose class is in
+// the table, by stripping one stored boundary element per step (paper
+// Algorithm 1's recursive branch, iterative here).
+func (s *Synthesizer) reconstruct(f perm.Perm) (circuit.Circuit, error) {
+	var front, back circuit.Circuit // back is collected in reverse
+	cur := f
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			return nil, fmt.Errorf("core: reconstruction did not terminate (corrupt table)")
+		}
+		if cur == perm.Identity {
+			break
+		}
+		key := cur
+		var sigma int
+		var inverted bool
+		if s.res.Reduced {
+			key, sigma, inverted = canon.Canonical(cur)
+		}
+		v, ok := s.res.Lookup(key)
+		if !ok {
+			return nil, fmt.Errorf("%w: function %v not in table", ErrBeyondHorizon, f)
+		}
+		if v.IsIdentity {
+			return nil, fmt.Errorf("core: non-identity function %v stored as identity", cur)
+		}
+		// Translate the boundary element of the representative's circuit
+		// back to cur's circuit: rep = conj(base, σ) with base = cur or
+		// cur⁻¹, so cur's circuit is the σ⁻¹-conjugate of rep's —
+		// reversed when base was the inverse, which also swaps the
+		// first/last role of the boundary element.
+		ei := v.Elem
+		isFirst := v.First
+		if s.res.Reduced {
+			ei = s.res.Alphabet.ConjugateElement(ei, canon.InverseSigma(sigma))
+			isFirst = v.First != inverted
+		}
+		e := s.res.Alphabet.Element(ei)
+		if isFirst {
+			front = append(front, e.Gates...)
+			cur = e.P.Then(cur) // strip λ from the front: rest = λ⁻¹ ⋄ cur
+		} else {
+			for j := len(e.Gates) - 1; j >= 0; j-- {
+				back = append(back, e.Gates[j])
+			}
+			cur = cur.Then(e.P) // strip λ from the back: rest = cur ⋄ λ⁻¹
+		}
+	}
+	out := make(circuit.Circuit, 0, len(front)+len(back))
+	out = append(out, front...)
+	for j := len(back) - 1; j >= 0; j-- {
+		out = append(out, back[j])
+	}
+	return out, nil
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// Shared fixtures: BFS is deterministic, so synthesizers can be shared
+// across tests.
+var (
+	fixOnce sync.Once
+	synthK5 *Synthesizer // direct horizon 5, MITM to 10
+	synthK3 *Synthesizer // direct horizon 3, MITM to 6
+)
+
+func fixtures(t testing.TB) (*Synthesizer, *Synthesizer) {
+	fixOnce.Do(func() {
+		var err error
+		synthK5, err = New(Config{K: 5})
+		if err != nil {
+			panic(err)
+		}
+		synthK3, err = New(Config{K: 3})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return synthK5, synthK3
+}
+
+func randCircuit(rng *rand.Rand, n int) circuit.Circuit {
+	c := make(circuit.Circuit, n)
+	for i := range c {
+		c[i] = gate.FromIndex(rng.Intn(gate.Count))
+	}
+	return c
+}
+
+func TestIdentitySynthesis(t *testing.T) {
+	s, _ := fixtures(t)
+	c, info, err := s.SynthesizeInfo(perm.Identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 0 || info.Cost != 0 || !info.Direct {
+		t.Fatalf("identity: circuit %v, info %+v", c, info)
+	}
+}
+
+func TestInvalidInput(t *testing.T) {
+	s, _ := fixtures(t)
+	if _, err := s.Synthesize(perm.Perm(0)); !errors.Is(err, ErrInvalidFunction) {
+		t.Fatalf("invalid input error = %v", err)
+	}
+}
+
+func TestSingleGates(t *testing.T) {
+	s, _ := fixtures(t)
+	for _, g := range gate.All() {
+		c, err := s.Synthesize(g.Perm())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) != 1 {
+			t.Fatalf("gate %v synthesized as %v", g, c)
+		}
+		if c.Perm() != g.Perm() {
+			t.Fatalf("gate %v synthesized incorrectly as %v", g, c)
+		}
+	}
+}
+
+// TestExhaustiveWithinHorizon reconstructs a minimal circuit for every
+// stored representative of size 0..5 and checks both function and length
+// — full coverage of the lookup branch of Algorithm 1, including all four
+// (conjugate × first/last) translation cases.
+func TestExhaustiveWithinHorizon(t *testing.T) {
+	s, _ := fixtures(t)
+	for size := 0; size <= s.K(); size++ {
+		for _, rep := range s.Result().Levels[size] {
+			c, info, err := s.SynthesizeInfo(rep)
+			if err != nil {
+				t.Fatalf("size %d rep %v: %v", size, rep, err)
+			}
+			if !info.Direct {
+				t.Fatalf("size %d rep answered by MITM", size)
+			}
+			if len(c) != size {
+				t.Fatalf("size %d rep %v got %d-gate circuit %v", size, rep, len(c), c)
+			}
+			if c.Perm() != rep {
+				t.Fatalf("size %d rep %v: circuit %v computes %v", size, rep, c, c.Perm())
+			}
+		}
+	}
+}
+
+// TestClassMembersWithinHorizon exercises the witness translation for
+// non-canonical queries: random conjugates and inverses of stored
+// representatives must synthesize at the same size.
+func TestClassMembersWithinHorizon(t *testing.T) {
+	s, _ := fixtures(t)
+	rng := rand.New(rand.NewSource(1))
+	for size := 1; size <= s.K(); size++ {
+		lvl := s.Result().Levels[size]
+		for trial := 0; trial < 200; trial++ {
+			rep := lvl[rng.Intn(len(lvl))]
+			member := perm.Conjugate(rep, canon.Shuffle(rng.Intn(canon.SigmaCount)))
+			if rng.Intn(2) == 1 {
+				member = member.Inverse()
+			}
+			c, err := s.Synthesize(member)
+			if err != nil {
+				t.Fatalf("size %d member %v: %v", size, member, err)
+			}
+			if len(c) != size || c.Perm() != member {
+				t.Fatalf("size %d member %v: got %v (len %d)", size, member, c, len(c))
+			}
+		}
+	}
+}
+
+// TestMITMMatchesGroundTruth validates the meet-in-the-middle branch
+// against BFS ground truth: functions whose exact size (4 or 5) is known
+// from the K=5 tables must come back at that size from a K=3 synthesizer,
+// which can only reach them by splitting.
+func TestMITMMatchesGroundTruth(t *testing.T) {
+	s5, s3 := fixtures(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, size := range []int{4, 5} {
+		lvl := s5.Result().Levels[size]
+		for trial := 0; trial < 60; trial++ {
+			rep := lvl[rng.Intn(len(lvl))]
+			member := perm.Conjugate(rep, canon.Shuffle(rng.Intn(canon.SigmaCount)))
+			c, info, err := s3.SynthesizeInfo(member)
+			if err != nil {
+				t.Fatalf("size %d member: %v", size, err)
+			}
+			if info.Direct {
+				t.Fatalf("size-%d function answered directly by K=3 synthesizer", size)
+			}
+			if len(c) != size || c.Perm() != member {
+				t.Fatalf("size %d member %v: MITM got %v (len %d)", size, member, c, len(c))
+			}
+			if info.SplitPrefix != size-s3.K() {
+				t.Fatalf("size %d: split prefix %d, want %d", size, info.SplitPrefix, size-s3.K())
+			}
+		}
+	}
+}
+
+// TestRandomCircuitsUpperBound: for random m-gate circuits the optimal
+// size is at most m, and the synthesized circuit must implement the same
+// function.
+func TestRandomCircuitsUpperBound(t *testing.T) {
+	s, _ := fixtures(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 150; trial++ {
+		m := rng.Intn(9)
+		c := randCircuit(rng, m)
+		f := c.Perm()
+		got, err := s.Synthesize(f)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if got.Perm() != f {
+			t.Fatalf("synthesized circuit %v does not implement %v", got, f)
+		}
+		if len(got) > m {
+			t.Fatalf("optimal size %d exceeds witness length %d for %v", len(got), m, c)
+		}
+	}
+}
+
+// TestEquivalenceInvariance: equivalent functions have equal size (paper
+// §3.2), including through the MITM branch.
+func TestEquivalenceInvariance(t *testing.T) {
+	s, _ := fixtures(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		f := randCircuit(rng, 7).Perm()
+		base, err := s.Size(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv, _ := s.Size(f.Inverse()); inv != base {
+			t.Fatalf("size(f⁻¹) = %d ≠ size(f) = %d", inv, base)
+		}
+		sigma := rng.Intn(canon.SigmaCount)
+		if cj, _ := s.Size(perm.Conjugate(f, canon.Shuffle(sigma))); cj != base {
+			t.Fatalf("size(conj) = %d ≠ size(f) = %d", cj, base)
+		}
+	}
+}
+
+// TestSizeAgainstUnreducedBFS compares the synthesizer against an
+// independent ground truth: an unreduced (no symmetry) BFS table of all
+// functions of size ≤ 4.
+func TestSizeAgainstUnreducedBFS(t *testing.T) {
+	s, _ := fixtures(t)
+	plain, err := bfs.Search(bfs.GateAlphabet(), 4, &bfs.Options{NoReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for size := 0; size <= 4; size++ {
+		lvl := plain.Levels[size]
+		for trial := 0; trial < 100; trial++ {
+			f := lvl[rng.Intn(len(lvl))]
+			got, err := s.Size(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != size {
+				t.Fatalf("size(%v) = %d, want %d (unreduced BFS)", f, got, size)
+			}
+		}
+	}
+}
+
+func TestBeyondHorizon(t *testing.T) {
+	small, err := New(Config{K: 2, MaxSplit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Horizon() != 3 {
+		t.Fatalf("horizon = %d, want 3", small.Horizon())
+	}
+	hwb4, _ := perm.Parse("[0,2,4,12,8,5,9,11,1,6,10,13,3,14,7,15]") // size 11
+	if _, err := small.Synthesize(hwb4); !errors.Is(err, ErrBeyondHorizon) {
+		t.Fatalf("beyond-horizon error = %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{K: -3}); err == nil {
+		t.Error("accepted negative K")
+	}
+	if _, err := FromResult(nil, 0); err == nil {
+		t.Error("accepted nil result")
+	}
+	res, _ := bfs.Search(bfs.GateAlphabet(), 2, nil)
+	if _, err := FromResult(res, 5); err == nil {
+		t.Error("accepted MaxSplit beyond BFS horizon")
+	}
+}
+
+// TestUnreducedSynthesizer runs the ablation configuration: full lists,
+// no canonical reduction — results must agree with the reduced
+// synthesizer.
+func TestUnreducedSynthesizer(t *testing.T) {
+	s, _ := fixtures(t)
+	plain, err := bfs.Search(bfs.GateAlphabet(), 3, &bfs.Options{NoReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := FromResult(plain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		f := randCircuit(rng, 1+rng.Intn(6)).Perm()
+		a, err := ps.Synthesize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Size(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != want || a.Perm() != f {
+			t.Fatalf("unreduced synthesis of %v: got len %d (%v), want %d", f, len(a), a, want)
+		}
+	}
+}
+
+// TestWeightedQuantumCostSynthesis exercises the paper §5 gate-cost
+// variant end to end.
+func TestWeightedQuantumCostSynthesis(t *testing.T) {
+	alpha, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := New(Config{K: 7, MaxSplit: 4, Alphabet: alpha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		circ string
+		cost int
+	}{
+		{"NOT(a)", 1},
+		{"NOT(a) NOT(b)", 2},
+		{"CNOT(a,b) CNOT(b,a) CNOT(a,b)", 3}, // SWAP: three 1-cost gates
+		{"TOF(a,b,c)", 5},
+		{"TOF(a,b,c) NOT(d) CNOT(a,b)", 7},
+	}
+	for _, c := range cases {
+		f := circuit.MustParse(c.circ).Perm()
+		got, info, err := ws.SynthesizeInfo(f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.circ, err)
+		}
+		if info.Cost != c.cost {
+			t.Errorf("quantum cost of %s = %d, want %d", c.circ, info.Cost, c.cost)
+		}
+		if got.Perm() != f {
+			t.Errorf("weighted synthesis of %s computes the wrong function", c.circ)
+		}
+		if got.QuantumCost() != info.Cost {
+			t.Errorf("synthesized circuit cost %d ≠ reported %d", got.QuantumCost(), info.Cost)
+		}
+	}
+}
+
+// TestDepthOptimalSynthesis exercises the layer-alphabet (depth) variant:
+// the reported cost is the minimal depth, and the emitted circuit
+// schedules to exactly that depth.
+func TestDepthOptimalSynthesis(t *testing.T) {
+	ds, err := New(Config{K: 2, MaxSplit: 2, Alphabet: bfs.LayerAlphabet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		circ  string
+		depth int
+	}{
+		{"NOT(a) CNOT(b,c)", 1},
+		{"NOT(a) CNOT(a,b)", 2},
+		{"CNOT(a,b) CNOT(b,a) CNOT(a,b)", 3},
+	}
+	for _, c := range cases {
+		f := circuit.MustParse(c.circ).Perm()
+		got, info, err := ds.SynthesizeInfo(f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.circ, err)
+		}
+		if info.Cost != c.depth {
+			t.Errorf("depth of %s = %d, want %d", c.circ, info.Cost, c.depth)
+		}
+		if got.Perm() != f {
+			t.Errorf("depth synthesis of %s computes the wrong function", c.circ)
+		}
+		if got.Depth() != info.Cost {
+			t.Errorf("emitted circuit depth %d ≠ reported %d for %s", got.Depth(), info.Cost, c.circ)
+		}
+	}
+}
+
+// TestConcurrentQueries verifies the synthesizer is safe for concurrent
+// use (run with -race).
+func TestConcurrentQueries(t *testing.T) {
+	s, _ := fixtures(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 20; trial++ {
+				c := randCircuit(rng, 1+rng.Intn(6))
+				got, err := s.Synthesize(c.Perm())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Perm() != c.Perm() {
+					errs <- errors.New("wrong function under concurrency")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestInfoCandidates(t *testing.T) {
+	_, s3 := fixtures(t)
+	// A size-5 function forces a split with prefix 2: candidates must
+	// cover at least all size-1 variants before hitting at size 2.
+	s5, _ := fixtures(t)
+	f := s5.Result().Levels[5][0]
+	_, info, err := s3.SynthesizeInfo(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Candidates <= 0 || info.Direct {
+		t.Fatalf("info = %+v for a split query", info)
+	}
+}
+
+func BenchmarkSynthesizeSize3Direct(b *testing.B) {
+	s, _ := fixtures(b)
+	reps := s.Result().Levels[3]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Synthesize(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeSize5Direct(b *testing.B) {
+	s, _ := fixtures(b)
+	reps := s.Result().Levels[5]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Synthesize(reps[i%len(reps)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeSize7MITM(b *testing.B) {
+	s, _ := fixtures(b)
+	rng := rand.New(rand.NewSource(7))
+	// Pre-generate size-≤7 witnesses.
+	fs := make([]perm.Perm, 32)
+	for i := range fs {
+		fs[i] = randCircuit(rng, 7).Perm()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Synthesize(fs[i%len(fs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package distrib implements the paper's statistical experiments:
+//
+//   - §4.1 / Table 3: the size distribution of uniformly random 4-bit
+//     reversible functions;
+//   - §4.2 / Table 4: exact per-size function counts below the BFS
+//     horizon and sample-based extrapolation above it (the paper's
+//     estimates for sizes 10…17);
+//   - §4.5: the search for a hard permutation, extending known
+//     maximal-size optimal circuits by boundary gates;
+//   - exact-size sample generation, used by the Table 1 timing harness.
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/mt19937"
+	"repro/internal/perm"
+	"repro/internal/randperm"
+)
+
+// TotalFunctions is 16!, the number of 4-bit reversible functions.
+const TotalFunctions int64 = 20922789888000
+
+// Distribution is the outcome of a random-sample size experiment (the
+// paper's Table 3).
+type Distribution struct {
+	// Counts[s] is the number of sampled functions of size s.
+	Counts []int64
+	// Beyond counts samples whose size exceeded the synthesizer horizon
+	// (the paper's K = 9 configuration has horizon 18 and never hits
+	// this; smaller substitutes do).
+	Beyond int64
+	// Total is the sample size.
+	Total int64
+}
+
+// WeightedAverage returns the average size over the synthesized samples —
+// the paper's "weighted average over the random sample, equal to 11.94
+// gates per circuit".
+func (d Distribution) WeightedAverage() float64 {
+	var n, sum int64
+	for s, c := range d.Counts {
+		n += c
+		sum += int64(s) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// SampleSizes draws n uniformly random permutations with the paper's
+// generator (Mersenne twister seed) and synthesizes each optimally,
+// reproducing the §4.1 experiment at configurable scale. Samples beyond
+// the synthesizer horizon are tallied in Beyond rather than aborting the
+// experiment. progress, if non-nil, is called after every sample.
+func SampleSizes(s *core.Synthesizer, n int, seed uint32, progress func(done int)) (Distribution, error) {
+	if n < 0 {
+		return Distribution{}, fmt.Errorf("distrib: negative sample count %d", n)
+	}
+	gen := randperm.New(seed)
+	d := Distribution{Counts: make([]int64, s.Horizon()+1), Total: int64(n)}
+	for i := 0; i < n; i++ {
+		size, err := s.Size(gen.Next())
+		switch {
+		case err == nil:
+			d.Counts[size]++
+		default:
+			d.Beyond++
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return d, nil
+}
+
+// EstimateCounts scales the sampled distribution to the full space of
+// 16! functions — the paper's method for Table 4's size 10…17 rows
+// ("We estimate the number of functions requiring 10..17 gates using
+// random function size distribution").
+func EstimateCounts(d Distribution) []float64 {
+	out := make([]float64, len(d.Counts))
+	if d.Total == 0 {
+		return out
+	}
+	for s, c := range d.Counts {
+		out[s] = float64(c) / float64(d.Total) * float64(TotalFunctions)
+	}
+	return out
+}
+
+// ExactSizeSamples returns count functions of exactly the given size.
+// For sizes within the BFS horizon the samples are random class members
+// of stored representatives (exact by construction); above the horizon
+// they are random size-length circuits kept only when the synthesizer
+// confirms the size (rejection sampling, increasingly expensive for
+// sizes well below the random-circuit ceiling).
+func ExactSizeSamples(s *core.Synthesizer, size, count int, seed uint32) ([]perm.Perm, error) {
+	if size < 0 || size > s.Horizon() {
+		return nil, fmt.Errorf("distrib: size %d outside synthesizer horizon [0,%d]", size, s.Horizon())
+	}
+	rng := mt19937.New(seed)
+	out := make([]perm.Perm, 0, count)
+	if size <= s.K() {
+		lvl := s.Result().Levels[size]
+		if len(lvl) == 0 {
+			return nil, fmt.Errorf("distrib: no functions of size %d", size)
+		}
+		for len(out) < count {
+			rep := lvl[rng.Intn(len(lvl))]
+			member := perm.Conjugate(rep, canon.Shuffle(rng.Intn(canon.SigmaCount)))
+			if rng.Intn(2) == 1 {
+				member = member.Inverse()
+			}
+			out = append(out, member)
+		}
+		return out, nil
+	}
+	const maxRejects = 4000
+	rejects := 0
+	for len(out) < count {
+		c := make(circuit.Circuit, size)
+		for i := range c {
+			c[i] = gate.FromIndex(rng.Intn(gate.Count))
+		}
+		f := c.Perm()
+		got, err := s.Size(f)
+		if err != nil {
+			return nil, err // size ≤ witness length ≤ horizon: unreachable
+		}
+		if got == size {
+			out = append(out, f)
+			continue
+		}
+		rejects++
+		if rejects > maxRejects {
+			return nil, fmt.Errorf("distrib: rejection sampling for size %d exceeded %d attempts", size, maxRejects)
+		}
+	}
+	return out, nil
+}
+
+// HardSearchResult summarizes a §4.5-style search.
+type HardSearchResult struct {
+	// Tried counts extension candidates examined.
+	Tried int
+	// MaxSize is the largest optimal size observed.
+	MaxSize int
+	// Hardest lists up to 16 distinct examples achieving MaxSize.
+	Hardest []perm.Perm
+	// BeyondHorizon counts candidates whose size exceeded the horizon —
+	// with a large enough horizon these would be the discoveries the
+	// paper was hunting.
+	BeyondHorizon int
+}
+
+// HardSearch reproduces the §4.5 methodology at configurable scale:
+// starting from seed functions (ideally of maximal known size), extend
+// each by one gate at the beginning and at the end, synthesize the
+// result, and track the hardest functions seen. budget bounds the number
+// of extensions examined.
+func HardSearch(s *core.Synthesizer, seeds []perm.Perm, budget int) (HardSearchResult, error) {
+	var res HardSearchResult
+	seen := map[perm.Perm]bool{}
+	record := func(f perm.Perm, size int) {
+		if size > res.MaxSize {
+			res.MaxSize = size
+			res.Hardest = res.Hardest[:0]
+			seen = map[perm.Perm]bool{}
+		}
+		if size == res.MaxSize && len(res.Hardest) < 16 {
+			rep := canon.Rep(f)
+			if !seen[rep] {
+				seen[rep] = true
+				res.Hardest = append(res.Hardest, f)
+			}
+		}
+	}
+	for _, seed := range seeds {
+		for _, g := range gate.All() {
+			for _, f := range []perm.Perm{g.Perm().Then(seed), seed.Then(g.Perm())} {
+				if res.Tried >= budget {
+					return res, nil
+				}
+				res.Tried++
+				size, err := s.Size(f)
+				if err != nil {
+					res.BeyondHorizon++
+					continue
+				}
+				record(f, size)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaxSizeSample synthesizes n random permutations and returns the ones
+// achieving the maximum observed size — seed material for HardSearch.
+func MaxSizeSample(s *core.Synthesizer, n int, seed uint32) ([]perm.Perm, int, error) {
+	gen := randperm.New(seed)
+	maxSize := -1
+	var hardest []perm.Perm
+	for i := 0; i < n; i++ {
+		f := gen.Next()
+		size, err := s.Size(f)
+		if err != nil {
+			continue // beyond horizon: can't rank it without its size
+		}
+		if size > maxSize {
+			maxSize = size
+			hardest = hardest[:0]
+		}
+		if size == maxSize {
+			hardest = append(hardest, f)
+		}
+	}
+	if maxSize < 0 {
+		return nil, 0, fmt.Errorf("distrib: no sample within horizon")
+	}
+	return hardest, maxSize, nil
+}

@@ -1,0 +1,553 @@
+// Package five implements the paper's §5 future-work extension: optimal
+// synthesis of 5-bit reversible functions. "A simple calculation shows
+// that using CS1 it is possible to compute all optimal 5-bit circuits
+// with up to six gates, and thus it is possible to search optimal 5-bit
+// implementations with up to 12 gates."
+//
+// The machinery mirrors the 4-bit core at 5-bit scale:
+//
+//   - a function is a permutation of {0,…,31} (32!, ≈ 2.6×10³⁵ functions);
+//   - the library has 80 gates: 5 NOT, 20 CNOT, 30 TOF, 20 TOF4, 5 TOF5;
+//   - the symmetry group is S₅ relabelings × inversion, a ≤240-fold
+//     reduction;
+//   - breadth-first search enumerates canonical class representatives
+//     (or, unreduced, whole functions) with one boundary gate each;
+//   - queries answer by lookup-and-strip or meet-in-the-middle.
+//
+// A 32-value permutation does not fit one machine word, so the packed
+// tricks of internal/perm give way to plain array arithmetic; the search
+// horizon is bounded by container memory rather than by algorithm. On
+// this container the unreduced tables reach k = 3 (~500k functions,
+// horizon 6) and the reduced census reaches k = 4.
+package five
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Wires is the register width.
+const Wires = 5
+
+// Size is the number of states.
+const Size = 32
+
+// Perm is a permutation of {0,…,31}; entry x holds f(x). Perm is a value
+// type and usable as a map key.
+type Perm [Size]uint8
+
+// Identity returns the identity function.
+func Identity() Perm {
+	var p Perm
+	for i := range p {
+		p[i] = uint8(i)
+	}
+	return p
+}
+
+// IsValid reports whether p is a permutation.
+func (p Perm) IsValid() bool {
+	var seen uint32
+	for _, v := range p {
+		if v >= Size {
+			return false
+		}
+		seen |= 1 << v
+	}
+	return seen == 0xFFFFFFFF
+}
+
+// Then returns "p then q": x ↦ q(p(x)).
+func (p Perm) Then(q Perm) Perm {
+	var r Perm
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// Inverse returns f⁻¹.
+func (p Perm) Inverse() Perm {
+	var r Perm
+	for i, v := range p {
+		r[v] = uint8(i)
+	}
+	return r
+}
+
+// Less orders permutations lexicographically over f(0),…,f(31).
+func (p Perm) Less(q Perm) bool {
+	for i := range p {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return false
+}
+
+// Gate is one multiple-control Toffoli placement on five wires.
+type Gate struct {
+	// Target is the flipped wire (0–4).
+	Target uint8
+	// Controls is the control mask; the gate fires when all control
+	// wires carry 1.
+	Controls uint8
+}
+
+// Valid reports whether the gate is one of the 80 library placements.
+func (g Gate) Valid() bool {
+	return g.Target < Wires && g.Controls < 1<<Wires && g.Controls&(1<<g.Target) == 0
+}
+
+// Apply computes the gate action on one state.
+func (g Gate) Apply(x int) int {
+	if uint8(x)&g.Controls == g.Controls {
+		return x ^ 1<<g.Target
+	}
+	return x
+}
+
+// Perm returns the gate's state permutation.
+func (g Gate) Perm() Perm {
+	var p Perm
+	for x := 0; x < Size; x++ {
+		p[x] = uint8(g.Apply(x))
+	}
+	return p
+}
+
+// String renders the gate as e.g. "TOF5(a,b,c,e,d)": controls in wire
+// order, target last, with wires a–e.
+func (g Gate) String() string {
+	names := [...]string{"NOT", "CNOT", "TOF", "TOF4", "TOF5"}
+	n := 0
+	out := ""
+	for w := uint8(0); w < Wires; w++ {
+		if g.Controls&(1<<w) != 0 {
+			out += string('a'+rune(w)) + ","
+			n++
+		}
+	}
+	return fmt.Sprintf("%s(%s%c)", names[n], out, 'a'+rune(g.Target))
+}
+
+// GateCount is the library size: 5·2⁴ placements per target shape rule.
+const GateCount = 80
+
+// allGates lists the 80 gates: by control count, then target, then mask.
+var allGates []Gate
+
+func init() {
+	for nc := 0; nc <= 4; nc++ {
+		for t := uint8(0); t < Wires; t++ {
+			for m := uint8(0); m < 1<<Wires; m++ {
+				g := Gate{Target: t, Controls: m}
+				if !g.Valid() || popcount5(m) != nc {
+					continue
+				}
+				allGates = append(allGates, g)
+			}
+		}
+	}
+	if len(allGates) != GateCount {
+		panic(fmt.Sprintf("five: enumerated %d gates, want %d", len(allGates), GateCount))
+	}
+	initSymmetry()
+}
+
+func popcount5(m uint8) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}
+
+// All returns the 80 library gates (shared slice; do not modify).
+func All() []Gate { return allGates }
+
+// Circuit is a 5-wire gate sequence applied left to right.
+type Circuit []Gate
+
+// Perm returns the computed permutation.
+func (c Circuit) Perm() Perm {
+	p := Identity()
+	for _, g := range c {
+		p = p.Then(g.Perm())
+	}
+	return p
+}
+
+// Inverse reverses the sequence (gates are involutions).
+func (c Circuit) Inverse() Circuit {
+	out := make(Circuit, len(c))
+	for i, g := range c {
+		out[len(c)-1-i] = g
+	}
+	return out
+}
+
+// String renders the circuit gate by gate.
+func (c Circuit) String() string {
+	if len(c) == 0 {
+		return "IDENTITY"
+	}
+	out := ""
+	for i, g := range c {
+		if i > 0 {
+			out += " "
+		}
+		out += g.String()
+	}
+	return out
+}
+
+// --- symmetry machinery (S₅ × inversion) ---
+
+// SigmaCount is |S₅|.
+const SigmaCount = 120
+
+var (
+	sigmas     [SigmaCount][Wires]uint8
+	shuffles   [SigmaCount]Perm // state permutation of each relabeling
+	gateIndex  map[Perm]int     // gate permutation -> index in allGates
+	conjGates  [SigmaCount][GateCount]uint8
+	inverseSig [SigmaCount]int
+)
+
+func initSymmetry() {
+	// Enumerate S₅ in lexicographic order via recursion.
+	var build func(prefix []uint8, used uint8)
+	var order [][Wires]uint8
+	build = func(prefix []uint8, used uint8) {
+		if len(prefix) == Wires {
+			var s [Wires]uint8
+			copy(s[:], prefix)
+			order = append(order, s)
+			return
+		}
+		for w := uint8(0); w < Wires; w++ {
+			if used&(1<<w) == 0 {
+				build(append(prefix, w), used|1<<w)
+			}
+		}
+	}
+	build(nil, 0)
+	if len(order) != SigmaCount {
+		panic("five: S5 enumeration failed")
+	}
+	shuffleIdx := make(map[Perm]int, SigmaCount)
+	for i, s := range order {
+		sigmas[i] = s
+		// gσ: output bit b of gσ(x) is input bit σ[b] of x.
+		var sh Perm
+		for x := 0; x < Size; x++ {
+			y := 0
+			for b := 0; b < Wires; b++ {
+				if x&(1<<s[b]) != 0 {
+					y |= 1 << b
+				}
+			}
+			sh[x] = uint8(y)
+		}
+		shuffles[i] = sh
+		shuffleIdx[sh] = i
+	}
+	gateIndex = make(map[Perm]int, GateCount)
+	for i, g := range allGates {
+		gateIndex[g.Perm()] = i
+	}
+	for si := range shuffles {
+		inv, ok := shuffleIdx[shuffles[si].Inverse()]
+		if !ok {
+			panic("five: shuffle inverse escaped S5")
+		}
+		inverseSig[si] = inv
+		for gi, g := range allGates {
+			cp := Conjugate(g.Perm(), shuffles[si])
+			j, ok := gateIndex[cp]
+			if !ok {
+				panic("five: gate conjugate is not a gate")
+			}
+			conjGates[si][gi] = uint8(j)
+		}
+	}
+}
+
+// Conjugate returns g⁻¹ ∘ f ∘ g (apply g, then f, then g⁻¹).
+func Conjugate(f, g Perm) Perm {
+	return g.Then(f).Then(g.Inverse())
+}
+
+// Shuffle returns the state permutation of the s-th wire relabeling.
+func Shuffle(s int) Perm { return shuffles[s] }
+
+// ConjugateGate returns the library gate index computing the conjugation
+// of gate gi by relabeling s.
+func ConjugateGate(gi, s int) int { return int(conjGates[s][gi]) }
+
+// Canonical returns the minimum of the ≤240-member class
+// {conj(f,σ), conj(f⁻¹,σ)} with a reconstruction witness, mirroring the
+// 4-bit canon package.
+func Canonical(f Perm) (rep Perm, sigma int, inverted bool) {
+	rep, sigma, inverted = f, 0, false
+	fi := f.Inverse()
+	if fi.Less(rep) {
+		rep, inverted = fi, true
+	}
+	for s := 1; s < SigmaCount; s++ {
+		sh := shuffles[s]
+		shInv := shuffles[inverseSig[s]]
+		// conj(f, sh) computed inline to avoid recomputing sh⁻¹.
+		c := sh.Then(f).Then(shInv)
+		if c.Less(rep) {
+			rep, sigma, inverted = c, s, false
+		}
+		ci := sh.Then(fi).Then(shInv)
+		if ci.Less(rep) {
+			rep, sigma, inverted = ci, s, true
+		}
+	}
+	return rep, sigma, inverted
+}
+
+// ClassSize returns the number of distinct members of f's class (≤ 240).
+func ClassSize(f Perm) int {
+	seen := map[Perm]struct{}{}
+	fi := f.Inverse()
+	for s := 0; s < SigmaCount; s++ {
+		sh := shuffles[s]
+		shInv := shuffles[inverseSig[s]]
+		seen[sh.Then(f).Then(shInv)] = struct{}{}
+		seen[sh.Then(fi).Then(shInv)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// --- breadth-first search and synthesis ---
+
+// value packs a table entry: gate index 0–79, the first-gate flag, or
+// the identity marker.
+type value uint8
+
+const (
+	valueIdentity  value = 0xFF
+	valueFirstFlag value = 0x80
+)
+
+// Result holds the 5-bit search tables.
+type Result struct {
+	// K is the search horizon.
+	K int
+	// Levels[c] lists stored keys of minimal size exactly c.
+	Levels [][]Perm
+	// Table maps a key to its boundary-gate entry.
+	Table map[Perm]value
+	// Reduced records whether keys are canonical representatives.
+	Reduced bool
+}
+
+// Search enumerates all functions (classes when reduced) of size ≤ k.
+// Unreduced searches hold every function and support fast synthesis;
+// reduced searches are ~240× smaller and serve the census experiments.
+func Search(k int, reduced bool, progress func(level, stored int)) (*Result, error) {
+	if k < 0 || k > 8 {
+		return nil, fmt.Errorf("five: horizon %d out of supported range [0,8]", k)
+	}
+	res := &Result{
+		K:       k,
+		Levels:  make([][]Perm, k+1),
+		Table:   map[Perm]value{Identity(): valueIdentity},
+		Reduced: reduced,
+	}
+	res.Levels[0] = []Perm{Identity()}
+	for c := 1; c <= k; c++ {
+		var lvl []Perm
+		for _, r := range res.Levels[c-1] {
+			bases := []Perm{r}
+			if reduced {
+				if ri := r.Inverse(); ri != r {
+					bases = append(bases, ri)
+				}
+			}
+			for _, base := range bases {
+				for gi, g := range allGates {
+					h := base.Then(g.Perm())
+					key := h
+					entry := value(gi)
+					if reduced {
+						rep, sigma, inverted := Canonical(h)
+						key = rep
+						entry = value(ConjugateGate(gi, sigma))
+						if inverted {
+							entry |= valueFirstFlag
+						}
+					}
+					if _, ok := res.Table[key]; !ok {
+						res.Table[key] = entry
+						lvl = append(lvl, key)
+					}
+				}
+			}
+		}
+		res.Levels[c] = lvl
+		if progress != nil {
+			progress(c, len(lvl))
+		}
+	}
+	return res, nil
+}
+
+// SizeOf returns the minimal gate count of f if within the horizon.
+func (r *Result) SizeOf(f Perm) (int, bool) {
+	key := f
+	if r.Reduced {
+		key, _, _ = Canonical(f)
+	}
+	size := 0
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			panic("five: size walk did not terminate")
+		}
+		v, ok := r.Table[key]
+		if !ok {
+			return 0, false
+		}
+		if v == valueIdentity {
+			return size, true
+		}
+		size++
+		g := allGates[v&0x7F]
+		var next Perm
+		if v&valueFirstFlag != 0 {
+			next = g.Perm().Then(key)
+		} else {
+			next = key.Then(g.Perm())
+		}
+		if r.Reduced {
+			next, _, _ = Canonical(next)
+		}
+		key = next
+	}
+}
+
+// Synthesize returns a minimal circuit for f. With an unreduced result
+// the horizon is 2K via meet-in-the-middle over the stored full lists;
+// reduced results only answer within K (their split enumeration would
+// need the 240-variant expansion, which the census use case does not
+// pay for).
+func (r *Result) Synthesize(f Perm) (Circuit, error) {
+	if !f.IsValid() {
+		return nil, fmt.Errorf("five: not a permutation")
+	}
+	if _, ok := r.Table[r.key(f)]; ok {
+		return r.reconstruct(f)
+	}
+	if r.Reduced {
+		return nil, fmt.Errorf("five: size exceeds horizon %d (reduced tables do not split)", r.K)
+	}
+	// Meet in the middle over full lists: f = p ⋄ s, try prefixes p of
+	// size i ascending; q = p⁻¹ runs over the stored functions of size i.
+	for i := 1; i <= r.K; i++ {
+		for _, q := range r.Levels[i] {
+			residue := q.Then(f)
+			if _, ok := r.Table[residue]; !ok {
+				continue
+			}
+			pc, err := r.reconstruct(q.Inverse())
+			if err != nil {
+				return nil, err
+			}
+			sc, err := r.reconstruct(residue)
+			if err != nil {
+				return nil, err
+			}
+			return append(pc, sc...), nil
+		}
+	}
+	return nil, fmt.Errorf("five: size exceeds horizon %d", 2*r.K)
+}
+
+// key maps a function to its table key.
+func (r *Result) key(f Perm) Perm {
+	if r.Reduced {
+		rep, _, _ := Canonical(f)
+		return rep
+	}
+	return f
+}
+
+// reconstruct strips boundary gates down to the identity.
+func (r *Result) reconstruct(f Perm) (Circuit, error) {
+	var front, back Circuit
+	cur := f
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			return nil, fmt.Errorf("five: reconstruction did not terminate")
+		}
+		if cur == Identity() {
+			break
+		}
+		key := cur
+		var sigma int
+		var inverted bool
+		if r.Reduced {
+			key, sigma, inverted = Canonical(cur)
+		}
+		v, ok := r.Table[key]
+		if !ok {
+			return nil, fmt.Errorf("five: function not in table")
+		}
+		if v == valueIdentity {
+			return nil, fmt.Errorf("five: non-identity stored as identity")
+		}
+		gi := int(v & 0x7F)
+		isFirst := v&valueFirstFlag != 0
+		if r.Reduced {
+			gi = ConjugateGate(gi, inverseSig[sigma])
+			isFirst = isFirst != inverted
+		}
+		g := allGates[gi]
+		if isFirst {
+			front = append(front, g)
+			cur = g.Perm().Then(cur)
+		} else {
+			back = append(back, g)
+			cur = cur.Then(g.Perm())
+		}
+	}
+	out := make(Circuit, 0, len(front)+len(back))
+	out = append(out, front...)
+	for i := len(back) - 1; i >= 0; i-- {
+		out = append(out, back[i])
+	}
+	return out, nil
+}
+
+// Embed4 lifts a 4-bit permutation onto the low four of five wires: the
+// top wire passes through untouched. Comparing 4-bit optima with 5-bit
+// optima of embedded functions measures whether a borrowed ancilla wire
+// ever shortens a circuit.
+func Embed4(vals [16]uint8) Perm {
+	var p Perm
+	for x := 0; x < 16; x++ {
+		p[x] = vals[x]
+		p[x|16] = vals[x] | 16
+	}
+	return p
+}
+
+// LevelCensus returns the per-size stored counts, sorted copy-free.
+func (r *Result) LevelCensus() []int {
+	out := make([]int, r.K+1)
+	for c := 0; c <= r.K; c++ {
+		out[c] = len(r.Levels[c])
+	}
+	return out
+}
+
+// SortLevel orders one level deterministically (for stable output).
+func (r *Result) SortLevel(c int) {
+	sort.Slice(r.Levels[c], func(i, j int) bool { return r.Levels[c][i].Less(r.Levels[c][j]) })
+}

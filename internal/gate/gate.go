@@ -1,0 +1,294 @@
+// Package gate implements the reversible gate library of the paper:
+// NOT, CNOT, Toffoli (TOF) and Toffoli-4 (TOF4) gates on four wires
+// (paper §2, Figure 1).
+//
+// A gate flips its target wire when every control wire carries 1:
+//
+//	NOT(a):        a ↦ a ⊕ 1
+//	CNOT(a,b):     b ↦ b ⊕ a
+//	TOF(a,b,c):    c ↦ c ⊕ ab
+//	TOF4(a,b,c,d): d ↦ d ⊕ abc
+//
+// Wires are named a, b, c, d; wire a is bit 0 (the least significant bit)
+// of the 4-bit state. There are exactly 32 gates: 4 NOT, 12 CNOT, 12 TOF
+// and 4 TOF4 placements. Every gate is an involution (its own inverse).
+package gate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/perm"
+)
+
+// Gate is one reversible gate placement on the four wires, packed into a
+// byte: bits 0–3 hold the control mask, bits 4–5 the target wire. Only
+// the 32 placements whose target is not also a control are valid; use New
+// or FromIndex to construct valid gates.
+type Gate uint8
+
+// Kind labels the four gate shapes of the library.
+type Kind uint8
+
+// The four gate shapes, ordered by control count.
+const (
+	NOT Kind = iota
+	CNOT
+	TOF
+	TOF4
+)
+
+// Count is the number of distinct gates in the library.
+const Count = 32
+
+func (k Kind) String() string {
+	switch k {
+	case NOT:
+		return "NOT"
+	case CNOT:
+		return "CNOT"
+	case TOF:
+		return "TOF"
+	case TOF4:
+		return "TOF4"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// New constructs the gate with the given target wire (0–3) and control
+// mask (bit w set means wire w is a control). The target must not be a
+// control.
+func New(target int, controls uint8) (Gate, error) {
+	if target < 0 || target > 3 {
+		return 0, fmt.Errorf("gate: target wire %d out of range [0,3]", target)
+	}
+	if controls > 0xF {
+		return 0, fmt.Errorf("gate: control mask %#x uses wires beyond the four available", controls)
+	}
+	if controls&(1<<uint(target)) != 0 {
+		return 0, fmt.Errorf("gate: target wire %d cannot also be a control", target)
+	}
+	return Gate(uint8(target)<<4 | controls), nil
+}
+
+// MustNew is New that panics on invalid input; for static tables.
+func MustNew(target int, controls uint8) Gate {
+	g, err := New(target, controls)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Target returns the target wire (0–3).
+func (g Gate) Target() int { return int(g>>4) & 3 }
+
+// Controls returns the control mask (bit w set means wire w controls g).
+func (g Gate) Controls() uint8 { return uint8(g) & 0xF }
+
+// NumControls returns the number of control wires.
+func (g Gate) NumControls() int {
+	c := g.Controls()
+	n := 0
+	for c != 0 {
+		n += int(c & 1)
+		c >>= 1
+	}
+	return n
+}
+
+// Kind returns the gate shape (NOT, CNOT, TOF or TOF4).
+func (g Gate) Kind() Kind { return Kind(g.NumControls()) }
+
+// Support returns the mask of wires the gate touches (target + controls).
+func (g Gate) Support() uint8 { return g.Controls() | 1<<uint(g.Target()) }
+
+// Valid reports whether g encodes one of the 32 library gates.
+func (g Gate) Valid() bool {
+	return uint8(g)>>6 == 0 && g.Controls()&(1<<uint(g.Target())) == 0
+}
+
+// Apply returns the gate's action on a 4-bit state x: the target bit is
+// flipped when all control bits are set.
+func (g Gate) Apply(x int) int {
+	c := int(g.Controls())
+	if x&c == c {
+		return x ^ (1 << uint(g.Target()))
+	}
+	return x
+}
+
+// permTable caches the state permutation of each of the 64 possible gate
+// encodings (only the 32 valid ones are ever read).
+var permTable [64]perm.Perm
+
+// indexTable maps a gate byte to its dense index in All(), or -1.
+var indexTable [64]int8
+
+// allGates lists the 32 gates in canonical order: NOTs, then CNOTs, then
+// TOFs, then TOF4s; within a kind, by target then control mask.
+var allGates []Gate
+
+func init() {
+	for i := range indexTable {
+		indexTable[i] = -1
+	}
+	for kind := 0; kind <= 3; kind++ {
+		for target := 0; target < 4; target++ {
+			for controls := uint8(0); controls <= 0xF; controls++ {
+				g, err := New(target, controls)
+				if err != nil || g.NumControls() != kind {
+					continue
+				}
+				indexTable[g] = int8(len(allGates))
+				allGates = append(allGates, g)
+				var vals [16]uint8
+				for x := 0; x < 16; x++ {
+					vals[x] = uint8(g.Apply(x))
+				}
+				permTable[g] = perm.MustFromValues(vals)
+			}
+		}
+	}
+	if len(allGates) != Count {
+		panic(fmt.Sprintf("gate: enumerated %d gates, want %d", len(allGates), Count))
+	}
+}
+
+// All returns the 32 gates of the library in a fixed canonical order
+// (index order). The returned slice is shared; callers must not modify it.
+func All() []Gate { return allGates }
+
+// Index returns g's dense index in All(), in [0,32).
+func (g Gate) Index() int {
+	i := indexTable[g&63]
+	if i < 0 {
+		panic(fmt.Sprintf("gate: Index of invalid gate %#x", uint8(g)))
+	}
+	return int(i)
+}
+
+// FromIndex returns the gate with the given dense index in [0,32).
+func FromIndex(i int) Gate {
+	if i < 0 || i >= Count {
+		panic(fmt.Sprintf("gate: index %d out of range [0,%d)", i, Count))
+	}
+	return allGates[i]
+}
+
+// Perm returns the permutation of the sixteen states computed by the gate.
+func (g Gate) Perm() perm.Perm {
+	if !g.Valid() {
+		panic(fmt.Sprintf("gate: Perm of invalid gate %#x", uint8(g)))
+	}
+	return permTable[g&63]
+}
+
+// QuantumCost returns the standard NCV-library quantum cost of the gate
+// (NOT and CNOT cost 1, TOF costs 5, TOF4 costs 13). The paper's §5
+// discusses cost-weighted search as a variant of the main algorithm; this
+// metric drives the cost-optimal BFS extension.
+func (g Gate) QuantumCost() int {
+	switch g.Kind() {
+	case NOT, CNOT:
+		return 1
+	case TOF:
+		return 5
+	default:
+		return 13
+	}
+}
+
+// wireNames are the paper's wire labels, a = bit 0 … d = bit 3.
+var wireNames = [4]byte{'a', 'b', 'c', 'd'}
+
+// WireName returns the paper's name for wire w ("a"…"d").
+func WireName(w int) string {
+	if w < 0 || w > 3 {
+		return fmt.Sprintf("wire%d", w)
+	}
+	return string(wireNames[w])
+}
+
+// String renders the gate in the paper's notation, e.g. "TOF(c,d,b)":
+// control wires in a…d order, target wire last. NOT takes only a target.
+func (g Gate) String() string {
+	var sb strings.Builder
+	sb.WriteString(g.Kind().String())
+	sb.WriteByte('(')
+	first := true
+	for w := 0; w < 4; w++ {
+		if g.Controls()&(1<<uint(w)) != 0 {
+			if !first {
+				sb.WriteByte(',')
+			}
+			sb.WriteByte(wireNames[w])
+			first = false
+		}
+	}
+	if !first {
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(wireNames[g.Target()])
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Parse parses the paper's gate notation (e.g. "CNOT(d,b)", "NOT(a)",
+// "TOF4(a,b,d,c)"). The last wire is the target; any preceding wires are
+// controls. The kind name must agree with the number of controls.
+func Parse(s string) (Gate, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, fmt.Errorf("gate: %q is not of the form KIND(wires...)", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	var kind Kind
+	switch strings.ToUpper(name) {
+	case "NOT":
+		kind = NOT
+	case "CNOT":
+		kind = CNOT
+	case "TOF", "TOFFOLI":
+		kind = TOF
+	case "TOF4", "TOFFOLI4":
+		kind = TOF4
+	default:
+		return 0, fmt.Errorf("gate: unknown gate kind %q", name)
+	}
+	args := strings.Split(s[open+1:len(s)-1], ",")
+	if len(args) != int(kind)+1 {
+		return 0, fmt.Errorf("gate: %s takes %d wires, got %d", kind, int(kind)+1, len(args))
+	}
+	wires := make([]int, len(args))
+	for i, a := range args {
+		a = strings.TrimSpace(strings.ToLower(a))
+		if len(a) != 1 || a[0] < 'a' || a[0] > 'd' {
+			return 0, fmt.Errorf("gate: wire %q must be one of a, b, c, d", a)
+		}
+		wires[i] = int(a[0] - 'a')
+	}
+	var controls uint8
+	for _, w := range wires[:len(wires)-1] {
+		controls |= 1 << uint(w)
+	}
+	g, err := New(wires[len(wires)-1], controls)
+	if err != nil {
+		return 0, err
+	}
+	if g.NumControls() != int(kind) {
+		return 0, fmt.Errorf("gate: %q repeats a control wire", s)
+	}
+	return g, nil
+}
+
+// MustParse is Parse that panics on error; for static tables of known
+// circuits such as the paper's Table 6.
+func MustParse(s string) Gate {
+	g, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,250 @@
+package gate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perm"
+)
+
+func TestLibraryCensus(t *testing.T) {
+	// Paper §3: 32 gates total — 4 NOT, 12 CNOT, 12 TOF, 4 TOF4 (these are
+	// the "32" of Table 4 size 1).
+	counts := map[Kind]int{}
+	for _, g := range All() {
+		counts[g.Kind()]++
+	}
+	want := map[Kind]int{NOT: 4, CNOT: 12, TOF: 12, TOF4: 4}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%v count = %d, want %d", k, counts[k], n)
+		}
+	}
+	if len(All()) != Count {
+		t.Errorf("len(All()) = %d, want %d", len(All()), Count)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	seen := map[Gate]bool{}
+	for i := 0; i < Count; i++ {
+		g := FromIndex(i)
+		if !g.Valid() {
+			t.Fatalf("FromIndex(%d) = %v invalid", i, g)
+		}
+		if g.Index() != i {
+			t.Fatalf("FromIndex(%d).Index() = %d", i, g.Index())
+		}
+		if seen[g] {
+			t.Fatalf("duplicate gate %v", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(4, 0); err == nil {
+		t.Error("New accepted target 4")
+	}
+	if _, err := New(-1, 0); err == nil {
+		t.Error("New accepted negative target")
+	}
+	if _, err := New(1, 0b0010); err == nil {
+		t.Error("New accepted target == control")
+	}
+	if _, err := New(0, 0x1F); err == nil {
+		t.Error("New accepted 5-wire control mask")
+	}
+}
+
+func TestGateDefinitions(t *testing.T) {
+	// Check gate actions against the paper's algebraic definitions on all
+	// 16 states.
+	not := MustParse("NOT(a)")
+	cnot := MustParse("CNOT(a,b)")
+	tof := MustParse("TOF(a,b,c)")
+	tof4 := MustParse("TOF4(a,b,c,d)")
+	for x := 0; x < 16; x++ {
+		a, b, c := x&1, (x>>1)&1, (x>>2)&1
+		if got, want := not.Apply(x), x^1; got != want {
+			t.Errorf("NOT(a)(%d) = %d, want %d", x, got, want)
+		}
+		if got, want := cnot.Apply(x), x^(a<<1); got != want {
+			t.Errorf("CNOT(a,b)(%d) = %d, want %d", x, got, want)
+		}
+		if got, want := tof.Apply(x), x^((a&b)<<2); got != want {
+			t.Errorf("TOF(a,b,c)(%d) = %d, want %d", x, got, want)
+		}
+		if got, want := tof4.Apply(x), x^((a&b&c)<<3); got != want {
+			t.Errorf("TOF4(a,b,c,d)(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestGatesAreInvolutions(t *testing.T) {
+	for _, g := range All() {
+		p := g.Perm()
+		if p.Then(p) != perm.Identity {
+			t.Errorf("%v is not an involution", g)
+		}
+		if p.Inverse() != p {
+			t.Errorf("%v's permutation is not self-inverse", g)
+		}
+	}
+}
+
+func TestPermMatchesApply(t *testing.T) {
+	for _, g := range All() {
+		p := g.Perm()
+		for x := 0; x < 16; x++ {
+			if p.Apply(x) != g.Apply(x) {
+				t.Errorf("%v: Perm and Apply disagree at %d", g, x)
+			}
+		}
+	}
+}
+
+func TestGatePermsDistinct(t *testing.T) {
+	seen := map[perm.Perm]Gate{}
+	for _, g := range All() {
+		if prev, ok := seen[g.Perm()]; ok {
+			t.Errorf("gates %v and %v compute the same permutation", prev, g)
+		}
+		seen[g.Perm()] = g
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want string
+	}{
+		{MustNew(0, 0), "NOT(a)"},
+		{MustNew(3, 0), "NOT(d)"},
+		{MustNew(1, 0b0001), "CNOT(a,b)"},
+		{MustNew(0, 0b1000), "CNOT(d,a)"},
+		{MustNew(2, 0b0011), "TOF(a,b,c)"},
+		{MustNew(1, 0b1100), "TOF(c,d,b)"},
+		{MustNew(3, 0b0111), "TOF4(a,b,c,d)"},
+		{MustNew(2, 0b1011), "TOF4(a,b,d,c)"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, g := range All() {
+		back, err := Parse(g.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", g.String(), err)
+		}
+		if back != g {
+			t.Fatalf("parse round trip changed %v into %v", g, back)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	if g, err := Parse(" cnot( D , B ) "); err != nil || g != MustNew(1, 0b1000) {
+		t.Errorf("case-insensitive parse failed: %v, %v", g, err)
+	}
+	if g, err := Parse("TOFFOLI(a,b,c)"); err != nil || g.Kind() != TOF {
+		t.Errorf("TOFFOLI alias failed: %v, %v", g, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "NOT", "NOT()", "NOT(e)", "NOT(a,b)", "CNOT(a)", "CNOT(a,a)",
+		"TOF(a,b)", "TOF(a,a,b)", "XOR(a,b)", "TOF4(a,b,c,c)", "NOT(a", "NOT a)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestQuantumCost(t *testing.T) {
+	costs := map[Kind]int{NOT: 1, CNOT: 1, TOF: 5, TOF4: 13}
+	for _, g := range All() {
+		if got := g.QuantumCost(); got != costs[g.Kind()] {
+			t.Errorf("%v cost = %d, want %d", g, got, costs[g.Kind()])
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	g := MustParse("TOF(c,d,b)")
+	if got := g.Support(); got != 0b1110 {
+		t.Errorf("Support = %04b, want 1110", got)
+	}
+	if got := MustParse("NOT(a)").Support(); got != 0b0001 {
+		t.Errorf("Support = %04b, want 0001", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NOT.String() != "NOT" || CNOT.String() != "CNOT" || TOF.String() != "TOF" || TOF4.String() != "TOF4" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("out-of-range kind name wrong")
+	}
+}
+
+func TestQuickApplyInvolution(t *testing.T) {
+	f := func(gi uint8, x uint8) bool {
+		g := FromIndex(int(gi) % Count)
+		v := int(x % 16)
+		return g.Apply(g.Apply(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGateFlipsExactlyTargetOrNothing(t *testing.T) {
+	f := func(gi uint8, x uint8) bool {
+		g := FromIndex(int(gi) % Count)
+		v := int(x % 16)
+		d := g.Apply(v) ^ v
+		return d == 0 || d == 1<<uint(g.Target())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireName(t *testing.T) {
+	want := []string{"a", "b", "c", "d"}
+	for w, n := range want {
+		if WireName(w) != n {
+			t.Errorf("WireName(%d) = %q, want %q", w, WireName(w), n)
+		}
+	}
+	if WireName(7) != "wire7" {
+		t.Errorf("WireName(7) = %q", WireName(7))
+	}
+}
+
+func BenchmarkPermLookup(b *testing.B) {
+	b.ReportAllocs()
+	var acc perm.Perm
+	for i := 0; i < b.N; i++ {
+		acc ^= FromIndex(i & 31).Perm()
+	}
+	_ = acc
+}
+
+var sinkGate Gate
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkGate = MustParse("TOF4(a,b,d,c)")
+	}
+}

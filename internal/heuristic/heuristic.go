@@ -1,0 +1,155 @@
+// Package heuristic implements a transformation-based reversible-logic
+// synthesis baseline in the style of Miller, Maslov and Dueck (the
+// algorithm family behind several of the paper's Table 6 "best known
+// circuit" entries, and the kind of heuristic the paper proposes testing
+// against optimal 4-bit implementations, §1).
+//
+// The algorithm walks the truth table in index order. At row x with
+// current output y ≠ x it appends Toffoli-family gates on the output
+// side that map y back to x without disturbing any earlier row: bits of
+// x missing from y are switched on by gates controlled on the current
+// value's 1-bits, then surplus bits are switched off by gates controlled
+// on x's 1-bits. Both control choices provably cannot fire on rows
+// below x. The bidirectional variant may instead repair the row on the
+// input side (mapping x forward to f⁻¹(x)) when that needs fewer gates.
+//
+// Circuits produced this way are correct by construction but generally
+// far from optimal — which is exactly their role here: a baseline whose
+// overhead the optimal synthesizer quantifies.
+package heuristic
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// transform returns gates g1…gk whose in-order application maps from to
+// to, firing on no state below floor. Preconditions (maintained by the
+// sweep): from ≥ floor, to ≥ floor, and every state i < floor satisfies
+// neither control pattern. The gate count is the Hamming distance.
+func transform(from, to, floor int) []gate.Gate {
+	var out []gate.Gate
+	cur := from
+	// Switch on the bits of to missing from cur. Controls are the
+	// current value's 1-bits: a state i fires only if it contains them
+	// all, which forces i ≥ cur ≥ floor.
+	for p := 0; p < 4; p++ {
+		if to&(1<<p) != 0 && cur&(1<<p) == 0 {
+			controls := uint8(cur)
+			g, err := gate.New(p, controls)
+			if err != nil {
+				panic(fmt.Sprintf("heuristic: impossible gate target %d controls %04b: %v", p, controls, err))
+			}
+			out = append(out, g)
+			cur |= 1 << p
+		}
+	}
+	// Switch off the surplus bits. Controls are the 1-bits of to: firing
+	// requires i ⊇ to, forcing i ≥ to ≥ floor.
+	for p := 0; p < 4; p++ {
+		if cur&(1<<p) != 0 && to&(1<<p) == 0 {
+			controls := uint8(to)
+			g, err := gate.New(p, controls)
+			if err != nil {
+				panic(fmt.Sprintf("heuristic: impossible gate target %d controls %04b: %v", p, controls, err))
+			}
+			out = append(out, g)
+			cur &^= 1 << p
+		}
+	}
+	if cur != to {
+		panic("heuristic: transform failed to reach target")
+	}
+	return out
+}
+
+// Synthesize runs the unidirectional (output-side) sweep and returns a
+// circuit computing f. The result is correct for every input but not
+// minimal.
+func Synthesize(f perm.Perm) (circuit.Circuit, error) {
+	if !f.IsValid() {
+		return nil, fmt.Errorf("heuristic: not a valid reversible function")
+	}
+	w := f
+	var outGates []gate.Gate // pipeline order after f
+	for x := 0; x < 16; x++ {
+		y := w.Apply(x)
+		if y == x {
+			continue
+		}
+		for _, g := range transform(y, x, x) {
+			w = w.Then(g.Perm())
+			outGates = append(outGates, g)
+		}
+	}
+	if w != perm.Identity {
+		return nil, fmt.Errorf("heuristic: sweep did not reach identity (internal error)")
+	}
+	// f ⋄ OUT = id ⇒ f = reverse(OUT) (gates are involutions).
+	c := make(circuit.Circuit, len(outGates))
+	for i, g := range outGates {
+		c[len(outGates)-1-i] = g
+	}
+	return c, nil
+}
+
+// SynthesizeBidirectional runs the two-sided sweep: each row is repaired
+// on whichever side needs fewer gates (ties go to the output side). It
+// typically beats the unidirectional sweep by a moderate margin.
+func SynthesizeBidirectional(f perm.Perm) (circuit.Circuit, error) {
+	if !f.IsValid() {
+		return nil, fmt.Errorf("heuristic: not a valid reversible function")
+	}
+	w := f
+	var outGates []gate.Gate   // pipeline order after f, in append order
+	var inBlocks [][]gate.Gate // per-row input blocks; later blocks sit earlier in the pipeline
+	for x := 0; x < 16; x++ {
+		y := w.Apply(x)
+		if y == x {
+			continue
+		}
+		z := w.Inverse().Apply(x)
+		if bits.OnesCount8(uint8(z^x)) < bits.OnesCount8(uint8(y^x)) {
+			// Input side: insert a block mapping x forward to z in front
+			// of the current pipeline, so w'(x) = w(z) = x. The block's
+			// gates apply in order before everything already there:
+			// w' = (h1 ⋄ … ⋄ hk) ⋄ w.
+			block := transform(x, z, x)
+			blockPerm := perm.Identity
+			for _, g := range block {
+				blockPerm = blockPerm.Then(g.Perm())
+			}
+			w = blockPerm.Then(w)
+			inBlocks = append(inBlocks, block)
+		} else {
+			for _, g := range transform(y, x, x) {
+				w = w.Then(g.Perm())
+				outGates = append(outGates, g)
+			}
+		}
+	}
+	if w != perm.Identity {
+		return nil, fmt.Errorf("heuristic: sweep did not reach identity (internal error)")
+	}
+	// Pipeline: IN ⋄ f ⋄ OUT = id where IN = blockₙ … block₁ (later
+	// blocks outermost), so f = IN⁻¹ ⋄ OUT⁻¹ = rev(block₁) … rev(blockₙ)
+	// followed by rev(OUT); every gate is its own inverse.
+	var c circuit.Circuit
+	for _, block := range inBlocks {
+		for i := len(block) - 1; i >= 0; i-- {
+			c = append(c, block[i])
+		}
+	}
+	for i := len(outGates) - 1; i >= 0; i-- {
+		c = append(c, outGates[i])
+	}
+	return c, nil
+}
+
+// WorstCaseBound is a coarse upper bound on the unidirectional sweep's
+// output: each of the 16 rows costs at most the 4-bit Hamming distance.
+const WorstCaseBound = 16 * 4

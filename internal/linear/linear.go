@@ -1,0 +1,250 @@
+// Package linear implements the linear reversible functions of paper
+// §4.3: the functions computable by NOT/CNOT circuits, i.e. the affine
+// bijections x ↦ Mx ⊕ c over GF(2)⁴ with M invertible. There are exactly
+// |GL(4,2)| · 2⁴ = 20160 · 16 = 322,560 of them.
+//
+// These circuits are "the most complex part of error correcting
+// circuits" (paper §4.3, citing Aaronson–Gottesman): the efficiency of
+// encoding and decoding in stabilizer codes is governed by them, which is
+// why the paper synthesizes all of them optimally (Table 5).
+package linear
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/perm"
+)
+
+// NumInvertible is |GL(4,2)|: (2⁴−1)(2⁴−2)(2⁴−4)(2⁴−8).
+const NumInvertible = 20160
+
+// NumAffine is the number of linear reversible functions,
+// |GL(4,2)| · 2⁴ — the paper's 322,560.
+const NumAffine = NumInvertible * 16
+
+// Matrix is a 4×4 bit-matrix over GF(2); entry (i,j) is bit j of row i.
+// Row i describes which input bits XOR into output bit i.
+type Matrix [4]uint8
+
+// IdentityMatrix returns the 4×4 identity.
+func IdentityMatrix() Matrix { return Matrix{1, 2, 4, 8} }
+
+// MulVec returns M·x: output bit i is the parity of row i AND x.
+func (m Matrix) MulVec(x uint8) uint8 {
+	var y uint8
+	for i := 0; i < 4; i++ {
+		y |= uint8(bits.OnesCount8(m[i]&x)&1) << uint(i)
+	}
+	return y
+}
+
+// Mul returns the matrix product m·n (first apply n, then m, in the
+// column-vector convention: (m·n)x = m(n x)).
+func (m Matrix) Mul(n Matrix) Matrix {
+	// Row i of the product: entry j is parity(m[i] & column j of n).
+	var out Matrix
+	for i := 0; i < 4; i++ {
+		var row uint8
+		for j := 0; j < 4; j++ {
+			var col uint8
+			for r := 0; r < 4; r++ {
+				col |= (n[r] >> uint(j) & 1) << uint(r)
+			}
+			row |= uint8(bits.OnesCount8(m[i]&col)&1) << uint(j)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func (m Matrix) Transpose() Matrix {
+	var out Matrix
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[j] |= (m[i] >> uint(j) & 1) << uint(i)
+		}
+	}
+	return out
+}
+
+// Rank returns the GF(2) rank via Gaussian elimination.
+func (m Matrix) Rank() int {
+	rows := m
+	rank := 0
+	for col := 0; col < 4; col++ {
+		pivot := -1
+		for r := rank; r < 4; r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < 4; r++ {
+			if r != rank && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Invertible reports whether the matrix is in GL(4,2).
+func (m Matrix) Invertible() bool { return m.Rank() == 4 }
+
+// Inverse returns the GF(2) inverse via Gauss–Jordan elimination on the
+// augmented system, and whether it exists.
+func (m Matrix) Inverse() (Matrix, bool) {
+	rows := m
+	aug := IdentityMatrix()
+	rank := 0
+	for col := 0; col < 4; col++ {
+		pivot := -1
+		for r := rank; r < 4; r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return Matrix{}, false
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		aug[rank], aug[pivot] = aug[pivot], aug[rank]
+		for r := 0; r < 4; r++ {
+			if r != rank && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[rank]
+				aug[r] ^= aug[rank]
+			}
+		}
+		rank++
+	}
+	return aug, true
+}
+
+// String renders the matrix as four binary rows (column 0 leftmost).
+func (m Matrix) String() string {
+	out := ""
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			out += "/"
+		}
+		for j := 0; j < 4; j++ {
+			out += fmt.Sprintf("%d", m[i]>>uint(j)&1)
+		}
+	}
+	return out
+}
+
+// Affine is a linear reversible function f(x) = M·x ⊕ C with M
+// invertible.
+type Affine struct {
+	M Matrix
+	C uint8
+}
+
+// IdentityAffine returns the identity function.
+func IdentityAffine() Affine { return Affine{M: IdentityMatrix()} }
+
+// Apply returns f(x).
+func (a Affine) Apply(x uint8) uint8 { return a.M.MulVec(x) ^ a.C }
+
+// Perm packs the affine function as a permutation word.
+func (a Affine) Perm() perm.Perm {
+	var vals [16]uint8
+	for x := 0; x < 16; x++ {
+		vals[x] = a.Apply(uint8(x))
+	}
+	return perm.MustFromValues(vals)
+}
+
+// Compose returns the function "a then b": x ↦ b(a(x)), matching
+// perm.Then's diagrammatic order.
+func (a Affine) Compose(b Affine) Affine {
+	return Affine{M: b.M.Mul(a.M), C: b.M.MulVec(a.C) ^ b.C}
+}
+
+// Inverse returns f⁻¹ (M must be invertible, which Affine presumes).
+func (a Affine) Inverse() (Affine, bool) {
+	inv, ok := a.M.Inverse()
+	if !ok {
+		return Affine{}, false
+	}
+	return Affine{M: inv, C: inv.MulVec(a.C)}, true
+}
+
+// FromPerm decomposes a permutation as an affine function if possible:
+// C = f(0), column i of M = f(2ⁱ) ⊕ C, then all sixteen values are
+// verified. The boolean reports success; failure means the permutation
+// is not linear in the paper's sense.
+func FromPerm(p perm.Perm) (Affine, bool) {
+	c := uint8(p.Apply(0))
+	var m Matrix
+	for i := 0; i < 4; i++ {
+		col := uint8(p.Apply(1<<uint(i))) ^ c
+		for r := 0; r < 4; r++ {
+			m[r] |= (col >> uint(r) & 1) << uint(i)
+		}
+	}
+	a := Affine{M: m, C: c}
+	for x := 0; x < 16; x++ {
+		if a.Apply(uint8(x)) != uint8(p.Apply(x)) {
+			return Affine{}, false
+		}
+	}
+	return a, true
+}
+
+// IsLinear reports whether p is a linear reversible function (computable
+// by NOT and CNOT gates alone).
+func IsLinear(p perm.Perm) bool {
+	_, ok := FromPerm(p)
+	return ok
+}
+
+// ForEachInvertible calls fn for each of the 20160 invertible matrices in
+// ascending packed order, stopping early if fn returns false.
+func ForEachInvertible(fn func(Matrix) bool) {
+	for w := 0; w < 1<<16; w++ {
+		m := Matrix{uint8(w & 0xF), uint8(w >> 4 & 0xF), uint8(w >> 8 & 0xF), uint8(w >> 12 & 0xF)}
+		if m.Invertible() {
+			if !fn(m) {
+				return
+			}
+		}
+	}
+}
+
+// ForEachAffine calls fn for each of the 322,560 linear reversible
+// functions, stopping early if fn returns false.
+func ForEachAffine(fn func(Affine) bool) {
+	ForEachInvertible(func(m Matrix) bool {
+		for c := 0; c < 16; c++ {
+			if !fn(Affine{M: m, C: uint8(c)}) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// WorstCase1043 is the paper §4.3 example of one of the 138 hardest
+// linear functions (10 gates in an optimal implementation):
+// a,b,c,d ↦ b⊕1, a⊕c⊕1, d⊕1, a — with wire a as bit 0.
+func WorstCase1043() Affine {
+	return Affine{
+		M: Matrix{
+			0b0010, // output a reads input b
+			0b0101, // output b reads inputs a, c
+			0b1000, // output c reads input d
+			0b0001, // output d reads input a
+		},
+		C: 0b0111, // outputs a, b, c are complemented
+	}
+}

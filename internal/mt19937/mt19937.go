@@ -1,0 +1,105 @@
+// Package mt19937 implements the 32-bit Mersenne twister of Matsumoto and
+// Nishimura (paper ref [7]), the generator the paper uses to draw its
+// 10,000,000 uniformly distributed random permutations (§4.1).
+//
+// The implementation follows the reference mt19937ar recurrence: a
+// 624-word state twisted in blocks, with the standard tempering applied
+// per output. The stdlib math/rand uses a different generator; this
+// package exists so the random-permutation experiment uses the same
+// generator family as the paper.
+package mt19937
+
+const (
+	n         = 624
+	m         = 397
+	matrixA   = 0x9908b0df
+	upperMask = 0x80000000
+	lowerMask = 0x7fffffff
+	// DefaultSeed is the reference implementation's default (and the one
+	// std::mt19937 uses), handy for reproducible experiments.
+	DefaultSeed = 5489
+)
+
+// MT19937 is a 32-bit Mersenne twister. It is not safe for concurrent
+// use; create one per goroutine.
+type MT19937 struct {
+	state [n]uint32
+	index int
+}
+
+// New returns a generator initialized with the given seed using the
+// reference init_genrand recurrence.
+func New(seed uint32) *MT19937 {
+	g := &MT19937{}
+	g.Seed(seed)
+	return g
+}
+
+// Seed reinitializes the generator.
+func (g *MT19937) Seed(seed uint32) {
+	g.state[0] = seed
+	for i := uint32(1); i < n; i++ {
+		g.state[i] = 1812433253*(g.state[i-1]^(g.state[i-1]>>30)) + i
+	}
+	g.index = n
+}
+
+// twist regenerates the state block.
+func (g *MT19937) twist() {
+	for i := 0; i < n; i++ {
+		y := g.state[i]&upperMask | g.state[(i+1)%n]&lowerMask
+		next := g.state[(i+m)%n] ^ y>>1
+		if y&1 == 1 {
+			next ^= matrixA
+		}
+		g.state[i] = next
+	}
+	g.index = 0
+}
+
+// Uint32 returns the next tempered 32-bit output.
+func (g *MT19937) Uint32() uint32 {
+	if g.index >= n {
+		g.twist()
+	}
+	y := g.state[g.index]
+	g.index++
+	y ^= y >> 11
+	y ^= y << 7 & 0x9d2c5680
+	y ^= y << 15 & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+// Uint64 concatenates two 32-bit outputs (high word first).
+func (g *MT19937) Uint64() uint64 {
+	hi := uint64(g.Uint32())
+	return hi<<32 | uint64(g.Uint32())
+}
+
+// Intn returns an unbiased uniform integer in [0, bound) via rejection
+// sampling. bound must be positive and fit in 32 bits.
+func (g *MT19937) Intn(bound int) int {
+	if bound <= 0 || bound > 1<<31 {
+		panic("mt19937: Intn bound out of range")
+	}
+	b := uint32(bound)
+	if b&(b-1) == 0 {
+		return int(g.Uint32() & (b - 1))
+	}
+	rem := -b % b // 2³² mod b: the biased tail to reject
+	for {
+		v := g.Uint32()
+		if v < -rem { // -rem ≡ 2³² − rem: the largest unbiased prefix
+			return int(v % b)
+		}
+	}
+}
+
+// Float64 returns a uniform float in [0,1) with 53-bit resolution,
+// matching the reference genrand_res53.
+func (g *MT19937) Float64() float64 {
+	a := g.Uint32() >> 5
+	b := g.Uint32() >> 6
+	return (float64(a)*67108864 + float64(b)) / 9007199254740992
+}

@@ -1,0 +1,283 @@
+// Package peephole optimizes wide reversible circuits (more than four
+// wires) by re-synthesizing 4-wire windows optimally — the application
+// that motivates the paper's 0.01-second synthesis time (§1: "The
+// algorithm could easily be integrated as part of peephole optimization,
+// such as the one presented in [13]").
+//
+// The optimizer slides over the gate list, greedily growing maximal runs
+// of consecutive gates whose combined support fits on at most four wires,
+// maps each run down to a 4-bit reversible function, asks the optimal
+// synthesizer for a minimal implementation, and splices it back in when
+// it is shorter. Passes repeat until a fixed point.
+package peephole
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// Gate is a multiple-control Toffoli gate on a wide register: the target
+// bit is flipped when all control bits are 1. Only gates with at most
+// three controls can be re-synthesized (they map into the paper's
+// library); wider gates act as optimization barriers.
+type Gate struct {
+	Target   int
+	Controls uint32
+}
+
+// Support returns the mask of wires the gate touches.
+func (g Gate) Support() uint32 { return g.Controls | 1<<uint(g.Target) }
+
+// Apply computes the gate's action on a packed register state.
+func (g Gate) Apply(x uint32) uint32 {
+	if x&g.Controls == g.Controls {
+		return x ^ 1<<uint(g.Target)
+	}
+	return x
+}
+
+// String renders the gate as e.g. "t3 c0,c5" (target wire 3, controls 0
+// and 5) — a compact notation for wide registers.
+func (g Gate) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t%d", g.Target)
+	for w := 0; w < 32; w++ {
+		if g.Controls>>uint(w)&1 == 1 {
+			fmt.Fprintf(&sb, " c%d", w)
+		}
+	}
+	return sb.String()
+}
+
+// Circuit is a reversible circuit over Wires wires (4 ≤ Wires ≤ 24).
+type Circuit struct {
+	Wires int
+	Gates []Gate
+}
+
+// Validate checks wire bounds and target/control disjointness.
+func (c Circuit) Validate() error {
+	if c.Wires < 4 || c.Wires > 24 {
+		return fmt.Errorf("peephole: %d wires out of supported range [4,24]", c.Wires)
+	}
+	for i, g := range c.Gates {
+		if g.Target < 0 || g.Target >= c.Wires {
+			return fmt.Errorf("peephole: gate %d target %d out of range", i, g.Target)
+		}
+		if g.Controls>>uint(c.Wires) != 0 {
+			return fmt.Errorf("peephole: gate %d controls exceed %d wires", i, c.Wires)
+		}
+		if g.Controls&(1<<uint(g.Target)) != 0 {
+			return fmt.Errorf("peephole: gate %d target is also a control", i)
+		}
+	}
+	return nil
+}
+
+// Apply simulates the circuit on one register state.
+func (c Circuit) Apply(x uint32) uint32 {
+	for _, g := range c.Gates {
+		x = g.Apply(x)
+	}
+	return x
+}
+
+// Equivalent reports whether two circuits over the same register compute
+// the same function, by exhaustive simulation (2^Wires states).
+func (c Circuit) Equivalent(d Circuit) bool {
+	if c.Wires != d.Wires {
+		return false
+	}
+	for x := uint32(0); x < 1<<uint(c.Wires); x++ {
+		if c.Apply(x) != d.Apply(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// GateCount returns the number of gates.
+func (c Circuit) GateCount() int { return len(c.Gates) }
+
+// Stats reports what one Optimize call did.
+type Stats struct {
+	GatesBefore     int
+	GatesAfter      int
+	Passes          int
+	WindowsTried    int
+	WindowsImproved int
+}
+
+// Optimizer rewrites wide circuits using an optimal 4-bit synthesizer.
+type Optimizer struct {
+	synth *core.Synthesizer
+}
+
+// NewOptimizer wraps a synthesizer. Windows whose optimal size exceeds
+// the synthesizer's horizon are left untouched (they can only arise when
+// the window already has more gates than the horizon).
+func NewOptimizer(s *core.Synthesizer) *Optimizer { return &Optimizer{synth: s} }
+
+// Optimize returns a functionally equivalent circuit with no more gates,
+// along with statistics. The input is not modified.
+func (o *Optimizer) Optimize(c Circuit) (Circuit, Stats, error) {
+	if err := c.Validate(); err != nil {
+		return Circuit{}, Stats{}, err
+	}
+	out := Circuit{Wires: c.Wires, Gates: append([]Gate(nil), c.Gates...)}
+	stats := Stats{GatesBefore: len(c.Gates)}
+	for {
+		stats.Passes++
+		improved, err := o.pass(&out, &stats)
+		if err != nil {
+			return Circuit{}, stats, err
+		}
+		if !improved {
+			break
+		}
+	}
+	stats.GatesAfter = len(out.Gates)
+	return out, stats, nil
+}
+
+// pass performs one left-to-right sweep, splicing in improvements.
+func (o *Optimizer) pass(c *Circuit, stats *Stats) (bool, error) {
+	improvedAny := false
+	for i := 0; i < len(c.Gates); {
+		j, wires := growWindow(c.Gates, i)
+		if j-i < 2 || len(wires) == 0 {
+			i++
+			continue
+		}
+		stats.WindowsTried++
+		replacement, ok, err := o.resynthesize(c.Gates[i:j], wires)
+		if err != nil {
+			return false, err
+		}
+		if ok && len(replacement) < j-i {
+			stats.WindowsImproved++
+			improvedAny = true
+			rest := append([]Gate(nil), c.Gates[j:]...)
+			c.Gates = append(c.Gates[:i], replacement...)
+			c.Gates = append(c.Gates, rest...)
+			i += len(replacement)
+			continue
+		}
+		// Move past the first gate so overlapping windows still get
+		// tried.
+		i++
+	}
+	return improvedAny, nil
+}
+
+// growWindow extends [start, end) while the union support stays within
+// four wires and every gate is library-shaped (≤ 3 controls). It returns
+// the end index and the sorted wires used.
+func growWindow(gates []Gate, start int) (end int, wires []int) {
+	var support uint32
+	end = start
+	for end < len(gates) {
+		g := gates[end]
+		if bits.OnesCount32(g.Controls) > 3 {
+			break // barrier: not a library gate shape
+		}
+		next := support | g.Support()
+		if bits.OnesCount32(next) > 4 {
+			break
+		}
+		support = next
+		end++
+	}
+	for w := 0; w < 32; w++ {
+		if support>>uint(w)&1 == 1 {
+			wires = append(wires, w)
+		}
+	}
+	return end, wires
+}
+
+// resynthesize maps a window onto 4 wires, synthesizes optimally, and
+// maps back. ok is false when the window exceeds the synthesizer horizon.
+func (o *Optimizer) resynthesize(window []Gate, wires []int) ([]Gate, bool, error) {
+	// wireMap[global wire] = local wire index.
+	wireMap := map[int]int{}
+	for local, w := range wires {
+		wireMap[w] = local
+	}
+	narrow := make(circuit.Circuit, len(window))
+	for i, g := range window {
+		var controls uint8
+		for w := 0; w < 32; w++ {
+			if g.Controls>>uint(w)&1 == 1 {
+				controls |= 1 << uint(wireMap[w])
+			}
+		}
+		ng, err := gate.New(wireMap[g.Target], controls)
+		if err != nil {
+			return nil, false, fmt.Errorf("peephole: window gate %d: %v", i, err)
+		}
+		narrow[i] = ng
+	}
+	f := narrow.Perm()
+	optimal, err := o.synth.Synthesize(f)
+	if errors.Is(err, core.ErrBeyondHorizon) {
+		// The window's optimal size cannot exceed the window length, so
+		// this only happens when the window itself is longer than the
+		// horizon: leave it untouched.
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	wide := make([]Gate, len(optimal))
+	for i, g := range optimal {
+		var controls uint32
+		for local, w := range wires {
+			if g.Controls()>>uint(local)&1 == 1 {
+				controls |= 1 << uint(w)
+			}
+		}
+		wide[i] = Gate{Target: wires[g.Target()], Controls: controls}
+	}
+	return wide, true, nil
+}
+
+// Random builds a pseudo-random wide circuit for experiments: n gates
+// over the given wire count with control counts ≤ 3, using the provided
+// integer source (e.g. mt19937.New(seed).Intn).
+func Random(wires, n int, intn func(int) int) Circuit {
+	c := Circuit{Wires: wires, Gates: make([]Gate, n)}
+	for i := range c.Gates {
+		t := intn(wires)
+		nc := intn(4)
+		var controls uint32
+		for bits.OnesCount32(controls) < nc {
+			w := intn(wires)
+			if w != t {
+				controls |= 1 << uint(w)
+			}
+		}
+		c.Gates[i] = Gate{Target: t, Controls: controls}
+	}
+	return c
+}
+
+// ToPerm lowers a 4-wire wide circuit to a packed permutation; it errors
+// on wider circuits.
+func (c Circuit) ToPerm() (perm.Perm, error) {
+	if c.Wires != 4 {
+		return 0, fmt.Errorf("peephole: circuit has %d wires, want 4", c.Wires)
+	}
+	var vals [16]uint8
+	for x := 0; x < 16; x++ {
+		vals[x] = uint8(c.Apply(uint32(x)))
+	}
+	return perm.FromValues(vals)
+}

@@ -1,0 +1,235 @@
+package peephole
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mt19937"
+)
+
+var (
+	synthOnce sync.Once
+	synth     *core.Synthesizer
+)
+
+func sharedSynth(t testing.TB) *core.Synthesizer {
+	synthOnce.Do(func() {
+		var err error
+		synth, err = core.New(core.Config{K: 4})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return synth
+}
+
+func TestValidate(t *testing.T) {
+	good := Circuit{Wires: 6, Gates: []Gate{{Target: 2, Controls: 0b1}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	bad := []Circuit{
+		{Wires: 3},
+		{Wires: 30},
+		{Wires: 6, Gates: []Gate{{Target: 6}}},
+		{Wires: 6, Gates: []Gate{{Target: -1}}},
+		{Wires: 6, Gates: []Gate{{Target: 2, Controls: 1 << 7}}},
+		{Wires: 6, Gates: []Gate{{Target: 2, Controls: 1 << 2}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad circuit %d accepted", i)
+		}
+	}
+}
+
+func TestGateApply(t *testing.T) {
+	g := Gate{Target: 5, Controls: 0b11}
+	if got := g.Apply(0b000011); got != 0b100011 {
+		t.Fatalf("gate fired wrong: %06b", got)
+	}
+	if got := g.Apply(0b000001); got != 0b000001 {
+		t.Fatalf("gate fired without all controls: %06b", got)
+	}
+}
+
+func TestCancellingPairCollapses(t *testing.T) {
+	o := NewOptimizer(sharedSynth(t))
+	c := Circuit{Wires: 8, Gates: []Gate{
+		{Target: 1, Controls: 1 << 0},
+		{Target: 1, Controls: 1 << 0},
+	}}
+	out, stats, err := o.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 0 {
+		t.Fatalf("cancelling pair not removed: %v", out.Gates)
+	}
+	if stats.GatesBefore != 2 || stats.GatesAfter != 0 || stats.WindowsImproved == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !c.Equivalent(out) {
+		t.Fatal("optimization changed the function")
+	}
+}
+
+func TestSwapChainCollapses(t *testing.T) {
+	// Three CNOT-swaps of the same pair = one swap (3 gates); six = id.
+	swap := []Gate{
+		{Target: 1, Controls: 1 << 0},
+		{Target: 0, Controls: 1 << 1},
+		{Target: 1, Controls: 1 << 0},
+	}
+	c := Circuit{Wires: 5}
+	for i := 0; i < 2; i++ {
+		c.Gates = append(c.Gates, swap...)
+	}
+	o := NewOptimizer(sharedSynth(t))
+	out, _, err := o.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 0 {
+		t.Fatalf("double swap (identity) reduced to %d gates, want 0", len(out.Gates))
+	}
+}
+
+func TestPreservesFunctionOnRandomCircuits(t *testing.T) {
+	o := NewOptimizer(sharedSynth(t))
+	rng := mt19937.New(7)
+	for trial := 0; trial < 25; trial++ {
+		c := Random(7, 30, rng.Intn)
+		out, stats, err := o.Optimize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equivalent(out) {
+			t.Fatalf("trial %d: optimization changed the function", trial)
+		}
+		if stats.GatesAfter > stats.GatesBefore {
+			t.Fatalf("trial %d: optimization grew the circuit: %+v", trial, stats)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: optimized circuit invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestRedundantWindowShrinks(t *testing.T) {
+	// A deliberately wasteful sub-circuit on wires {2,3,4,5}: the same
+	// CNOT four times plus a NOT — optimal is just the NOT.
+	c := Circuit{Wires: 8, Gates: []Gate{
+		{Target: 2, Controls: 1 << 3},
+		{Target: 2, Controls: 1 << 3},
+		{Target: 2, Controls: 1 << 3},
+		{Target: 2, Controls: 1 << 3},
+		{Target: 4},
+	}}
+	o := NewOptimizer(sharedSynth(t))
+	out, _, err := o.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 1 || out.Gates[0].Target != 4 {
+		t.Fatalf("redundant window reduced to %v, want single NOT on 4", out.Gates)
+	}
+}
+
+func TestWideControlGateIsBarrier(t *testing.T) {
+	// A 4-control gate cannot be window-optimized but must be preserved.
+	c := Circuit{Wires: 6, Gates: []Gate{
+		{Target: 1, Controls: 1 << 0},
+		{Target: 5, Controls: 0b01111},
+		{Target: 1, Controls: 1 << 0},
+	}}
+	o := NewOptimizer(sharedSynth(t))
+	out, _, err := o.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equivalent(out) {
+		t.Fatal("barrier circuit function changed")
+	}
+	found := false
+	for _, g := range out.Gates {
+		if g.Target == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("4-control barrier gate vanished: %v", out.Gates)
+	}
+}
+
+func TestDisjointRegionsBothOptimized(t *testing.T) {
+	// Cancelling pairs on wires {0,1} and {6,7}: both must collapse even
+	// though they cannot share a window with each other.
+	c := Circuit{Wires: 8, Gates: []Gate{
+		{Target: 0, Controls: 1 << 1},
+		{Target: 0, Controls: 1 << 1},
+		{Target: 7, Controls: 1 << 6},
+		{Target: 7, Controls: 1 << 6},
+	}}
+	o := NewOptimizer(sharedSynth(t))
+	out, _, err := o.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Gates) != 0 {
+		t.Fatalf("disjoint cancelling pairs left %v", out.Gates)
+	}
+}
+
+func TestFourWireCircuitFullyOptimal(t *testing.T) {
+	// On exactly 4 wires every window covers the whole circuit, so the
+	// result must be globally optimal: compare against direct synthesis.
+	s := sharedSynth(t)
+	o := NewOptimizer(s)
+	rng := mt19937.New(99)
+	for trial := 0; trial < 10; trial++ {
+		c := Random(4, 7, rng.Intn)
+		out, _, err := o.Optimize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.ToPerm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.Size(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Gates) != want {
+			t.Fatalf("trial %d: peephole got %d gates, optimal is %d", trial, len(out.Gates), want)
+		}
+	}
+}
+
+func TestToPermErrors(t *testing.T) {
+	if _, err := (Circuit{Wires: 5}).ToPerm(); err == nil {
+		t.Fatal("ToPerm accepted a 5-wire circuit")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	g := Gate{Target: 3, Controls: 1<<0 | 1<<5}
+	if got := g.String(); got != "t3 c0 c5" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkOptimize30Gates8Wires(b *testing.B) {
+	o := NewOptimizer(sharedSynth(b))
+	rng := mt19937.New(42)
+	c := Random(8, 30, rng.Intn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Optimize(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package perm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the specification parser never panics and that
+// everything it accepts survives a print/parse round trip. Run with
+// `go test -fuzz FuzzParse ./internal/perm` to explore; the seed corpus
+// runs as a normal test.
+func FuzzParse(f *testing.F) {
+	f.Add("[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15]")
+	f.Add("[15,1,12,3,5,6,8,7,0,10,13,9,2,4,14,11]")
+	f.Add("[ 1 , 0 ,2,3,4,5,6,7,8,9,10,11,12,13,14,15 ]")
+	f.Add("")
+	f.Add("[")
+	f.Add("[1,2]")
+	f.Add("[,,,,,,,,,,,,,,,]")
+	f.Add("[-1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]")
+	f.Add(strings.Repeat("[", 1000))
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !p.IsValid() {
+			t.Fatalf("Parse(%q) accepted an invalid permutation %v", s, p)
+		}
+		back, err := Parse(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip failed for %q -> %v", s, p)
+		}
+	})
+}

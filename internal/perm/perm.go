@@ -1,0 +1,257 @@
+// Package perm implements 4-bit reversible functions (permutations of
+// {0,…,15}) packed into a single 64-bit word, following §3.3 of
+// Golubitsky, Falconer, Maslov, "Synthesis of the Optimal 4-bit Reversible
+// Circuits" (DAC 2010).
+//
+// Nibble i of the word (bits 4i…4i+3) holds f(i). The packed layout makes
+// composition, inversion, and conjugation by wire transpositions short
+// sequences of word operations, which is what makes the paper's
+// breadth-first search over billions of functions feasible.
+//
+// Composition is written in circuit (diagrammatic) order throughout:
+// p.Then(q) is the function obtained by applying p first and q second.
+// This is the composition the paper writes f ◦ λ when a gate λ is appended
+// to a circuit implementing f, and it is exactly the paper's C routine
+// composition(p, q).
+package perm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Perm is a 4-bit reversible function: a permutation of {0,…,15} packed
+// into a 64-bit word with nibble i holding f(i).
+//
+// The zero value of Perm is NOT a valid permutation (it maps every input
+// to 0); this is deliberate, so that 0 can serve as the empty-slot
+// sentinel in open-addressing hash tables over permutations.
+type Perm uint64
+
+// Identity is the identity permutation: nibble i holds i.
+const Identity Perm = 0xFEDCBA9876543210
+
+// Size is the number of points the permutation acts on.
+const Size = 16
+
+// Wires is the number of circuit wires (bits of the state).
+const Wires = 4
+
+// Apply returns f(x). x must be in [0,16).
+func (p Perm) Apply(x int) int {
+	return int(uint64(p)>>(uint(x)*4)) & 0xF
+}
+
+// Then returns the composition "p then q": the function mapping
+// x ↦ q(p(x)). It is the paper's composition(p, q) routine, unrolled over
+// the packed word: nibble i of the result is nibble p[i] of q.
+func (p Perm) Then(q Perm) Perm {
+	pp := uint64(p)
+	qq := uint64(q)
+	// Nibble 0 needs the offset p[0]*4 = (pp&15)<<2. After shifting pp
+	// right by 2 once, every subsequent offset is read as pp&60 (the
+	// paper's "d = p & 60" trick), saving a shift per step.
+	r := (qq >> ((pp & 15) << 2)) & 15
+	pp >>= 2
+	for shift := uint(4); shift < 64; shift += 4 {
+		r |= ((qq >> (pp & 60)) & 15) << shift
+		pp >>= 4
+	}
+	return Perm(r)
+}
+
+// Inverse returns f⁻¹. It is the paper's inverse(p) routine: for each
+// point i, nibble p[i] of the result is set to i. The i = 0 term is free
+// because it contributes zero bits.
+func (p Perm) Inverse() Perm {
+	pp := uint64(p) >> 2
+	q := uint64(1) << (pp & 60) // q[p[1]] = 1
+	for i := uint64(2); i < 16; i++ {
+		pp >>= 4
+		q |= i << (pp & 60)
+	}
+	return Perm(q)
+}
+
+// IsValid reports whether p is a permutation, i.e. whether its sixteen
+// nibbles are pairwise distinct.
+func (p Perm) IsValid() bool {
+	var seen uint16
+	v := uint64(p)
+	for i := 0; i < 16; i++ {
+		seen |= 1 << (v & 0xF)
+		v >>= 4
+	}
+	return seen == 0xFFFF
+}
+
+// Values unpacks the permutation into the sequence f(0),…,f(15).
+func (p Perm) Values() [16]uint8 {
+	var out [16]uint8
+	v := uint64(p)
+	for i := range out {
+		out[i] = uint8(v & 0xF)
+		v >>= 4
+	}
+	return out
+}
+
+// FromValues packs the sequence f(0),…,f(15) into a Perm. It returns an
+// error if the sequence is not a permutation of {0,…,15}.
+func FromValues(vals [16]uint8) (Perm, error) {
+	var p uint64
+	var seen uint16
+	for i, v := range vals {
+		if v > 15 {
+			return 0, fmt.Errorf("perm: value %d at position %d out of range [0,15]", v, i)
+		}
+		if seen&(1<<v) != 0 {
+			return 0, fmt.Errorf("perm: duplicate value %d at position %d", v, i)
+		}
+		seen |= 1 << v
+		p |= uint64(v) << (uint(i) * 4)
+	}
+	return Perm(p), nil
+}
+
+// MustFromValues is FromValues that panics on invalid input. It is
+// intended for package-level tables of known-good specifications.
+func MustFromValues(vals [16]uint8) Perm {
+	p, err := FromValues(vals)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// FromSlice packs a 16-element truth-vector slice (the format used by
+// the paper's Table 6 "Specification" column) into a Perm.
+func FromSlice(vals []int) (Perm, error) {
+	if len(vals) != 16 {
+		return 0, fmt.Errorf("perm: specification has %d entries, want 16", len(vals))
+	}
+	var arr [16]uint8
+	for i, v := range vals {
+		if v < 0 || v > 15 {
+			return 0, fmt.Errorf("perm: value %d at position %d out of range [0,15]", v, i)
+		}
+		arr[i] = uint8(v)
+	}
+	return FromValues(arr)
+}
+
+// String renders the permutation as the paper's specification format:
+// "[f(0),f(1),…,f(15)]".
+func (p Perm) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	v := uint64(p)
+	for i := 0; i < 16; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(int(v & 0xF)))
+		v >>= 4
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Parse parses the String/paper specification format "[a,b,…,p]" (spaces
+// allowed after commas) into a Perm.
+func Parse(s string) (Perm, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, fmt.Errorf("perm: specification %q must be bracketed like [0,1,...,15]", s)
+	}
+	fields := strings.Split(s[1:len(s)-1], ",")
+	if len(fields) != 16 {
+		return 0, fmt.Errorf("perm: specification has %d entries, want 16", len(fields))
+	}
+	vals := make([]int, 16)
+	for i, f := range fields {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return 0, fmt.Errorf("perm: entry %d: %v", i, err)
+		}
+		vals[i] = n
+	}
+	return FromSlice(vals)
+}
+
+// IsIdentity reports whether p is the identity permutation.
+func (p Perm) IsIdentity() bool { return p == Identity }
+
+// FixedPoints returns the number of points x with f(x) = x.
+func (p Perm) FixedPoints() int {
+	n := 0
+	v := uint64(p)
+	for i := uint64(0); i < 16; i++ {
+		if v&0xF == i {
+			n++
+		}
+		v >>= 4
+	}
+	return n
+}
+
+// Parity reports the sign of the permutation: true for even (an element
+// of A₁₆), false for odd. Only even permutations are realizable by the
+// NOT/CNOT/Peres library studied by Yang et al. (paper §2); the paper's
+// NOT/CNOT/TOF/TOF4 library realizes all of S₁₆.
+func (p Perm) Parity() bool {
+	vals := p.Values()
+	var visited uint16
+	transpositions := 0
+	for i := 0; i < 16; i++ {
+		if visited&(1<<uint(i)) != 0 {
+			continue
+		}
+		// Walk the cycle containing i; a cycle of length L contributes
+		// L-1 transpositions.
+		j := i
+		length := 0
+		for visited&(1<<uint(j)) == 0 {
+			visited |= 1 << uint(j)
+			j = int(vals[j])
+			length++
+		}
+		transpositions += length - 1
+	}
+	return transpositions%2 == 0
+}
+
+// CycleStructure returns the multiset of cycle lengths in decreasing
+// order, a conjugation invariant useful in tests: conjugate permutations
+// must have identical cycle structure.
+func (p Perm) CycleStructure() []int {
+	vals := p.Values()
+	var visited uint16
+	var cycles []int
+	for i := 0; i < 16; i++ {
+		if visited&(1<<uint(i)) != 0 {
+			continue
+		}
+		j := i
+		length := 0
+		for visited&(1<<uint(j)) == 0 {
+			visited |= 1 << uint(j)
+			j = int(vals[j])
+			length++
+		}
+		cycles = append(cycles, length)
+	}
+	for a, b := 0, len(cycles)-1; a < b; {
+		// insertion-free descending sort for the tiny slice
+		max := a
+		for t := a + 1; t <= b; t++ {
+			if cycles[t] > cycles[max] {
+				max = t
+			}
+		}
+		cycles[a], cycles[max] = cycles[max], cycles[a]
+		a++
+	}
+	return cycles
+}

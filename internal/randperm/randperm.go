@@ -1,0 +1,53 @@
+// Package randperm draws uniformly distributed random 4-bit reversible
+// functions, reproducing the sampling methodology of paper §4.1: a
+// Fisher–Yates shuffle driven by the Mersenne twister (paper ref [7]).
+package randperm
+
+import (
+	"repro/internal/mt19937"
+	"repro/internal/perm"
+)
+
+// Source supplies uniform integers for the shuffle; *mt19937.MT19937
+// implements it.
+type Source interface {
+	// Intn returns a uniform integer in [0, bound).
+	Intn(bound int) int
+}
+
+// Generator draws uniformly random permutations of {0,…,15}.
+type Generator struct {
+	src Source
+}
+
+// New returns a generator seeded like the paper's experiments: a
+// Mersenne twister with the given seed.
+func New(seed uint32) *Generator {
+	return &Generator{src: mt19937.New(seed)}
+}
+
+// FromSource wraps an arbitrary uniform source.
+func FromSource(src Source) *Generator { return &Generator{src: src} }
+
+// Next draws one uniformly distributed permutation via an unbiased
+// Fisher–Yates shuffle.
+func (g *Generator) Next() perm.Perm {
+	var vals [16]uint8
+	for i := range vals {
+		vals[i] = uint8(i)
+	}
+	for i := 15; i > 0; i-- {
+		j := g.src.Intn(i + 1)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	return perm.MustFromValues(vals)
+}
+
+// Sample draws n permutations.
+func (g *Generator) Sample(n int) []perm.Perm {
+	out := make([]perm.Perm, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

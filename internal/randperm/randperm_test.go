@@ -1,0 +1,137 @@
+package randperm
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestNextProducesValidPerms(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 5000; i++ {
+		p := g.Next()
+		if !p.IsValid() {
+			t.Fatalf("draw %d produced invalid permutation %v", i, p)
+		}
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+	c, d := New(1), New(2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if c.Next() == d.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds coincided on %d/200 draws", same)
+	}
+}
+
+func TestSample(t *testing.T) {
+	g := New(7)
+	s := g.Sample(100)
+	if len(s) != 100 {
+		t.Fatalf("Sample returned %d", len(s))
+	}
+	h := New(7)
+	for i, p := range s {
+		if q := h.Next(); q != p {
+			t.Fatalf("Sample[%d] = %v, sequential draw = %v", i, p, q)
+		}
+	}
+}
+
+// TestPositionalUniformity checks the Fisher–Yates output is unbiased:
+// over many draws, each value lands at each position with probability
+// 1/16. Chi-square per position with 15 dof; 99.9% critical ≈ 37.7.
+func TestPositionalUniformity(t *testing.T) {
+	g := New(123)
+	const draws = 64000
+	var counts [16][16]int
+	for i := 0; i < draws; i++ {
+		vals := g.Next().Values()
+		for pos, v := range vals {
+			counts[pos][v]++
+		}
+	}
+	expected := float64(draws) / 16
+	for pos := 0; pos < 16; pos++ {
+		chi2 := 0.0
+		for v := 0; v < 16; v++ {
+			d := float64(counts[pos][v]) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > 50 {
+			t.Fatalf("position %d chi-square = %.1f", pos, chi2)
+		}
+	}
+}
+
+// TestParityBalance: uniform permutations are even with probability 1/2.
+func TestParityBalance(t *testing.T) {
+	g := New(321)
+	const draws = 40000
+	even := 0
+	for i := 0; i < draws; i++ {
+		if g.Next().Parity() {
+			even++
+		}
+	}
+	frac := float64(even) / draws
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("even fraction = %.3f", frac)
+	}
+}
+
+// TestFixedPointCount: uniform permutations of 16 points average one
+// fixed point (derangement theory).
+func TestFixedPointCount(t *testing.T) {
+	g := New(555)
+	const draws = 40000
+	total := 0
+	for i := 0; i < draws; i++ {
+		total += g.Next().FixedPoints()
+	}
+	mean := float64(total) / draws
+	if mean < 0.93 || mean > 1.07 {
+		t.Fatalf("mean fixed points = %.3f, want ≈ 1", mean)
+	}
+}
+
+type countingSource struct{ calls int }
+
+func (c *countingSource) Intn(bound int) int { c.calls++; return 0 }
+
+func TestFromSource(t *testing.T) {
+	src := &countingSource{}
+	g := FromSource(src)
+	p := g.Next()
+	if src.calls != 15 {
+		t.Fatalf("Fisher–Yates used %d draws, want 15", src.calls)
+	}
+	if !p.IsValid() {
+		t.Fatalf("invalid permutation %v", p)
+	}
+	// With Intn always 0, the shuffle is deterministic: each element i
+	// swaps to position... verify it is at least a fixed permutation.
+	if q := FromSource(&countingSource{}).Next(); q != p {
+		t.Fatal("deterministic source produced differing permutations")
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g := New(9)
+	var acc perm.Perm
+	for i := 0; i < b.N; i++ {
+		acc ^= g.Next()
+	}
+	_ = acc
+}

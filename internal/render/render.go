@@ -1,0 +1,130 @@
+// Package render draws reversible circuits as text diagrams in the style
+// of the paper's Figures 1 and 2: one horizontal wire per line, controls
+// as filled dots, targets as ⊕, with vertical connections crossing
+// intermediate wires.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+)
+
+// Style selects the glyph set.
+type Style int
+
+const (
+	// Unicode uses box-drawing glyphs (default): ─ ● ⊕ ┼.
+	Unicode Style = iota
+	// ASCII restricts to 7-bit glyphs: - * (+) |.
+	ASCII
+)
+
+type glyphs struct {
+	wire, control, target, cross string
+}
+
+func (s Style) glyphs() glyphs {
+	if s == ASCII {
+		return glyphs{wire: "-", control: "*", target: "+", cross: "|"}
+	}
+	return glyphs{wire: "─", control: "●", target: "⊕", cross: "┼"}
+}
+
+// Column is one time slot of a diagram over an arbitrary wire count:
+// a target wire and a control mask. It generalizes the 4-wire gate so
+// the peephole optimizer's wide circuits render with the same code.
+type Column struct {
+	Target   int
+	Controls uint32
+}
+
+// Columns renders a diagram with the given wire names (one per wire, top
+// to bottom; wire 0 is the top row, matching the paper's figures where
+// wire a is drawn first).
+func Columns(names []string, cols []Column, style Style) string {
+	g := style.glyphs()
+	wires := len(names)
+	nameWidth := 0
+	for _, n := range names {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	var rows []strings.Builder
+	rows = make([]strings.Builder, wires)
+	for w := 0; w < wires; w++ {
+		fmt.Fprintf(&rows[w], "%-*s ", nameWidth, names[w])
+		rows[w].WriteString(g.wire)
+	}
+	for _, col := range cols {
+		lo, hi := col.Target, col.Target
+		for w := 0; w < wires; w++ {
+			if col.Controls>>uint(w)&1 == 1 {
+				if w < lo {
+					lo = w
+				}
+				if w > hi {
+					hi = w
+				}
+			}
+		}
+		for w := 0; w < wires; w++ {
+			rows[w].WriteString(g.wire)
+			switch {
+			case w == col.Target:
+				rows[w].WriteString(g.target)
+			case col.Controls>>uint(w)&1 == 1:
+				rows[w].WriteString(g.control)
+			case w > lo && w < hi:
+				rows[w].WriteString(g.cross)
+			default:
+				rows[w].WriteString(g.wire)
+			}
+			rows[w].WriteString(g.wire)
+		}
+	}
+	var out strings.Builder
+	for w := 0; w < wires; w++ {
+		rows[w].WriteString(g.wire)
+		out.WriteString(rows[w].String())
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// Circuit renders a 4-wire circuit with the paper's wire names a–d.
+func Circuit(c circuit.Circuit, style Style) string {
+	names := []string{"a", "b", "c", "d"}
+	cols := make([]Column, len(c))
+	for i, g := range c {
+		cols[i] = Column{Target: g.Target(), Controls: uint32(g.Controls())}
+	}
+	return Columns(names, cols, style)
+}
+
+// Gate renders a single 4-wire gate (a Figure 1 panel).
+func Gate(g gate.Gate, style Style) string {
+	return Circuit(circuit.Circuit{g}, style)
+}
+
+// Figure1 renders the paper's Figure 1: the NOT, CNOT, Toffoli and
+// Toffoli-4 gates side by side with their names.
+func Figure1(style Style) string {
+	panels := []gate.Gate{
+		gate.MustParse("NOT(a)"),
+		gate.MustParse("CNOT(a,b)"),
+		gate.MustParse("TOF(a,b,c)"),
+		gate.MustParse("TOF4(a,b,c,d)"),
+	}
+	var out strings.Builder
+	for i, g := range panels {
+		if i > 0 {
+			out.WriteByte('\n')
+		}
+		fmt.Fprintf(&out, "%s:\n%s", g.Kind(), Gate(g, style))
+	}
+	return out.String()
+}

@@ -1,0 +1,107 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+)
+
+func TestCircuitRowsAndWidth(t *testing.T) {
+	c := circuit.MustParse("TOF(a,b,d) CNOT(a,b) TOF(b,c,d) CNOT(b,c)")
+	out := Circuit(c, Unicode)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("diagram has %d rows, want 4:\n%s", len(lines), out)
+	}
+	width := len([]rune(lines[0]))
+	for i, l := range lines {
+		if len([]rune(l)) != width {
+			t.Fatalf("row %d width %d ≠ row 0 width %d:\n%s", i, len([]rune(l)), width, out)
+		}
+	}
+}
+
+func TestGlyphPlacement(t *testing.T) {
+	// CNOT(d,a): control on d (bottom row), target on a (top row),
+	// crossings on b and c.
+	out := Circuit(circuit.Circuit{gate.MustParse("CNOT(d,a)")}, Unicode)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "⊕") {
+		t.Errorf("target missing on wire a:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "●") {
+		t.Errorf("control missing on wire d:\n%s", out)
+	}
+	for _, mid := range []int{1, 2} {
+		if !strings.Contains(lines[mid], "┼") {
+			t.Errorf("crossing missing on middle wire %d:\n%s", mid, out)
+		}
+	}
+}
+
+func TestNoSpuriousConnections(t *testing.T) {
+	// NOT(b) must not draw crossings anywhere.
+	out := Circuit(circuit.Circuit{gate.MustParse("NOT(b)")}, Unicode)
+	if strings.Contains(out, "┼") || strings.Contains(out, "●") {
+		t.Errorf("NOT drew controls or crossings:\n%s", out)
+	}
+}
+
+func TestASCIIStyle(t *testing.T) {
+	c := circuit.MustParse("TOF(a,c,d)")
+	out := Circuit(c, ASCII)
+	for _, r := range out {
+		if r > 127 {
+			t.Fatalf("ASCII style emitted non-ASCII rune %q:\n%s", r, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("ASCII glyphs missing:\n%s", out)
+	}
+	// TOF(a,c,d): control a (row 0), control c (row 2), target d (row 3);
+	// wire b (row 1) is crossed.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "|") {
+		t.Errorf("crossing missing on wire b:\n%s", out)
+	}
+}
+
+func TestColumnsWideRegister(t *testing.T) {
+	names := []string{"q0", "q1", "q2", "q3", "q4", "q5"}
+	cols := []Column{{Target: 5, Controls: 1}, {Target: 0, Controls: 1 << 3}}
+	out := Columns(names, cols, Unicode)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("wide diagram has %d rows, want 6", len(lines))
+	}
+	for i, n := range names {
+		if !strings.HasPrefix(lines[i], n) {
+			t.Errorf("row %d does not start with %q: %q", i, n, lines[i])
+		}
+	}
+}
+
+func TestFigure1ContainsAllKinds(t *testing.T) {
+	out := Figure1(Unicode)
+	for _, name := range []string{"NOT", "CNOT", "TOF", "TOF4"} {
+		if !strings.Contains(out, name+":") {
+			t.Errorf("Figure 1 missing %s panel", name)
+		}
+	}
+	if n := strings.Count(out, "⊕"); n != 4 {
+		t.Errorf("Figure 1 has %d targets, want 4:\n%s", n, out)
+	}
+	if n := strings.Count(out, "●"); n != 0+1+2+3 {
+		t.Errorf("Figure 1 has %d controls, want 6:\n%s", n, out)
+	}
+}
+
+func TestEmptyCircuit(t *testing.T) {
+	out := Circuit(circuit.Circuit{}, Unicode)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("empty diagram has %d rows", len(lines))
+	}
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/benchfuncs"
+	"repro/internal/core"
+	"repro/internal/rewrite"
+)
+
+var (
+	repOnce  sync.Once
+	repSynth *core.Synthesizer // K=4, horizon 8: fast, enough for shapes
+)
+
+func fixture(t testing.TB) *core.Synthesizer {
+	repOnce.Do(func() {
+		var err error
+		repSynth, err = core.New(core.Config{K: 4})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return repSynth
+}
+
+func TestFigure1(t *testing.T) {
+	out := Figure1()
+	for _, want := range []string{"NOT:", "CNOT:", "TOF:", "TOF4:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q", want)
+		}
+	}
+}
+
+func TestSuboptimalAdderEqualsRd32(t *testing.T) {
+	rd32, _ := benchfuncs.ByName("rd32")
+	sub := SuboptimalAdder()
+	if sub.Perm() != rd32.Spec {
+		t.Fatal("suboptimal adder does not implement rd32")
+	}
+	if len(sub) <= rd32.OptimalSize {
+		t.Fatalf("suboptimal adder has %d gates; must exceed the optimum %d", len(sub), rd32.OptimalSize)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := Figure2(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(a) suboptimal, 6 gates") || !strings.Contains(out, "(b) optimal, 4 gates") {
+		t.Fatalf("Figure 2 malformed:\n%s", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out, err := Table1(fixture(t), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + title + sizes 0..5.
+	if len(lines) != 2+6 {
+		t.Fatalf("Table 1 has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "paper k=9") {
+		t.Error("Table 1 missing paper column")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out, err := Table2([]int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "load") || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("Table 2 malformed:\n%s", out)
+	}
+}
+
+func TestTable3And4(t *testing.T) {
+	s := fixture(t)
+	out, d, err := Table3(s, 30, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "weighted average") {
+		t.Fatalf("Table 3 malformed:\n%s", out)
+	}
+	if d.Total != 30 {
+		t.Fatalf("distribution total %d", d.Total)
+	}
+	t4 := Table4(s, d)
+	for _, want := range []string{"294507", "6538", "paper exact"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestTable5ExactMatch(t *testing.T) {
+	out, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("Table 5 has mismatches:\n%s", out)
+	}
+	if !strings.Contains(out, "total 322560 (want 322560, match true)") {
+		t.Fatalf("Table 5 total line wrong:\n%s", out)
+	}
+}
+
+func TestTableLadder(t *testing.T) {
+	out, err := TableLadder(fixture(t), rewrite.NewDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the K=4 horizon: rd32, shift4, 4bit-7-8, imark.
+	for _, name := range []string{"rd32", "shift4", "4bit-7-8", "imark"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("ladder missing %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "hwb4") {
+		t.Error("ladder included a beyond-horizon benchmark")
+	}
+}
+
+func TestTable6SkipsBeyondHorizon(t *testing.T) {
+	// K=4 (horizon 8): rd32/shift4/4bit-7-8/imark fit; the rest must be
+	// reported as skipped, not errors.
+	out, err := Table6(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rd32") || !strings.Contains(out, "beyond horizon") {
+		t.Fatalf("Table 6 malformed:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "false") {
+			t.Fatalf("Table 6 row failed verification: %s", line)
+		}
+	}
+}

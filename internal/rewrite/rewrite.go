@@ -1,0 +1,319 @@
+// Package rewrite implements rule-based reversible-circuit
+// simplification in the style of the paper's reference [13] (Prasad,
+// Maslov et al., "Algorithms and data structures for simplifying
+// reversible circuits"): gate commutation analysis, commutation-aware
+// cancellation, and template matching against an automatically
+// enumerated database of minimal identity circuits.
+//
+// A template of size m is a gate sequence computing the identity with no
+// proper contiguous sub-identity. Reading a template as prefix ⋄
+// remainder, the prefix and the reversed remainder compute the same
+// function; whenever a circuit contains a contiguous window computing a
+// function that some template realizes with fewer gates, the window is
+// replaced. With templates up to size 6 this subsumes pair cancellation
+// (size-2 templates) and the classic 4/5/6-gate rewrite rules.
+//
+// Unlike package core this is a heuristic simplifier: fast, local, and
+// not optimal — the realistic "before" side of the paper's comparison.
+package rewrite
+
+import (
+	"sort"
+
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// commuteTable[a][b] reports whether gates with indices a, b commute.
+var commuteTable [gate.Count][gate.Count]bool
+
+func init() {
+	for i := 0; i < gate.Count; i++ {
+		for j := 0; j < gate.Count; j++ {
+			a, b := gate.FromIndex(i).Perm(), gate.FromIndex(j).Perm()
+			commuteTable[i][j] = a.Then(b) == b.Then(a)
+		}
+	}
+}
+
+// Commutes reports whether the two gates commute (their order in a
+// circuit is interchangeable).
+func Commutes(a, b gate.Gate) bool {
+	return commuteTable[a.Index()][b.Index()]
+}
+
+// CancelPass removes gate pairs that cancel across commuting
+// intermediaries: g at position i and an identical g at position j > i
+// annihilate when every gate between them commutes with g. The pass
+// repeats until a fixed point and preserves the function.
+func CancelPass(c circuit.Circuit) circuit.Circuit {
+	out := c.Clone()
+	for {
+		removed := false
+	scan:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if out[j] == out[i] {
+					out = append(out[:j], out[j+1:]...)
+					out = append(out[:i], out[i+1:]...)
+					removed = true
+					break scan
+				}
+				if !Commutes(out[i], out[j]) {
+					break
+				}
+			}
+		}
+		if !removed {
+			return out
+		}
+	}
+}
+
+// Template is a minimal identity circuit: applying all of its gates in
+// order computes the identity, and no proper contiguous subsequence
+// does.
+type Template struct {
+	Gates circuit.Circuit
+}
+
+// Size returns the template length.
+func (t Template) Size() int { return len(t.Gates) }
+
+// DB is a template database with a precomputed replacement map: for each
+// function realizable as a template remainder, the shortest such
+// realization.
+type DB struct {
+	templates    []Template
+	replacements map[perm.Perm]circuit.Circuit
+	maxWindow    int
+}
+
+// NewDB enumerates all templates of size up to maxSize (2 ≤ maxSize ≤ 6)
+// by meet-in-the-middle joining of short gate sequences, filters out
+// sequences containing proper sub-identities, dedupes them up to cyclic
+// rotation, reversal and wire relabeling, and precomputes the
+// replacement map over every rotation and direction.
+func NewDB(maxSize int) *DB {
+	if maxSize < 2 {
+		maxSize = 2
+	}
+	if maxSize > 6 {
+		maxSize = 6
+	}
+	// Forward gate sequences of length 1..3 without immediate repeats,
+	// grouped by the permutation they compute.
+	seqsByLen := make([]map[perm.Perm][][]gate.Gate, 4)
+	seqsByLen[1] = map[perm.Perm][][]gate.Gate{}
+	for _, g := range gate.All() {
+		seqsByLen[1][g.Perm()] = append(seqsByLen[1][g.Perm()], []gate.Gate{g})
+	}
+	for l := 2; l <= 3; l++ {
+		seqsByLen[l] = map[perm.Perm][][]gate.Gate{}
+		for p, seqs := range seqsByLen[l-1] {
+			for _, seq := range seqs {
+				last := seq[len(seq)-1]
+				for _, g := range gate.All() {
+					if g == last {
+						continue // immediate cancellation is never minimal
+					}
+					np := p.Then(g.Perm())
+					ns := append(append([]gate.Gate(nil), seq...), g)
+					seqsByLen[l][np] = append(seqsByLen[l][np], ns)
+				}
+			}
+		}
+	}
+
+	db := &DB{replacements: map[perm.Perm]circuit.Circuit{}}
+	seen := map[string]bool{}
+	for size := 2; size <= maxSize; size++ {
+		l1 := (size + 1) / 2
+		l2 := size - l1
+		for p, firsts := range seqsByLen[l1] {
+			seconds := seqsByLen[l2][p]
+			for _, a := range firsts {
+				for _, b := range seconds {
+					// a computes p and reverse(b) computes p⁻¹ (gates are
+					// involutions), so a ⋄ reverse(b) is an identity.
+					tpl := make(circuit.Circuit, 0, size)
+					tpl = append(tpl, a...)
+					for i := len(b) - 1; i >= 0; i-- {
+						tpl = append(tpl, b[i])
+					}
+					if !isMinimalIdentity(tpl) {
+						continue
+					}
+					key := canonicalTemplateKey(tpl)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					db.templates = append(db.templates, Template{Gates: tpl})
+				}
+			}
+		}
+	}
+	sort.SliceStable(db.templates, func(i, j int) bool {
+		return db.templates[i].Size() < db.templates[j].Size()
+	})
+	db.buildReplacements()
+	return db
+}
+
+// isMinimalIdentity verifies the whole sequence computes identity and no
+// proper contiguous subsequence does.
+func isMinimalIdentity(c circuit.Circuit) bool {
+	if c.Perm() != perm.Identity {
+		return false
+	}
+	for i := 0; i < len(c); i++ {
+		p := perm.Identity
+		for j := i; j < len(c); j++ {
+			p = p.Then(c[j].Perm())
+			if p == perm.Identity && !(i == 0 && j == len(c)-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// canonicalTemplateKey canonicalizes a template up to cyclic rotation,
+// reversal, and the 24 simultaneous wire relabelings, so each template
+// class is stored once.
+func canonicalTemplateKey(c circuit.Circuit) string {
+	best := ""
+	n := len(c)
+	for s := 0; s < canon.SigmaCount; s++ {
+		relabeled := make([]byte, n)
+		for i, g := range c {
+			relabeled[i] = byte(canon.ConjugateGate(g, s).Index())
+		}
+		for rot := 0; rot < n; rot++ {
+			for _, rev := range []bool{false, true} {
+				key := make([]byte, n)
+				for i := 0; i < n; i++ {
+					var idx int
+					if rev {
+						idx = (rot - i%n + 2*n) % n
+					} else {
+						idx = (rot + i) % n
+					}
+					key[i] = relabeled[idx]
+				}
+				if best == "" || string(key) < best {
+					best = string(key)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// templateVariants returns all rotations and reversals of a template —
+// each is itself an identity circuit.
+func templateVariants(c circuit.Circuit) []circuit.Circuit {
+	n := len(c)
+	out := make([]circuit.Circuit, 0, 2*n)
+	for rot := 0; rot < n; rot++ {
+		fwd := make(circuit.Circuit, n)
+		for i := 0; i < n; i++ {
+			fwd[i] = c[(rot+i)%n]
+		}
+		out = append(out, fwd, fwd.Inverse())
+	}
+	return out
+}
+
+// buildReplacements indexes, for every function computed by a template
+// remainder, the shortest realization seen. Templates are stored one per
+// class, so every wire relabeling (as well as every rotation and
+// direction) of each stored template is expanded here.
+func (db *DB) buildReplacements() {
+	db.replacements = map[perm.Perm]circuit.Circuit{}
+	db.maxWindow = 0
+	for _, t := range db.templates {
+		m := t.Size()
+		if m > db.maxWindow {
+			db.maxWindow = m
+		}
+		for s := 0; s < canon.SigmaCount; s++ {
+			relabeled := make(circuit.Circuit, m)
+			for i, g := range t.Gates {
+				relabeled[i] = canon.ConjugateGate(g, s)
+			}
+			for _, v := range templateVariants(relabeled) {
+				// Split v = prefix(j) ⋄ remainder(m−j); the reversed
+				// remainder computes the same function as the prefix.
+				// Index the shorter side as the replacement.
+				p := perm.Identity
+				for j := 1; j < m; j++ {
+					p = p.Then(v[j-1].Perm())
+					rep := make(circuit.Circuit, 0, m-j)
+					for i := m - 1; i >= j; i-- {
+						rep = append(rep, v[i])
+					}
+					if old, ok := db.replacements[p]; !ok || len(rep) < len(old) {
+						db.replacements[p] = rep
+					}
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of stored template classes.
+func (db *DB) Len() int { return len(db.templates) }
+
+// Templates returns the stored templates (shared; do not modify).
+func (db *DB) Templates() []Template { return db.templates }
+
+// Lookup returns the database's shortest known realization of p, if any.
+func (db *DB) Lookup(p perm.Perm) (circuit.Circuit, bool) {
+	c, ok := db.replacements[p]
+	return c, ok
+}
+
+// Apply rewrites the circuit with commutation-aware cancellation and
+// template replacement until a fixed point, returning an equivalent
+// circuit with no more gates than the input.
+func (db *DB) Apply(c circuit.Circuit) circuit.Circuit {
+	out := CancelPass(c)
+	for {
+		improved := false
+		for i := 0; i < len(out) && !improved; i++ {
+			maxW := db.maxWindow
+			if maxW > len(out)-i {
+				maxW = len(out) - i
+			}
+			p := perm.Identity
+			for w := 1; w <= maxW; w++ {
+				p = p.Then(out[i+w-1].Perm())
+				if w < 2 {
+					continue
+				}
+				var rep circuit.Circuit
+				if p != perm.Identity {
+					var ok bool
+					rep, ok = db.replacements[p]
+					if !ok || len(rep) >= w {
+						continue
+					}
+				}
+				// An identity window (p == Identity) is deleted outright.
+				rest := append(circuit.Circuit(nil), out[i+w:]...)
+				out = append(out[:i:i], rep...)
+				out = append(out, rest...)
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return out
+		}
+		out = CancelPass(out)
+	}
+}

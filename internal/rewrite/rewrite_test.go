@@ -1,0 +1,253 @@
+package rewrite
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+)
+
+var (
+	dbOnce sync.Once
+	db4    *DB
+	db6    *DB
+)
+
+func sharedDBs(t testing.TB) (*DB, *DB) {
+	dbOnce.Do(func() {
+		db4 = NewDB(4)
+		db6 = NewDB(6)
+	})
+	return db4, db6
+}
+
+func randCircuit(rng *rand.Rand, n int) circuit.Circuit {
+	c := make(circuit.Circuit, n)
+	for i := range c {
+		c[i] = gate.FromIndex(rng.Intn(gate.Count))
+	}
+	return c
+}
+
+func TestCommutesSymmetricAndCorrect(t *testing.T) {
+	for i := 0; i < gate.Count; i++ {
+		for j := 0; j < gate.Count; j++ {
+			a, b := gate.FromIndex(i), gate.FromIndex(j)
+			got := Commutes(a, b)
+			if got != Commutes(b, a) {
+				t.Fatalf("commutation not symmetric: %v, %v", a, b)
+			}
+			want := a.Perm().Then(b.Perm()) == b.Perm().Then(a.Perm())
+			if got != want {
+				t.Fatalf("Commutes(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestCommutesKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"NOT(a)", "NOT(b)", true},       // disjoint support
+		{"NOT(a)", "CNOT(a,b)", false},   // NOT on a control
+		{"NOT(b)", "CNOT(a,b)", true},    // NOT on the target
+		{"CNOT(a,b)", "CNOT(a,c)", true}, // shared control
+		{"CNOT(a,b)", "CNOT(b,c)", false},
+		{"CNOT(a,b)", "CNOT(c,b)", true}, // shared target
+		{"TOF(a,b,c)", "CNOT(c,d)", false},
+		{"TOF(a,b,c)", "TOF(a,b,d)", true},
+	}
+	for _, c := range cases {
+		a, b := gate.MustParse(c.a), gate.MustParse(c.b)
+		if got := Commutes(a, b); got != c.want {
+			t.Errorf("Commutes(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCancelPassAdjacent(t *testing.T) {
+	c := circuit.MustParse("NOT(a) NOT(a)")
+	if out := CancelPass(c); len(out) != 0 {
+		t.Fatalf("adjacent pair survived: %v", out)
+	}
+}
+
+func TestCancelPassAcrossCommuting(t *testing.T) {
+	// NOT(a) ... NOT(a) with a commuting CNOT(c,d) between them.
+	c := circuit.MustParse("NOT(a) CNOT(c,d) NOT(a)")
+	out := CancelPass(c)
+	if len(out) != 1 || out[0] != gate.MustParse("CNOT(c,d)") {
+		t.Fatalf("distant pair not cancelled: %v", out)
+	}
+	// But not across a non-commuting gate.
+	c = circuit.MustParse("NOT(a) CNOT(a,b) NOT(a)")
+	if out := CancelPass(c); len(out) != 3 {
+		t.Fatalf("pair cancelled across a blocker: %v", out)
+	}
+}
+
+func TestCancelPassPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 400; trial++ {
+		c := randCircuit(rng, rng.Intn(20))
+		out := CancelPass(c)
+		if out.Perm() != c.Perm() {
+			t.Fatalf("CancelPass changed the function of %v", c)
+		}
+		if len(out) > len(c) {
+			t.Fatalf("CancelPass grew the circuit")
+		}
+	}
+}
+
+func TestTemplatesAreMinimalIdentities(t *testing.T) {
+	_, db := sharedDBs(t)
+	if db.Len() == 0 {
+		t.Fatal("no templates found")
+	}
+	sizes := map[int]int{}
+	for _, tpl := range db.Templates() {
+		if !isMinimalIdentity(tpl.Gates) {
+			t.Fatalf("stored template is not a minimal identity: %v", tpl.Gates)
+		}
+		sizes[tpl.Size()]++
+	}
+	// The size-2 templates are the gg cancellations: one per gate class
+	// after relabeling dedupe = 4 (NOT, CNOT, TOF, TOF4).
+	if sizes[2] != 4 {
+		t.Errorf("size-2 template classes = %d, want 4", sizes[2])
+	}
+	if sizes[3] != 0 {
+		// A 3-gate minimal identity would mean some gate equals a product
+		// of two others.
+		t.Errorf("size-3 template classes = %d, want 0", sizes[3])
+	}
+	if sizes[4] == 0 || sizes[6] == 0 {
+		t.Errorf("expected nonempty size-4 and size-6 classes: %v", sizes)
+	}
+	t.Logf("template classes by size: %v", sizes)
+}
+
+func TestDBDedupesRelabelings(t *testing.T) {
+	// NOT(a) NOT(a) and NOT(b) NOT(b) are the same class.
+	a := canonicalTemplateKey(circuit.MustParse("NOT(a) NOT(a)"))
+	b := canonicalTemplateKey(circuit.MustParse("NOT(b) NOT(b)"))
+	if a != b {
+		t.Fatal("relabeled templates not identified")
+	}
+	// Rotation and reversal too.
+	c := circuit.MustParse("CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a)")
+	rot := circuit.MustParse("CNOT(b,a) CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a) CNOT(a,b)")
+	if canonicalTemplateKey(c) != canonicalTemplateKey(rot) {
+		t.Fatal("rotated template not identified")
+	}
+}
+
+func TestApplyShrinksKnownRedundancy(t *testing.T) {
+	_, db := sharedDBs(t)
+	// The 3-CNOT swap followed by its relabeled twin is a 6-gate identity;
+	// template rewriting must collapse it completely.
+	c := circuit.MustParse("CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a)")
+	out := db.Apply(c)
+	if len(out) != 0 {
+		t.Fatalf("swap-swap identity not collapsed: %v", out)
+	}
+	// A 4-of-6 prefix must rewrite into the shorter 2-gate remainder.
+	c = circuit.MustParse("CNOT(a,b) CNOT(b,a) CNOT(a,b) CNOT(b,a) NOT(d)")
+	out = db.Apply(c)
+	if len(out) != 3 {
+		t.Fatalf("4-gate prefix not replaced by 2-gate remainder: %v (len %d)", out, len(out))
+	}
+	if out.Perm() != c.Perm() {
+		t.Fatal("rewrite changed the function")
+	}
+}
+
+func TestApplyPreservesFunctionRandomly(t *testing.T) {
+	shallow, deep := sharedDBs(t)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		c := randCircuit(rng, rng.Intn(25))
+		for _, db := range []*DB{shallow, deep} {
+			out := db.Apply(c)
+			if out.Perm() != c.Perm() {
+				t.Fatalf("Apply changed the function of %v", c)
+			}
+			if len(out) > len(c) {
+				t.Fatalf("Apply grew the circuit")
+			}
+		}
+	}
+}
+
+func TestApplyNeverBeatsOptimal(t *testing.T) {
+	_, db := sharedDBs(t)
+	synth, err := core.New(core.Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	better, total := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		c := randCircuit(rng, 8)
+		out := db.Apply(c)
+		opt, err := synth.Size(out.Perm())
+		if err != nil {
+			continue
+		}
+		total++
+		if len(out) < opt {
+			t.Fatalf("rewriter beat the proved optimum: %d < %d for %v", len(out), opt, c)
+		}
+		if len(out) > opt {
+			better++
+		}
+	}
+	if total > 0 {
+		t.Logf("optimal strictly better on %d/%d rewritten circuits", better, total)
+	}
+}
+
+func TestLookupRealizations(t *testing.T) {
+	_, db := sharedDBs(t)
+	// The swap function must be realizable from the 6-CNOT template:
+	// remainder of length 3.
+	swap := circuit.MustParse("CNOT(a,b) CNOT(b,a) CNOT(a,b)").Perm()
+	rep, ok := db.Lookup(swap)
+	if !ok {
+		t.Fatal("swap not in replacement map")
+	}
+	if rep.Perm() != swap {
+		t.Fatal("replacement computes the wrong function")
+	}
+	if len(rep) != 3 {
+		t.Fatalf("swap replacement has %d gates, want 3", len(rep))
+	}
+}
+
+func BenchmarkNewDB6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if db := NewDB(6); db.Len() == 0 {
+			b.Fatal("no templates")
+		}
+	}
+}
+
+func BenchmarkApply20Gates(b *testing.B) {
+	_, db := sharedDBs(b)
+	rng := rand.New(rand.NewSource(4))
+	cs := make([]circuit.Circuit, 32)
+	for i := range cs {
+		cs[i] = randCircuit(rng, 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Apply(cs[i&31])
+	}
+}

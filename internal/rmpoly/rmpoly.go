@@ -1,0 +1,147 @@
+// Package rmpoly computes positive-polarity Reed–Muller (PPRM) spectra of
+// 4-variable Boolean functions, the representation the paper uses to
+// define linear reversible functions: "Linear reversible functions are
+// those whose positive polarity Reed–Muller polynomial has only linear
+// terms" (paper §4.3).
+//
+// The PPRM (algebraic normal form) of f: GF(2)⁴ → GF(2) is the unique
+// XOR-of-monomials expansion f(x) = ⊕_{S ⊆ vars} a_S · ∏_{i∈S} xᵢ. The
+// coefficients are obtained from the truth table by the GF(2) Möbius
+// transform, a butterfly of XORs that is its own inverse.
+package rmpoly
+
+import (
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/perm"
+)
+
+// Spectrum is the PPRM coefficient vector of one Boolean function of four
+// variables: bit m is the coefficient of the monomial whose variable set
+// is m (bit i of m set means variable xᵢ is in the monomial). Bit 0 is
+// the constant term.
+type Spectrum uint16
+
+// FromTruthTable computes the PPRM spectrum from a truth-table bitmask
+// (bit x = f(x)) via the Möbius transform.
+func FromTruthTable(tt uint16) Spectrum {
+	a := tt
+	for i := 0; i < 4; i++ {
+		step := uint16(1) << uint(i)
+		// a[x] ^= a[x without bit i] for every x with bit i set — in
+		// bit-parallel form, XOR the lower half of each 2·step block into
+		// the upper half.
+		var mask uint16
+		for x := 0; x < 16; x++ {
+			if x&int(step) != 0 {
+				mask |= 1 << uint(x)
+			}
+		}
+		a ^= (a << step) & mask
+	}
+	return Spectrum(a)
+}
+
+// TruthTable inverts the transform (the Möbius transform is an
+// involution).
+func (s Spectrum) TruthTable() uint16 { return uint16(FromTruthTable(uint16(s))) }
+
+// Coefficient reports the coefficient of the monomial with variable set
+// vars (a 4-bit mask).
+func (s Spectrum) Coefficient(vars uint8) bool { return s>>uint(vars)&1 == 1 }
+
+// Degree returns the algebraic degree: the largest popcount over
+// monomials with non-zero coefficients, or -1 for the zero function.
+func (s Spectrum) Degree() int {
+	deg := -1
+	for m := 0; m < 16; m++ {
+		if s>>uint(m)&1 == 1 {
+			d := popcount4(uint8(m))
+			if d > deg {
+				deg = d
+			}
+		}
+	}
+	return deg
+}
+
+// IsAffine reports whether the spectrum has only linear terms and a
+// constant (degree ≤ 1) — the paper's linearity criterion per output.
+func (s Spectrum) IsAffine() bool { return s.Degree() <= 1 }
+
+// String renders the polynomial, e.g. "1 ⊕ a ⊕ bc"; the zero function
+// renders as "0".
+func (s Spectrum) String() string {
+	if s == 0 {
+		return "0"
+	}
+	var terms []string
+	for m := 0; m < 16; m++ {
+		if s>>uint(m)&1 == 0 {
+			continue
+		}
+		if m == 0 {
+			terms = append(terms, "1")
+			continue
+		}
+		var sb strings.Builder
+		for i := 0; i < 4; i++ {
+			if m>>uint(i)&1 == 1 {
+				sb.WriteString(gate.WireName(i))
+			}
+		}
+		terms = append(terms, sb.String())
+	}
+	return strings.Join(terms, " ⊕ ")
+}
+
+// OutputSpectra returns the PPRM spectrum of each of the four output bits
+// of a reversible function.
+func OutputSpectra(p perm.Perm) [4]Spectrum {
+	var tts [4]uint16
+	for x := 0; x < 16; x++ {
+		y := p.Apply(x)
+		for i := 0; i < 4; i++ {
+			tts[i] |= uint16(y>>uint(i)&1) << uint(x)
+		}
+	}
+	var out [4]Spectrum
+	for i := range out {
+		out[i] = FromTruthTable(tts[i])
+	}
+	return out
+}
+
+// IsLinearReversible implements the paper §4.3 definition directly: every
+// output's PPRM has only linear (degree ≤ 1) terms.
+func IsLinearReversible(p perm.Perm) bool {
+	for _, s := range OutputSpectra(p) {
+		if !s.IsAffine() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDegree returns the largest algebraic degree over the four outputs —
+// a rough nonlinearity measure (NOT/CNOT circuits have degree 1, TOF
+// introduces degree 2, TOF4 degree 3).
+func MaxDegree(p perm.Perm) int {
+	deg := -1
+	for _, s := range OutputSpectra(p) {
+		if d := s.Degree(); d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+func popcount4(m uint8) int {
+	n := 0
+	for m != 0 {
+		n += int(m & 1)
+		m >>= 1
+	}
+	return n
+}

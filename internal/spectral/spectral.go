@@ -1,0 +1,170 @@
+// Package spectral computes Rademacher–Walsh spectra of the Boolean
+// outputs of reversible functions — the representation behind the
+// spectral decomposition techniques of the paper's reference [8]
+// (Miller, "Spectral and two-place decomposition techniques in
+// reversible logic"), which produced several of the best-known circuits
+// the paper's Table 6 improves on.
+//
+// For a Boolean function f: GF(2)⁴ → GF(2) in ±1 encoding
+// F(x) = 1 − 2f(x), the Walsh–Hadamard spectrum is R(w) = Σₓ F(x)·(−1)^(w·x);
+// the 16 coefficients measure correlation with every linear function.
+// Spectral translation identities connect coefficient permutations to
+// circuit operations (input negation, input permutation, EXOR of inputs
+// into outputs), which is how spectral synthesis methods steer toward
+// simple residual functions.
+package spectral
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/perm"
+)
+
+// Spectrum holds the 16 Rademacher–Walsh coefficients of one Boolean
+// function of four variables; index w is the coefficient against the
+// linear function w·x.
+type Spectrum [16]int
+
+// FromTruthTable computes the spectrum of the function whose truth table
+// is the bitmask tt (bit x = f(x)), using a fast Walsh–Hadamard
+// butterfly in ±1 encoding.
+func FromTruthTable(tt uint16) Spectrum {
+	var v [16]int
+	for x := 0; x < 16; x++ {
+		if tt>>uint(x)&1 == 1 {
+			v[x] = -1
+		} else {
+			v[x] = 1
+		}
+	}
+	for step := 1; step < 16; step <<= 1 {
+		for x := 0; x < 16; x += step << 1 {
+			for i := x; i < x+step; i++ {
+				a, b := v[i], v[i+step]
+				v[i], v[i+step] = a+b, a-b
+			}
+		}
+	}
+	return Spectrum(v)
+}
+
+// TruthTable inverts the transform (the Walsh–Hadamard butterfly is its
+// own inverse up to the 1/16 factor).
+func (s Spectrum) TruthTable() (uint16, error) {
+	v := [16]int(s)
+	for step := 1; step < 16; step <<= 1 {
+		for x := 0; x < 16; x += step << 1 {
+			for i := x; i < x+step; i++ {
+				a, b := v[i], v[i+step]
+				v[i], v[i+step] = a+b, a-b
+			}
+		}
+	}
+	var tt uint16
+	for x := 0; x < 16; x++ {
+		switch v[x] {
+		case 16:
+			// F(x) = +1 → f(x) = 0
+		case -16:
+			tt |= 1 << uint(x)
+		default:
+			return 0, fmt.Errorf("spectral: not a Boolean spectrum (value %d at %d)", v[x], x)
+		}
+	}
+	return tt, nil
+}
+
+// Parseval reports the spectrum's energy, which is 256 for every Boolean
+// function of four variables (Parseval's identity) — a handy integrity
+// check.
+func (s Spectrum) Parseval() int {
+	total := 0
+	for _, c := range s {
+		total += c * c
+	}
+	return total
+}
+
+// Complexity is Miller's spectral complexity surrogate: the sum of
+// |coefficient| weighted by the order (popcount) of the coefficient's
+// index. Linear functions concentrate all energy in orders 0 and 1 and
+// minimize it.
+func (s Spectrum) Complexity() int {
+	total := 0
+	for w, c := range s {
+		order := bits.OnesCount(uint(w))
+		if c < 0 {
+			c = -c
+		}
+		total += order * c
+	}
+	return total
+}
+
+// IsBent reports whether the function is bent (flat spectrum, |R(w)| = 4
+// for all w) — maximally nonlinear, the hardest outputs for spectral
+// synthesis.
+func (s Spectrum) IsBent() bool {
+	for _, c := range s {
+		if c != 4 && c != -4 {
+			return false
+		}
+	}
+	return true
+}
+
+// Nonlinearity returns the Hamming distance to the closest affine
+// function: 8 − max|R(w)|/2.
+func (s Spectrum) Nonlinearity() int {
+	max := 0
+	for _, c := range s {
+		if c < 0 {
+			c = -c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return 8 - max/2
+}
+
+// OutputSpectra returns the Rademacher–Walsh spectrum of each output bit
+// of a reversible function.
+func OutputSpectra(p perm.Perm) [4]Spectrum {
+	var tts [4]uint16
+	for x := 0; x < 16; x++ {
+		y := p.Apply(x)
+		for i := 0; i < 4; i++ {
+			tts[i] |= uint16(y>>uint(i)&1) << uint(x)
+		}
+	}
+	var out [4]Spectrum
+	for i := range out {
+		out[i] = FromTruthTable(tts[i])
+	}
+	return out
+}
+
+// TotalComplexity sums Miller's complexity over the four outputs — a
+// coarse circuit-difficulty predictor used to order candidates in
+// spectral synthesis.
+func TotalComplexity(p perm.Perm) int {
+	total := 0
+	for _, s := range OutputSpectra(p) {
+		total += s.Complexity()
+	}
+	return total
+}
+
+// MaxNonlinearity returns the largest output nonlinearity — 0 exactly
+// for the paper's linear reversible functions.
+func MaxNonlinearity(p perm.Perm) int {
+	max := 0
+	for _, s := range OutputSpectra(p) {
+		if n := s.Nonlinearity(); n > max {
+			max = n
+		}
+	}
+	return max
+}

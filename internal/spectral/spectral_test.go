@@ -1,0 +1,220 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/linear"
+	"repro/internal/perm"
+	"repro/internal/rmpoly"
+)
+
+func TestKnownSpectra(t *testing.T) {
+	// Constant 0: R(0) = 16, rest 0.
+	s := FromTruthTable(0)
+	if s[0] != 16 {
+		t.Errorf("constant 0: R(0) = %d", s[0])
+	}
+	for w := 1; w < 16; w++ {
+		if s[w] != 0 {
+			t.Errorf("constant 0: R(%d) = %d", w, s[w])
+		}
+	}
+	// Constant 1: R(0) = -16.
+	if FromTruthTable(0xFFFF)[0] != -16 {
+		t.Error("constant 1 spectrum wrong")
+	}
+	// f = x0 (tt 0xAAAA): in ±1 encoding F(x) = (−1)^{x0} equals the
+	// w = 1 character exactly, so R(1) = +16.
+	s = FromTruthTable(0xAAAA)
+	if s[1] != 16 {
+		t.Errorf("x0: R(1) = %d, want 16", s[1])
+	}
+	if s[0] != 0 || s[2] != 0 {
+		t.Errorf("x0: stray coefficients %v", s)
+	}
+}
+
+func TestParsevalHoldsForAllSampledFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		tt := uint16(rng.Intn(1 << 16))
+		if got := FromTruthTable(tt).Parseval(); got != 256 {
+			t.Fatalf("Parseval(%#x) = %d, want 256", tt, got)
+		}
+	}
+}
+
+func TestTruthTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		tt := uint16(rng.Intn(1 << 16))
+		back, err := FromTruthTable(tt).TruthTable()
+		if err != nil {
+			t.Fatalf("round trip of %#x failed: %v", tt, err)
+		}
+		if back != tt {
+			t.Fatalf("round trip changed %#x into %#x", tt, back)
+		}
+	}
+	// A non-Boolean spectrum must be rejected.
+	var junk Spectrum
+	junk[3] = 5
+	if _, err := junk.TruthTable(); err == nil {
+		t.Fatal("junk spectrum accepted")
+	}
+}
+
+func TestSpectralCoefficientDefinition(t *testing.T) {
+	// Verify R(w) = Σₓ (1-2f(x))·(−1)^(w·x) directly against the
+	// butterfly for random functions.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		tt := uint16(rng.Intn(1 << 16))
+		s := FromTruthTable(tt)
+		for w := 0; w < 16; w++ {
+			want := 0
+			for x := 0; x < 16; x++ {
+				fx := int(tt >> uint(x) & 1)
+				dot := 0
+				for b := 0; b < 4; b++ {
+					dot += (w >> uint(b) & 1) * (x >> uint(b) & 1)
+				}
+				term := (1 - 2*fx)
+				if dot%2 == 1 {
+					term = -term
+				}
+				want += term
+			}
+			if s[w] != want {
+				t.Fatalf("R(%d) of %#x = %d, want %d", w, tt, s[w], want)
+			}
+		}
+	}
+}
+
+func TestLinearFunctionsHaveZeroNonlinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		var m linear.Matrix
+		for {
+			m = linear.Matrix{uint8(rng.Intn(16)), uint8(rng.Intn(16)), uint8(rng.Intn(16)), uint8(rng.Intn(16))}
+			if m.Invertible() {
+				break
+			}
+		}
+		a := linear.Affine{M: m, C: uint8(rng.Intn(16))}
+		if got := MaxNonlinearity(a.Perm()); got != 0 {
+			t.Fatalf("linear function has nonlinearity %d", got)
+		}
+	}
+}
+
+func TestNonlinearityAgreesWithDegreeBoundary(t *testing.T) {
+	// A function is affine (PPRM degree ≤ 1) iff its nonlinearity is 0.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		tt := uint16(rng.Intn(1 << 16))
+		s := FromTruthTable(tt)
+		affine := rmpoly.FromTruthTable(tt).IsAffine()
+		if affine != (s.Nonlinearity() == 0) {
+			t.Fatalf("affinity/nonlinearity disagree for %#x", tt)
+		}
+	}
+}
+
+func TestBentFunctionExists(t *testing.T) {
+	// x0x1 ⊕ x2x3 is the canonical 4-variable bent function.
+	var tt uint16
+	for x := 0; x < 16; x++ {
+		f := (x & 1 & (x >> 1)) ^ (x >> 2 & 1 & (x >> 3))
+		tt |= uint16(f&1) << uint(x)
+	}
+	s := FromTruthTable(tt)
+	if !s.IsBent() {
+		t.Fatalf("x0x1⊕x2x3 not recognized as bent: %v", s)
+	}
+	if s.Nonlinearity() != 6 {
+		t.Fatalf("bent nonlinearity = %d, want 6", s.Nonlinearity())
+	}
+	// No output of a reversible function can be bent: outputs of
+	// bijections are balanced, bent functions are not.
+	if FromTruthTable(0xAAAA).IsBent() {
+		t.Fatal("balanced function misclassified as bent")
+	}
+}
+
+func TestReversibleOutputsAreBalanced(t *testing.T) {
+	// Every output bit of a bijection has R(0) = 0 (balanced).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		c := make(circuit.Circuit, rng.Intn(10))
+		for i := range c {
+			c[i] = gate.FromIndex(rng.Intn(gate.Count))
+		}
+		for _, s := range OutputSpectra(c.Perm()) {
+			if s[0] != 0 {
+				t.Fatalf("unbalanced output of a bijection: %v", s)
+			}
+		}
+	}
+}
+
+func TestComplexityOrdering(t *testing.T) {
+	// Miller's heuristic: linear functions have the least spectral
+	// complexity; adding Toffolis increases it.
+	id := TotalComplexity(perm.Identity)
+	tof := TotalComplexity(gate.MustParse("TOF(a,b,c)").Perm())
+	tof4 := TotalComplexity(gate.MustParse("TOF4(a,b,c,d)").Perm())
+	if !(id < tof && tof < tof4) {
+		t.Fatalf("complexity ordering violated: id=%d tof=%d tof4=%d", id, tof, tof4)
+	}
+}
+
+func TestQuickSpectrumLinearShift(t *testing.T) {
+	// Spectral translation: XORing a linear function w₀·x into f permutes
+	// the spectrum: R'(w) = R(w ⊕ w₀).
+	f := func(ttRaw uint16, w0Raw uint8) bool {
+		w0 := int(w0Raw) % 16
+		var shifted uint16
+		for x := 0; x < 16; x++ {
+			dot := 0
+			for b := 0; b < 4; b++ {
+				dot += (w0 >> uint(b) & 1) * (x >> uint(b) & 1)
+			}
+			fx := ttRaw >> uint(x) & 1
+			shifted |= uint16(fx^uint16(dot&1)) << uint(x)
+		}
+		a := FromTruthTable(ttRaw)
+		b := FromTruthTable(shifted)
+		for w := 0; w < 16; w++ {
+			if b[w] != a[w^w0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromTruthTable(b *testing.B) {
+	var acc int
+	for i := 0; i < b.N; i++ {
+		s := FromTruthTable(uint16(i))
+		acc += s[0]
+	}
+	_ = acc
+}
+
+func BenchmarkTotalComplexity(b *testing.B) {
+	p := circuit.MustParse("TOF(a,b,c) CNOT(c,d) TOF4(a,b,c,d) NOT(a)").Perm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TotalComplexity(p)
+	}
+}

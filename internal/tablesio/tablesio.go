@@ -1,0 +1,211 @@
+// Package tablesio persists precomputed search tables. The paper leans
+// on exactly this workflow: the k = 9 tables are computed once ("This
+// can be done in advance, on a larger machine, and need not be repeated
+// for each reversible function", §3.1), stored, and reloaded before
+// querying — their CS1 runs spend 1111 seconds loading the tables from
+// disk (§4.1), and §5 estimates a 5-minute load on commodity hardware.
+//
+// The format is a little-endian binary stream:
+//
+//	magic "RVT1" | flags | k | alphabet fingerprint |
+//	per-level counts | representative words | per-representative values |
+//	FNV-64a checksum of everything above
+//
+// The alphabet itself is NOT serialized — it is reconstructable code —
+// but a fingerprint (element count, max cost, XOR/sum of element words)
+// is stored and verified on load so tables cannot be rehydrated against
+// the wrong alphabet.
+package tablesio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/bfs"
+	"repro/internal/hashtab"
+	"repro/internal/perm"
+)
+
+var magic = [4]byte{'R', 'V', 'T', '1'}
+
+const (
+	flagReduced = 1 << 0
+)
+
+// fingerprint summarizes an alphabet for compatibility checking.
+type fingerprint struct {
+	Elements uint32
+	MaxCost  uint32
+	XorPerms uint64
+	SumCosts uint64
+}
+
+func fingerprintOf(a *bfs.Alphabet) fingerprint {
+	fp := fingerprint{Elements: uint32(a.Len()), MaxCost: uint32(a.MaxCost())}
+	for i := 0; i < a.Len(); i++ {
+		e := a.Element(i)
+		fp.XorPerms ^= uint64(e.P) * uint64(i+1)
+		fp.SumCosts += uint64(e.Cost)
+	}
+	return fp
+}
+
+// countingWriter tees writes into a running checksum.
+type checksumWriter struct {
+	w io.Writer
+	h hash.Hash64
+}
+
+func (cw *checksumWriter) Write(p []byte) (int, error) {
+	cw.h.Write(p)
+	return cw.w.Write(p)
+}
+
+// Save serializes a BFS result. The alphabet is identified by
+// fingerprint only; pass the same alphabet to Load.
+func Save(w io.Writer, res *bfs.Result) error {
+	if res == nil {
+		return fmt.Errorf("tablesio: nil result")
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	cw := &checksumWriter{w: bw, h: fnv.New64a()}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if res.Reduced {
+		flags |= flagReduced
+	}
+	fp := fingerprintOf(res.Alphabet)
+	for _, v := range []interface{}{
+		flags, uint32(res.MaxCost),
+		fp.Elements, fp.MaxCost, fp.XorPerms, fp.SumCosts,
+	} {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// Level sizes, then representatives level by level, then their table
+	// values in the same order. Writing values alongside keys lets Load
+	// rebuild the open-addressing table at the ideal size.
+	for c := 0; c <= res.MaxCost; c++ {
+		if err := binary.Write(cw, binary.LittleEndian, uint64(len(res.Levels[c]))); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 10)
+	for c := 0; c <= res.MaxCost; c++ {
+		for _, rep := range res.Levels[c] {
+			raw, ok := res.Table.Lookup(uint64(rep))
+			if !ok {
+				return fmt.Errorf("tablesio: representative %v missing from its own table", rep)
+			}
+			binary.LittleEndian.PutUint64(buf[0:8], uint64(rep))
+			binary.LittleEndian.PutUint16(buf[8:10], raw)
+			if _, err := cw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.h.Sum64()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// checksumReader tees reads into a running checksum.
+type checksumReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (cr *checksumReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.h.Write(p[:n])
+	return n, err
+}
+
+// Load rehydrates a BFS result saved by Save. The alphabet must be the
+// same construction that produced the saved tables; a fingerprint
+// mismatch, truncation, or corruption is reported as an error.
+func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
+	if alphabet == nil {
+		return nil, fmt.Errorf("tablesio: nil alphabet")
+	}
+	br := bufio.NewReaderSize(r, 1<<20)
+	cr := &checksumReader{r: br, h: fnv.New64a()}
+	var m [4]byte
+	if _, err := io.ReadFull(cr, m[:]); err != nil {
+		return nil, fmt.Errorf("tablesio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tablesio: bad magic %q", m)
+	}
+	var flags, maxCost uint32
+	var fp fingerprint
+	for _, v := range []interface{}{
+		&flags, &maxCost,
+		&fp.Elements, &fp.MaxCost, &fp.XorPerms, &fp.SumCosts,
+	} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("tablesio: reading header: %w", err)
+		}
+	}
+	if want := fingerprintOf(alphabet); fp != want {
+		return nil, fmt.Errorf("tablesio: alphabet fingerprint mismatch (file %+v, given %+v)", fp, want)
+	}
+	if maxCost > 64 {
+		return nil, fmt.Errorf("tablesio: implausible horizon %d", maxCost)
+	}
+	levelSizes := make([]uint64, maxCost+1)
+	var total uint64
+	for c := range levelSizes {
+		if err := binary.Read(cr, binary.LittleEndian, &levelSizes[c]); err != nil {
+			return nil, fmt.Errorf("tablesio: reading level sizes: %w", err)
+		}
+		total += levelSizes[c]
+	}
+	if total > 1<<33 {
+		return nil, fmt.Errorf("tablesio: implausible entry count %d", total)
+	}
+	res := &bfs.Result{
+		Alphabet: alphabet,
+		MaxCost:  int(maxCost),
+		Levels:   make([][]perm.Perm, maxCost+1),
+		Table:    hashtab.New(int(total)),
+		Reduced:  flags&flagReduced != 0,
+	}
+	buf := make([]byte, 10)
+	for c := 0; c <= int(maxCost); c++ {
+		lvl := make([]perm.Perm, levelSizes[c])
+		for i := range lvl {
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return nil, fmt.Errorf("tablesio: reading entries (level %d): %w", c, err)
+			}
+			key := binary.LittleEndian.Uint64(buf[0:8])
+			val := binary.LittleEndian.Uint16(buf[8:10])
+			p := perm.Perm(key)
+			if !p.IsValid() {
+				return nil, fmt.Errorf("tablesio: corrupt entry %#x at level %d", key, c)
+			}
+			lvl[i] = p
+			if _, inserted := res.Table.Insert(key, val); !inserted {
+				return nil, fmt.Errorf("tablesio: duplicate entry %v at level %d", p, c)
+			}
+		}
+		res.Levels[c] = lvl
+	}
+	gotSum := cr.h.Sum64()
+	var wantSum uint64
+	if err := binary.Read(br, binary.LittleEndian, &wantSum); err != nil {
+		return nil, fmt.Errorf("tablesio: reading checksum: %w", err)
+	}
+	if gotSum != wantSum {
+		return nil, fmt.Errorf("tablesio: checksum mismatch (file %#x, computed %#x)", wantSum, gotSum)
+	}
+	return res, nil
+}
