@@ -19,6 +19,18 @@
 // tooling, random-permutation experiments, Table 6 benchmark suite and
 // the peephole optimizer live in the internal packages; this package
 // re-exports the surface a downstream user needs.
+//
+// # Parallelism
+//
+// Both the precomputation BFS and the meet-in-the-middle query stage run
+// multicore by default: level expansion and prefix scanning fan out over
+// runtime.GOMAXPROCS(0) goroutines against a sharded concurrent hash
+// table whose read path is lock-free after the build phase — each cost
+// level expands independently per representative, which is what lets
+// the paper reach k = 9 on a large multicore machine (§4.1 reports a
+// 16-CPU run). Set SynthConfig.Workers to bound the fan-out; Workers: 1
+// reproduces the original sequential behaviour exactly, and per-level
+// class counts are identical for every worker count.
 package repro
 
 import (
@@ -83,7 +95,7 @@ func NewSynthesizer(k int) (*Synthesizer, error) {
 }
 
 // NewSynthesizerConfig is NewSynthesizer with full control (weighted or
-// depth alphabets, split bounds, progress callbacks).
+// depth alphabets, split bounds, worker counts, progress callbacks).
 func NewSynthesizerConfig(cfg SynthConfig) (*Synthesizer, error) {
 	return core.New(cfg)
 }

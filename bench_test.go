@@ -16,6 +16,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"bytes"
@@ -497,5 +498,71 @@ func BenchmarkExtensionDepthOptimal(b *testing.B) {
 		if c.Depth() != info.Cost {
 			b.Fatalf("emitted depth %d ≠ optimal %d", c.Depth(), info.Cost)
 		}
+	}
+}
+
+// BenchmarkSearchParallel tracks the wall-clock scaling of the sharded
+// parallel BFS: the same k = 6 search (1.48M new classes at the last
+// level) at increasing worker counts. On a single-core machine the
+// workers=1 row is the meaningful one; on ≥ 4 cores the ≥ 2× speedup at
+// workers=4 is part of the perf trajectory.
+func BenchmarkSearchParallel(b *testing.B) {
+	hint := int(bfs.CumulativeGateReduced(6))
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bfs.Search(bfs.GateAlphabet(), 6, &bfs.Options{Workers: w, CapacityHint: hint}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelQueries measures concurrent meet-in-the-middle
+// throughput: GOMAXPROCS goroutines hammer one synthesizer over the
+// lock-free frozen table (the paper's 16-CPU random-sampling workload,
+// §4.1, runs exactly this access pattern).
+func BenchmarkParallelQueries(b *testing.B) {
+	s := benchFixture(b)
+	// One worker per query: RunParallel supplies the concurrency, so the
+	// benchmark measures the frozen-table read path, not nested pools.
+	s.SetWorkers(1)
+	defer s.SetWorkers(0)
+	fs := randperm.New(20100602).Sample(512)
+	var cursor int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := atomic.AddInt64(&cursor, 1)
+			_, _ = s.Size(fs[int(i)%len(fs)])
+		}
+	})
+}
+
+// BenchmarkMITMWorkers isolates the parallel prefix-scan: one hard
+// (beyond-horizon) query answered with different worker-pool sizes.
+func BenchmarkMITMWorkers(b *testing.B) {
+	s := benchFixture(b)
+	bm, ok := BenchmarkByName("hwb4") // size 11: forces a deep split
+	if !ok {
+		b.Fatal("hwb4 missing from the Table 6 suite")
+	}
+	if bm.OptimalSize > s.Horizon() {
+		b.Skipf("hwb4 beyond horizon %d", s.Horizon())
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s.SetWorkers(w)
+			defer s.SetWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Synthesize(bm.Spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	revbfs [-k 6] [-alphabet gates|linear|layers|lnn|quantum] [-full] [-noreduce]
+//	revbfs [-k 6] [-alphabet gates|linear|layers|lnn|quantum] [-full] [-noreduce] [-workers N]
 //	revbfs -k 6 -save tables.bin          # persist (paper's §3.1 workflow)
 //	revbfs -load tables.bin               # reload instead of searching
 //
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bfs"
@@ -34,6 +35,7 @@ func main() {
 		noreduce = flag.Bool("noreduce", false, "disable the ÷48 canonical reduction (ablation)")
 		save     = flag.String("save", "", "write the computed tables to this file (tablesio format)")
 		load     = flag.String("load", "", "read tables from this file instead of searching")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "level-expansion goroutines (1 = exact sequential order)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,7 @@ func main() {
 		res, err = bfs.Search(a, *k, &bfs.Options{
 			NoReduction:  *noreduce,
 			CapacityHint: hint,
+			Workers:      *workers,
 			Progress: func(level, reps int) {
 				fmt.Fprintf(os.Stderr, "level %d: %d new\n", level, reps)
 			},

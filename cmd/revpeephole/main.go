@@ -148,10 +148,3 @@ func parseCircuit(r io.Reader) (peephole.Circuit, error) {
 	}
 	return c, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	revsynth -spec "[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]" [-k 6] [-metric gates|cost|depth] [-quiet]
+//	revsynth -spec "[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]" [-k 6] [-metric gates|cost|depth] [-workers N] [-quiet]
 //	revsynth -name rd32
 //
 // The -k flag trades precomputation memory/time for query speed exactly
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/benchfuncs"
@@ -37,8 +38,9 @@ func main() {
 		name   = flag.String("name", "", "synthesize a named Table 6 benchmark instead of -spec")
 		k      = flag.Int("k", core.DefaultK, "BFS depth (precomputation); horizon is 2k")
 		metric = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
-		tables = flag.String("tables", "", "cache file for precomputed tables: loaded when present, written after a fresh build (the paper's store-once workflow, §3.1)")
-		quiet  = flag.Bool("quiet", false, "print only the circuit")
+		tables  = flag.String("tables", "", "cache file for precomputed tables: loaded when present, written after a fresh build (the paper's store-once workflow, §3.1)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "BFS and meet-in-the-middle goroutines (1 = sequential)")
+		quiet   = flag.Bool("quiet", false, "print only the circuit")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{K: *k}
+	cfg := core.Config{K: *k, Workers: *workers}
 	switch *metric {
 	case "gates":
 	case "cost":
@@ -125,7 +127,12 @@ func buildSynthesizer(cfg core.Config, cache string, quiet bool) (*core.Synthesi
 				fmt.Fprintf(os.Stderr, "loaded tables from %s (%d entries, k=%d)\n",
 					cache, res.TotalStored(), res.MaxCost)
 			}
-			return core.FromResult(res, cfg.MaxSplit)
+			s, err := core.FromResult(res, cfg.MaxSplit)
+			if err != nil {
+				return nil, err
+			}
+			s.SetWorkers(cfg.Workers)
+			return s, nil
 		}
 	}
 	synth, err := core.New(cfg)

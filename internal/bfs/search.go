@@ -2,7 +2,10 @@ package bfs
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/canon"
 	"repro/internal/hashtab"
@@ -62,6 +65,13 @@ type Options struct {
 	// Progress, when non-nil, is called after each completed cost level
 	// with the level index and the number of new representatives.
 	Progress func(level, newReps int)
+	// Workers is the number of goroutines expanding each cost level.
+	// Zero (or negative) means runtime.GOMAXPROCS(0). Workers == 1 runs
+	// the exact sequential expansion order of the original
+	// implementation, so level lists are byte-for-byte reproducible; with
+	// more workers the per-level sets and counts are identical but the
+	// order within a level depends on scheduling.
+	Workers int
 }
 
 // Result is the outcome of a breadth-first search: the paper's lists Aᵢ
@@ -78,7 +88,8 @@ type Result struct {
 	// be empty.
 	Levels [][]perm.Perm
 	// Table maps each representative's packed word to its encoded value.
-	Table *hashtab.Table
+	// Search freezes it before returning, so lookups are lock-free.
+	Table *hashtab.ShardedTable
 	// Reduced records whether canonical reduction was applied.
 	Reduced bool
 }
@@ -87,6 +98,13 @@ type Result struct {
 // With unit costs this is plain breadth-first search by gate count; with
 // weighted alphabets it advances cost-by-cost (the paper §5 variant:
 // "search for small circuits via increasing cost by one").
+//
+// Each cost level is expanded by opts.Workers goroutines over a sharded
+// concurrent hash table: workers claim chunks of the source levels,
+// canonicalize and batch-insert candidates, and collect newly discovered
+// representatives in per-worker buffers that are concatenated at the
+// level barrier. The per-level sets (and therefore ReducedCount /
+// FullCount) are identical for every worker count.
 func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("bfs: nil alphabet")
@@ -100,7 +118,11 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 	if !opts.NoReduction && !a.Relabelable() {
 		return nil, fmt.Errorf("bfs: alphabet is not closed under wire relabeling; set NoReduction (restricted architectures cannot use the ÷48 reduction)")
 	}
-	table := hashtab.New(max(opts.CapacityHint, 1<<10))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	table := hashtab.NewSharded(max(opts.CapacityHint, 1<<10))
 	res := &Result{
 		Alphabet: a,
 		MaxCost:  k,
@@ -126,36 +148,148 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 
 	for c := 1; c <= k; c++ {
 		var lvl []perm.Perm
-		for _, ec := range costs {
-			src := c - ec
-			if src < 0 {
-				continue
-			}
-			elemIdxs := costGroups[ec]
-			for _, r := range res.Levels[src] {
-				if opts.NoReduction {
-					lvl = expandPlain(res, r, elemIdxs, lvl)
-					continue
-				}
-				lvl = expandReduced(res, r, elemIdxs, lvl)
-				if ri := r.Inverse(); ri != r {
-					lvl = expandReduced(res, ri, elemIdxs, lvl)
-				}
-			}
+		if workers == 1 {
+			lvl = expandLevel(res, costs, costGroups, c, opts.NoReduction)
+		} else {
+			lvl = expandLevelParallel(res, costs, costGroups, c, opts.NoReduction, workers)
 		}
 		res.Levels[c] = lvl
 		if opts.Progress != nil {
 			opts.Progress(c, len(lvl))
 		}
 	}
+	res.Table.Freeze()
 	return res, nil
 }
 
+// expandLevel computes cost level c sequentially, in the exact expansion
+// order of the original single-threaded implementation.
+func expandLevel(res *Result, costs []int, costGroups map[int][]int, c int, noReduction bool) []perm.Perm {
+	var lvl []perm.Perm
+	for _, ec := range costs {
+		src := c - ec
+		if src < 0 {
+			continue
+		}
+		elemIdxs := costGroups[ec]
+		for _, r := range res.Levels[src] {
+			if noReduction {
+				lvl = expandPlain(res, r, elemIdxs, lvl)
+				continue
+			}
+			lvl = expandReduced(res, r, elemIdxs, lvl)
+			if ri := r.Inverse(); ri != r {
+				lvl = expandReduced(res, ri, elemIdxs, lvl)
+			}
+		}
+	}
+	return lvl
+}
+
+// expandChunk is one unit of parallel work: a contiguous slice of a
+// source level together with the element group expanding it.
+type expandChunk struct {
+	reps     []perm.Perm
+	elemIdxs []int
+}
+
+// expandLevelParallel computes cost level c with a worker pool. Chunks
+// of the source levels are claimed through an atomic cursor; each worker
+// canonicalizes into a private batch that is flushed to the sharded
+// table, and newly discovered representatives land in the worker's own
+// buffer. The buffers are concatenated in worker-index order at the
+// barrier. Races on duplicate candidates are resolved by the table
+// (exactly one insert wins), so the resulting set is schedule-invariant.
+func expandLevelParallel(res *Result, costs []int, costGroups map[int][]int, c int, noReduction bool, workers int) []perm.Perm {
+	var chunks []expandChunk
+	for _, ec := range costs {
+		src := c - ec
+		if src < 0 {
+			continue
+		}
+		reps := res.Levels[src]
+		if len(reps) == 0 {
+			continue
+		}
+		elemIdxs := costGroups[ec]
+		// Aim for several chunks per worker for load balancing, but keep
+		// chunks big enough that batch flushes stay amortized.
+		chunk := max((len(reps)+workers*8-1)/(workers*8), 64)
+		for lo := 0; lo < len(reps); lo += chunk {
+			hi := min(lo+chunk, len(reps))
+			chunks = append(chunks, expandChunk{reps[lo:hi], elemIdxs})
+		}
+	}
+	outs := make([][]perm.Perm, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := newExpander(res)
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= len(chunks) {
+					break
+				}
+				ch := chunks[j]
+				for _, r := range ch.reps {
+					if noReduction {
+						e.expandPlain(r, ch.elemIdxs)
+						continue
+					}
+					e.expandReduced(r, ch.elemIdxs)
+					if ri := r.Inverse(); ri != r {
+						e.expandReduced(ri, ch.elemIdxs)
+					}
+				}
+			}
+			e.flush()
+			outs[w] = e.out
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	lvl := make([]perm.Perm, 0, total)
+	for _, o := range outs {
+		lvl = append(lvl, o...)
+	}
+	return lvl
+}
+
+// insertBatchSize is the per-worker buffer length between sharded-table
+// flushes; 512 keys spread over the default shard counts make per-shard
+// lock acquisitions rare relative to canonicalization work.
+const insertBatchSize = 512
+
+// expander is one worker's private state: a pending insert batch and the
+// buffer of representatives this worker discovered first.
+type expander struct {
+	res  *Result
+	keys []uint64
+	vals []uint16
+	ins  []bool
+	out  []perm.Perm
+}
+
+func newExpander(res *Result) *expander {
+	return &expander{
+		res:  res,
+		keys: make([]uint64, 0, insertBatchSize),
+		vals: make([]uint16, 0, insertBatchSize),
+		ins:  make([]bool, insertBatchSize),
+	}
+}
+
 // expandReduced appends one element to base (a representative or the
-// inverse of one), canonicalizes, and records newly discovered classes.
-// Paper Algorithm 2's inner loop.
-func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
-	a := res.Alphabet
+// inverse of one), canonicalizes, and queues the candidate for batched
+// insertion. Paper Algorithm 2's inner loop.
+func (e *expander) expandReduced(base perm.Perm, elemIdxs []int) {
+	a := e.res.Alphabet
 	for _, ei := range elemIdxs {
 		h := base.Then(a.Element(ei).P)
 		rep, sigma, inverted := canon.Canonical(h)
@@ -164,6 +298,53 @@ func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm)
 		// rep = conj(h, σ); when rep = conj(h⁻¹, σ) the circuit also
 		// reverses, making the conjugated element rep's first element.
 		ce := a.ConjugateElement(ei, sigma)
+		e.push(uint64(rep), encodeValue(ce, inverted))
+	}
+}
+
+// expandPlain is the unreduced variant: every function is its own key and
+// the appended element is always a last element.
+func (e *expander) expandPlain(base perm.Perm, elemIdxs []int) {
+	a := e.res.Alphabet
+	for _, ei := range elemIdxs {
+		h := base.Then(a.Element(ei).P)
+		e.push(uint64(h), encodeValue(ei, false))
+	}
+}
+
+func (e *expander) push(key uint64, val uint16) {
+	e.keys = append(e.keys, key)
+	e.vals = append(e.vals, val)
+	if len(e.keys) >= insertBatchSize {
+		e.flush()
+	}
+}
+
+// flush batch-inserts the pending candidates and records the winners —
+// the keys this worker was first to insert — in its output buffer.
+func (e *expander) flush() {
+	if len(e.keys) == 0 {
+		return
+	}
+	ins := e.ins[:len(e.keys)]
+	e.res.Table.InsertBatch(e.keys, e.vals, ins)
+	for i, ok := range ins {
+		if ok {
+			e.out = append(e.out, perm.Perm(e.keys[i]))
+		}
+	}
+	e.keys = e.keys[:0]
+	e.vals = e.vals[:0]
+}
+
+// expandReduced is the sequential (Workers == 1) inner loop, inserting
+// directly so the level order matches the original implementation.
+func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
+	a := res.Alphabet
+	for _, ei := range elemIdxs {
+		h := base.Then(a.Element(ei).P)
+		rep, sigma, inverted := canon.Canonical(h)
+		ce := a.ConjugateElement(ei, sigma)
 		if _, inserted := res.Table.Insert(uint64(rep), encodeValue(ce, inverted)); inserted {
 			lvl = append(lvl, rep)
 		}
@@ -171,8 +352,7 @@ func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm)
 	return lvl
 }
 
-// expandPlain is the unreduced variant: every function is its own key and
-// the appended element is always a last element.
+// expandPlain is the sequential unreduced variant.
 func expandPlain(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
 	a := res.Alphabet
 	for _, ei := range elemIdxs {
@@ -284,11 +464,4 @@ func CumulativeGateReduced(k int) int64 {
 		total += GateReducedCounts[i]
 	}
 	return total
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -160,13 +160,6 @@ func init() {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Sigma returns the s-th wire relabeling in the package's fixed
 // plain-changes order; Sigma(0) is the identity.
 func Sigma(s int) [4]uint8 { return sigmas[s] }
@@ -263,6 +256,10 @@ func Class(f perm.Perm) []perm.Perm {
 
 // ClassSize returns the number of distinct members of f's class (≤ 48).
 func ClassSize(f perm.Perm) int {
+	// The variant walk always yields exactly 48 values (with repeats);
+	// insertion-sort them into a stack array and count runs — no
+	// allocation and far fewer comparisons than a pairwise scan on this
+	// hot path (Result.FullCount calls this once per representative).
 	var members [MaxClassSize]perm.Perm
 	n := 0
 	ForEachVariant(f, func(v perm.Perm) bool {
@@ -270,18 +267,17 @@ func ClassSize(f perm.Perm) int {
 		n++
 		return true
 	})
-	// The variant walk always yields exactly 48 values (with repeats);
-	// count distinct in place to avoid a map allocation on this hot path.
-	distinct := 0
-	for i := 0; i < n; i++ {
-		dup := false
-		for j := 0; j < i; j++ {
-			if members[j] == members[i] {
-				dup = true
-				break
-			}
+	for i := 1; i < n; i++ {
+		v := members[i]
+		j := i
+		for ; j > 0 && members[j-1] > v; j-- {
+			members[j] = members[j-1]
 		}
-		if !dup {
+		members[j] = v
+	}
+	distinct := 1
+	for i := 1; i < n; i++ {
+		if members[i] != members[i-1] {
 			distinct++
 		}
 	}

@@ -28,6 +28,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bfs"
 	"repro/internal/canon"
@@ -61,6 +64,11 @@ type Config struct {
 	Alphabet *bfs.Alphabet
 	// Progress is forwarded to the BFS.
 	Progress func(level, newReps int)
+	// Workers is the parallelism for both the precomputation BFS and the
+	// meet-in-the-middle query stage. Zero (or negative) means
+	// runtime.GOMAXPROCS(0); 1 reproduces the original sequential
+	// behaviour exactly.
+	Workers int
 }
 
 // DefaultK is the default BFS depth.
@@ -71,6 +79,9 @@ const DefaultK = 6
 type Synthesizer struct {
 	res      *bfs.Result
 	maxSplit int
+	// workers is the meet-in-the-middle fan-out; ≤ 0 resolves to
+	// runtime.GOMAXPROCS(0) at query time.
+	workers int
 }
 
 // New precomputes the search tables per cfg and returns a ready
@@ -96,11 +107,17 @@ func New(cfg Config) (*Synthesizer, error) {
 		NoReduction:  !alphabet.Relabelable(),
 		CapacityHint: hint,
 		Progress:     cfg.Progress,
+		Workers:      cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return FromResult(res, cfg.MaxSplit)
+	s, err := FromResult(res, cfg.MaxSplit)
+	if err != nil {
+		return nil, err
+	}
+	s.workers = cfg.Workers
+	return s, nil
 }
 
 // FromResult wraps an existing BFS result (reduced or not) as a
@@ -123,6 +140,19 @@ func (s *Synthesizer) K() int { return s.res.MaxCost }
 
 // MaxSplit returns the meet-in-the-middle prefix bound.
 func (s *Synthesizer) MaxSplit() int { return s.maxSplit }
+
+// SetWorkers sets the meet-in-the-middle query parallelism (0 or
+// negative: runtime.GOMAXPROCS(0)). Call before sharing the synthesizer
+// across goroutines; queries themselves are always safe concurrently.
+func (s *Synthesizer) SetWorkers(n int) { s.workers = n }
+
+// Workers returns the resolved query parallelism.
+func (s *Synthesizer) Workers() int {
+	if s.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.workers
+}
 
 // Horizon returns the cost up to which synthesis is guaranteed: K +
 // MaxSplit for unit-cost alphabets; for weighted alphabets boundary
@@ -180,36 +210,41 @@ func (s *Synthesizer) SynthesizeInfo(f perm.Perm) (circuit.Circuit, Info, error)
 		}
 		return c, Info{Cost: s.costOf(c), Direct: true}, nil
 	}
-	// Meet in the middle: try prefix costs in increasing order.
+	// Meet in the middle: try prefix costs in increasing order. Each
+	// size-i representative list is scanned by up to Workers() goroutines
+	// with early cancellation on the first hit for unit-cost alphabets
+	// (any hit at the first hitting prefix size is provably minimal:
+	// smaller prefix sizes having missed bounds every residue cost).
 	var info Info
 	bestTotal := -1
 	var bestPrefix, bestResidue perm.Perm
 	bestSplit := 0
 	unit := s.res.Alphabet.MaxCost() == 1
+	workers := s.Workers()
 	for i := 1; i <= s.maxSplit; i++ {
 		if bestTotal >= 0 && i >= bestTotal {
 			break // any further split costs at least i ≥ bestTotal
 		}
-		for _, rep := range s.res.Levels[i] {
-			q, residue, tried := s.probeClass(rep, f)
-			info.Candidates += tried
-			if q == 0 {
-				continue
-			}
-			residueCost, ok := s.res.CostOf(residue)
-			if !ok {
-				return nil, info, fmt.Errorf("core: residue vanished from table (corrupt state)")
-			}
-			total := i + residueCost
+		reps := s.res.Levels[i]
+		var lh levelHit
+		var err error
+		if workers > 1 && len(reps) >= parallelQueryThreshold {
+			lh, err = s.scanLevelParallel(reps, f, unit, workers)
+		} else {
+			lh, err = s.scanLevel(reps, f, unit)
+		}
+		info.Candidates += lh.tried
+		if err != nil {
+			return nil, info, err
+		}
+		if lh.found {
+			total := i + lh.residueCost
 			if bestTotal < 0 || total < bestTotal {
-				bestTotal, bestPrefix, bestResidue, bestSplit = total, q.Inverse(), residue, i
+				bestTotal, bestPrefix, bestResidue, bestSplit = total, lh.q.Inverse(), lh.residue, i
 			}
 			if unit {
-				break // first hit is provably minimal for unit costs
+				break
 			}
-		}
-		if bestTotal >= 0 && unit {
-			break
 		}
 	}
 	if bestTotal < 0 {
@@ -227,6 +262,109 @@ func (s *Synthesizer) SynthesizeInfo(f perm.Perm) (circuit.Circuit, Info, error)
 	info.Cost = bestTotal
 	info.SplitPrefix = bestSplit
 	return out, info, nil
+}
+
+// parallelQueryThreshold is the minimum representative-list length worth
+// fanning out over goroutines; smaller levels (sizes 1–3 have at most a
+// few hundred classes) are scanned inline to keep short queries at
+// microsecond latency.
+const parallelQueryThreshold = 512
+
+// levelHit is the outcome of scanning one prefix-size level: the best
+// (minimum residue cost) candidate prefix inverse q found, its residue,
+// and the number of probe iterations spent.
+type levelHit struct {
+	found       bool
+	q, residue  perm.Perm
+	residueCost int
+	tried       int64
+}
+
+// scanLevel scans a representative list sequentially, in the original
+// implementation's order: first hit wins for unit costs, minimum residue
+// cost over the whole level otherwise.
+func (s *Synthesizer) scanLevel(reps []perm.Perm, f perm.Perm, unit bool) (levelHit, error) {
+	var lh levelHit
+	for _, rep := range reps {
+		q, residue, tried := s.probeClass(rep, f)
+		lh.tried += tried
+		if q == 0 {
+			continue
+		}
+		rc, ok := s.res.CostOf(residue)
+		if !ok {
+			return lh, fmt.Errorf("core: residue vanished from table (corrupt state)")
+		}
+		if !lh.found || rc < lh.residueCost {
+			lh.found, lh.q, lh.residue, lh.residueCost = true, q, residue, rc
+		}
+		if unit {
+			break // first hit is provably minimal for unit costs
+		}
+	}
+	return lh, nil
+}
+
+// scanLevelParallel fans the level scan out over a worker pool. Workers
+// claim fixed-size chunks of the representative list through an atomic
+// cursor (probing is lock-free against the frozen table); for unit-cost
+// alphabets the first hit raises a stop flag that cancels the remaining
+// workers mid-chunk. For weighted alphabets every chunk is scanned and
+// the minimum-residue-cost hit is kept.
+func (s *Synthesizer) scanLevelParallel(reps []perm.Perm, f perm.Perm, unit bool, workers int) (levelHit, error) {
+	var (
+		cursor  atomic.Int64
+		stop    atomic.Bool
+		tried   atomic.Int64
+		mu      sync.Mutex
+		best    levelHit
+		scanErr error
+		wg      sync.WaitGroup
+	)
+	chunk := max(len(reps)/(workers*8), 64)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			defer func() { tried.Add(local) }()
+			for {
+				if stop.Load() {
+					return
+				}
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= len(reps) {
+					return
+				}
+				for _, rep := range reps[lo:min(lo+chunk, len(reps))] {
+					if stop.Load() {
+						return
+					}
+					q, residue, t := s.probeClass(rep, f)
+					local += t
+					if q == 0 {
+						continue
+					}
+					rc, ok := s.res.CostOf(residue)
+					mu.Lock()
+					if !ok {
+						scanErr = fmt.Errorf("core: residue vanished from table (corrupt state)")
+						stop.Store(true)
+					} else if !best.found || rc < best.residueCost {
+						best.found, best.q, best.residue, best.residueCost = true, q, residue, rc
+					}
+					mu.Unlock()
+					if unit {
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	best.tried = tried.Load()
+	return best, scanErr
 }
 
 // probeClass enumerates the variants q of rep (all functions of rep's

@@ -356,19 +356,20 @@ func TestDepthOptimalSynthesis(t *testing.T) {
 	}
 }
 
-// TestConcurrentQueries verifies the synthesizer is safe for concurrent
-// use (run with -race).
+// TestConcurrentQueries hammers one synthesizer from 16 goroutines (run
+// with -race): the frozen table's lock-free read path and the immutable
+// alphabet/canon tables must make every query independent.
 func TestConcurrentQueries(t *testing.T) {
 	s, _ := fixtures(t)
 	var wg sync.WaitGroup
-	errs := make(chan error, 8)
-	for w := 0; w < 8; w++ {
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for trial := 0; trial < 20; trial++ {
-				c := randCircuit(rng, 1+rng.Intn(6))
+				c := randCircuit(rng, 1+rng.Intn(8))
 				got, err := s.Synthesize(c.Perm())
 				if err != nil {
 					errs <- err
@@ -378,6 +379,10 @@ func TestConcurrentQueries(t *testing.T) {
 					errs <- errors.New("wrong function under concurrency")
 					return
 				}
+				if len(got) > len(c) {
+					errs <- errors.New("non-minimal result under concurrency")
+					return
+				}
 			}
 		}(int64(w))
 	}
@@ -385,6 +390,82 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueriesWithParallelMITM layers the two levels of
+// parallelism (run with -race): 16 concurrent queries, each of which
+// fans its meet-in-the-middle scan out over its own worker pool.
+func TestConcurrentQueriesWithParallelMITM(t *testing.T) {
+	s, err := New(Config{K: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 8; trial++ {
+				// Sizes 5–7 force the MITM branch at K = 4.
+				c := randCircuit(rng, 5+rng.Intn(3))
+				got, err := s.Synthesize(c.Perm())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Perm() != c.Perm() || len(got) > len(c) {
+					errs <- errors.New("bad parallel MITM result under concurrency")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMITMMatchesSequential compares every query answer between
+// a Workers = 1 and a Workers = 8 synthesizer sharing one BFS result:
+// reported costs must be identical (circuits may differ but both must be
+// minimal witnesses of the same size).
+func TestParallelMITMMatchesSequential(t *testing.T) {
+	res, err := bfs.Search(bfs.GateAlphabet(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.SetWorkers(1)
+	par, err := FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(8)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		f := randCircuit(rng, 1+rng.Intn(8)).Perm()
+		a, ia, errA := seq.SynthesizeInfo(f)
+		b, ib, errB := par.SynthesizeInfo(f)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error disagreement for %v: %v vs %v", f, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if ia.Cost != ib.Cost || len(a) != len(b) {
+			t.Fatalf("cost disagreement for %v: seq %d, par %d", f, ia.Cost, ib.Cost)
+		}
+		if a.Perm() != f || b.Perm() != f {
+			t.Fatalf("wrong function for %v", f)
+		}
 	}
 }
 

@@ -1,0 +1,300 @@
+package hashtab
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedTable is a concurrent variant of Table: 2^s independent Table
+// shards, each guarded by its own mutex, with keys routed to shards by
+// the high bits of the Wang hash (the inner tables consume the low bits
+// for slot selection, so the two never alias).
+//
+// The table supports two phases, mirroring the paper's workflow:
+//
+//   - Build (breadth-first search): many goroutines Insert/InsertBatch
+//     concurrently; contention is limited to same-shard collisions, and
+//     InsertBatch amortizes lock traffic by grouping a whole batch of
+//     keys per shard under one lock acquisition.
+//   - Query (search-and-lookup synthesis): after Freeze, Lookup and
+//     Contains skip the shard mutexes entirely — the table is an
+//     immutable frozen view and reads are lock-free, which is what lets
+//     the meet-in-the-middle stage fan out across cores without a
+//     shared-lock bottleneck.
+//
+// Mutating a frozen table is permitted only while no other goroutine is
+// reading it (tests use this to corrupt entries deliberately); concurrent
+// write + frozen read is a data race by design.
+type ShardedTable struct {
+	shards []tableShard
+	// shift is 64 − log2(len(shards)): shard index = hash >> shift.
+	shift  uint
+	frozen atomic.Bool
+}
+
+// tableShard pads each mutex+table pair to a cache line so shard locks
+// on neighbouring indices do not false-share.
+type tableShard struct {
+	mu sync.Mutex
+	t  *Table
+	_  [64 - 16]byte
+}
+
+// DefaultShardCount returns the shard count NewSharded uses: the
+// smallest power of two ≥ 4 × GOMAXPROCS, clamped to [8, 256]. The 4×
+// oversubscription keeps the probability of two workers colliding on one
+// shard low without ballooning the per-shard fixed cost.
+func DefaultShardCount() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	s := 8
+	for s < n && s < 256 {
+		s <<= 1
+	}
+	return s
+}
+
+// NewSharded returns a concurrent table pre-sized to hold capacityHint
+// entries across DefaultShardCount() shards.
+func NewSharded(capacityHint int) *ShardedTable {
+	return NewShardedWithShards(capacityHint, DefaultShardCount())
+}
+
+// NewShardedWithShards is NewSharded with an explicit shard count,
+// rounded up to a power of two and clamped to [1, 1<<16].
+func NewShardedWithShards(capacityHint, shardCount int) *ShardedTable {
+	n := 1
+	for n < shardCount && n < 1<<16 {
+		n <<= 1
+	}
+	if capacityHint < 1 {
+		capacityHint = 1
+	}
+	perShard := (capacityHint + n - 1) / n
+	t := &ShardedTable{
+		shards: make([]tableShard, n),
+		shift:  uint(64 - log2(n)),
+	}
+	for i := range t.shards {
+		t.shards[i].t = New(perShard)
+	}
+	return t
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// shardOf routes a key by the top bits of its Wang hash. A shift of 64
+// (single shard) yields index 0 because Go defines over-wide shifts to 0.
+func (t *ShardedTable) shardOf(key uint64) *tableShard {
+	return &t.shards[Hash64Shift(key)>>t.shift]
+}
+
+// ShardCount returns the number of shards (a power of two).
+func (t *ShardedTable) ShardCount() int { return len(t.shards) }
+
+// Freeze marks the table immutable: subsequent Lookup/Contains calls are
+// lock-free. Call once the build phase has fully completed (after any
+// worker synchronization barrier).
+func (t *ShardedTable) Freeze() { t.frozen.Store(true) }
+
+// Frozen reports whether Freeze has been called.
+func (t *ShardedTable) Frozen() bool { return t.frozen.Load() }
+
+// Insert stores val under key if absent (see Table.Insert), taking the
+// owning shard's lock. Safe for concurrent use.
+func (t *ShardedTable) Insert(key uint64, val uint16) (existing uint16, inserted bool) {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	existing, inserted = sh.t.Insert(key, val)
+	sh.mu.Unlock()
+	return existing, inserted
+}
+
+// batchScratch is the reusable workspace of one InsertBatch call,
+// pooled so the steady-state BFS flush loop allocates nothing.
+type batchScratch struct {
+	order   []int32 // batch indices, counting-sorted by shard
+	offsets []int32 // per-shard cursor/prefix sums (len shards+1)
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// InsertBatch inserts keys[i] → vals[i] for every i, recording per-entry
+// outcomes in inserted (true where the key was newly added). Entries are
+// grouped by shard with one counting-sort pass — O(len(keys) + shards) —
+// so each shard lock is taken at most once per call, the
+// lock-amortization that makes batched parallel BFS insertion scale.
+// Duplicate keys within one batch resolve in index order (the first
+// occurrence wins). Returns the number of newly inserted entries.
+func (t *ShardedTable) InsertBatch(keys []uint64, vals []uint16, inserted []bool) int {
+	if len(vals) != len(keys) || len(inserted) != len(keys) {
+		panic("hashtab: InsertBatch slice lengths differ")
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	sc := scratchPool.Get().(*batchScratch)
+	if cap(sc.order) < len(keys) {
+		sc.order = make([]int32, len(keys))
+	}
+	if cap(sc.offsets) < len(t.shards)+1 {
+		sc.offsets = make([]int32, len(t.shards)+1)
+	}
+	order := sc.order[:len(keys)]
+	offsets := sc.offsets[:len(t.shards)+1]
+	for i := range offsets {
+		offsets[i] = 0
+	}
+	// Counting sort: bucket sizes, prefix sums, then scatter the batch
+	// indices. offsets[s] ends as the start of shard s's run; a second
+	// pass advances it to the end, leaving offsets shifted one shard up.
+	for _, key := range keys {
+		offsets[int(Hash64Shift(key)>>t.shift)+1]++
+	}
+	for s := 1; s <= len(t.shards); s++ {
+		offsets[s] += offsets[s-1]
+	}
+	for i, key := range keys {
+		id := int(Hash64Shift(key) >> t.shift)
+		order[offsets[id]] = int32(i)
+		offsets[id]++
+	}
+	n := 0
+	start := int32(0)
+	for s := range t.shards {
+		end := offsets[s]
+		if end == start {
+			continue
+		}
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[start:end] {
+			_, ins := sh.t.Insert(keys[i], vals[i])
+			inserted[i] = ins
+			if ins {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+		start = end
+	}
+	scratchPool.Put(sc)
+	return n
+}
+
+// Update overwrites the value under an existing key, inserting if absent,
+// under the owning shard's lock.
+func (t *ShardedTable) Update(key uint64, val uint16) {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	sh.t.Update(key, val)
+	sh.mu.Unlock()
+}
+
+// Lookup returns the value stored under key and whether it is present.
+// Lock-free once the table is frozen.
+func (t *ShardedTable) Lookup(key uint64) (uint16, bool) {
+	sh := t.shardOf(key)
+	if t.frozen.Load() {
+		return sh.t.Lookup(key)
+	}
+	sh.mu.Lock()
+	v, ok := sh.t.Lookup(key)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Contains reports whether key is present.
+func (t *ShardedTable) Contains(key uint64) bool {
+	_, ok := t.Lookup(key)
+	return ok
+}
+
+// Len returns the number of stored entries across all shards.
+func (t *ShardedTable) Len() int {
+	n := 0
+	frozen := t.frozen.Load()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		if frozen {
+			n += sh.t.Len()
+			continue
+		}
+		sh.mu.Lock()
+		n += sh.t.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Slots returns the total slot count across shards.
+func (t *ShardedTable) Slots() int {
+	n := 0
+	for i := range t.shards {
+		n += t.shards[i].t.Slots()
+	}
+	return n
+}
+
+// LoadFactor returns entries/slots over the whole table.
+func (t *ShardedTable) LoadFactor() float64 {
+	return float64(t.Len()) / float64(t.Slots())
+}
+
+// MemoryBytes returns the approximate footprint of all shard backing
+// arrays.
+func (t *ShardedTable) MemoryBytes() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].t.MemoryBytes()
+	}
+	return n
+}
+
+// ForEach calls fn for every (key, value) pair in unspecified order,
+// stopping early if fn returns false. Not safe concurrently with writers.
+func (t *ShardedTable) ForEach(fn func(key uint64, val uint16) bool) {
+	for i := range t.shards {
+		stop := false
+		t.shards[i].t.ForEach(func(k uint64, v uint16) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// ComputeStats aggregates probe-chain statistics over all shards.
+func (t *ShardedTable) ComputeStats() Stats {
+	agg := Stats{}
+	var chainSum float64
+	for i := range t.shards {
+		s := t.shards[i].t.ComputeStats()
+		agg.Entries += s.Entries
+		agg.Slots += s.Slots
+		agg.MemoryBytes += s.MemoryBytes
+		chainSum += s.AvgChain * float64(s.Entries)
+		if s.MaxChain > agg.MaxChain {
+			agg.MaxChain = s.MaxChain
+		}
+	}
+	if agg.Slots > 0 {
+		agg.LoadFactor = float64(agg.Entries) / float64(agg.Slots)
+	}
+	if agg.Entries > 0 {
+		agg.AvgChain = chainSum / float64(agg.Entries)
+	}
+	return agg
+}

@@ -176,7 +176,7 @@ func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
 		Alphabet: alphabet,
 		MaxCost:  int(maxCost),
 		Levels:   make([][]perm.Perm, maxCost+1),
-		Table:    hashtab.New(int(total)),
+		Table:    hashtab.NewSharded(int(total)),
 		Reduced:  flags&flagReduced != 0,
 	}
 	buf := make([]byte, 10)
@@ -207,5 +207,8 @@ func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
 	if gotSum != wantSum {
 		return nil, fmt.Errorf("tablesio: checksum mismatch (file %#x, computed %#x)", wantSum, gotSum)
 	}
+	// Rehydrated tables go straight to the query phase: freeze for
+	// lock-free concurrent lookups.
+	res.Table.Freeze()
 	return res, nil
 }
