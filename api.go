@@ -31,6 +31,31 @@
 // 16-CPU run). Set SynthConfig.Workers to bound the fan-out; Workers: 1
 // reproduces the original sequential behaviour exactly, and per-level
 // class counts are identical for every worker count.
+//
+// # Serving
+//
+// The paper's production shape is precompute-once/query-many: tables
+// are built "in advance, on a larger machine" (§3.1), persisted, and
+// every query is a fast lookup against the frozen store. The service
+// layer packages that as a long-lived daemon:
+//
+//	svc, err := repro.NewService(repro.ServiceConfig{K: 7, TablesPath: "k7.tables"})
+//	if err != nil { ... }
+//	defer svc.Close(context.Background())
+//	circ, info, err := svc.Synthesize(ctx, spec) // concurrent, cached, cancellable
+//
+// The first run builds and persists the tables; every later run loads
+// them (seconds instead of minutes of BFS) and serves any number of
+// concurrent queries through a bounded worker pool with an LRU cache of
+// recent results and atomic serving counters (Service.Stats). The same
+// layer runs standalone as cmd/revserve, a JSON-over-HTTP daemon:
+//
+//	go run ./cmd/revserve -k 6 -tables k6.tables -addr :8080 &
+//	curl 'localhost:8080/healthz'           # 503 while loading, 200 when ready
+//	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
+//	curl 'localhost:8080/stats'
+//
+// See examples/serve for the end-to-end walkthrough.
 package repro
 
 import (
@@ -48,6 +73,7 @@ import (
 	"repro/internal/randperm"
 	"repro/internal/render"
 	"repro/internal/rewrite"
+	"repro/internal/service"
 	"repro/internal/tablesio"
 )
 
@@ -185,6 +211,35 @@ func NewRewriteDB(maxSize int) *RewriteDB { return rewrite.NewDB(maxSize) }
 func SaveTables(w io.Writer, s *Synthesizer) error {
 	return tablesio.Save(w, s.Result())
 }
+
+// Service is the long-lived serving layer: tables loaded (or built and
+// persisted) exactly once, then concurrent synthesis/size queries with a
+// bounded worker pool, per-query cancellation, an LRU result cache and
+// serving counters. Safe for concurrent use at every lifecycle point.
+type Service = service.Synthesizer
+
+// ServiceConfig configures NewService; see service.Config.
+type ServiceConfig = service.Config
+
+// ServiceStats is a snapshot of a Service's serving counters.
+type ServiceStats = service.Stats
+
+// ServiceBatchResult is one entry of a Service.SynthesizeAll reply.
+type ServiceBatchResult = service.BatchResult
+
+// ErrServiceClosed reports a query issued after Service.Close began.
+var ErrServiceClosed = service.ErrClosed
+
+// NewService builds or loads the search tables synchronously and
+// returns a ready serving layer.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// NewServiceAsync returns immediately with the tables building or
+// loading in the background; queries block until readiness (or their
+// context expires), and <-svc.Ready() plus svc.Err() observe startup —
+// the shape an HTTP daemon wants so /healthz can gate traffic during a
+// cold multi-minute k = 9 load.
+func NewServiceAsync(cfg ServiceConfig) *Service { return service.NewAsync(cfg) }
 
 // LoadSynthesizer rehydrates tables written by SaveTables. The alphabet
 // must match the saved one; pass nil for the standard 32-gate library.

@@ -1,0 +1,271 @@
+// Command revserve is the long-lived synthesis daemon: it loads (or
+// builds and persists) the precomputed search tables exactly once and
+// then answers optimal-synthesis queries over HTTP — the paper's
+// compute-once/query-many workflow (§3.1) turned into a service.
+//
+// Usage:
+//
+//	revserve -addr :8080 -k 6 -tables k6.tables [-metric gates|cost|depth]
+//	         [-workers N] [-query-workers N] [-cache 4096] [-timeout 30s]
+//
+// The daemon starts listening immediately; /healthz reports 503 until
+// the tables are servable, so an orchestrator can gate traffic on
+// readiness while a cold k = 9 load (minutes, §4.1/§5) proceeds.
+//
+// Endpoints (all JSON):
+//
+//	GET  /synthesize?spec=[0,7,6,...]   one specification
+//	POST /synthesize {"spec": "..."}    one specification
+//	POST /synthesize {"specs": [...]}   a batch, pipelined across workers
+//	GET  /size?spec=[...]               minimal cost only
+//	GET  /stats                         serving counters
+//	GET  /healthz                       200 once ready, 503 before
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
+// queries drain, then the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/perm"
+	"repro/internal/render"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revserve: ")
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		k        = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
+		maxSplit = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
+		tables   = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
+		metric   = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
+		qworkers = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
+		cache    = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		K:              *k,
+		MaxSplit:       *maxSplit,
+		TablesPath:     *tables,
+		Workers:        *workers,
+		QueryWorkers:   *qworkers,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		Progress: func(level, entries int) {
+			log.Printf("tables level %d: %d entries", level, entries)
+		},
+	}
+	switch *metric {
+	case "gates":
+	case "cost":
+		a, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Alphabet = a
+	case "depth":
+		cfg.Alphabet = bfs.LayerAlphabet()
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+
+	svc := service.NewAsync(cfg)
+	go func() {
+		<-svc.Ready()
+		if err := svc.Err(); err != nil {
+			// Keep serving: /healthz reports the failure as a 500 so the
+			// orchestrator that gated traffic on readiness can see why
+			// and recycle the pod, rather than the process vanishing
+			// mid-drain. Queries fail fast with the same error.
+			log.Printf("table startup FAILED (serving /healthz as failed): %v", err)
+			return
+		}
+		st := svc.Stats()
+		log.Printf("tables ready in %v: k=%d horizon=%d entries=%d",
+			st.LoadDuration.Round(time.Millisecond), st.K, st.Horizon, st.TableEntries)
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", handleSynthesize(svc, true))
+	mux.HandleFunc("/size", handleSynthesize(svc, false))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := svc.Stats()
+		switch {
+		case st.Err != "":
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"status": "failed", "err": st.Err})
+		case !st.Ready:
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
+		default:
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Reap slow/dead clients: without these a trickled header or an
+		// abandoned keep-alive pins a goroutine and fd forever on a
+		// long-lived daemon. Handler time is governed separately by the
+		// service's per-query timeout, so no WriteTimeout here — a cold
+		// k = 9 startup keeps /healthz responsive regardless.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (metric=%s, workers=%d)", *addr, *metric, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil {
+		log.Printf("service drain: %v", err)
+	}
+	log.Print("bye")
+}
+
+// synthRequest is the POST body of /synthesize and /size: exactly one of
+// Spec or Specs.
+type synthRequest struct {
+	Spec  string   `json:"spec,omitempty"`
+	Specs []string `json:"specs,omitempty"`
+	// Render asks for the Unicode circuit diagram in the reply.
+	Render bool `json:"render,omitempty"`
+}
+
+// synthResponse is one answered specification.
+type synthResponse struct {
+	Spec        string `json:"spec"`
+	Cost        int    `json:"cost"`
+	Direct      bool   `json:"direct"`
+	SplitPrefix int    `json:"split_prefix,omitempty"`
+	Circuit     string `json:"circuit,omitempty"`
+	Diagram     string `json:"diagram,omitempty"`
+	Err         string `json:"err,omitempty"`
+}
+
+func handleSynthesize(svc *service.Synthesizer, withCircuit bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req synthRequest
+		switch r.Method {
+		case http.MethodGet:
+			req.Spec = r.URL.Query().Get("spec")
+			if v := r.URL.Query().Get("render"); v != "" {
+				req.Render, _ = strconv.ParseBool(v)
+			}
+		case http.MethodPost:
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"err": "bad JSON: " + err.Error()})
+				return
+			}
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "use GET or POST"})
+			return
+		}
+		batch := req.Specs != nil
+		if req.Spec != "" {
+			req.Specs = append([]string{req.Spec}, req.Specs...)
+		}
+		if len(req.Specs) == 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"err": "missing spec"})
+			return
+		}
+		fs := make([]perm.Perm, len(req.Specs))
+		for i, s := range req.Specs {
+			f, err := perm.Parse(s)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"err": fmt.Sprintf("spec %d: %v", i, err)})
+				return
+			}
+			fs[i] = f
+		}
+		results := svc.SynthesizeAll(r.Context(), fs)
+		out := make([]synthResponse, len(results))
+		for i, res := range results {
+			out[i] = synthResponse{Spec: fs[i].String()}
+			if res.Err != nil {
+				out[i].Err = res.Err.Error()
+				continue
+			}
+			out[i].Cost = res.Info.Cost
+			out[i].Direct = res.Info.Direct
+			out[i].SplitPrefix = res.Info.SplitPrefix
+			if withCircuit {
+				out[i].Circuit = res.Circuit.String()
+				if req.Render {
+					out[i].Diagram = render.Circuit(res.Circuit, render.Unicode)
+				}
+			}
+		}
+		if !batch {
+			writeJSON(w, statusFor(results[0].Err), out[0])
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	}
+}
+
+// statusFor maps a per-query error to an HTTP status: the taxonomy a
+// load balancer needs to tell client errors from capacity problems.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, core.ErrBeyondHorizon):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrInvalidFunction):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

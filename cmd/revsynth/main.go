@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,12 +35,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revsynth: ")
 	var (
-		spec   = flag.String("spec", "", "specification as a 16-entry truth vector, e.g. [1,0,2,...,15]")
-		name   = flag.String("name", "", "synthesize a named Table 6 benchmark instead of -spec")
-		k      = flag.Int("k", core.DefaultK, "BFS depth (precomputation); horizon is 2k")
-		metric = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		spec    = flag.String("spec", "", "specification as a 16-entry truth vector, e.g. [1,0,2,...,15]")
+		name    = flag.String("name", "", "synthesize a named Table 6 benchmark instead of -spec")
+		k       = flag.Int("k", core.DefaultK, "BFS depth (precomputation); horizon is 2k")
+		metric  = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
 		tables  = flag.String("tables", "", "cache file for precomputed tables: loaded when present, written after a fresh build (the paper's store-once workflow, §3.1)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "BFS and meet-in-the-middle goroutines (1 = sequential)")
+		timeout = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit; precomputation is not counted)")
 		quiet   = flag.Bool("quiet", false, "print only the circuit")
 	)
 	flag.Parse()
@@ -90,8 +92,14 @@ func main() {
 	}
 	buildTime := time.Since(buildStart)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	queryStart := time.Now()
-	c, info, err := synth.SynthesizeInfo(f)
+	c, info, err := synth.SynthesizeInfoCtx(ctx, f)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,15 +148,9 @@ func buildSynthesizer(cfg core.Config, cache string, quiet bool) (*core.Synthesi
 		return nil, err
 	}
 	if cache != "" {
-		f, err := os.Create(cache)
-		if err != nil {
-			return nil, err
-		}
-		if err := tablesio.Save(f, synth.Result()); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic temp-file+rename: an interrupted Save must not leave a
+		// truncated store that fails the next -tables load.
+		if err := tablesio.SaveFile(cache, synth.Result()); err != nil {
 			return nil, err
 		}
 		if !quiet {

@@ -5,6 +5,7 @@
 //	revtables -table all [-k 6] [-n 50] [-seed 5489]
 //	revtables -table 5
 //	revtables -table fig2
+//	revtables -table none -k 7 -save k7.tables   # build + persist for revserve
 //
 // Tables 1, 3, 4 and 6 need a synthesizer (built once per run); Tables 2
 // and 5 and Figure 1 are self-contained. With -k 7 every Table 6 row is
@@ -24,6 +25,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/report"
 	"repro/internal/rewrite"
+	"repro/internal/tablesio"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		n     = flag.Int("n", 50, "random sample size for Tables 3/4 (paper: 10,000,000)")
 		seed  = flag.Uint("seed", 5489, "random seed for sampling experiments")
 		t1max = flag.Int("t1max", 11, "largest size timed in Table 1")
+		save  = flag.String("save", "", "persist the built search tables to this file (serve them later with revserve -tables)")
 	)
 	flag.Parse()
 
@@ -43,7 +46,7 @@ func main() {
 		want[strings.TrimSpace(t)] = true
 	}
 	all := want["all"]
-	needsSynth := all || want["fig2"] || want["1"] || want["3"] || want["4"] || want["6"] || want["ladder"]
+	needsSynth := all || want["fig2"] || want["1"] || want["3"] || want["4"] || want["6"] || want["ladder"] || *save != ""
 
 	var synth *core.Synthesizer
 	if needsSynth {
@@ -57,6 +60,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "tables ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *save != "" {
+		if err := tablesio.SaveFile(*save, synth.Result()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved k=%d tables to %s (%d entries)\n", *k, *save, synth.Result().TotalStored())
 	}
 
 	section := func(s string) { fmt.Println(s); fmt.Println() }

@@ -1,0 +1,96 @@
+// Serve walkthrough: the paper's precompute-once/query-many workflow
+// (§3.1) as a long-lived service.
+//
+//	go run ./examples/serve
+//
+// As a standalone daemon the same three steps are:
+//
+//	# 1. Build the tables once, on the big machine (paper §3.1), and
+//	#    persist them. Either tool writes the same store format:
+//	go run ./cmd/revtables -table none -k 7 -save k7.tables
+//	#    (or let the daemon build on first start: revserve -k 7 -tables k7.tables)
+//
+//	# 2. Serve them. Startup loads the store in seconds instead of
+//	#    re-running the BFS; /healthz flips to 200 when ready.
+//	go run ./cmd/revserve -addr :8080 -tables k7.tables &
+//
+//	# 3. Query from anywhere (-g stops curl from globbing the brackets).
+//	curl 'localhost:8080/healthz'
+//	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
+//	curl -X POST localhost:8080/synthesize -d '{"specs":["[1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]"]}'
+//	curl 'localhost:8080/stats'
+//
+// This program walks the same lifecycle in-process through the public
+// repro API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "revserve-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	tables := filepath.Join(dir, "k5.tables")
+
+	// First startup: no store yet, so the tables are built (k = 5 keeps
+	// the example snappy) and persisted for every later run.
+	start := time.Now()
+	svc, err := repro.NewService(repro.ServiceConfig{K: 5, TablesPath: tables})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold start (BFS build + persist): %v\n", time.Since(start).Round(time.Millisecond))
+	svc.Close(context.Background())
+
+	// Second startup: the store exists, so startup is a streamed load —
+	// the paper's §4.1 workflow, where loading replaces recomputation.
+	start = time.Now()
+	svc, err = repro.NewService(repro.ServiceConfig{K: 5, TablesPath: tables})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	fmt.Printf("warm start (load from store):     %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Single queries: concurrent-safe, cached, cancellable.
+	spec, err := repro.ParseSpec("[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	circ, info, err := svc.Synthesize(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spec %v\n  optimal gates: %d (direct=%v)\n  circuit: %v\n\n", spec, info.Cost, info.Direct, circ)
+
+	// Batch queries pipeline across the worker pool.
+	batch := []repro.Perm{spec, circ.Inverse().Perm(), repro.Identity}
+	for i, r := range svc.SynthesizeAll(ctx, batch) {
+		if r.Err != nil {
+			fmt.Printf("batch[%d]: %v\n", i, r.Err)
+			continue
+		}
+		fmt.Printf("batch[%d]: %d gates\n", i, r.Info.Cost)
+	}
+
+	// Re-asking a recent specification is a cache hit.
+	if _, _, err := svc.Synthesize(ctx, spec); err != nil {
+		log.Fatal(err)
+	}
+	st := svc.Stats()
+	fmt.Printf("\nstats: queries=%d cache_hits=%d direct=%d mitm=%d avg_latency=%v\n",
+		st.Queries, st.CacheHits, st.Direct, st.MITM, st.AvgLatency)
+}

@@ -221,6 +221,34 @@ func TestFullCountsMatchPaperTable4(t *testing.T) {
 	}
 }
 
+// TestFullCountScheduleInvariance proves the parallel per-level
+// ClassSize sum is byte-identical across worker counts: int64 addition
+// is exact, so any chunking/schedule must reproduce the Workers = 1 sum
+// — and the paper Table 4 value — bit for bit. The k = 5 top level has
+// 101,983 classes, well past the inline threshold, so Workers = 2 and 8
+// genuinely exercise the chunked pool.
+func TestFullCountScheduleInvariance(t *testing.T) {
+	k := 5
+	res, err := Search(GateAlphabet(), k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c <= k; c++ {
+		want := res.FullCountWorkers(c, 1)
+		if want != GateFullCounts[c] {
+			t.Errorf("sequential full count at size %d = %d, want %d (paper Table 4)", c, want, GateFullCounts[c])
+		}
+		for _, workers := range []int{2, 8} {
+			if got := res.FullCountWorkers(c, workers); got != want {
+				t.Errorf("full count at size %d with %d workers = %d, want %d", c, workers, got, want)
+			}
+		}
+		if got := res.FullCount(c); got != want {
+			t.Errorf("default-workers full count at size %d = %d, want %d", c, got, want)
+		}
+	}
+}
+
 // TestUnreducedMatchesReducedFullCounts cross-checks the two modes: the
 // ablation (no ÷48 reduction) must enumerate exactly the functions the
 // reduced search accounts for through class sizes.

@@ -426,16 +426,62 @@ func (r *Result) ReducedCount(c int) int { return len(r.Levels[c]) }
 
 // FullCount returns the number of functions (not classes) of cost exactly
 // c, by summing equivalence-class sizes — paper Table 4's "Functions"
-// column. For unreduced searches this equals ReducedCount.
-func (r *Result) FullCount(c int) int64 {
+// column. For unreduced searches this equals ReducedCount. Large levels
+// (k ≥ 7 has tens of millions of classes) are summed by a worker pool
+// over runtime.GOMAXPROCS(0) goroutines; use FullCountWorkers to bound
+// the fan-out explicitly.
+func (r *Result) FullCount(c int) int64 { return r.FullCountWorkers(c, 0) }
+
+// fullCountParallelThreshold is the level size below which the per-level
+// ClassSize sum runs inline: goroutine startup costs more than summing a
+// few thousand 48-entry orbits.
+const fullCountParallelThreshold = 4096
+
+// FullCountWorkers is FullCount with an explicit worker count (≤ 0 means
+// runtime.GOMAXPROCS(0)). Workers claim fixed-size chunks of the level
+// through an atomic cursor and sum class sizes into private accumulators
+// that are added at the join; int64 addition is exact and associative,
+// so the count is byte-identical for every worker count and schedule.
+func (r *Result) FullCountWorkers(c, workers int) int64 {
 	if !r.Reduced {
 		return int64(len(r.Levels[c]))
 	}
-	var total int64
-	for _, rep := range r.Levels[c] {
-		total += int64(canon.ClassSize(rep))
+	reps := r.Levels[c]
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return total
+	if workers == 1 || len(reps) < fullCountParallelThreshold {
+		var total int64
+		for _, rep := range reps {
+			total += int64(canon.ClassSize(rep))
+		}
+		return total
+	}
+	var (
+		total  atomic.Int64
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	chunk := max(len(reps)/(workers*8), 512)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= len(reps) {
+					break
+				}
+				for _, rep := range reps[lo:min(lo+chunk, len(reps))] {
+					local += int64(canon.ClassSize(rep))
+				}
+			}
+			total.Add(local)
+		}()
+	}
+	wg.Wait()
+	return total.Load()
 }
 
 // TotalStored returns the number of hash-table entries (identity

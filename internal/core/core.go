@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -199,6 +200,32 @@ func (s *Synthesizer) Size(f perm.Perm) (int, error) {
 
 // SynthesizeInfo is Synthesize with query diagnostics.
 func (s *Synthesizer) SynthesizeInfo(f perm.Perm) (circuit.Circuit, Info, error) {
+	return s.SynthesizeInfoCtx(context.Background(), f)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: the meet-in-the-middle
+// scan aborts early (returning ctx.Err()) once ctx is done. Direct
+// lookups are microseconds and complete regardless.
+func (s *Synthesizer) SynthesizeCtx(ctx context.Context, f perm.Perm) (circuit.Circuit, error) {
+	c, _, err := s.SynthesizeInfoCtx(ctx, f)
+	return c, err
+}
+
+// SizeCtx is Size with cancellation.
+func (s *Synthesizer) SizeCtx(ctx context.Context, f perm.Perm) (int, error) {
+	_, info, err := s.SynthesizeInfoCtx(ctx, f)
+	if err != nil {
+		return 0, err
+	}
+	return info.Cost, nil
+}
+
+// SynthesizeInfoCtx is SynthesizeInfo with cancellation. A long-running
+// scan checks ctx every few hundred representatives, so cancellation
+// latency is well under a millisecond; the error returned on abort is
+// ctx.Err() (wrapped), testable with errors.Is(err, context.Canceled)
+// or context.DeadlineExceeded.
+func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circuit.Circuit, Info, error) {
 	if !f.IsValid() {
 		return nil, Info{}, ErrInvalidFunction
 	}
@@ -225,13 +252,16 @@ func (s *Synthesizer) SynthesizeInfo(f perm.Perm) (circuit.Circuit, Info, error)
 		if bestTotal >= 0 && i >= bestTotal {
 			break // any further split costs at least i ≥ bestTotal
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, info, fmt.Errorf("core: query aborted: %w", err)
+		}
 		reps := s.res.Levels[i]
 		var lh levelHit
 		var err error
 		if workers > 1 && len(reps) >= parallelQueryThreshold {
-			lh, err = s.scanLevelParallel(reps, f, unit, workers)
+			lh, err = s.scanLevelParallel(ctx, reps, f, unit, workers)
 		} else {
-			lh, err = s.scanLevel(reps, f, unit)
+			lh, err = s.scanLevel(ctx, reps, f, unit)
 		}
 		info.Candidates += lh.tried
 		if err != nil {
@@ -280,12 +310,21 @@ type levelHit struct {
 	tried       int64
 }
 
+// ctxCheckStride is how many representatives a sequential scan probes
+// between context checks: frequent enough for sub-millisecond
+// cancellation latency, rare enough that the check (a mutex-guarded Err
+// on derived contexts) stays off the per-probe hot path.
+const ctxCheckStride = 256
+
 // scanLevel scans a representative list sequentially, in the original
 // implementation's order: first hit wins for unit costs, minimum residue
 // cost over the whole level otherwise.
-func (s *Synthesizer) scanLevel(reps []perm.Perm, f perm.Perm, unit bool) (levelHit, error) {
+func (s *Synthesizer) scanLevel(ctx context.Context, reps []perm.Perm, f perm.Perm, unit bool) (levelHit, error) {
 	var lh levelHit
-	for _, rep := range reps {
+	for n, rep := range reps {
+		if n%ctxCheckStride == 0 && ctx.Err() != nil {
+			return lh, fmt.Errorf("core: query aborted: %w", ctx.Err())
+		}
 		q, residue, tried := s.probeClass(rep, f)
 		lh.tried += tried
 		if q == 0 {
@@ -309,9 +348,10 @@ func (s *Synthesizer) scanLevel(reps []perm.Perm, f perm.Perm, unit bool) (level
 // claim fixed-size chunks of the representative list through an atomic
 // cursor (probing is lock-free against the frozen table); for unit-cost
 // alphabets the first hit raises a stop flag that cancels the remaining
-// workers mid-chunk. For weighted alphabets every chunk is scanned and
+// workers mid-chunk, and context cancellation raises the same flag at
+// chunk granularity. For weighted alphabets every chunk is scanned and
 // the minimum-residue-cost hit is kept.
-func (s *Synthesizer) scanLevelParallel(reps []perm.Perm, f perm.Perm, unit bool, workers int) (levelHit, error) {
+func (s *Synthesizer) scanLevelParallel(ctx context.Context, reps []perm.Perm, f perm.Perm, unit bool, workers int) (levelHit, error) {
 	var (
 		cursor  atomic.Int64
 		stop    atomic.Bool
@@ -330,6 +370,15 @@ func (s *Synthesizer) scanLevelParallel(reps []perm.Perm, f perm.Perm, unit bool
 			defer func() { tried.Add(local) }()
 			for {
 				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if scanErr == nil {
+						scanErr = fmt.Errorf("core: query aborted: %w", err)
+					}
+					mu.Unlock()
+					stop.Store(true)
 					return
 				}
 				lo := int(cursor.Add(int64(chunk))) - chunk

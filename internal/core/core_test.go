@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bfs"
 	"repro/internal/canon"
@@ -523,4 +525,78 @@ func BenchmarkSynthesizeSize7MITM(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestContextCancellation covers the ctx-aware query path: an already-
+// canceled context aborts a meet-in-the-middle query with ctx.Err()
+// before any scanning, while direct lookups still answer (they are
+// microseconds and never block). Both the sequential and parallel scan
+// paths are exercised.
+func TestContextCancellation(t *testing.T) {
+	_, s3 := fixtures(t)
+	rng := rand.New(rand.NewSource(77))
+
+	// A uniformly random 16-permutation is a.s. beyond the k = 3 direct
+	// horizon, forcing the MITM loop where cancellation is checked.
+	hard, err := perm.FromSlice(rng.Perm(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Result().Contains(hard) {
+		t.Skip("random function unexpectedly within direct horizon")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		s3.SetWorkers(workers)
+		if _, _, err := s3.SynthesizeInfoCtx(ctx, hard); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	s3.SetWorkers(0)
+
+	// Direct lookups are answered even under a canceled context.
+	easy := randCircuit(rng, 2).Perm()
+	if _, _, err := s3.SynthesizeInfoCtx(ctx, easy); err != nil {
+		t.Fatalf("direct lookup under canceled ctx: %v", err)
+	}
+
+	// A live context behaves exactly like the ctx-free API.
+	c1, i1, err1 := s3.SynthesizeInfoCtx(context.Background(), hard)
+	c2, i2, err2 := s3.SynthesizeInfo(hard)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("live-ctx divergence: %v vs %v", err1, err2)
+	}
+	if err1 == nil && (i1.Cost != i2.Cost || c1.Perm() != c2.Perm()) {
+		t.Fatalf("live-ctx result differs: cost %d vs %d", i1.Cost, i2.Cost)
+	}
+}
+
+// TestContextDeadlineMidScan arms a deadline that expires while the
+// exhaustive (beyond-horizon) scan is running and verifies the query
+// returns DeadlineExceeded rather than scanning to completion, for both
+// scan implementations.
+func TestContextDeadlineMidScan(t *testing.T) {
+	s5, _ := fixtures(t)
+	rng := rand.New(rand.NewSource(78))
+	for _, workers := range []int{1, 4} {
+		s5.SetWorkers(workers)
+		sawTimeout := false
+		for trial := 0; trial < 20 && !sawTimeout; trial++ {
+			hard, err := perm.FromSlice(rng.Perm(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Microsecond)
+			_, _, qerr := s5.SynthesizeInfoCtx(ctx, hard)
+			cancel()
+			if errors.Is(qerr, context.DeadlineExceeded) {
+				sawTimeout = true
+			}
+		}
+		if !sawTimeout {
+			t.Fatalf("workers=%d: no query observed its deadline in 20 trials", workers)
+		}
+	}
+	s5.SetWorkers(0)
 }

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// BenchmarkServiceQueries measures serving throughput against the k = 4
+// fixture tables in the two regimes that bracket production traffic:
+// every query a cache hit (steady state for hot specifications) and
+// every query a miss (cold or adversarial traffic, each answered by the
+// frozen tables). RunParallel drives one client per GOMAXPROCS; QPS is
+// the inverse of the reported ns/op.
+func BenchmarkServiceQueries(b *testing.B) {
+	res := fixtureTables(b)
+	rng := rand.New(rand.NewSource(42))
+	specs := make([]perm.Perm, 256)
+	for i := range specs {
+		specs[i] = randomCircuitPerm(rng, 2+rng.Intn(6))
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		svc, err := New(Config{Tables: res, QueryWorkers: 1, CacheSize: len(specs)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close(context.Background())
+		for _, f := range specs { // warm the cache
+			if _, _, err := svc.Synthesize(context.Background(), f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, _, err := svc.Synthesize(context.Background(), specs[i%len(specs)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+
+	b.Run("uncached", func(b *testing.B) {
+		svc, err := New(Config{Tables: res, QueryWorkers: 1, CacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer svc.Close(context.Background())
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, _, err := svc.Synthesize(context.Background(), specs[i%len(specs)]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}

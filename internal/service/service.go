@@ -1,0 +1,525 @@
+// Package service is the long-lived serving layer over the paper's
+// precompute-once/query-many workflow (§3.1): the search tables are
+// built or loaded exactly once, frozen for lock-free reads, and then an
+// arbitrary number of concurrent synthesis/size queries run against them
+// through a bounded worker pool with per-query cancellation, an LRU
+// cache of recent results, and atomic serving counters.
+//
+// The lifecycle mirrors a production daemon:
+//
+//	svc := service.NewAsync(service.Config{K: 7, TablesPath: "k7.tables"})
+//	// svc accepts calls immediately; queries block until the tables are
+//	// ready (or their context expires). Readiness is observable:
+//	<-svc.Ready()
+//	if err := svc.Err(); err != nil { ... }
+//	circ, info, err := svc.Synthesize(ctx, f)
+//	...
+//	svc.Close(shutdownCtx) // drains in-flight queries, rejects new ones
+//
+// A Service is safe for concurrent use by any number of goroutines at
+// every point in its lifecycle, including during startup and shutdown.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/tablesio"
+)
+
+// ErrClosed reports a query issued after Close began (or an interrupted
+// startup).
+var ErrClosed = errors.New("service: synthesizer is closed")
+
+// Config configures New / NewAsync.
+type Config struct {
+	// K is the BFS depth used when tables must be built; see core.Config.
+	// Defaults to core.DefaultK.
+	K int
+	// MaxSplit bounds the meet-in-the-middle prefix size (0: K).
+	MaxSplit int
+	// Alphabet selects the building blocks (nil: the 32-gate library).
+	Alphabet *bfs.Alphabet
+	// Tables injects an already-built frozen table set, skipping both
+	// build and load — the zero-copy path for sharing one table across
+	// several services (tests, multi-tenant serving).
+	Tables *bfs.Result
+	// TablesPath, when non-empty and Tables is nil, is tried first as a
+	// persisted table file (tablesio format); when the file is missing
+	// the tables are built and then persisted there — the paper's
+	// compute-once-on-a-big-machine workflow. A load error other than
+	// "file does not exist" fails startup rather than silently
+	// rebuilding, so a corrupt table store is surfaced.
+	TablesPath string
+	// Workers bounds the number of queries executing simultaneously
+	// (the worker pool); 0 or negative means runtime.GOMAXPROCS(0).
+	// Queries beyond the bound wait (respecting their context).
+	Workers int
+	// QueryWorkers is the per-query meet-in-the-middle fan-out passed to
+	// core (0: resolved by core to GOMAXPROCS). For a saturated service
+	// 1 is usually right: cross-query parallelism already fills the
+	// machine, and single-threaded queries avoid fan-out overhead.
+	QueryWorkers int
+	// CacheSize is the capacity (entries) of the permutation→circuit LRU
+	// cache; 0 means DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// DefaultTimeout, when positive, is applied to any query whose
+	// context carries no deadline.
+	DefaultTimeout time.Duration
+	// Progress is forwarded to the table build (level, new classes) and
+	// to the table load (level, entries loaded).
+	Progress func(level, entries int)
+}
+
+// DefaultCacheSize is the LRU capacity when Config.CacheSize is zero.
+const DefaultCacheSize = 4096
+
+// Synthesizer is the long-lived serving object. Create with New or
+// NewAsync; always Close it to release the worker pool.
+type Synthesizer struct {
+	cfg   Config
+	start time.Time
+
+	// ready is closed once loading finished (successfully or not);
+	// synth/loadErr/loadDur are written before the close and read only
+	// after it, so the channel provides the happens-before edge.
+	ready   chan struct{}
+	synth   *core.Synthesizer
+	loadErr error
+	loadDur time.Duration
+
+	// sem is the bounded worker pool: a query holds one slot while it
+	// runs; Close acquires every slot to drain in-flight work, closing
+	// drained when the pool is fully reclaimed.
+	sem     chan struct{}
+	done    chan struct{}
+	drained chan struct{}
+	once    sync.Once
+
+	cache *lruCache
+
+	queries   atomic.Uint64
+	errors    atomic.Uint64
+	canceled  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	direct    atomic.Uint64
+	mitm      atomic.Uint64
+	latencyNS atomic.Int64
+	inFlight  atomic.Int64
+}
+
+// New builds or loads the tables synchronously and returns a ready
+// service (or the startup error).
+func New(cfg Config) (*Synthesizer, error) {
+	s := NewAsync(cfg)
+	<-s.Ready()
+	if err := s.Err(); err != nil {
+		s.Close(context.Background())
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewAsync returns immediately; tables build or load in a background
+// goroutine. Queries issued before readiness block until the tables are
+// up (or their context expires); Ready/Err/WaitReady observe startup.
+func NewAsync(cfg Config) *Synthesizer {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Synthesizer{
+		cfg:     cfg,
+		start:   time.Now(),
+		ready:   make(chan struct{}),
+		sem:     make(chan struct{}, workers),
+		done:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	switch {
+	case cfg.CacheSize < 0:
+	case cfg.CacheSize == 0:
+		s.cache = newLRU(DefaultCacheSize)
+	default:
+		s.cache = newLRU(cfg.CacheSize)
+	}
+	go func() {
+		defer close(s.ready)
+		begin := time.Now()
+		s.synth, s.loadErr = s.acquireTables()
+		s.loadDur = time.Since(begin)
+	}()
+	return s
+}
+
+// acquireTables resolves the frozen table set per the Config precedence:
+// injected result, persisted file, fresh build (persisted when a path is
+// configured).
+func (s *Synthesizer) acquireTables() (*core.Synthesizer, error) {
+	cfg := s.cfg
+	if cfg.Tables != nil {
+		synth, err := core.FromResult(cfg.Tables, cfg.MaxSplit)
+		if err != nil {
+			return nil, err
+		}
+		synth.SetWorkers(cfg.QueryWorkers)
+		return synth, nil
+	}
+	alphabet := cfg.Alphabet
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	if cfg.TablesPath != "" {
+		f, err := os.Open(cfg.TablesPath)
+		if err == nil {
+			res, lerr := tablesio.LoadWithOptions(f, alphabet, &tablesio.LoadOptions{Progress: cfg.Progress})
+			f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("service: loading %s: %w", cfg.TablesPath, lerr)
+			}
+			synth, serr := core.FromResult(res, cfg.MaxSplit)
+			if serr != nil {
+				return nil, serr
+			}
+			synth.SetWorkers(cfg.QueryWorkers)
+			return synth, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("service: opening %s: %w", cfg.TablesPath, err)
+		}
+	}
+	synth, err := core.New(core.Config{
+		K:        cfg.K,
+		MaxSplit: cfg.MaxSplit,
+		Alphabet: cfg.Alphabet,
+		Progress: cfg.Progress,
+		Workers:  cfg.QueryWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TablesPath != "" {
+		// A Close during the build cannot abort the BFS (it has no
+		// cancellation points), but a closed service must not keep
+		// writing to disk afterwards.
+		select {
+		case <-s.done:
+			return nil, ErrClosed
+		default:
+		}
+		if err := tablesio.SaveFile(cfg.TablesPath, synth.Result()); err != nil {
+			return nil, err
+		}
+	}
+	return synth, nil
+}
+
+// Ready returns a channel closed once startup finished; check Err after.
+func (s *Synthesizer) Ready() <-chan struct{} { return s.ready }
+
+// Err returns the startup error, or nil before readiness / on success.
+func (s *Synthesizer) Err() error {
+	select {
+	case <-s.ready:
+		return s.loadErr
+	default:
+		return nil
+	}
+}
+
+// WaitReady blocks until the tables are servable, ctx expires, or the
+// service closes.
+func (s *Synthesizer) WaitReady(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return s.loadErr
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Core returns the underlying core synthesizer, or nil before readiness.
+// It is exposed for read-only introspection (horizon, table sizes).
+func (s *Synthesizer) Core() *core.Synthesizer {
+	select {
+	case <-s.ready:
+		return s.synth
+	default:
+		return nil
+	}
+}
+
+// Synthesize returns a provably minimal circuit for f with query
+// diagnostics, serving from the LRU cache when f was answered recently.
+func (s *Synthesizer) Synthesize(ctx context.Context, f perm.Perm) (circuit.Circuit, core.Info, error) {
+	return s.query(ctx, f)
+}
+
+// Size returns f's minimal cost (gate count for the unit metric).
+func (s *Synthesizer) Size(ctx context.Context, f perm.Perm) (int, error) {
+	_, info, err := s.query(ctx, f)
+	if err != nil {
+		return 0, err
+	}
+	return info.Cost, nil
+}
+
+// BatchResult is one entry of a SynthesizeAll reply, index-aligned with
+// the request slice.
+type BatchResult struct {
+	Circuit circuit.Circuit
+	Info    core.Info
+	Err     error
+}
+
+// SynthesizeAll answers a batch of specifications, pipelining the
+// queries across the worker pool: up to Workers specifications are in
+// canonicalization/meet-in-the-middle concurrently while the rest queue.
+// The reply is index-aligned; per-item failures (e.g. beyond-horizon)
+// land in the item's Err without failing the batch. A context error
+// fails all remaining items.
+func (s *Synthesizer) SynthesizeAll(ctx context.Context, fs []perm.Perm) []BatchResult {
+	out := make([]BatchResult, len(fs))
+	if len(fs) == 0 {
+		return out
+	}
+	fan := min(len(fs), cap(s.sem))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < fan; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(fs) {
+					return
+				}
+				c, info, err := s.query(ctx, fs[i])
+				out[i] = BatchResult{Circuit: c, Info: info, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// query is the single entry point every public query funnels through:
+// readiness gate, default timeout, cache probe, worker-pool slot,
+// core query, counters, cache fill.
+func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, core.Info, error) {
+	s.queries.Add(1)
+	// Reject closed services up front: WaitReady alone would race the
+	// cache probe (ready and done may both be signalled), letting a
+	// cached answer slip out after shutdown.
+	select {
+	case <-s.done:
+		s.noteErr(ErrClosed)
+		return nil, core.Info{}, ErrClosed
+	default:
+	}
+	if err := s.WaitReady(ctx); err != nil {
+		s.noteErr(err)
+		return nil, core.Info{}, err
+	}
+	if s.cfg.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+	if s.cache != nil {
+		if c, info, err, ok := s.cache.get(f); ok {
+			s.hits.Add(1)
+			if err != nil {
+				// Replayed failures are still failed queries; cached
+				// errors are deterministic (never ctx errors), so the
+				// Canceled branch of noteErr cannot misfire here.
+				s.noteErr(err)
+			}
+			return c, info, err
+		}
+		s.misses.Add(1)
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.noteErr(err)
+		return nil, core.Info{}, err
+	}
+	s.inFlight.Add(1)
+	begin := time.Now()
+	c, info, err := s.synth.SynthesizeInfoCtx(ctx, f)
+	s.inFlight.Add(-1)
+	s.release()
+	if err == nil {
+		// Only successful queries feed AvgLatency: a 30 s timeout would
+		// otherwise swamp the average the denominator (Direct+MITM)
+		// describes.
+		s.latencyNS.Add(int64(time.Since(begin)))
+	}
+	if err != nil {
+		s.noteErr(err)
+		// Beyond-horizon and invalid-function answers are deterministic
+		// properties of the table set, so they are cacheable (with their
+		// Info diagnostics); context errors are not.
+		if s.cache != nil && ctx.Err() == nil {
+			s.cache.put(f, nil, info, err)
+		}
+		return nil, info, err
+	}
+	if info.Direct {
+		s.direct.Add(1)
+	} else {
+		s.mitm.Add(1)
+	}
+	if s.cache != nil {
+		s.cache.put(f, c, info, nil)
+	}
+	return c, info, nil
+}
+
+func (s *Synthesizer) noteErr(err error) {
+	s.errors.Add(1)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.canceled.Add(1)
+	}
+}
+
+// acquire takes a worker-pool slot, honouring cancellation and shutdown.
+func (s *Synthesizer) acquire(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.sem <- struct{}{}:
+		// A Close that started while we waited must win: give the slot
+		// back so the drain completes, and reject the query.
+		select {
+		case <-s.done:
+			<-s.sem
+			return ErrClosed
+		default:
+			return nil
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+func (s *Synthesizer) release() { <-s.sem }
+
+// Close rejects new queries and drains the worker pool: it returns once
+// every in-flight query finished, or ctx expired (in which case the
+// stragglers still drain in the background — the frozen tables stay
+// valid). An async startup still in its BFS build phase runs that build
+// to completion in the background (the search has no cancellation
+// points) but will not persist the tables or serve afterwards. Close is
+// idempotent; concurrent calls all wait for the drain.
+func (s *Synthesizer) Close(ctx context.Context) error {
+	s.once.Do(func() {
+		close(s.done)
+		go func() {
+			// Acquiring every slot proves no query is in flight; the
+			// slots are never released — the pool is gone for good.
+			for i := 0; i < cap(s.sem); i++ {
+				s.sem <- struct{}{}
+			}
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// Ready reports that the tables are loaded and servable; Err carries
+	// the startup failure when loading broke.
+	Ready bool   `json:"ready"`
+	Err   string `json:"err,omitempty"`
+	// K, MaxSplit, Horizon and TableEntries describe the frozen table
+	// set (zero until ready).
+	K            int `json:"k"`
+	MaxSplit     int `json:"max_split"`
+	Horizon      int `json:"horizon"`
+	TableEntries int `json:"table_entries"`
+	// Workers is the pool bound; InFlight the queries currently holding
+	// a slot.
+	Workers  int   `json:"workers"`
+	InFlight int64 `json:"in_flight"`
+	// Queries counts every query received (including cache hits and
+	// rejected ones); Errors every failed query; Canceled the subset of
+	// Errors that were context cancellations/timeouts.
+	Queries  uint64 `json:"queries"`
+	Errors   uint64 `json:"errors"`
+	Canceled uint64 `json:"canceled"`
+	// CacheHits/CacheMisses count LRU probes; Direct/MITM successful
+	// uncached answers by strategy.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Direct      uint64 `json:"direct"`
+	MITM        uint64 `json:"mitm"`
+	// AvgLatency averages the table-query time of uncached queries.
+	AvgLatency time.Duration `json:"avg_latency_ns"`
+	// LoadDuration is the startup build/load time; Uptime the age of the
+	// service.
+	LoadDuration time.Duration `json:"load_duration_ns"`
+	Uptime       time.Duration `json:"uptime_ns"`
+}
+
+// Stats returns a snapshot of the serving counters. Counters are read
+// individually without a global lock, so a snapshot taken under load is
+// approximately (not jointly) consistent.
+func (s *Synthesizer) Stats() Stats {
+	st := Stats{
+		Workers:     cap(s.sem),
+		InFlight:    s.inFlight.Load(),
+		Queries:     s.queries.Load(),
+		Errors:      s.errors.Load(),
+		Canceled:    s.canceled.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		Direct:      s.direct.Load(),
+		MITM:        s.mitm.Load(),
+		Uptime:      time.Since(s.start),
+	}
+	if served := st.Direct + st.MITM; served > 0 {
+		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(served))
+	}
+	select {
+	case <-s.ready:
+		st.LoadDuration = s.loadDur
+		if s.loadErr != nil {
+			st.Err = s.loadErr.Error()
+			return st
+		}
+		st.Ready = true
+		st.K = s.synth.K()
+		st.MaxSplit = s.synth.MaxSplit()
+		st.Horizon = s.synth.Horizon()
+		st.TableEntries = s.synth.Result().TotalStored()
+	default:
+	}
+	return st
+}

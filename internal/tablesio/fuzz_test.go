@@ -1,0 +1,84 @@
+package tablesio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/bfs"
+)
+
+// FuzzLoad feeds arbitrary byte streams to the loader. The invariant is
+// total: corrupted magic, truncated streams, bit-flipped checksums,
+// forged headers and wrong-alphabet fingerprints must all come back as
+// errors — never a panic, and never an allocation proportional to a
+// lying header field (the MaxEntries cap plus chunked level allocation
+// bound memory by the actual stream length).
+func FuzzLoad(f *testing.F) {
+	res, err := bfs.Search(bfs.GateAlphabet(), 2, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	f.Add(blob)               // the valid stream
+	f.Add(blob[:len(blob)/2]) // truncated mid-entries
+	f.Add(blob[:7])           // truncated mid-header
+	f.Add([]byte{})           // empty
+
+	corrupt := func(pos int, bit uint) []byte {
+		c := append([]byte(nil), blob...)
+		c[pos] ^= 1 << bit
+		return c
+	}
+	f.Add(corrupt(0, 3))           // magic
+	f.Add(corrupt(3, 0))           // version byte
+	f.Add(corrupt(12, 5))          // fingerprint
+	f.Add(corrupt(len(blob)-1, 7)) // checksum
+
+	// A forged header declaring a huge level: magic+flags+maxCost, a
+	// fingerprint that matches the gate alphabet, then an absurd count
+	// with no entries behind it.
+	forged := append([]byte(nil), blob[:32]...)
+	var huge [8]byte
+	binary.LittleEndian.PutUint64(huge[:], 1<<40)
+	forged = append(forged, huge[:]...)
+	f.Add(forged)
+
+	// Level sizes whose sum wraps uint64 back under the cap (the
+	// negative-allocation panic regression).
+	wrap := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(wrap[44:52], ^uint64(0))
+	f.Add(wrap)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A tight entry cap keeps even "plausible" fuzzed headers from
+		// committing real memory; correctness of the cap itself is
+		// covered by TestMaxEntriesCap.
+		res, err := LoadWithOptions(bytes.NewReader(data), bfs.GateAlphabet(), &LoadOptions{MaxEntries: 1 << 16})
+		if err != nil {
+			return
+		}
+		// Accepted streams must be internally consistent: every level
+		// entry present in the frozen table.
+		if res == nil || !res.Table.Frozen() {
+			t.Fatal("accepted stream produced unusable result")
+		}
+		n := 0
+		for c, lvl := range res.Levels {
+			n += len(lvl)
+			for _, rep := range lvl {
+				if !res.Table.Contains(uint64(rep)) {
+					t.Fatalf("level %d entry %v missing from table", c, rep)
+				}
+			}
+		}
+		if n != res.TotalStored() {
+			t.Fatalf("levels carry %d entries, table %d", n, res.TotalStored())
+		}
+	})
+}

@@ -20,20 +20,52 @@ package tablesio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 
 	"repro/internal/bfs"
 	"repro/internal/hashtab"
 	"repro/internal/perm"
 )
 
-var magic = [4]byte{'R', 'V', 'T', '1'}
+// The magic is "RVT" plus an ASCII version byte. Version gating lets a
+// reader reject files written by a newer incompatible format with a
+// precise error instead of a checksum mismatch deep into the stream.
+var (
+	magicPrefix = [3]byte{'R', 'V', 'T'}
+	// formatVersion is the newest version this package writes and the
+	// only one it reads; bump when the layout changes incompatibly.
+	formatVersion = byte('1')
+)
+
+var magic = [4]byte{magicPrefix[0], magicPrefix[1], magicPrefix[2], formatVersion}
 
 const (
 	flagReduced = 1 << 0
+)
+
+// Sentinel errors, matchable with errors.Is; every Load failure wraps
+// exactly one of them. A failure caused by the reader itself (EIO,
+// truncation) additionally wraps the underlying I/O error, so callers
+// that need to distinguish a damaged store from a flaky transport can
+// errors.Is against both.
+var (
+	// ErrBadMagic reports a stream that is not a tables file at all.
+	ErrBadMagic = errors.New("tablesio: not a tables file")
+	// ErrUnsupportedVersion reports a tables file written by a different
+	// (usually newer) format version of this package.
+	ErrUnsupportedVersion = errors.New("tablesio: unsupported format version")
+	// ErrAlphabetMismatch reports tables saved against a different
+	// alphabet than the one supplied to Load.
+	ErrAlphabetMismatch = errors.New("tablesio: alphabet fingerprint mismatch")
+	// ErrCorrupt reports structural damage: implausible sizes, invalid
+	// permutation words, duplicate entries, or a checksum mismatch.
+	ErrCorrupt = errors.New("tablesio: corrupt tables file")
 )
 
 // fingerprint summarizes an alphabet for compatibility checking.
@@ -117,6 +149,34 @@ func Save(w io.Writer, res *bfs.Result) error {
 	return bw.Flush()
 }
 
+// SaveFile persists a BFS result to path atomically: the stream is
+// written to a temp file in the destination directory (same filesystem,
+// so the final rename is atomic and cannot fail with EXDEV) — a crash
+// mid-write never leaves a truncated store that would fail the next
+// load.
+func SaveFile(path string, res *bfs.Result) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".revtables-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, res); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp makes 0600 files; tables are built by one user and
+	// served by another (the compute-once workflow), so restore the
+	// conventional umask-style mode before publishing.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // checksumReader tees reads into a running checksum.
 type checksumReader struct {
 	r io.Reader
@@ -129,21 +189,64 @@ func (cr *checksumReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// LoadOptions tune LoadWithOptions; the zero value (and a nil pointer)
+// reproduces Load's defaults.
+type LoadOptions struct {
+	// Progress, when non-nil, is called after each completed cost level
+	// with the level index and the number of entries it carried — the
+	// streaming hook a long-lived service uses to report load progress
+	// (the paper's k = 9 load takes minutes, §4.1/§5).
+	Progress func(level, entries int)
+	// MaxEntries caps the total entry count a header may declare; zero
+	// means DefaultMaxEntries. Lower it when loading untrusted input so
+	// a forged header cannot commit the process to gigabytes of hash
+	// table before the (end-of-stream) checksum is verified.
+	MaxEntries int64
+}
+
+// DefaultMaxEntries bounds the declared entry count accepted by Load:
+// slightly above the paper's k = 9 table (≈2.2 × 10⁹ classes, §4.1).
+const DefaultMaxEntries = 1 << 33
+
+// levelAllocChunk caps the per-level slice pre-allocation. Level sizes
+// are attacker-controlled header fields verified only implicitly (by the
+// stream ending early), so allocation grows in bounded chunks as entries
+// actually arrive rather than trusting the declared size up front.
+const levelAllocChunk = 1 << 20
+
 // Load rehydrates a BFS result saved by Save. The alphabet must be the
 // same construction that produced the saved tables; a fingerprint
-// mismatch, truncation, or corruption is reported as an error.
+// mismatch, version mismatch, truncation, or corruption is reported as
+// an error (wrapping the package's sentinel errors), never a panic.
 func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
+	return LoadWithOptions(r, alphabet, nil)
+}
+
+// LoadWithOptions is Load with streaming progress reporting and resource
+// caps. The table is inserted into as entries stream off the reader and
+// frozen before return, so the result is immediately servable.
+func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*bfs.Result, error) {
 	if alphabet == nil {
 		return nil, fmt.Errorf("tablesio: nil alphabet")
+	}
+	if opts == nil {
+		opts = &LoadOptions{}
+	}
+	maxEntries := opts.MaxEntries
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	cr := &checksumReader{r: br, h: fnv.New64a()}
 	var m [4]byte
 	if _, err := io.ReadFull(cr, m[:]); err != nil {
-		return nil, fmt.Errorf("tablesio: reading magic: %w", err)
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrBadMagic, err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("tablesio: bad magic %q", m)
+	if [3]byte{m[0], m[1], m[2]} != magicPrefix {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, m)
+	}
+	if m[3] != formatVersion {
+		return nil, fmt.Errorf("%w: file version %q, this build reads %q", ErrUnsupportedVersion, m[3], formatVersion)
 	}
 	var flags, maxCost uint32
 	var fp fingerprint
@@ -152,60 +255,70 @@ func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
 		&fp.Elements, &fp.MaxCost, &fp.XorPerms, &fp.SumCosts,
 	} {
 		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("tablesio: reading header: %w", err)
+			return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
 		}
 	}
 	if want := fingerprintOf(alphabet); fp != want {
-		return nil, fmt.Errorf("tablesio: alphabet fingerprint mismatch (file %+v, given %+v)", fp, want)
+		return nil, fmt.Errorf("%w (file %+v, given %+v)", ErrAlphabetMismatch, fp, want)
 	}
 	if maxCost > 64 {
-		return nil, fmt.Errorf("tablesio: implausible horizon %d", maxCost)
+		return nil, fmt.Errorf("%w: implausible horizon %d", ErrCorrupt, maxCost)
 	}
 	levelSizes := make([]uint64, maxCost+1)
 	var total uint64
 	for c := range levelSizes {
 		if err := binary.Read(cr, binary.LittleEndian, &levelSizes[c]); err != nil {
-			return nil, fmt.Errorf("tablesio: reading level sizes: %w", err)
+			return nil, fmt.Errorf("%w: reading level sizes: %w", ErrCorrupt, err)
+		}
+		// Capping each level before summing keeps the running total well
+		// below the uint64 wrap point (≤ 65 levels × maxEntries), so a
+		// forged size cannot overflow past the cumulative check below.
+		if levelSizes[c] > uint64(maxEntries) {
+			return nil, fmt.Errorf("%w: level %d declares %d entries, cap %d", ErrCorrupt, c, levelSizes[c], maxEntries)
 		}
 		total += levelSizes[c]
-	}
-	if total > 1<<33 {
-		return nil, fmt.Errorf("tablesio: implausible entry count %d", total)
+		if total > uint64(maxEntries) {
+			return nil, fmt.Errorf("%w: declared entry count exceeds cap %d", ErrCorrupt, maxEntries)
+		}
 	}
 	res := &bfs.Result{
 		Alphabet: alphabet,
 		MaxCost:  int(maxCost),
 		Levels:   make([][]perm.Perm, maxCost+1),
-		Table:    hashtab.NewSharded(int(total)),
+		Table:    hashtab.NewSharded(int(min(total, levelAllocChunk))),
 		Reduced:  flags&flagReduced != 0,
 	}
 	buf := make([]byte, 10)
 	for c := 0; c <= int(maxCost); c++ {
-		lvl := make([]perm.Perm, levelSizes[c])
-		for i := range lvl {
+		n := int(levelSizes[c])
+		lvl := make([]perm.Perm, 0, min(n, levelAllocChunk))
+		for i := 0; i < n; i++ {
 			if _, err := io.ReadFull(cr, buf); err != nil {
-				return nil, fmt.Errorf("tablesio: reading entries (level %d): %w", c, err)
+				return nil, fmt.Errorf("%w: reading entries (level %d): %w", ErrCorrupt, c, err)
 			}
 			key := binary.LittleEndian.Uint64(buf[0:8])
 			val := binary.LittleEndian.Uint16(buf[8:10])
 			p := perm.Perm(key)
 			if !p.IsValid() {
-				return nil, fmt.Errorf("tablesio: corrupt entry %#x at level %d", key, c)
+				return nil, fmt.Errorf("%w: invalid entry %#x at level %d", ErrCorrupt, key, c)
 			}
-			lvl[i] = p
+			lvl = append(lvl, p)
 			if _, inserted := res.Table.Insert(key, val); !inserted {
-				return nil, fmt.Errorf("tablesio: duplicate entry %v at level %d", p, c)
+				return nil, fmt.Errorf("%w: duplicate entry %v at level %d", ErrCorrupt, p, c)
 			}
 		}
 		res.Levels[c] = lvl
+		if opts.Progress != nil {
+			opts.Progress(c, n)
+		}
 	}
 	gotSum := cr.h.Sum64()
 	var wantSum uint64
 	if err := binary.Read(br, binary.LittleEndian, &wantSum); err != nil {
-		return nil, fmt.Errorf("tablesio: reading checksum: %w", err)
+		return nil, fmt.Errorf("%w: reading checksum: %w", ErrCorrupt, err)
 	}
 	if gotSum != wantSum {
-		return nil, fmt.Errorf("tablesio: checksum mismatch (file %#x, computed %#x)", wantSum, gotSum)
+		return nil, fmt.Errorf("%w: checksum mismatch (file %#x, computed %#x)", ErrCorrupt, wantSum, gotSum)
 	}
 	// Rehydrated tables go straight to the query phase: freeze for
 	// lock-free concurrent lookups.

@@ -2,6 +2,7 @@ package tablesio
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -177,6 +178,85 @@ func BenchmarkLoadK5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Load(bytes.NewReader(blob), bfs.GateAlphabet()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func TestVersionGating(t *testing.T) {
+	_, blob := saved(t, 2)
+	// A future format version must be rejected with ErrUnsupportedVersion
+	// (the checksum would also fail, but the version gate fires first and
+	// precisely).
+	future := append([]byte(nil), blob...)
+	future[3] = '2'
+	_, err := Load(bytes.NewReader(future), bfs.GateAlphabet())
+	if !errors.Is(err, ErrUnsupportedVersion) {
+		t.Fatalf("future version: err = %v, want ErrUnsupportedVersion", err)
+	}
+	// A stream that is not a tables file at all reports ErrBadMagic.
+	_, err = Load(bytes.NewReader([]byte("PNG\x0d\x0a\x1a\x0a")), bfs.GateAlphabet())
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("foreign stream: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	_, blob := saved(t, 2)
+	if _, err := Load(bytes.NewReader(blob[:len(blob)-1]), bfs.GateAlphabet()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation: err = %v, want ErrCorrupt", err)
+	}
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Load(bytes.NewReader(flipped), bfs.GateAlphabet()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Load(bytes.NewReader(blob), bfs.LinearAlphabet()); !errors.Is(err, ErrAlphabetMismatch) {
+		t.Fatalf("wrong alphabet: err = %v, want ErrAlphabetMismatch", err)
+	}
+}
+
+func TestLoadProgressStreams(t *testing.T) {
+	res, blob := saved(t, 3)
+	var levels, entries []int
+	_, err := LoadWithOptions(bytes.NewReader(blob), bfs.GateAlphabet(), &LoadOptions{
+		Progress: func(level, n int) { levels = append(levels, level); entries = append(entries, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != res.MaxCost+1 {
+		t.Fatalf("progress fired %d times, want %d", len(levels), res.MaxCost+1)
+	}
+	for c := 0; c <= res.MaxCost; c++ {
+		if levels[c] != c || entries[c] != len(res.Levels[c]) {
+			t.Fatalf("progress level %d reported (%d, %d), want (%d, %d)",
+				c, levels[c], entries[c], c, len(res.Levels[c]))
+		}
+	}
+}
+
+func TestMaxEntriesCap(t *testing.T) {
+	_, blob := saved(t, 3)
+	_, err := LoadWithOptions(bytes.NewReader(blob), bfs.GateAlphabet(), &LoadOptions{MaxEntries: 10})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-cap load: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestForgedLevelSizeOverflowRejected(t *testing.T) {
+	// Header layout: magic 4 + flags 4 + maxCost 4 + fingerprint 24 = 36
+	// bytes, then one uint64 level size per cost level. A level size of
+	// 2^64-1 once wrapped the running total back under the entry cap and
+	// drove a negative allocation size; it must be a clean ErrCorrupt.
+	_, blob := saved(t, 2)
+	for _, off := range []int{36, 44, 52} {
+		forged := append([]byte(nil), blob...)
+		for i := 0; i < 8; i++ {
+			forged[off+i] = 0xFF
+		}
+		_, err := Load(bytes.NewReader(forged), bfs.GateAlphabet())
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("forged level size at offset %d: err = %v, want ErrCorrupt", off, err)
 		}
 	}
 }
