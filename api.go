@@ -44,11 +44,15 @@
 //	defer svc.Close(context.Background())
 //	circ, info, err := svc.Synthesize(ctx, spec) // concurrent, cached, cancellable
 //
-// The first run builds and persists the tables; every later run loads
-// them (seconds instead of minutes of BFS) and serves any number of
-// concurrent queries through a bounded worker pool with an LRU cache of
-// recent results and atomic serving counters (Service.Stats). The same
-// layer runs standalone as cmd/revserve, a JSON-over-HTTP daemon:
+// The first run builds, compacts, and persists the tables in the
+// tablesio v2 zero-copy layout; every later run memory-maps that store —
+// cold start is O(pages touched), milliseconds even for table sets whose
+// v1-style parse-and-rehash took seconds to minutes, and concurrent
+// server processes share one page-cache copy. The service then answers
+// any number of concurrent queries through a bounded worker pool with an
+// LRU cache of recent results and atomic serving counters
+// (Service.Stats, including the table format and byte footprint). The
+// same layer runs standalone as cmd/revserve, a JSON-over-HTTP daemon:
 //
 //	go run ./cmd/revserve -k 6 -tables k6.tables -addr :8080 &
 //	curl 'localhost:8080/healthz'           # 503 while loading, 200 when ready
@@ -207,9 +211,11 @@ type RewriteDB = rewrite.DB
 func NewRewriteDB(maxSize int) *RewriteDB { return rewrite.NewDB(maxSize) }
 
 // SaveTables persists a synthesizer's precomputed search tables — the
-// paper's compute-once-on-a-big-machine workflow (§3.1, §4.1).
+// paper's compute-once-on-a-big-machine workflow (§3.1, §4.1) — in the
+// tablesio v2 zero-copy layout, which LoadSynthesizerFile can
+// memory-map straight back into a servable synthesizer.
 func SaveTables(w io.Writer, s *Synthesizer) error {
-	return tablesio.Save(w, s.Result())
+	return tablesio.SaveV2(w, s.Result())
 }
 
 // Service is the long-lived serving layer: tables loaded (or built and
@@ -241,13 +247,30 @@ func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 // cold multi-minute k = 9 load.
 func NewServiceAsync(cfg ServiceConfig) *Service { return service.NewAsync(cfg) }
 
-// LoadSynthesizer rehydrates tables written by SaveTables. The alphabet
-// must match the saved one; pass nil for the standard 32-gate library.
+// LoadSynthesizer rehydrates tables written by SaveTables (either
+// format version; the stream is sniffed and fully verified). The
+// alphabet must match the saved one; pass nil for the standard 32-gate
+// library.
 func LoadSynthesizer(r io.Reader, alphabet *bfs.Alphabet) (*Synthesizer, error) {
 	if alphabet == nil {
 		alphabet = bfs.GateAlphabet()
 	}
 	res, err := tablesio.Load(r, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromResult(res, 0)
+}
+
+// LoadSynthesizerFile rehydrates a table store from disk through the
+// fastest safe path — a v2 store on a little-endian Unix host is
+// memory-mapped, making cold start O(pages touched) instead of
+// O(parse + rehash). Pass nil for the standard 32-gate library.
+func LoadSynthesizerFile(path string, alphabet *bfs.Alphabet) (*Synthesizer, error) {
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	res, _, err := tablesio.LoadFile(path, alphabet, nil)
 	if err != nil {
 		return nil, err
 	}

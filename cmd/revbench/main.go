@@ -1,0 +1,311 @@
+// Command revbench runs the repository's headline performance
+// experiments — multicore BFS search, cold-start table loading across
+// store formats, and serving-layer query throughput — and emits one
+// machine-readable JSON report. CI uploads the report as an artifact
+// (BENCH_3.json) so the scaling curves are tracked per commit; ROADMAP.md
+// records the curves measured on reference hardware.
+//
+// Usage:
+//
+//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_3.json]
+//
+// One run builds the k-tables exactly once and reuses them for every
+// experiment, so the dominant cost is the first search plus one extra
+// search per worker count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/canon"
+	"repro/internal/circuit"
+	"repro/internal/gate"
+	"repro/internal/perm"
+	"repro/internal/randperm"
+	"repro/internal/service"
+	"repro/internal/tablesio"
+)
+
+type hostReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+type searchPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup_vs_workers1"`
+}
+
+type coldStartReport struct {
+	Entries            int     `json:"entries"`
+	V1Bytes            int64   `json:"v1_store_bytes"`
+	V2Bytes            int64   `json:"v2_store_bytes"`
+	V1LoadSeconds      float64 `json:"v1_parse_rehash_seconds"`
+	V2MmapSeconds      float64 `json:"v2_mmap_seconds"`
+	V2StreamSeconds    float64 `json:"v2_stream_verify_seconds"`
+	MmapSpeedupVsV1    float64 `json:"mmap_speedup_vs_v1"`
+	V1HeapBytesPerRep  float64 `json:"v1_heap_bytes_per_rep"`
+	V2HeapBytesPerRep  float64 `json:"v2_mmap_heap_bytes_per_rep"`
+	HeapReductionRatio float64 `json:"heap_reduction_ratio"`
+	MemoryMapped       bool    `json:"memory_mapped"`
+}
+
+type queryReport struct {
+	CachedNsPerOp   float64 `json:"cached_ns_per_op"`
+	UncachedNsPerOp float64 `json:"uncached_ns_per_op"`
+	CachedQPS       float64 `json:"cached_qps_per_core"`
+	UncachedQPS     float64 `json:"uncached_qps_per_core"`
+}
+
+type kernelReport struct {
+	CanonicalRandomNs     float64 `json:"canonical_random_ns"`
+	CanonicalInvolutionNs float64 `json:"canonical_involution_ns"`
+}
+
+type report struct {
+	GeneratedAt string     `json:"generated_at"`
+	Host        hostReport `json:"host"`
+	// Note flags measurement caveats (set automatically on single-CPU
+	// hosts, where the search "speedup" column shows insert batching,
+	// not parallelism).
+	Note      string          `json:"note,omitempty"`
+	K         int             `json:"k"`
+	Search    []searchPoint   `json:"search_parallel"`
+	ColdStart coldStartReport `json:"cold_start"`
+	Query     queryReport     `json:"service_queries"`
+	Kernels   kernelReport    `json:"kernels"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("revbench: ")
+	var (
+		k       = flag.Int("k", 6, "BFS depth for the table set under test")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
+		out     = flag.String("o", "BENCH_3.json", "output path (- for stdout)")
+	)
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: hostReport{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+		K: *k,
+	}
+	if rep.Host.CPUs == 1 {
+		rep.Note = "single-CPU host: search_parallel speedups reflect insert batching, not parallel scaling; re-run on a multi-core machine for the true curve (ROADMAP open item)"
+	}
+
+	// --- Search scaling curve -------------------------------------------
+	hint := 0
+	if *k < len(bfs.GateReducedCounts) {
+		hint = int(bfs.CumulativeGateReduced(*k))
+	}
+	var res *bfs.Result
+	var base float64
+	for _, ws := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(ws))
+		if err != nil || w < 1 {
+			log.Fatalf("bad worker count %q", ws)
+		}
+		start := time.Now()
+		r, err := bfs.Search(bfs.GateAlphabet(), *k, &bfs.Options{Workers: w, CapacityHint: hint})
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		if base == 0 {
+			base = secs
+		}
+		rep.Search = append(rep.Search, searchPoint{Workers: w, Seconds: round(secs), Speedup: round(base / secs)})
+		log.Printf("search k=%d workers=%d: %.2fs", *k, w, secs)
+		res = r
+	}
+
+	// --- Cold start: v1 parse+rehash vs v2 mmap -------------------------
+	dir, err := os.MkdirTemp("", "revbench-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	v1Path := filepath.Join(dir, "v1.tables")
+	v2Path := filepath.Join(dir, "v2.tables")
+	f, err := os.Create(v1Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tablesio.Save(f, res); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tablesio.SaveFile(v2Path, res); err != nil {
+		log.Fatal(err)
+	}
+	entries := res.TotalStored()
+	rep.ColdStart.Entries = entries
+	rep.ColdStart.V1Bytes = fileSize(v1Path)
+	rep.ColdStart.V2Bytes = fileSize(v2Path)
+
+	load := func(path string, opts *tablesio.LoadOptions) (float64, float64, tablesio.LoadInfo) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		loaded, info, err := tablesio.LoadFile(path, bfs.GateAlphabet(), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !loaded.Contains(perm.Identity) {
+			log.Fatal("loaded tables unusable")
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		heapPerRep := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(entries)
+		if loaded.Frozen != nil {
+			loaded.Frozen.Close()
+		}
+		return secs, heapPerRep, info
+	}
+	v1Secs, v1Heap, _ := load(v1Path, nil)
+	v2Secs, v2Heap, v2Info := load(v2Path, nil)
+	v2sSecs, _, _ := load(v2Path, &tablesio.LoadOptions{DisableMmap: true})
+	rep.ColdStart.V1LoadSeconds = round(v1Secs)
+	rep.ColdStart.V2MmapSeconds = round(v2Secs)
+	rep.ColdStart.V2StreamSeconds = round(v2sSecs)
+	rep.ColdStart.MmapSpeedupVsV1 = round(v1Secs / v2Secs)
+	rep.ColdStart.V1HeapBytesPerRep = round(v1Heap)
+	rep.ColdStart.V2HeapBytesPerRep = round(v2Heap)
+	if v1Heap > 0 {
+		rep.ColdStart.HeapReductionRatio = round(1 - v2Heap/v1Heap)
+	}
+	rep.ColdStart.MemoryMapped = v2Info.MemoryMapped
+	log.Printf("cold start: v1 %.3fs, v2+mmap %.6fs (%.0f×), heap %.1f → %.3f B/rep",
+		v1Secs, v2Secs, v1Secs/v2Secs, v1Heap, v2Heap)
+
+	// --- Serving throughput ---------------------------------------------
+	rng := rand.New(rand.NewSource(42))
+	specs := make([]perm.Perm, 256)
+	for i := range specs {
+		c := make(circuit.Circuit, 2+rng.Intn(min(*k, 6)))
+		for j := range c {
+			c[j] = gate.FromIndex(rng.Intn(gate.Count))
+		}
+		specs[i] = c.Perm()
+	}
+	queryBench := func(cacheSize int, warm bool) float64 {
+		svc, err := service.New(service.Config{Tables: res, QueryWorkers: 1, CacheSize: cacheSize})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer svc.Close(context.Background())
+		if warm {
+			for _, s := range specs {
+				if _, _, err := svc.Synthesize(context.Background(), s); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, _, err := svc.Synthesize(context.Background(), specs[i%len(specs)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+		return float64(r.NsPerOp())
+	}
+	cached := queryBench(len(specs), true)
+	uncached := queryBench(-1, false)
+	rep.Query = queryReport{
+		CachedNsPerOp:   round(cached),
+		UncachedNsPerOp: round(uncached),
+		CachedQPS:       round(1e9 / cached),
+		UncachedQPS:     round(1e9 / uncached),
+	}
+	log.Printf("queries: cached %.1f ns/op (%.0f QPS/core), uncached %.0f ns/op (%.0f QPS/core)",
+		cached, 1e9/cached, uncached, 1e9/uncached)
+
+	// --- Canonicalization kernel ----------------------------------------
+	random := make([]perm.Perm, 1024)
+	invs := make([]perm.Perm, 1024)
+	gen := randperm.New(7)
+	for i := range random {
+		random[i] = gen.Next()
+		g1 := gate.FromIndex(rng.Intn(gate.Count)).Perm()
+		g2 := gate.FromIndex(rng.Intn(gate.Count)).Perm()
+		invs[i] = g1.Then(g2).Then(g1)
+	}
+	kernel := func(ps []perm.Perm) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			var acc perm.Perm
+			for i := 0; i < b.N; i++ {
+				v, _, _ := canon.Canonical(ps[i&1023])
+				acc ^= v
+			}
+			_ = acc
+		})
+		return float64(r.NsPerOp())
+	}
+	rep.Kernels = kernelReport{
+		CanonicalRandomNs:     round(kernel(random)),
+		CanonicalInvolutionNs: round(kernel(invs)),
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		fmt.Print(string(blob))
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// round trims float noise so the JSON diffs stay readable.
+func round(x float64) float64 {
+	if x < 0 {
+		return -round(-x)
+	}
+	return float64(int64(x*1000+0.5)) / 1000
+}

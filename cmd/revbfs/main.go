@@ -68,16 +68,12 @@ func main() {
 	start := time.Now()
 	var res *bfs.Result
 	if *load != "" {
-		f, err := os.Open(*load)
+		var info tablesio.LoadInfo
+		res, info, err = tablesio.LoadFile(*load, a, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err = tablesio.Load(f, a)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded %d entries from %s\n", res.TotalStored(), *load)
+		fmt.Fprintf(os.Stderr, "loaded %d entries from %s (%s)\n", res.TotalStored(), *load, info)
 	} else {
 		res, err = bfs.Search(a, *k, &bfs.Options{
 			NoReduction:  *noreduce,
@@ -94,18 +90,11 @@ func main() {
 	elapsed := time.Since(start)
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tablesio.Save(f, res); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := tablesio.SaveFile(*save, res); err != nil {
 			log.Fatal(err)
 		}
 		st, _ := os.Stat(*save)
-		fmt.Fprintf(os.Stderr, "saved tables to %s (%d bytes)\n", *save, st.Size())
+		fmt.Fprintf(os.Stderr, "saved v2 tables to %s (%d bytes)\n", *save, st.Size())
 	}
 
 	fmt.Printf("alphabet=%s (%d elements, max cost %d), k=%d, reduced=%v\n",
@@ -122,6 +111,6 @@ func main() {
 			fmt.Printf("%5d  %14d\n", c, res.ReducedCount(c))
 		}
 	}
-	st := res.Table.ComputeStats()
+	st := res.TableStats()
 	fmt.Printf("\nsearch time %v; hash table: %s\n", elapsed.Round(time.Millisecond), st)
 }

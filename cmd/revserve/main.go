@@ -10,7 +10,13 @@
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
-// readiness while a cold k = 9 load (minutes, §4.1/§5) proceeds.
+// readiness while a cold start proceeds. How long that is depends on the
+// store format: a tablesio v2 store (what -tables writes) is
+// memory-mapped — milliseconds, O(pages touched), shared page-cache copy
+// across replicas — while a legacy v1 store streams through the
+// parse-and-rehash loader (the paper's §4.1 1111-second regime, scaled).
+// /stats reports the path taken (table_format: "v2+mmap", "v1", or
+// "built") alongside table_bytes and load_duration_ns.
 //
 // Endpoints (all JSON):
 //
@@ -102,8 +108,9 @@ func main() {
 			return
 		}
 		st := svc.Stats()
-		log.Printf("tables ready in %v: k=%d horizon=%d entries=%d",
-			st.LoadDuration.Round(time.Millisecond), st.K, st.Horizon, st.TableEntries)
+		log.Printf("tables ready in %v: k=%d horizon=%d entries=%d format=%s bytes=%d",
+			st.LoadDuration.Round(time.Millisecond), st.K, st.Horizon, st.TableEntries,
+			st.TableFormat, st.TableBytes)
 	}()
 
 	mux := http.NewServeMux()

@@ -7,6 +7,10 @@
 //	revtables -table fig2
 //	revtables -table none -k 7 -save k7.tables   # build + persist for revserve
 //
+// -save writes the tablesio v2 zero-copy store: revserve and revbfs
+// memory-map it on load, so serving cold starts skip the parse-and-
+// rehash entirely.
+//
 // Tables 1, 3, 4 and 6 need a synthesizer (built once per run); Tables 2
 // and 5 and Figure 1 are self-contained. With -k 7 every Table 6 row is
 // in range and Table 3 covers sizes through 14 (≈1 minute of

@@ -56,9 +56,11 @@ type Alphabet struct {
 	maxCost int
 }
 
-// MaxElements bounds alphabet sizes so element indices and flags pack
-// into the hash table's uint16 values.
-const MaxElements = 1 << 14
+// MaxElements bounds alphabet sizes so element indices pack into the
+// 10-bit element field of the cost-carrying hash-table values (the
+// all-ones pattern is the identity sentinel). The largest alphabet in
+// use — the 103 depth layers — is an order of magnitude below the bound.
+const MaxElements = 1<<10 - 1
 
 // NewAlphabet validates the element set and builds the conjugation
 // tables. Elements must compute distinct involutive non-identity

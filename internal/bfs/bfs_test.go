@@ -177,15 +177,17 @@ func TestPaperClaim48FoldReduction(t *testing.T) {
 }
 
 func TestValueEncoding(t *testing.T) {
-	for _, elem := range []int{0, 1, 31, 102, 16382} {
-		for _, first := range []bool{false, true} {
-			v := decodeValue(encodeValue(elem, first))
-			if v.Elem != elem || v.First != first || v.IsIdentity {
-				t.Fatalf("encode/decode(%d, %v) = %+v", elem, first, v)
+	for _, cost := range []int{0, 1, 9, MaxPackedCost} {
+		for _, elem := range []int{0, 1, 31, 102, MaxElements - 1} {
+			for _, first := range []bool{false, true} {
+				v := UnpackValue(PackValue(cost, elem, first))
+				if v.Elem != elem || v.First != first || v.Cost != cost || v.IsIdentity {
+					t.Fatalf("pack/unpack(%d, %d, %v) = %+v", cost, elem, first, v)
+				}
 			}
 		}
 	}
-	if v := decodeValue(identityVal); !v.IsIdentity {
+	if v := UnpackValue(PackIdentity()); !v.IsIdentity || v.Cost != 0 {
 		t.Fatal("identity value not recognized")
 	}
 }

@@ -12,14 +12,33 @@ import (
 	"repro/internal/perm"
 )
 
-// Hash-table value packing: bit 15 flags that the stored element is the
-// FIRST element of the representative's minimal circuit (it is the last
-// element otherwise); the low 15 bits hold the element index, with all
-// ones marking the identity entry, which stores no element at all.
+// Hash-table value packing (format v2, cost-packed): the uint16 value
+// carries the representative's exact minimal cost alongside the boundary
+// element, so a frozen table is self-describing — CostOf is one probe
+// instead of a boundary-element walk, and per-level iteration can be
+// derived from the table without a separate Levels copy.
+//
+//	bits 15…11  cost level (0…MaxPackedCost)
+//	bit  10     the stored element is the FIRST element of the
+//	            representative's minimal circuit (last otherwise)
+//	bits  9…0   element index; all ones marks the identity entry,
+//	            which stores no element at all
 const (
-	flagFirst   uint16 = 1 << 15
-	elemMask    uint16 = 0x7FFF
-	identityVal uint16 = elemMask
+	valueElemBits        = 10
+	flagFirst     uint16 = 1 << valueElemBits
+	elemMask      uint16 = 1<<valueElemBits - 1
+	costShift            = valueElemBits + 1
+	identityElem  uint16 = elemMask
+
+	// IdentityValue is the packed entry of the identity function: cost 0,
+	// no element.
+	IdentityValue uint16 = identityElem
+
+	// MaxPackedCost is the largest cost level the packed value can carry
+	// (5 bits). Search horizons beyond it are rejected; the paper's
+	// reference configuration is k = 9, and memory becomes the binding
+	// constraint one or two levels later, long before this cap.
+	MaxPackedCost = 1<<(16-costShift) - 1
 )
 
 // Value is a decoded hash-table entry.
@@ -34,21 +53,35 @@ type Value struct {
 	First bool
 	// IsIdentity marks the identity's entry.
 	IsIdentity bool
+	// Cost is the representative's exact minimal cost — the level the
+	// entry was discovered at.
+	Cost int
 }
 
-func encodeValue(elem int, first bool) uint16 {
-	v := uint16(elem) & elemMask
+// PackValue encodes a table value. cost must be in [0, MaxPackedCost]
+// and elem in [0, MaxElements); both are enforced upstream (Search
+// rejects deeper horizons, NewAlphabet larger alphabets).
+func PackValue(cost, elem int, first bool) uint16 {
+	v := uint16(elem)&elemMask | uint16(cost)<<costShift
 	if first {
 		v |= flagFirst
 	}
 	return v
 }
 
-func decodeValue(v uint16) Value {
-	if v&elemMask == identityVal {
-		return Value{IsIdentity: true}
+// PackIdentity encodes the identity entry (cost 0, no element).
+func PackIdentity() uint16 { return IdentityValue }
+
+// UnpackValue decodes a packed table value.
+func UnpackValue(v uint16) Value {
+	if v&elemMask == identityElem {
+		return Value{IsIdentity: true, Cost: int(v >> costShift)}
 	}
-	return Value{Elem: int(v & elemMask), First: v&flagFirst != 0}
+	return Value{
+		Elem:  int(v & elemMask),
+		First: v&flagFirst != 0,
+		Cost:  int(v >> costShift),
+	}
 }
 
 // Options configure a Search.
@@ -78,6 +111,20 @@ type Options struct {
 // (canonical representatives by exact minimal cost) plus the hash table H
 // mapping each representative to one boundary element of a minimal
 // circuit.
+//
+// A Result has one of two backends:
+//
+//   - Live (Search, v1 loads): Table holds the sharded hash table and
+//     Levels the per-cost representative lists.
+//   - Frozen (v2 loads, Compact): Frozen holds the immutable flat-layout
+//     table — possibly memory-mapped straight off a tablesio v2 file —
+//     and per-level iteration is served by a slot index into it, so no
+//     representative is stored twice. Table and Levels are nil.
+//
+// Query code should use the backend-neutral accessors (Level, LevelLen,
+// Lookup, Contains, CostOf, TotalStored, TableStats); the exported
+// fields remain for build-phase code and tests that exercise a specific
+// backend.
 type Result struct {
 	Alphabet *Alphabet
 	// MaxCost is the search horizon k: every class with minimal cost
@@ -85,13 +132,260 @@ type Result struct {
 	MaxCost int
 	// Levels[c] lists the representatives with minimal cost exactly c;
 	// Levels[0] is the identity. With weighted alphabets some levels may
-	// be empty.
+	// be empty. Nil on the frozen backend — use Level / LevelLen.
 	Levels [][]perm.Perm
 	// Table maps each representative's packed word to its encoded value.
-	// Search freezes it before returning, so lookups are lock-free.
+	// Search freezes it before returning, so lookups are lock-free. Nil
+	// on the frozen backend.
 	Table *hashtab.ShardedTable
+	// Frozen is the flat immutable table on the frozen backend, nil on
+	// the live one.
+	Frozen *hashtab.FrozenTable
+	// levelOff/levelIdx serve per-level iteration on the frozen backend:
+	// level c is the global slot numbers
+	// levelIdx[levelOff[c]:levelOff[c+1]], in the level's storage order.
+	levelOff []int
+	levelIdx []uint32
 	// Reduced records whether canonical reduction was applied.
 	Reduced bool
+}
+
+// LevelView is a backend-neutral, indexable view of one cost level's
+// representatives.
+type LevelView struct {
+	reps []perm.Perm
+	idx  []uint32
+	ft   *hashtab.FrozenTable
+}
+
+// Len returns the number of representatives in the level.
+func (v LevelView) Len() int {
+	if v.ft == nil {
+		return len(v.reps)
+	}
+	return len(v.idx)
+}
+
+// At returns the i-th representative.
+func (v LevelView) At(i int) perm.Perm {
+	if v.ft == nil {
+		return v.reps[i]
+	}
+	return perm.Perm(v.ft.KeyAt(v.idx[i]))
+}
+
+// Level returns an indexable view of cost level c, valid on both
+// backends.
+func (r *Result) Level(c int) LevelView {
+	if r.Frozen != nil {
+		return LevelView{idx: r.levelIdx[r.levelOff[c]:r.levelOff[c+1]], ft: r.Frozen}
+	}
+	return LevelView{reps: r.Levels[c]}
+}
+
+// LevelLen returns the number of representatives with cost exactly c.
+func (r *Result) LevelLen(c int) int {
+	if r.Frozen != nil {
+		return r.levelOff[c+1] - r.levelOff[c]
+	}
+	return len(r.Levels[c])
+}
+
+// rawLookup probes whichever backend is live.
+func (r *Result) rawLookup(key uint64) (uint16, bool) {
+	if r.Frozen != nil {
+		return r.Frozen.Lookup(key)
+	}
+	return r.Table.Lookup(key)
+}
+
+// Compact converts a live Result to the frozen backend in place: the
+// sharded table is re-laid into a flat hashtab.FrozenTable, the Levels
+// lists collapse into a slot index into it, and the originals are
+// dropped. One O(n) pass, after which the Result serves the same queries
+// from roughly 40% fewer resident bytes per representative (no second
+// copy of each packed word) — and is in exactly the layout tablesio
+// format v2 persists. No-op on an already-frozen Result.
+func (r *Result) Compact() error {
+	if r.Frozen != nil {
+		return nil
+	}
+	ft, idx, counts, err := r.CompactView()
+	if err != nil {
+		return err
+	}
+	levelOff := make([]int, r.MaxCost+2)
+	total := 0
+	for c, n := range counts {
+		levelOff[c] = total
+		total += n
+	}
+	levelOff[r.MaxCost+1] = total
+	r.Frozen, r.levelOff, r.levelIdx = ft, levelOff, idx
+	r.Table, r.Levels = nil, nil
+	return nil
+}
+
+// CompactView returns the frozen-layout components of the result — flat
+// table, per-level slot index, per-level counts — without mutating it.
+// On the frozen backend this is a reslice; on the live backend it
+// performs the one-off compaction pass (the caller decides whether to
+// keep it, as Compact does, or treat it as transient, as the v2 table
+// writer does).
+func (r *Result) CompactView() (*hashtab.FrozenTable, []uint32, []int, error) {
+	counts := make([]int, r.MaxCost+1)
+	if r.Frozen != nil {
+		for c := range counts {
+			counts[c] = r.levelOff[c+1] - r.levelOff[c]
+		}
+		return r.Frozen, r.levelIdx, counts, nil
+	}
+	ft, err := hashtab.Compact(r.Table)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	total := 0
+	for c := 0; c <= r.MaxCost; c++ {
+		counts[c] = len(r.Levels[c])
+		total += counts[c]
+	}
+	idx := make([]uint32, 0, total)
+	for c := 0; c <= r.MaxCost; c++ {
+		for _, rep := range r.Levels[c] {
+			slot, ok := ft.SlotOf(uint64(rep))
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("bfs: representative %v missing from its own table", rep)
+			}
+			idx = append(idx, slot)
+		}
+	}
+	return ft, idx, counts, nil
+}
+
+// FromFrozen assembles a frozen-backend Result from a flat table and its
+// per-level slot index (levelCounts[c] entries of levelIdx belong to
+// level c, in order). With verify set, the structural invariants are
+// checked exhaustively — every index hits a distinct live slot whose key
+// is a valid permutation, probe-reachable, cost-tagged with its level,
+// and element-tagged within the alphabet, and no table slot is orphaned
+// from the index. Loaders pass verify for untrusted streams and skip it
+// on the mmap fast path, where touching every page would defeat the
+// O(pages-touched) cold start (tablesio's checksums cover integrity
+// there).
+func FromFrozen(a *Alphabet, maxCost int, reduced bool, ft *hashtab.FrozenTable, levelIdx []uint32, levelCounts []int, verify bool) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bfs: nil alphabet")
+	}
+	if ft == nil {
+		return nil, fmt.Errorf("bfs: nil frozen table")
+	}
+	if maxCost < 0 || maxCost > MaxPackedCost {
+		return nil, fmt.Errorf("bfs: horizon %d outside [0, %d]", maxCost, MaxPackedCost)
+	}
+	if len(levelCounts) != maxCost+1 {
+		return nil, fmt.Errorf("bfs: %d level counts for horizon %d", len(levelCounts), maxCost)
+	}
+	levelOff := make([]int, maxCost+2)
+	total := 0
+	for c, n := range levelCounts {
+		if n < 0 {
+			return nil, fmt.Errorf("bfs: negative level count at cost %d", c)
+		}
+		levelOff[c] = total
+		total += n
+	}
+	levelOff[maxCost+1] = total
+	if total != len(levelIdx) || total != ft.Len() {
+		return nil, fmt.Errorf("bfs: level counts sum to %d, index holds %d, table holds %d", total, len(levelIdx), ft.Len())
+	}
+	r := &Result{
+		Alphabet: a,
+		MaxCost:  maxCost,
+		Frozen:   ft,
+		levelOff: levelOff,
+		levelIdx: levelIdx,
+		Reduced:  reduced,
+	}
+	if verify {
+		if err := r.verifyFrozen(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// verifyFrozen checks the frozen backend's structural invariants; see
+// FromFrozen.
+func (r *Result) verifyFrozen() error {
+	ft := r.Frozen
+	slots := ft.Slots()
+	seen := make([]uint64, (slots+63)/64)
+	for c := 0; c <= r.MaxCost; c++ {
+		for _, slot := range r.levelIdx[r.levelOff[c]:r.levelOff[c+1]] {
+			if int(slot) >= slots {
+				return fmt.Errorf("bfs: level %d slot index %d out of range", c, slot)
+			}
+			if seen[slot/64]&(1<<(slot%64)) != 0 {
+				return fmt.Errorf("bfs: slot %d indexed twice", slot)
+			}
+			seen[slot/64] |= 1 << (slot % 64)
+			key := ft.KeyAt(slot)
+			if !perm.Perm(key).IsValid() {
+				return fmt.Errorf("bfs: invalid entry %#x at level %d", key, c)
+			}
+			if at, ok := ft.SlotOf(key); !ok || at != slot {
+				return fmt.Errorf("bfs: entry %#x at slot %d is not probe-reachable", key, slot)
+			}
+			v := UnpackValue(ft.ValAt(slot))
+			if v.Cost != c {
+				return fmt.Errorf("bfs: entry %#x tagged cost %d in level %d", key, v.Cost, c)
+			}
+			if v.IsIdentity {
+				if perm.Perm(key) != perm.Identity || c != 0 {
+					return fmt.Errorf("bfs: non-identity %#x stored as identity", key)
+				}
+			} else {
+				if c == 0 {
+					return fmt.Errorf("bfs: level 0 holds non-identity entry %#x", key)
+				}
+				if v.Elem >= r.Alphabet.Len() {
+					return fmt.Errorf("bfs: entry %#x references element %d of a %d-element alphabet", key, v.Elem, r.Alphabet.Len())
+				}
+			}
+		}
+	}
+	// Every live slot must be reachable from the index, or ForEach-style
+	// iteration and Len would disagree with the levels.
+	live := 0
+	ft.ForEach(func(uint64, uint16) bool { live++; return true })
+	if live != ft.Len() {
+		return fmt.Errorf("bfs: table occupies %d slots but declares %d entries", live, ft.Len())
+	}
+	return nil
+}
+
+// MemoryBytes returns the approximate resident footprint of the table
+// structures: hash-table slots plus, per backend, the Levels lists (live)
+// or the per-level slot index (frozen). For a memory-mapped frozen table
+// the bytes are file-backed rather than heap.
+func (r *Result) MemoryBytes() int64 {
+	if r.Frozen != nil {
+		return r.Frozen.MemoryBytes() + int64(len(r.levelIdx))*4
+	}
+	var lv int64
+	for _, l := range r.Levels {
+		lv += int64(len(l)) * 8
+	}
+	return r.Table.MemoryBytes() + lv
+}
+
+// TableStats returns probe-chain statistics for whichever backend is
+// live.
+func (r *Result) TableStats() hashtab.Stats {
+	if r.Frozen != nil {
+		return r.Frozen.ComputeStats()
+	}
+	return r.Table.ComputeStats()
 }
 
 // Search runs paper Algorithm 2 over the alphabet up to cost horizon k.
@@ -112,6 +406,9 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("bfs: negative horizon %d", k)
 	}
+	if k > MaxPackedCost {
+		return nil, fmt.Errorf("bfs: horizon %d exceeds the packed-cost limit %d", k, MaxPackedCost)
+	}
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -130,7 +427,7 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 		Table:    table,
 		Reduced:  !opts.NoReduction,
 	}
-	table.Insert(uint64(perm.Identity), identityVal)
+	table.Insert(uint64(perm.Identity), PackIdentity())
 	res.Levels[0] = []perm.Perm{perm.Identity}
 
 	// Group element indices by cost so level c expands from level
@@ -174,12 +471,12 @@ func expandLevel(res *Result, costs []int, costGroups map[int][]int, c int, noRe
 		elemIdxs := costGroups[ec]
 		for _, r := range res.Levels[src] {
 			if noReduction {
-				lvl = expandPlain(res, r, elemIdxs, lvl)
+				lvl = expandPlain(res, r, elemIdxs, c, lvl)
 				continue
 			}
-			lvl = expandReduced(res, r, elemIdxs, lvl)
+			lvl = expandReduced(res, r, elemIdxs, c, lvl)
 			if ri := r.Inverse(); ri != r {
-				lvl = expandReduced(res, ri, elemIdxs, lvl)
+				lvl = expandReduced(res, ri, elemIdxs, c, lvl)
 			}
 		}
 	}
@@ -227,7 +524,7 @@ func expandLevelParallel(res *Result, costs []int, costGroups map[int][]int, c i
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e := newExpander(res)
+			e := newExpander(res, c)
 			for {
 				j := int(cursor.Add(1)) - 1
 				if j >= len(chunks) {
@@ -267,18 +564,21 @@ func expandLevelParallel(res *Result, costs []int, costGroups map[int][]int, c i
 const insertBatchSize = 512
 
 // expander is one worker's private state: a pending insert batch and the
-// buffer of representatives this worker discovered first.
+// buffer of representatives this worker discovered first. cost is the
+// level being expanded, packed into every inserted value.
 type expander struct {
 	res  *Result
+	cost int
 	keys []uint64
 	vals []uint16
 	ins  []bool
 	out  []perm.Perm
 }
 
-func newExpander(res *Result) *expander {
+func newExpander(res *Result, cost int) *expander {
 	return &expander{
 		res:  res,
+		cost: cost,
 		keys: make([]uint64, 0, insertBatchSize),
 		vals: make([]uint16, 0, insertBatchSize),
 		ins:  make([]bool, insertBatchSize),
@@ -298,7 +598,7 @@ func (e *expander) expandReduced(base perm.Perm, elemIdxs []int) {
 		// rep = conj(h, σ); when rep = conj(h⁻¹, σ) the circuit also
 		// reverses, making the conjugated element rep's first element.
 		ce := a.ConjugateElement(ei, sigma)
-		e.push(uint64(rep), encodeValue(ce, inverted))
+		e.push(uint64(rep), PackValue(e.cost, ce, inverted))
 	}
 }
 
@@ -308,7 +608,7 @@ func (e *expander) expandPlain(base perm.Perm, elemIdxs []int) {
 	a := e.res.Alphabet
 	for _, ei := range elemIdxs {
 		h := base.Then(a.Element(ei).P)
-		e.push(uint64(h), encodeValue(ei, false))
+		e.push(uint64(h), PackValue(e.cost, ei, false))
 	}
 }
 
@@ -339,13 +639,13 @@ func (e *expander) flush() {
 
 // expandReduced is the sequential (Workers == 1) inner loop, inserting
 // directly so the level order matches the original implementation.
-func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
+func expandReduced(res *Result, base perm.Perm, elemIdxs []int, cost int, lvl []perm.Perm) []perm.Perm {
 	a := res.Alphabet
 	for _, ei := range elemIdxs {
 		h := base.Then(a.Element(ei).P)
 		rep, sigma, inverted := canon.Canonical(h)
 		ce := a.ConjugateElement(ei, sigma)
-		if _, inserted := res.Table.Insert(uint64(rep), encodeValue(ce, inverted)); inserted {
+		if _, inserted := res.Table.Insert(uint64(rep), PackValue(cost, ce, inverted)); inserted {
 			lvl = append(lvl, rep)
 		}
 	}
@@ -353,11 +653,11 @@ func expandReduced(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm)
 }
 
 // expandPlain is the sequential unreduced variant.
-func expandPlain(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) []perm.Perm {
+func expandPlain(res *Result, base perm.Perm, elemIdxs []int, cost int, lvl []perm.Perm) []perm.Perm {
 	a := res.Alphabet
 	for _, ei := range elemIdxs {
 		h := base.Then(a.Element(ei).P)
-		if _, inserted := res.Table.Insert(uint64(h), encodeValue(ei, false)); inserted {
+		if _, inserted := res.Table.Insert(uint64(h), PackValue(cost, ei, false)); inserted {
 			lvl = append(lvl, h)
 		}
 	}
@@ -367,62 +667,47 @@ func expandPlain(res *Result, base perm.Perm, elemIdxs []int, lvl []perm.Perm) [
 // Lookup decodes the table entry for a key that must already be in
 // canonical form when the search was reduced.
 func (r *Result) Lookup(key perm.Perm) (Value, bool) {
-	raw, ok := r.Table.Lookup(uint64(key))
+	raw, ok := r.rawLookup(uint64(key))
 	if !ok {
 		return Value{}, false
 	}
-	return decodeValue(raw), true
+	return UnpackValue(raw), true
 }
 
 // Contains reports whether f's class (or f itself, unreduced) was reached
 // by the search, i.e. whether f has cost at most MaxCost.
 func (r *Result) Contains(f perm.Perm) bool {
 	if r.Reduced {
-		return r.Table.Contains(uint64(canon.Rep(f)))
+		key := uint64(canon.Rep(f))
+		_, ok := r.rawLookup(key)
+		return ok
 	}
-	return r.Table.Contains(uint64(f))
+	_, ok := r.rawLookup(uint64(f))
+	return ok
 }
 
-// CostOf returns f's minimal cost if it is within the search horizon. It
-// walks the stored boundary elements down to the identity, summing costs
-// — constant work per stripped element.
+// CostOf returns f's minimal cost if it is within the search horizon.
+// The cost travels inside the packed table value, so this is one
+// canonicalization plus one probe — it no longer walks the boundary
+// elements down to the identity, which cost a canonicalization per
+// stripped element and dominated residue costing in the
+// meet-in-the-middle stage.
 func (r *Result) CostOf(f perm.Perm) (int, bool) {
 	key := f
 	if r.Reduced {
 		key = canon.Rep(f)
 	}
-	total := 0
-	for steps := 0; ; steps++ {
-		v, ok := r.Lookup(key)
-		if !ok {
-			return 0, false
-		}
-		if v.IsIdentity {
-			return total, true
-		}
-		e := r.Alphabet.Element(v.Elem)
-		total += e.Cost
-		var next perm.Perm
-		if v.First {
-			next = e.P.Then(key)
-		} else {
-			next = key.Then(e.P)
-		}
-		if r.Reduced {
-			next = canon.Rep(next)
-		}
-		key = next
-		if steps > 64 {
-			// A cycle here would mean corrupted table invariants.
-			panic("bfs: boundary-element walk did not terminate")
-		}
+	raw, ok := r.rawLookup(uint64(key))
+	if !ok {
+		return 0, false
 	}
+	return int(raw >> costShift), true
 }
 
 // ReducedCount returns the number of stored representatives with cost
 // exactly c — paper Table 4's "Reduced Functions" column when the search
 // is reduced, or the full count when not.
-func (r *Result) ReducedCount(c int) int { return len(r.Levels[c]) }
+func (r *Result) ReducedCount(c int) int { return r.LevelLen(c) }
 
 // FullCount returns the number of functions (not classes) of cost exactly
 // c, by summing equivalence-class sizes — paper Table 4's "Functions"
@@ -444,16 +729,17 @@ const fullCountParallelThreshold = 4096
 // so the count is byte-identical for every worker count and schedule.
 func (r *Result) FullCountWorkers(c, workers int) int64 {
 	if !r.Reduced {
-		return int64(len(r.Levels[c]))
+		return int64(r.LevelLen(c))
 	}
-	reps := r.Levels[c]
+	lv := r.Level(c)
+	n := lv.Len()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || len(reps) < fullCountParallelThreshold {
+	if workers == 1 || n < fullCountParallelThreshold {
 		var total int64
-		for _, rep := range reps {
-			total += int64(canon.ClassSize(rep))
+		for i := 0; i < n; i++ {
+			total += int64(canon.ClassSize(lv.At(i)))
 		}
 		return total
 	}
@@ -462,7 +748,7 @@ func (r *Result) FullCountWorkers(c, workers int) int64 {
 		cursor atomic.Int64
 		wg     sync.WaitGroup
 	)
-	chunk := max(len(reps)/(workers*8), 512)
+	chunk := max(n/(workers*8), 512)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -470,11 +756,11 @@ func (r *Result) FullCountWorkers(c, workers int) int64 {
 			var local int64
 			for {
 				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= len(reps) {
+				if lo >= n {
 					break
 				}
-				for _, rep := range reps[lo:min(lo+chunk, len(reps))] {
-					local += int64(canon.ClassSize(rep))
+				for i := lo; i < min(lo+chunk, n); i++ {
+					local += int64(canon.ClassSize(lv.At(i)))
 				}
 			}
 			total.Add(local)
@@ -486,7 +772,12 @@ func (r *Result) FullCountWorkers(c, workers int) int64 {
 
 // TotalStored returns the number of hash-table entries (identity
 // included).
-func (r *Result) TotalStored() int { return r.Table.Len() }
+func (r *Result) TotalStored() int {
+	if r.Frozen != nil {
+		return r.Frozen.Len()
+	}
+	return r.Table.Len()
+}
 
 // GateReducedCounts lists the paper's Table 4 "Reduced Functions" column
 // for sizes 0…9: the number of equivalence classes of each size under

@@ -185,6 +185,26 @@ func ConjugateGate(g gate.Gate, s int) gate.Gate {
 // the identical representative.
 func Canonical(f perm.Perm) (rep perm.Perm, sigma int, inverted bool) {
 	fi := f.Inverse()
+	if fi == f {
+		// Involution: the inverse orbit coincides with the direct one, so
+		// the second sweep — half the conjugation kernels and comparisons
+		// of the general case — is pure repetition. Involutions are not
+		// rare in the BFS inner loop (every alphabet element is one, and
+		// palindromic products stay closed under inversion), so this
+		// halves the canonicalization cost exactly where Table 1 says the
+		// time goes.
+		rep, sigma = f, 0
+		cf := f
+		s := 0
+		for _, t := range schedule {
+			cf = cf.ConjugateAdjacent(t)
+			s = stepTable[s][t]
+			if cf < rep {
+				rep, sigma = cf, s
+			}
+		}
+		return rep, sigma, false
+	}
 	rep, sigma, inverted = f, 0, false
 	if fi < rep {
 		rep, inverted = fi, true
@@ -217,8 +237,26 @@ func Rep(f perm.Perm) perm.Perm {
 // enumeration of the meet-in-the-middle search (paper Algorithm 1): all
 // functions of size i are exactly the variants of the stored canonical
 // representatives of size i.
+//
+// When f is an involution the inverse orbit repeats the direct one
+// member for member, so only the 24 conjugates are visited — half the
+// kernels, and half the candidate probes for the search loops built on
+// top.
 func ForEachVariant(f perm.Perm, fn func(perm.Perm) bool) {
 	fi := f.Inverse()
+	if fi == f {
+		if !fn(f) {
+			return
+		}
+		cf := f
+		for _, t := range schedule {
+			cf = cf.ConjugateAdjacent(t)
+			if !fn(cf) {
+				return
+			}
+		}
+		return
+	}
 	if !fn(f) || !fn(fi) {
 		return
 	}
@@ -256,10 +294,11 @@ func Class(f perm.Perm) []perm.Perm {
 
 // ClassSize returns the number of distinct members of f's class (≤ 48).
 func ClassSize(f perm.Perm) int {
-	// The variant walk always yields exactly 48 values (with repeats);
-	// insertion-sort them into a stack array and count runs — no
-	// allocation and far fewer comparisons than a pairwise scan on this
-	// hot path (Result.FullCount calls this once per representative).
+	// The variant walk yields at most 48 values (24 for involutions, with
+	// repeats); insertion-sort them into a stack array and count runs —
+	// no allocation and far fewer comparisons than a pairwise scan on
+	// this hot path (Result.FullCount calls this once per
+	// representative).
 	var members [MaxClassSize]perm.Perm
 	n := 0
 	ForEachVariant(f, func(v perm.Perm) bool {

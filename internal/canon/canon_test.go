@@ -299,20 +299,81 @@ func TestQuickEquivalentFunctionsShareRep(t *testing.T) {
 	}
 }
 
+// randInvolution composes a random palindrome of gates — (g₁…gₙ…g₁) is
+// its own inverse because every gate is — giving involutions that are
+// not themselves single alphabet elements.
+func randInvolution(rng *rand.Rand) perm.Perm {
+	g1 := gate.FromIndex(rng.Intn(gate.Count)).Perm()
+	g2 := gate.FromIndex(rng.Intn(gate.Count)).Perm()
+	g3 := gate.FromIndex(rng.Intn(gate.Count)).Perm()
+	p := g1.Then(g2).Then(g3).Then(g2).Then(g1)
+	if p.Inverse() != p {
+		panic("palindrome is not an involution")
+	}
+	return p
+}
+
+// TestCanonicalInvolutionFastPath checks the single-sweep shortcut
+// against the definition: for involutions the representative must still
+// be the minimum over the full class, with a valid witness.
+func TestCanonicalInvolutionFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		f := randInvolution(rng)
+		rep, sigma, inverted := Canonical(f)
+		cls := Class(f)
+		if rep != cls[0] {
+			t.Fatalf("involution %v canonicalized to %v, class min %v", f, rep, cls[0])
+		}
+		base := f
+		if inverted {
+			base = f.Inverse()
+		}
+		if got := perm.Conjugate(base, Shuffle(sigma)); got != rep {
+			t.Fatalf("witness broken for involution %v: conj = %v, rep = %v", f, got, rep)
+		}
+		// The walk must visit the whole class in half the kernel count.
+		count, seen := 0, map[perm.Perm]bool{}
+		ForEachVariant(f, func(v perm.Perm) bool {
+			count++
+			seen[v] = true
+			return true
+		})
+		if count != SigmaCount {
+			t.Fatalf("involution variant walk yielded %d values, want %d", count, SigmaCount)
+		}
+		if len(seen) != ClassSize(f) {
+			t.Fatalf("involution walk covered %d distinct, class size %d", len(seen), ClassSize(f))
+		}
+	}
+}
+
+// BenchmarkCanonical isolates the canonicalization kernel on the two
+// input populations the BFS inner loop sees: general functions (one
+// inversion, 46 conjugation kernels) and involutions, where the inverse
+// sweep is skipped and the kernel count halves.
 func BenchmarkCanonical(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
-	ps := make([]perm.Perm, 1024)
-	for i := range ps {
-		ps[i] = randPerm(rng)
+	random := make([]perm.Perm, 1024)
+	invs := make([]perm.Perm, 1024)
+	for i := range random {
+		random[i] = randPerm(rng)
+		invs[i] = randInvolution(rng)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	var acc perm.Perm
-	for i := 0; i < b.N; i++ {
-		r, _, _ := Canonical(ps[i&1023])
-		acc ^= r
+	for _, tc := range []struct {
+		name string
+		ps   []perm.Perm
+	}{{"random", random}, {"involution", invs}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var acc perm.Perm
+			for i := 0; i < b.N; i++ {
+				r, _, _ := Canonical(tc.ps[i&1023])
+				acc ^= r
+			}
+			_ = acc
+		})
 	}
-	_ = acc
 }
 
 func BenchmarkClassSize(b *testing.B) {

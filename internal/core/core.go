@@ -255,10 +255,10 @@ func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circu
 		if err := ctx.Err(); err != nil {
 			return nil, info, fmt.Errorf("core: query aborted: %w", err)
 		}
-		reps := s.res.Levels[i]
+		reps := s.res.Level(i)
 		var lh levelHit
 		var err error
-		if workers > 1 && len(reps) >= parallelQueryThreshold {
+		if workers > 1 && reps.Len() >= parallelQueryThreshold {
 			lh, err = s.scanLevelParallel(ctx, reps, f, unit, workers)
 		} else {
 			lh, err = s.scanLevel(ctx, reps, f, unit)
@@ -318,14 +318,16 @@ const ctxCheckStride = 256
 
 // scanLevel scans a representative list sequentially, in the original
 // implementation's order: first hit wins for unit costs, minimum residue
-// cost over the whole level otherwise.
-func (s *Synthesizer) scanLevel(ctx context.Context, reps []perm.Perm, f perm.Perm, unit bool) (levelHit, error) {
+// cost over the whole level otherwise. The LevelView indirection serves
+// both backends — in-heap level slices and the slot index of a
+// memory-mapped frozen table.
+func (s *Synthesizer) scanLevel(ctx context.Context, reps bfs.LevelView, f perm.Perm, unit bool) (levelHit, error) {
 	var lh levelHit
-	for n, rep := range reps {
+	for n := 0; n < reps.Len(); n++ {
 		if n%ctxCheckStride == 0 && ctx.Err() != nil {
 			return lh, fmt.Errorf("core: query aborted: %w", ctx.Err())
 		}
-		q, residue, tried := s.probeClass(rep, f)
+		q, residue, tried := s.probeClass(reps.At(n), f)
 		lh.tried += tried
 		if q == 0 {
 			continue
@@ -351,7 +353,7 @@ func (s *Synthesizer) scanLevel(ctx context.Context, reps []perm.Perm, f perm.Pe
 // workers mid-chunk, and context cancellation raises the same flag at
 // chunk granularity. For weighted alphabets every chunk is scanned and
 // the minimum-residue-cost hit is kept.
-func (s *Synthesizer) scanLevelParallel(ctx context.Context, reps []perm.Perm, f perm.Perm, unit bool, workers int) (levelHit, error) {
+func (s *Synthesizer) scanLevelParallel(ctx context.Context, reps bfs.LevelView, f perm.Perm, unit bool, workers int) (levelHit, error) {
 	var (
 		cursor  atomic.Int64
 		stop    atomic.Bool
@@ -361,7 +363,8 @@ func (s *Synthesizer) scanLevelParallel(ctx context.Context, reps []perm.Perm, f
 		scanErr error
 		wg      sync.WaitGroup
 	)
-	chunk := max(len(reps)/(workers*8), 64)
+	n := reps.Len()
+	chunk := max(n/(workers*8), 64)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -382,14 +385,14 @@ func (s *Synthesizer) scanLevelParallel(ctx context.Context, reps []perm.Perm, f
 					return
 				}
 				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= len(reps) {
+				if lo >= n {
 					return
 				}
-				for _, rep := range reps[lo:min(lo+chunk, len(reps))] {
+				for i := lo; i < min(lo+chunk, n); i++ {
 					if stop.Load() {
 						return
 					}
-					q, residue, t := s.probeClass(rep, f)
+					q, residue, t := s.probeClass(reps.At(i), f)
 					local += t
 					if q == 0 {
 						continue

@@ -107,12 +107,12 @@ func ExactSizeSamples(s *core.Synthesizer, size, count int, seed uint32) ([]perm
 	rng := mt19937.New(seed)
 	out := make([]perm.Perm, 0, count)
 	if size <= s.K() {
-		lvl := s.Result().Levels[size]
-		if len(lvl) == 0 {
+		lvl := s.Result().Level(size)
+		if lvl.Len() == 0 {
 			return nil, fmt.Errorf("distrib: no functions of size %d", size)
 		}
 		for len(out) < count {
-			rep := lvl[rng.Intn(len(lvl))]
+			rep := lvl.At(rng.Intn(lvl.Len()))
 			member := perm.Conjugate(rep, canon.Shuffle(rng.Intn(canon.SigmaCount)))
 			if rng.Intn(2) == 1 {
 				member = member.Inverse()

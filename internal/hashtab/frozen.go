@@ -1,0 +1,297 @@
+package hashtab
+
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
+
+// FrozenTable is the immutable, flat-layout view of a table: every shard
+// occupies the same power-of-two number of slots inside two contiguous
+// arrays (keys, vals), so the whole probe structure is two allocations —
+// or, on the serving path, two sections of a memory-mapped table file
+// (tablesio format v2). Because the layout is position-determined by the
+// Wang hash alone, a persisted FrozenTable needs no parsing and no
+// rehashing to become servable: the mapped bytes ARE the table.
+//
+// The read path is the innermost operation of the meet-in-the-middle
+// search, so Lookup probes through raw pointers (no per-probe bounds
+// checks) with the shard and slot derived from one hash by shift/mask
+// arithmetic only. The geometry is validated once at construction, which
+// is what makes the unchecked arithmetic safe: shard index is hash >>
+// shardShift < shardCount and slot index is masked, so every access
+// stays inside the arrays for any key and any (even corrupt) cell
+// contents. A probe visits at most slotsPerShard cells, so a full
+// (corrupt) shard terminates instead of cycling.
+//
+// A FrozenTable is safe for concurrent use by any number of readers.
+type FrozenTable struct {
+	keys []uint64
+	vals []uint16
+	// keysPtr/valsPtr cache the backing-array base pointers; the slices
+	// above keep the memory (or mapping owner) reachable.
+	keysPtr unsafe.Pointer
+	valsPtr unsafe.Pointer
+	// shardShift is 64 − log2(shardCount): shard index = hash >> shardShift.
+	shardShift uint
+	// slotLog is log2(slots per shard); slotMask = 1<<slotLog − 1.
+	slotLog  uint
+	slotMask uint64
+	count    int
+	closer   func() error
+}
+
+// maxFrozenSlots bounds the total slot count so global slot numbers fit
+// in uint32, the width of the persisted per-level slot index.
+const maxFrozenSlots = int64(1) << 32
+
+// minShardSlots is the smallest per-shard slot count; it keeps the mask
+// arithmetic non-degenerate and matches the inner Table's minimum.
+const minShardSlots = 16
+
+// NewFrozen wraps pre-laid-out slot arrays as a frozen table. The slices
+// must follow the canonical layout: shardCount uniform shards of
+// len(keys)/shardCount slots each (both powers of two), key 0 marking
+// empty slots, and every key placed on its linear-probe chain from slot
+// Hash64Shift(key)&slotMask of shard Hash64Shift(key)>>shardShift.
+// count is the number of non-empty slots. Only the geometry is validated
+// here; the placement invariant is the writer's contract (tablesio
+// verifies it when loading untrusted streams).
+func NewFrozen(keys []uint64, vals []uint16, shardCount, count int) (*FrozenTable, error) {
+	if len(keys) == 0 || len(keys) != len(vals) {
+		return nil, fmt.Errorf("hashtab: frozen slot arrays have lengths %d/%d", len(keys), len(vals))
+	}
+	if shardCount < 1 || shardCount&(shardCount-1) != 0 || shardCount > 1<<16 {
+		return nil, fmt.Errorf("hashtab: frozen shard count %d is not a power of two in [1, 65536]", shardCount)
+	}
+	if int64(len(keys)) > maxFrozenSlots {
+		return nil, fmt.Errorf("hashtab: %d slots exceed the uint32 slot-index space", len(keys))
+	}
+	perShard := len(keys) / shardCount
+	if perShard*shardCount != len(keys) || perShard < minShardSlots || perShard&(perShard-1) != 0 {
+		return nil, fmt.Errorf("hashtab: %d slots do not split into %d uniform power-of-two shards", len(keys), shardCount)
+	}
+	if count < 0 || count > len(keys) {
+		return nil, fmt.Errorf("hashtab: frozen entry count %d out of range [0, %d]", count, len(keys))
+	}
+	slotLog := uint(bits.TrailingZeros(uint(perShard)))
+	return &FrozenTable{
+		keys:       keys,
+		vals:       vals,
+		keysPtr:    unsafe.Pointer(unsafe.SliceData(keys)),
+		valsPtr:    unsafe.Pointer(unsafe.SliceData(vals)),
+		shardShift: uint(64 - bits.TrailingZeros(uint(shardCount))),
+		slotLog:    slotLog,
+		slotMask:   uint64(perShard - 1),
+		count:      count,
+	}, nil
+}
+
+// Compact re-lays a sharded table into the frozen flat layout: one pass
+// that sizes every shard to the same power of two (the smallest keeping
+// the fullest shard at or under the build-phase load factor) and places
+// each entry on its probe chain. This is the once-per-table cost the
+// serving path pays so that queries — and the persisted v2 format — get
+// the two-array layout; afterwards the sharded table can be dropped.
+func Compact(t *ShardedTable) (*FrozenTable, error) {
+	maxCount, total := 0, 0
+	for i := range t.shards {
+		n := t.shards[i].t.Len()
+		total += n
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	perShard := minShardSlots
+	for float64(maxCount) > maxLoadFactor*float64(perShard) {
+		perShard <<= 1
+	}
+	shardCount := len(t.shards)
+	if int64(shardCount)*int64(perShard) > maxFrozenSlots {
+		return nil, fmt.Errorf("hashtab: compact layout needs %d slots, over the uint32 slot-index space", int64(shardCount)*int64(perShard))
+	}
+	keys := make([]uint64, shardCount*perShard)
+	vals := make([]uint16, shardCount*perShard)
+	ft, err := NewFrozen(keys, vals, shardCount, total)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.shards {
+		t.shards[i].t.ForEach(func(k uint64, v uint16) bool {
+			ft.place(k, v)
+			return true
+		})
+	}
+	return ft, nil
+}
+
+// place inserts during Compact; keys come from a map, so duplicates are
+// impossible and an empty slot always exists (load factor < 1).
+func (t *FrozenTable) place(key uint64, val uint16) {
+	h := Hash64Shift(key)
+	base := (h >> t.shardShift) << t.slotLog
+	i := h & t.slotMask
+	for {
+		j := base + i
+		if t.keys[j] == 0 {
+			t.keys[j] = key
+			t.vals[j] = val
+			return
+		}
+		i = (i + 1) & t.slotMask
+	}
+}
+
+// Lookup returns the value stored under key and whether it is present.
+// Key 0 is never present. Lock-free and allocation-free.
+func (t *FrozenTable) Lookup(key uint64) (uint16, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	h := Hash64Shift(key)
+	base := (h >> t.shardShift) << t.slotLog
+	mask := t.slotMask
+	i := h & mask
+	// Geometry proof for the unchecked loads: base ≤ (shardCount−1)<<slotLog
+	// and i ≤ mask < 1<<slotLog, so base+i < shardCount<<slotLog = len(keys).
+	for n := uint64(0); n <= mask; n++ {
+		j := uintptr(base + i)
+		k := *(*uint64)(unsafe.Add(t.keysPtr, j*8))
+		if k == key {
+			return *(*uint16)(unsafe.Add(t.valsPtr, j*2)), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t *FrozenTable) Contains(key uint64) bool {
+	_, ok := t.Lookup(key)
+	return ok
+}
+
+// SlotOf returns the global slot number holding key, for building the
+// persisted per-level slot index.
+func (t *FrozenTable) SlotOf(key uint64) (uint32, bool) {
+	if key == 0 {
+		return 0, false
+	}
+	h := Hash64Shift(key)
+	base := (h >> t.shardShift) << t.slotLog
+	mask := t.slotMask
+	i := h & mask
+	for n := uint64(0); n <= mask; n++ {
+		j := base + i
+		k := t.keys[j]
+		if k == key {
+			return uint32(j), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & mask
+	}
+	return 0, false
+}
+
+// KeyAt returns the key stored in a global slot (0 when empty). The slot
+// is masked into range, so a corrupt persisted index cannot read outside
+// the arrays.
+func (t *FrozenTable) KeyAt(slot uint32) uint64 {
+	return t.keys[uint64(slot)&uint64(len(t.keys)-1)]
+}
+
+// ValAt returns the value stored in a global slot.
+func (t *FrozenTable) ValAt(slot uint32) uint16 {
+	return t.vals[uint64(slot)&uint64(len(t.vals)-1)]
+}
+
+// Len returns the number of stored entries.
+func (t *FrozenTable) Len() int { return t.count }
+
+// Slots returns the total slot count (a power of two).
+func (t *FrozenTable) Slots() int { return len(t.keys) }
+
+// ShardCount returns the number of uniform shards.
+func (t *FrozenTable) ShardCount() int { return 1 << (64 - t.shardShift) }
+
+// SlotsPerShard returns the per-shard slot count.
+func (t *FrozenTable) SlotsPerShard() int { return 1 << t.slotLog }
+
+// LoadFactor returns entries/slots.
+func (t *FrozenTable) LoadFactor() float64 { return float64(t.count) / float64(len(t.keys)) }
+
+// MemoryBytes returns the footprint of the backing arrays (8-byte key +
+// 2-byte value per slot). For a memory-mapped table this is the mapped
+// size — file-backed, shared between processes, and evictable — not
+// process heap; compare Table.MemoryBytes, which is always heap.
+func (t *FrozenTable) MemoryBytes() int64 { return int64(len(t.keys)) * 10 }
+
+// RawKeys exposes the backing key array for serialization. Callers must
+// not mutate it.
+func (t *FrozenTable) RawKeys() []uint64 { return t.keys }
+
+// RawVals exposes the backing value array for serialization. Callers
+// must not mutate it.
+func (t *FrozenTable) RawVals() []uint16 { return t.vals }
+
+// ForEach calls fn for every (key, value) pair in slot order, stopping
+// early if fn returns false.
+func (t *FrozenTable) ForEach(fn func(key uint64, val uint16) bool) {
+	for i, k := range t.keys {
+		if k != 0 {
+			if !fn(k, t.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ComputeStats scans the table and returns probe-chain statistics,
+// comparable with Table.ComputeStats.
+func (t *FrozenTable) ComputeStats() Stats {
+	s := Stats{
+		Entries:     t.count,
+		Slots:       len(t.keys),
+		LoadFactor:  t.LoadFactor(),
+		MemoryBytes: t.MemoryBytes(),
+	}
+	if t.count == 0 {
+		return s
+	}
+	total := 0
+	for j, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		h := Hash64Shift(k)
+		home := h & t.slotMask
+		dist := int((uint64(j) - home) & t.slotMask)
+		chain := dist + 1
+		total += chain
+		if chain > s.MaxChain {
+			s.MaxChain = chain
+		}
+	}
+	s.AvgChain = float64(total) / float64(s.Entries)
+	return s
+}
+
+// SetCloser attaches a release hook (e.g. munmap of the backing file).
+func (t *FrozenTable) SetCloser(fn func() error) { t.closer = fn }
+
+// Close releases the backing resources, if any. The table must not be
+// used afterwards. Close is safe to call on tables without a closer and
+// at most once otherwise.
+func (t *FrozenTable) Close() error {
+	if t.closer == nil {
+		return nil
+	}
+	fn := t.closer
+	t.closer = nil
+	return fn()
+}

@@ -5,6 +5,16 @@
 // through a bounded worker pool with per-query cancellation, an LRU
 // cache of recent results, and atomic serving counters.
 //
+// Table acquisition is zero-copy whenever the store allows it: a
+// TablesPath pointing at a tablesio format-v2 store is memory-mapped
+// (header check, no parse, no rehash), so a cold start that used to
+// stream and re-insert every representative becomes O(pages touched) and
+// concurrent server processes share one page-cache copy of the table.
+// Fresh builds are compacted into the same frozen layout before serving
+// and persisting, dropping the duplicate per-level representative lists.
+// Stats reports how the tables were acquired (TableFormat), their
+// footprint (TableBytes), and the startup cost (LoadDuration).
+//
 // The lifecycle mirrors a production daemon:
 //
 //	svc := service.NewAsync(service.Config{K: 7, TablesPath: "k7.tables"})
@@ -91,12 +101,16 @@ type Synthesizer struct {
 	start time.Time
 
 	// ready is closed once loading finished (successfully or not);
-	// synth/loadErr/loadDur are written before the close and read only
-	// after it, so the channel provides the happens-before edge.
+	// synth/loadErr/loadDur/tableSource are written before the close and
+	// read only after it, so the channel provides the happens-before
+	// edge.
 	ready   chan struct{}
 	synth   *core.Synthesizer
 	loadErr error
 	loadDur time.Duration
+	// tableSource records where the tables came from: "injected",
+	// "built", or the store format ("v1", "v2", "v2+mmap").
+	tableSource string
 
 	// sem is the bounded worker pool: a query holds one slot while it
 	// runs; Close acquires every slot to drain in-flight work, closing
@@ -174,6 +188,7 @@ func (s *Synthesizer) acquireTables() (*core.Synthesizer, error) {
 			return nil, err
 		}
 		synth.SetWorkers(cfg.QueryWorkers)
+		s.tableSource = "injected"
 		return synth, nil
 	}
 	alphabet := cfg.Alphabet
@@ -181,22 +196,22 @@ func (s *Synthesizer) acquireTables() (*core.Synthesizer, error) {
 		alphabet = bfs.GateAlphabet()
 	}
 	if cfg.TablesPath != "" {
-		f, err := os.Open(cfg.TablesPath)
-		if err == nil {
-			res, lerr := tablesio.LoadWithOptions(f, alphabet, &tablesio.LoadOptions{Progress: cfg.Progress})
-			f.Close()
-			if lerr != nil {
-				return nil, fmt.Errorf("service: loading %s: %w", cfg.TablesPath, lerr)
-			}
+		// LoadFile picks the fastest safe path for the store's format —
+		// for a v2 store on a capable host that is the mmap fast path:
+		// the file becomes the table and startup is O(pages touched), no
+		// parse, no rehash.
+		res, info, lerr := tablesio.LoadFile(cfg.TablesPath, alphabet, &tablesio.LoadOptions{Progress: cfg.Progress})
+		if lerr == nil {
 			synth, serr := core.FromResult(res, cfg.MaxSplit)
 			if serr != nil {
 				return nil, serr
 			}
 			synth.SetWorkers(cfg.QueryWorkers)
+			s.tableSource = info.String()
 			return synth, nil
 		}
-		if !errors.Is(err, os.ErrNotExist) {
-			return nil, fmt.Errorf("service: opening %s: %w", cfg.TablesPath, err)
+		if !errors.Is(lerr, os.ErrNotExist) {
+			return nil, fmt.Errorf("service: loading %s: %w", cfg.TablesPath, lerr)
 		}
 	}
 	synth, err := core.New(core.Config{
@@ -209,6 +224,14 @@ func (s *Synthesizer) acquireTables() (*core.Synthesizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Serving wants the compact frozen layout regardless of persistence:
+	// it drops the duplicate Levels copy (~40% fewer resident bytes per
+	// representative) and is the exact layout SaveFile writes, so the
+	// persist below reuses it instead of re-laying the table out.
+	if err := synth.Result().Compact(); err != nil {
+		return nil, err
+	}
+	s.tableSource = "built"
 	if cfg.TablesPath != "" {
 		// A Close during the build cannot abort the BFS (it has no
 		// cancellation points), but a closed service must not keep
@@ -427,11 +450,16 @@ func (s *Synthesizer) release() { <-s.sem }
 
 // Close rejects new queries and drains the worker pool: it returns once
 // every in-flight query finished, or ctx expired (in which case the
-// stragglers still drain in the background — the frozen tables stay
-// valid). An async startup still in its BFS build phase runs that build
-// to completion in the background (the search has no cancellation
-// points) but will not persist the tables or serve afterwards. Close is
-// idempotent; concurrent calls all wait for the drain.
+// stragglers still drain in the background). An async startup still in
+// its BFS build phase runs that build to completion in the background
+// (the search has no cancellation points) but will not persist the
+// tables or serve afterwards. Close is idempotent; concurrent calls all
+// wait for the drain.
+//
+// Tables the service acquired itself — loaded from TablesPath (possibly
+// a file mapping on the v2 mmap path) or built — are released once the
+// drain completes, so do not use Core() after Close; injected
+// Config.Tables belong to the caller and are left untouched.
 func (s *Synthesizer) Close(ctx context.Context) error {
 	s.once.Do(func() {
 		close(s.done)
@@ -442,6 +470,16 @@ func (s *Synthesizer) Close(ctx context.Context) error {
 				s.sem <- struct{}{}
 			}
 			close(s.drained)
+			// With the pool reclaimed and new queries rejected, nothing
+			// can touch the tables again: release a mapping the service
+			// owns. Startup may still be running — its result is awaited
+			// here, off the Close caller's path.
+			<-s.ready
+			if s.cfg.Tables == nil && s.synth != nil {
+				if ft := s.synth.Result().Frozen; ft != nil {
+					ft.Close()
+				}
+			}
 		}()
 	})
 	select {
@@ -464,6 +502,13 @@ type Stats struct {
 	MaxSplit     int `json:"max_split"`
 	Horizon      int `json:"horizon"`
 	TableEntries int `json:"table_entries"`
+	// TableBytes is the table footprint (hashtab slots plus level
+	// structures); for a memory-mapped store these bytes are file-backed
+	// and shared, not process heap. TableFormat records the acquisition
+	// path: "injected", "built", or the store format loaded ("v1", "v2",
+	// "v2+mmap" — the last being the zero-copy cold-start fast path).
+	TableBytes  int64  `json:"table_bytes"`
+	TableFormat string `json:"table_format,omitempty"`
 	// Workers is the pool bound; InFlight the queries currently holding
 	// a slot.
 	Workers  int   `json:"workers"`
@@ -519,6 +564,8 @@ func (s *Synthesizer) Stats() Stats {
 		st.MaxSplit = s.synth.MaxSplit()
 		st.Horizon = s.synth.Horizon()
 		st.TableEntries = s.synth.Result().TotalStored()
+		st.TableBytes = s.synth.Result().MemoryBytes()
+		st.TableFormat = s.tableSource
 	default:
 	}
 	return st

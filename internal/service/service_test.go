@@ -439,6 +439,62 @@ func TestServiceTablesPath(t *testing.T) {
 	}
 }
 
+// TestServiceTableAcquisitionStats pins the serving-observability
+// contract: Stats reports how the tables were acquired, their byte
+// footprint, and a load duration, for each acquisition path.
+func TestServiceTableAcquisitionStats(t *testing.T) {
+	svc, err := New(Config{Tables: fixtureTables(t), QueryWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	svc.Close(context.Background())
+	if st.TableFormat != "injected" {
+		t.Fatalf("injected tables report format %q", st.TableFormat)
+	}
+	if st.TableBytes <= 0 {
+		t.Fatalf("injected tables report %d bytes", st.TableBytes)
+	}
+
+	path := filepath.Join(t.TempDir(), "k3.tables")
+	built, err := New(Config{K: 3, TablesPath: path, QueryWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = built.Stats()
+	built.Close(context.Background())
+	if st.TableFormat != "built" {
+		t.Fatalf("fresh build reports format %q", st.TableFormat)
+	}
+
+	loaded, err := New(Config{K: 3, TablesPath: path, QueryWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close(context.Background())
+	st = loaded.Stats()
+	if st.TableFormat != "v2+mmap" && st.TableFormat != "v2" {
+		t.Fatalf("persisted store reports format %q, want a v2 path", st.TableFormat)
+	}
+	if st.TableBytes <= 0 || st.TableEntries == 0 {
+		t.Fatalf("loaded store reports %d bytes / %d entries", st.TableBytes, st.TableEntries)
+	}
+	// The zero-copy path must still answer queries identically to the
+	// builder it replaced.
+	f := randomCircuitPerm(rand.New(rand.NewSource(9)), 3)
+	want, err := built.Core().Synthesize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.Synthesize(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("mmap-served circuit %v differs from built %v", got, want)
+	}
+}
+
 func TestServiceDefaultTimeout(t *testing.T) {
 	res := fixtureTables(t)
 	svc, err := New(Config{Tables: res, DefaultTimeout: time.Nanosecond, CacheSize: -1})

@@ -55,6 +55,48 @@ func FuzzLoad(f *testing.F) {
 	binary.LittleEndian.PutUint64(wrap[44:52], ^uint64(0))
 	f.Add(wrap)
 
+	// Format v2 corpus: the valid zero-copy stream plus the hostile
+	// variants its loader must survive — truncated headers, truncated
+	// slot arrays, flipped section bytes, and forged geometry (shard
+	// counts, slot sizes, offsets) that must fail cleanly instead of
+	// OOMing or overflowing the layout arithmetic.
+	var buf2 bytes.Buffer
+	if err := SaveV2(&buf2, res); err != nil {
+		f.Fatal(err)
+	}
+	blob2 := buf2.Bytes()
+	f.Add(blob2)
+	f.Add(blob2[:40])               // truncated fixed header
+	f.Add(blob2[:headerFixedLen+4]) // truncated level counts
+	f.Add(blob2[:pageAlign+11])     // truncated key section
+	f.Add(blob2[:len(blob2)-1])     // truncated index padding
+	corrupt2 := func(pos int, bit uint) []byte {
+		c := append([]byte(nil), blob2...)
+		c[pos] ^= 1 << bit
+		return c
+	}
+	f.Add(corrupt2(3, 0))            // version byte
+	f.Add(corrupt2(8, 1))            // maxCost
+	f.Add(corrupt2(36, 0))           // shard count
+	f.Add(corrupt2(44, 7))           // slots per shard
+	f.Add(corrupt2(60, 3))           // keys offset
+	f.Add(corrupt2(pageAlign, 5))    // key section content
+	f.Add(corrupt2(len(blob2)-5, 2)) // index section content
+	reseal := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), blob2...)
+		mutate(b)
+		maxCost := binary.LittleEndian.Uint32(b[8:])
+		n := headerFixedLen + (int(maxCost)+1)*8 + 8
+		if n+8 <= len(b) {
+			binary.LittleEndian.PutUint64(b[n-8:], hashBytesV2(b[:n-8]))
+		}
+		return b
+	}
+	f.Add(reseal(func(b []byte) { binary.LittleEndian.PutUint32(b[36:], 3) }))          // non-pow2 shards
+	f.Add(reseal(func(b []byte) { binary.LittleEndian.PutUint64(b[44:], 1<<40) }))      // absurd slots
+	f.Add(reseal(func(b []byte) { binary.LittleEndian.PutUint64(b[52:], 1<<50) }))      // absurd entries
+	f.Add(reseal(func(b []byte) { binary.LittleEndian.PutUint64(b[84:], ^uint64(0)) })) // lying file size
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A tight entry cap keeps even "plausible" fuzzed headers from
 		// committing real memory; correctness of the cap itself is
@@ -64,16 +106,24 @@ func FuzzLoad(f *testing.F) {
 			return
 		}
 		// Accepted streams must be internally consistent: every level
-		// entry present in the frozen table.
-		if res == nil || !res.Table.Frozen() {
+		// entry present in the table, whichever backend carries it.
+		if res == nil {
+			t.Fatal("accepted stream produced nil result")
+		}
+		if res.Frozen == nil && !res.Table.Frozen() {
 			t.Fatal("accepted stream produced unusable result")
 		}
 		n := 0
-		for c, lvl := range res.Levels {
-			n += len(lvl)
-			for _, rep := range lvl {
-				if !res.Table.Contains(uint64(rep)) {
+		for c := 0; c <= res.MaxCost; c++ {
+			lvl := res.Level(c)
+			n += lvl.Len()
+			for i := 0; i < lvl.Len(); i++ {
+				rep := lvl.At(i)
+				if !res.Contains(rep) {
 					t.Fatalf("level %d entry %v missing from table", c, rep)
+				}
+				if cost, ok := res.CostOf(rep); !ok || cost != c {
+					t.Fatalf("level %d entry %v reports cost %d/%v", c, rep, cost, ok)
 				}
 			}
 		}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package tablesio
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, fmt.Errorf("tablesio: memory mapping unsupported on this platform")
+}

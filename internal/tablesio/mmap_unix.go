@@ -1,0 +1,28 @@
+//go:build unix
+
+package tablesio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports that this platform can map table files;
+// LoadFile falls back to the streaming loader elsewhere.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared (so concurrent
+// server processes serving the same store share one page-cache copy).
+// The returned release function unmaps; the file descriptor itself may
+// be closed as soon as the mapping exists.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("tablesio: cannot map %d bytes", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

@@ -5,11 +5,18 @@
 // querying — their CS1 runs spend 1111 seconds loading the tables from
 // disk (§4.1), and §5 estimates a 5-minute load on commodity hardware.
 //
-// The format is a little-endian binary stream:
+// Two formats are supported. Format v1 is the original little-endian
+// entry stream, which every load must parse and rehash:
 //
 //	magic "RVT1" | flags | k | alphabet fingerprint |
 //	per-level counts | representative words | per-representative values |
 //	FNV-64a checksum of everything above
+//
+// Format v2 (see format2.go) persists the frozen probe-table layout
+// itself, so a load is a header check plus a memory map: cold start in
+// milliseconds where a v1 parse-and-rehash takes seconds to minutes.
+// SaveFile writes v2; Save keeps writing v1 for compatibility with older
+// binaries; Load reads both; LoadFile adds the v2 mmap fast path.
 //
 // The alphabet itself is NOT serialized — it is reconstructable code —
 // but a fingerprint (element count, max cost, XOR/sum of element words)
@@ -38,12 +45,16 @@ import (
 // precise error instead of a checksum mismatch deep into the stream.
 var (
 	magicPrefix = [3]byte{'R', 'V', 'T'}
-	// formatVersion is the newest version this package writes and the
-	// only one it reads; bump when the layout changes incompatibly.
-	formatVersion = byte('1')
 )
 
-var magic = [4]byte{magicPrefix[0], magicPrefix[1], magicPrefix[2], formatVersion}
+const (
+	// version1 is the legacy entry-stream format.
+	version1 = byte('1')
+	// version2 is the zero-copy frozen-table format (format2.go).
+	version2 = byte('2')
+)
+
+var magicV1 = [4]byte{magicPrefix[0], magicPrefix[1], magicPrefix[2], version1}
 
 const (
 	flagReduced = 1 << 0
@@ -97,15 +108,39 @@ func (cw *checksumWriter) Write(p []byte) (int, error) {
 	return cw.w.Write(p)
 }
 
-// Save serializes a BFS result. The alphabet is identified by
-// fingerprint only; pass the same alphabet to Load.
+// Legacy (v1) on-disk value packing: bit 15 flags a first element, the
+// low 15 bits hold the element index, all ones marking the identity.
+// Files written before the cost-packed in-memory values keep loading,
+// and files written by Save keep opening under older binaries; the cost
+// field is reconstructed from the entry's level on load.
+const (
+	legacyFlagFirst uint16 = 1 << 15
+	legacyElemMask  uint16 = 0x7FFF
+	legacyIdentity  uint16 = legacyElemMask
+)
+
+func legacyEncode(v bfs.Value) uint16 {
+	if v.IsIdentity {
+		return legacyIdentity
+	}
+	raw := uint16(v.Elem) & legacyElemMask
+	if v.First {
+		raw |= legacyFlagFirst
+	}
+	return raw
+}
+
+// Save serializes a BFS result in format v1, the compatibility format
+// older binaries can read. The alphabet is identified by fingerprint
+// only; pass the same alphabet to Load. New stores should prefer SaveV2
+// / SaveFile, whose layout loads without parsing or rehashing.
 func Save(w io.Writer, res *bfs.Result) error {
 	if res == nil {
 		return fmt.Errorf("tablesio: nil result")
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	cw := &checksumWriter{w: bw, h: fnv.New64a()}
-	if _, err := cw.Write(magic[:]); err != nil {
+	if _, err := cw.Write(magicV1[:]); err != nil {
 		return err
 	}
 	var flags uint32
@@ -125,19 +160,21 @@ func Save(w io.Writer, res *bfs.Result) error {
 	// values in the same order. Writing values alongside keys lets Load
 	// rebuild the open-addressing table at the ideal size.
 	for c := 0; c <= res.MaxCost; c++ {
-		if err := binary.Write(cw, binary.LittleEndian, uint64(len(res.Levels[c]))); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint64(res.LevelLen(c))); err != nil {
 			return err
 		}
 	}
 	buf := make([]byte, 10)
 	for c := 0; c <= res.MaxCost; c++ {
-		for _, rep := range res.Levels[c] {
-			raw, ok := res.Table.Lookup(uint64(rep))
+		lvl := res.Level(c)
+		for i := 0; i < lvl.Len(); i++ {
+			rep := lvl.At(i)
+			v, ok := res.Lookup(rep)
 			if !ok {
 				return fmt.Errorf("tablesio: representative %v missing from its own table", rep)
 			}
 			binary.LittleEndian.PutUint64(buf[0:8], uint64(rep))
-			binary.LittleEndian.PutUint16(buf[8:10], raw)
+			binary.LittleEndian.PutUint16(buf[8:10], legacyEncode(v))
 			if _, err := cw.Write(buf); err != nil {
 				return err
 			}
@@ -149,18 +186,18 @@ func Save(w io.Writer, res *bfs.Result) error {
 	return bw.Flush()
 }
 
-// SaveFile persists a BFS result to path atomically: the stream is
-// written to a temp file in the destination directory (same filesystem,
-// so the final rename is atomic and cannot fail with EXDEV) — a crash
-// mid-write never leaves a truncated store that would fail the next
-// load.
+// SaveFile persists a BFS result to path atomically in format v2 (the
+// zero-copy layout LoadFile memory-maps): the stream is written to a
+// temp file in the destination directory (same filesystem, so the final
+// rename is atomic and cannot fail with EXDEV) — a crash mid-write never
+// leaves a truncated store that would fail the next load.
 func SaveFile(path string, res *bfs.Result) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".revtables-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if err := Save(tmp, res); err != nil {
+	if err := SaveV2(tmp, res); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -189,8 +226,8 @@ func (cr *checksumReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// LoadOptions tune LoadWithOptions; the zero value (and a nil pointer)
-// reproduces Load's defaults.
+// LoadOptions tune LoadWithOptions and LoadFile; the zero value (and a
+// nil pointer) reproduces Load's defaults.
 type LoadOptions struct {
 	// Progress, when non-nil, is called after each completed cost level
 	// with the level index and the number of entries it carried — the
@@ -202,6 +239,13 @@ type LoadOptions struct {
 	// a forged header cannot commit the process to gigabytes of hash
 	// table before the (end-of-stream) checksum is verified.
 	MaxEntries int64
+	// VerifyContent makes the LoadFile mmap fast path pay one sequential
+	// pass to check the section fingerprints and structural invariants
+	// it otherwise defers (the streaming paths always verify).
+	VerifyContent bool
+	// DisableMmap forces LoadFile through the streaming loader even for
+	// v2 stores on capable hosts.
+	DisableMmap bool
 }
 
 // DefaultMaxEntries bounds the declared entry count accepted by Load:
@@ -214,17 +258,19 @@ const DefaultMaxEntries = 1 << 33
 // actually arrive rather than trusting the declared size up front.
 const levelAllocChunk = 1 << 20
 
-// Load rehydrates a BFS result saved by Save. The alphabet must be the
-// same construction that produced the saved tables; a fingerprint
-// mismatch, version mismatch, truncation, or corruption is reported as
-// an error (wrapping the package's sentinel errors), never a panic.
+// Load rehydrates a BFS result saved by Save or SaveV2 (the format is
+// sniffed from the version byte). The alphabet must be the same
+// construction that produced the saved tables; a fingerprint mismatch,
+// version mismatch, truncation, or corruption is reported as an error
+// (wrapping the package's sentinel errors), never a panic.
 func Load(r io.Reader, alphabet *bfs.Alphabet) (*bfs.Result, error) {
 	return LoadWithOptions(r, alphabet, nil)
 }
 
 // LoadWithOptions is Load with streaming progress reporting and resource
-// caps. The table is inserted into as entries stream off the reader and
-// frozen before return, so the result is immediately servable.
+// caps. Both formats verify their integrity in full on this path — it is
+// the one for untrusted bytes; LoadFile adds the trusting mmap fast
+// path. The result is frozen and immediately servable.
 func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*bfs.Result, error) {
 	if alphabet == nil {
 		return nil, fmt.Errorf("tablesio: nil alphabet")
@@ -237,16 +283,31 @@ func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*b
 		maxEntries = DefaultMaxEntries
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
-	cr := &checksumReader{r: br, h: fnv.New64a()}
-	var m [4]byte
-	if _, err := io.ReadFull(cr, m[:]); err != nil {
+	m, err := br.Peek(4)
+	if err != nil {
 		return nil, fmt.Errorf("%w: reading magic: %w", ErrBadMagic, err)
 	}
 	if [3]byte{m[0], m[1], m[2]} != magicPrefix {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMagic, m)
 	}
-	if m[3] != formatVersion {
-		return nil, fmt.Errorf("%w: file version %q, this build reads %q", ErrUnsupportedVersion, m[3], formatVersion)
+	switch m[3] {
+	case version1:
+		return loadV1Stream(br, alphabet, opts, maxEntries)
+	case version2:
+		return loadV2Stream(br, alphabet, opts, maxEntries)
+	default:
+		return nil, fmt.Errorf("%w: file version %q, this build reads %q and %q", ErrUnsupportedVersion, m[3], version1, version2)
+	}
+}
+
+// loadV1Stream parses the legacy entry-stream format, rebuilding the
+// sharded hash table entry by entry (the rehash cost v2 exists to
+// avoid).
+func loadV1Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, maxEntries int64) (*bfs.Result, error) {
+	cr := &checksumReader{r: br, h: fnv.New64a()}
+	var m [4]byte
+	if _, err := io.ReadFull(cr, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrBadMagic, err)
 	}
 	var flags, maxCost uint32
 	var fp fingerprint
@@ -261,7 +322,7 @@ func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*b
 	if want := fingerprintOf(alphabet); fp != want {
 		return nil, fmt.Errorf("%w (file %+v, given %+v)", ErrAlphabetMismatch, fp, want)
 	}
-	if maxCost > 64 {
+	if maxCost > uint32(bfs.MaxPackedCost) {
 		return nil, fmt.Errorf("%w: implausible horizon %d", ErrCorrupt, maxCost)
 	}
 	levelSizes := make([]uint64, maxCost+1)
@@ -297,10 +358,25 @@ func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*b
 				return nil, fmt.Errorf("%w: reading entries (level %d): %w", ErrCorrupt, c, err)
 			}
 			key := binary.LittleEndian.Uint64(buf[0:8])
-			val := binary.LittleEndian.Uint16(buf[8:10])
+			raw := binary.LittleEndian.Uint16(buf[8:10])
 			p := perm.Perm(key)
 			if !p.IsValid() {
 				return nil, fmt.Errorf("%w: invalid entry %#x at level %d", ErrCorrupt, key, c)
+			}
+			// Translate the legacy value into the cost-packed in-memory
+			// form; the level index IS the entry's exact cost.
+			var val uint16
+			if raw&legacyElemMask == legacyIdentity {
+				if c != 0 || p != perm.Identity {
+					return nil, fmt.Errorf("%w: identity value on non-identity entry %v at level %d", ErrCorrupt, p, c)
+				}
+				val = bfs.PackIdentity()
+			} else {
+				elem := int(raw & legacyElemMask)
+				if elem >= alphabet.Len() {
+					return nil, fmt.Errorf("%w: entry %v references element %d of a %d-element alphabet", ErrCorrupt, p, elem, alphabet.Len())
+				}
+				val = bfs.PackValue(c, elem, raw&legacyFlagFirst != 0)
 			}
 			lvl = append(lvl, p)
 			if _, inserted := res.Table.Insert(key, val); !inserted {

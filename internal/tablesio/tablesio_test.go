@@ -188,10 +188,18 @@ func TestVersionGating(t *testing.T) {
 	// (the checksum would also fail, but the version gate fires first and
 	// precisely).
 	future := append([]byte(nil), blob...)
-	future[3] = '2'
+	future[3] = '3'
 	_, err := Load(bytes.NewReader(future), bfs.GateAlphabet())
 	if !errors.Is(err, ErrUnsupportedVersion) {
 		t.Fatalf("future version: err = %v, want ErrUnsupportedVersion", err)
+	}
+	// A v1 stream relabeled as v2 must fail the v2 header fingerprint,
+	// not be parsed as a v2 geometry.
+	relabeled := append([]byte(nil), blob...)
+	relabeled[3] = '2'
+	_, err = Load(bytes.NewReader(relabeled), bfs.GateAlphabet())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("relabeled v1 stream: err = %v, want ErrCorrupt", err)
 	}
 	// A stream that is not a tables file at all reports ErrBadMagic.
 	_, err = Load(bytes.NewReader([]byte("PNG\x0d\x0a\x1a\x0a")), bfs.GateAlphabet())
