@@ -60,6 +60,34 @@
 //	curl 'localhost:8080/stats'
 //
 // See examples/serve for the end-to-end walkthrough.
+//
+// # Distributed serving
+//
+// The query engine is programmed against a small table-backend
+// interface (canonical-key batch lookup, per-level iteration, table
+// metadata), so the tables do not have to live in the serving process.
+// Beyond one host — the paper's k ≥ 9 tables are multi-GB, and the hot
+// page set is what stops fitting — the same revserve binary plays two
+// more roles:
+//
+//	# shard servers export a (memory-mapped) store over a compact
+//	# binary protocol; replicas of the same store are cheap because
+//	# mmap shares page-cache copies:
+//	revserve -shard-serve -tables k9.tables -addr :9091
+//
+//	# a router serves the normal HTTP API, resolving every lookup
+//	# batch through the shard fleet: canonical keys are partitioned on
+//	# their high Wang-hash bits (the same routing the in-process
+//	# sharded table uses), so each shard's resident set converges to
+//	# ~1/N of the table. /healthz turns "degraded" (503) if any shard
+//	# is unreachable; /stats adds per-shard health and counters, and
+//	# shard hosts report mincore page residency (table_resident_bytes).
+//	revserve -router shard1:9091,shard2:9091 -addr :8080
+//
+// Routed answers are byte-identical to single-host serving (the scan
+// order is preserved; tests enforce it). ServiceConfig.Backend injects
+// the same seam programmatically. See examples/cluster for the
+// end-to-end walkthrough.
 package repro
 
 import (

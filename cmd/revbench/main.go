@@ -1,17 +1,21 @@
 // Command revbench runs the repository's headline performance
 // experiments — multicore BFS search, cold-start table loading across
-// store formats, and serving-layer query throughput — and emits one
-// machine-readable JSON report. CI uploads the report as an artifact
-// (BENCH_3.json) so the scaling curves are tracked per commit; ROADMAP.md
-// records the curves measured on reference hardware.
+// store formats, serving-layer query throughput, and remote-backend
+// (tablenet shard/router) throughput — and emits one machine-readable
+// JSON report. CI uploads the report as an artifact (BENCH_4.json) so
+// the scaling curves are tracked per commit; ROADMAP.md records the
+// curves measured on reference hardware.
 //
 // Usage:
 //
-//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_3.json]
+//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_4.json]
 //
 // One run builds the k-tables exactly once and reuses them for every
 // experiment, so the dominant cost is the first search plus one extra
-// search per worker count.
+// search per worker count. The remote section serves those tables over
+// loopback TCP — first through a single tablenet shard, then through a
+// router over two shards — so the report captures the network seam's
+// overhead relative to the in-process path on identical hardware.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -36,6 +41,8 @@ import (
 	"repro/internal/perm"
 	"repro/internal/randperm"
 	"repro/internal/service"
+	"repro/internal/tablenet"
+	"repro/internal/tables"
 	"repro/internal/tablesio"
 )
 
@@ -79,6 +86,19 @@ type kernelReport struct {
 	CanonicalInvolutionNs float64 `json:"canonical_involution_ns"`
 }
 
+// remoteReport compares uncached serving throughput across table
+// backends on identical tables: in-process (the query_report baseline),
+// one tablenet shard over loopback, and a shard-by-key router over two.
+type remoteReport struct {
+	OneShardNsPerOp float64 `json:"one_shard_uncached_ns_per_op"`
+	OneShardQPS     float64 `json:"one_shard_uncached_qps_per_core"`
+	RouterNsPerOp   float64 `json:"router_2shard_uncached_ns_per_op"`
+	RouterQPS       float64 `json:"router_2shard_uncached_qps_per_core"`
+	// OverheadVsLocal is one-shard uncached ns/op over the in-process
+	// uncached ns/op: the price of the network seam per query.
+	OverheadVsLocal float64 `json:"one_shard_overhead_vs_local"`
+}
+
 type report struct {
 	GeneratedAt string     `json:"generated_at"`
 	Host        hostReport `json:"host"`
@@ -90,6 +110,7 @@ type report struct {
 	Search    []searchPoint   `json:"search_parallel"`
 	ColdStart coldStartReport `json:"cold_start"`
 	Query     queryReport     `json:"service_queries"`
+	Remote    remoteReport    `json:"remote_backend"`
 	Kernels   kernelReport    `json:"kernels"`
 }
 
@@ -99,7 +120,7 @@ func main() {
 	var (
 		k       = flag.Int("k", 6, "BFS depth for the table set under test")
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
-		out     = flag.String("o", "BENCH_3.json", "output path (- for stdout)")
+		out     = flag.String("o", "BENCH_4.json", "output path (- for stdout)")
 	)
 	flag.Parse()
 
@@ -252,6 +273,73 @@ func main() {
 	}
 	log.Printf("queries: cached %.1f ns/op (%.0f QPS/core), uncached %.0f ns/op (%.0f QPS/core)",
 		cached, 1e9/cached, uncached, 1e9/uncached)
+
+	// --- Remote backend (tablenet) throughput ---------------------------
+	startShard := func() (string, func()) {
+		local, err := tables.NewLocal(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := tablenet.NewServer(local)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(l)
+		return l.Addr().String(), func() { srv.Close() }
+	}
+	remoteBench := func(shards int) float64 {
+		var backends []tables.Backend
+		var closers []func()
+		for i := 0; i < shards; i++ {
+			addr, closeShard := startShard()
+			closers = append(closers, closeShard)
+			cl, err := tablenet.Dial(addr, &tablenet.ClientOptions{Conns: 2 * runtime.GOMAXPROCS(0)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			backends = append(backends, cl)
+		}
+		router, err := tablenet.NewRouter(backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := service.New(service.Config{Backend: router, QueryWorkers: 1, CacheSize: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, _, err := svc.Synthesize(context.Background(), specs[i%len(specs)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+		svc.Close(context.Background())
+		router.Close()
+		for _, c := range closers {
+			c()
+		}
+		return float64(r.NsPerOp())
+	}
+	oneShard := remoteBench(1)
+	twoShard := remoteBench(2)
+	rep.Remote = remoteReport{
+		OneShardNsPerOp: round(oneShard),
+		OneShardQPS:     round(1e9 / oneShard),
+		RouterNsPerOp:   round(twoShard),
+		RouterQPS:       round(1e9 / twoShard),
+		OverheadVsLocal: round(oneShard / uncached),
+	}
+	log.Printf("remote: 1 shard %.0f ns/op (%.0f QPS/core), router over 2 shards %.0f ns/op (%.0f QPS/core), %.1f× local uncached",
+		oneShard, 1e9/oneShard, twoShard, 1e9/twoShard, oneShard/uncached)
 
 	// --- Canonicalization kernel ----------------------------------------
 	random := make([]perm.Perm, 1024)

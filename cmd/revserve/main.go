@@ -7,6 +7,8 @@
 //
 //	revserve -addr :8080 -k 6 -tables k6.tables [-metric gates|cost|depth]
 //	         [-workers N] [-query-workers N] [-cache 4096] [-timeout 30s]
+//	revserve -shard-serve -addr :9090 -tables k6.tables
+//	revserve -router host1:9090,host2:9090 -addr :8080
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
@@ -16,7 +18,25 @@
 // across replicas — while a legacy v1 store streams through the
 // parse-and-rehash loader (the paper's §4.1 1111-second regime, scaled).
 // /stats reports the path taken (table_format: "v2+mmap", "v1", or
-// "built") alongside table_bytes and load_duration_ns.
+// "built") alongside table_bytes, table_resident_bytes (mincore page
+// residency of a mapped store) and load_duration_ns.
+//
+// # Distributed serving
+//
+// Beyond one host, the same binary plays two more roles:
+//
+//   - -shard-serve exports the local (typically memory-mapped) table
+//     store over the tablenet binary protocol instead of HTTP: a shard
+//     server. Cheap to replicate — every shard maps the same v2 file.
+//   - -router serves the normal HTTP API but reads the tables through a
+//     shard-by-key router over the listed shard servers: each lookup
+//     batch is partitioned on the high Wang-hash bits of its canonical
+//     keys — the same routing the in-process sharded table uses — so
+//     every shard's hot (resident) page set converges to ~1/N of the
+//     table. That is the deployment shape for table sets too large to
+//     keep hot on one machine (the paper's k ≥ 9 regime). A router's
+//     /healthz reports "degraded" (503) while any shard is unreachable,
+//     so a load balancer can eject it.
 //
 // Endpoints (all JSON):
 //
@@ -24,8 +44,8 @@
 //	POST /synthesize {"spec": "..."}    one specification
 //	POST /synthesize {"specs": [...]}   a batch, pipelined across workers
 //	GET  /size?spec=[...]               minimal cost only
-//	GET  /stats                         serving counters
-//	GET  /healthz                       200 once ready, 503 before
+//	GET  /stats                         serving counters (+ shard stats on a router)
+//	GET  /healthz                       200 once ready, 503 before/degraded
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
 // queries drain, then the process exits.
@@ -38,11 +58,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,28 +74,63 @@ import (
 	"repro/internal/perm"
 	"repro/internal/render"
 	"repro/internal/service"
+	"repro/internal/tablenet"
+	"repro/internal/tables"
+	"repro/internal/tablesio"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revserve: ")
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		k        = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
-		maxSplit = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
-		tables   = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
-		metric   = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
-		qworkers = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
-		cache    = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
+		addr       = flag.String("addr", ":8080", "listen address (HTTP, or the tablenet protocol with -shard-serve)")
+		k          = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
+		maxSplit   = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
+		tablesPath = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
+		metric     = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
+		qworkers   = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
+		cache      = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
+		shardServe = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
+		router     = flag.String("router", "", "comma-separated shard server addresses: serve HTTP against a shard-by-key router over them")
+		shardConns = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
 	)
 	flag.Parse()
+	if *shardServe && *router != "" {
+		log.Fatal("-shard-serve and -router are mutually exclusive roles")
+	}
+	if *router != "" && *tablesPath != "" {
+		// Mirror the service layer's explicit-precedence stance: two
+		// complete table sources is a wiring mistake, not a fallback.
+		log.Fatal("-router serves tables from the shard fleet; -tables conflicts (drop one)")
+	}
+
+	var alphabet *bfs.Alphabet
+	switch *metric {
+	case "gates":
+	case "cost":
+		a, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alphabet = a
+	case "depth":
+		alphabet = bfs.LayerAlphabet()
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+
+	if *shardServe {
+		runShardServer(*addr, *tablesPath, *k, alphabet, *qworkers)
+		return
+	}
 
 	cfg := service.Config{
 		K:              *k,
 		MaxSplit:       *maxSplit,
-		TablesPath:     *tables,
+		Alphabet:       alphabet,
+		TablesPath:     *tablesPath,
 		Workers:        *workers,
 		QueryWorkers:   *qworkers,
 		CacheSize:      *cache,
@@ -82,18 +139,31 @@ func main() {
 			log.Printf("tables level %d: %d entries", level, entries)
 		},
 	}
-	switch *metric {
-	case "gates":
-	case "cost":
-		a, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+	var shardRouter *tablenet.Router
+	shardClients := map[string]*tablenet.Client{}
+	if *router != "" {
+		var backends []tables.Backend
+		for _, a := range strings.Split(*router, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			cl, err := tablenet.Dial(a, &tablenet.ClientOptions{Conns: *shardConns})
+			if err != nil {
+				log.Fatalf("dialing shard %s: %v", a, err)
+			}
+			backends = append(backends, cl)
+			shardClients[a] = cl
+			log.Printf("shard %s: k=%d entries=%d", a, cl.Meta().K, cl.Meta().Entries)
+		}
+		r, err := tablenet.NewRouter(backends)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Alphabet = a
-	case "depth":
-		cfg.Alphabet = bfs.LayerAlphabet()
-	default:
-		log.Fatalf("unknown metric %q", *metric)
+		shardRouter = r
+		defer r.Close()
+		cfg.Backend = r
+		cfg.TablesPath = "" // the tables live in the shard fleet
 	}
 
 	svc := service.NewAsync(cfg)
@@ -117,7 +187,32 @@ func main() {
 	mux.HandleFunc("/synthesize", handleSynthesize(svc, true))
 	mux.HandleFunc("/size", handleSynthesize(svc, false))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		if shardRouter == nil {
+			writeJSON(w, http.StatusOK, svc.Stats())
+			return
+		}
+		// On a router, annotate the serving stats with per-shard health
+		// and counters so one scrape sees the whole fleet.
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		defer cancel()
+		type shardStats struct {
+			Addr  string          `json:"addr"`
+			Err   string          `json:"err,omitempty"`
+			Stats *tablenet.Stats `json:"stats,omitempty"`
+		}
+		var shards []shardStats
+		for _, st := range shardRouter.Check(ctx) {
+			s := shardStats{Addr: st.Addr}
+			if st.Err != nil {
+				s.Err = st.Err.Error()
+			} else if cl := shardClients[st.Addr]; cl != nil {
+				if counters, err := cl.ServerStats(ctx); err == nil {
+					s.Stats = &counters
+				}
+			}
+			shards = append(shards, s)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"service": svc.Stats(), "shards": shards})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Stats()
@@ -127,6 +222,24 @@ func main() {
 		case !st.Ready:
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
 		default:
+			if shardRouter != nil {
+				// A router with an unreachable shard still answers the
+				// healthy partitions, but it is not a full replica: report
+				// degraded (503) so the load balancer ejects it rather
+				// than surfacing partial failures to clients.
+				ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+				defer cancel()
+				down := map[string]string{}
+				for _, s := range shardRouter.Check(ctx) {
+					if s.Err != nil {
+						down[s.Addr] = s.Err.Error()
+					}
+				}
+				if len(down) > 0 {
+					writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "degraded", "unreachable_shards": down})
+					return
+				}
+			}
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}
 	})
@@ -162,6 +275,76 @@ func main() {
 	}
 	if err := svc.Close(shutdownCtx); err != nil {
 		log.Printf("service drain: %v", err)
+	}
+	log.Print("bye")
+}
+
+// runShardServer is the -shard-serve role: acquire the table store
+// (memory-mapping a v2 file when present, building and persisting one
+// otherwise) and export it over the tablenet protocol until SIGTERM.
+// The mmap path is what makes shards cheap: N shard processes on one
+// host share a single page-cache copy, and across hosts each replica's
+// resident set is only the partition the router sends it.
+func runShardServer(addr, tablesPath string, k int, alphabet *bfs.Alphabet, queryWorkers int) {
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	var res *bfs.Result
+	start := time.Now()
+	if tablesPath != "" {
+		loaded, info, err := tablesio.LoadFile(tablesPath, alphabet, nil)
+		switch {
+		case err == nil:
+			res = loaded
+			log.Printf("tables %s: %s, %d entries in %v", tablesPath, info, loaded.TotalStored(), time.Since(start).Round(time.Millisecond))
+		case !errors.Is(err, os.ErrNotExist):
+			log.Fatalf("loading %s: %v", tablesPath, err)
+		}
+	}
+	if res == nil {
+		log.Printf("building k=%d tables...", k)
+		synth, err := core.New(core.Config{K: k, Alphabet: alphabet, Workers: queryWorkers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = synth.Result()
+		if err := res.Compact(); err != nil {
+			log.Fatal(err)
+		}
+		if tablesPath != "" {
+			if err := tablesio.SaveFile(tablesPath, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("tables built: %d entries in %v", res.TotalStored(), time.Since(start).Round(time.Millisecond))
+	}
+	backend, err := tables.NewLocal(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := tablenet.NewServer(backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shard serving on %s (k=%d, %d entries)", l.Addr(), res.MaxCost, res.TotalStored())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down...")
+	srv.Close()
+	if res.Frozen != nil {
+		res.Frozen.Close()
 	}
 	log.Print("bye")
 }

@@ -1,0 +1,149 @@
+// Cluster walkthrough: serving one table set from a shard fleet — the
+// deployment shape for table sets too large to keep hot on one host
+// (the paper's k ≥ 9 tables are multi-GB; the follow-up study's are
+// larger still).
+//
+//	go run ./examples/cluster
+//
+// As standalone daemons the same four steps are:
+//
+//	# 1. Build the tables once, on the big machine (paper §3.1), and
+//	#    persist the v2 zero-copy store:
+//	go run ./cmd/revtables -table none -k 6 -save k6.tables
+//
+//	# 2. Start two shard servers. Each memory-maps the same store (the
+//	#    file is cheap to replicate — it is the HOT page set that
+//	#    doesn't fit one host) and exports it over the tablenet binary
+//	#    protocol:
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9091 &
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9092 &
+//
+//	# 3. Start a router. It serves the normal HTTP API but resolves
+//	#    every lookup batch through the shard fleet, partitioning the
+//	#    canonical keys on their high Wang-hash bits — each shard's
+//	#    resident set converges to ~1/N of the table
+//	#    (table_resident_bytes in each shard host's /stats):
+//	go run ./cmd/revserve -router localhost:9091,localhost:9092 -addr :8080 &
+//
+//	# 4. Query the router exactly like a single-host revserve. /healthz
+//	#    reports "degraded" (503) if a shard dies, so a load balancer
+//	#    can eject this router:
+//	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
+//	curl 'localhost:8080/stats'     # service counters + per-shard health
+//	curl 'localhost:8080/healthz'
+//
+// This program walks the same topology in-process (k = 5 to keep it
+// snappy): two tablenet shard servers over one table set, a router
+// backend over both, and a serving layer programmed against the router
+// — then proves the routed answers match direct local synthesis.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/perm"
+	"repro/internal/service"
+	"repro/internal/tablenet"
+	"repro/internal/tables"
+)
+
+func main() {
+	// 1. Build the tables once (stand-in for revtables + a persisted
+	// store; a real fleet would memory-map the same v2 file per shard).
+	fmt.Println("building k=5 tables...")
+	res, err := bfs.Search(bfs.GateAlphabet(), 5, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Export them from two shard servers on loopback.
+	startShard := func() string {
+		backend, err := tables.NewLocal(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := tablenet.NewServer(backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(l)
+		return l.Addr().String()
+	}
+	addr1, addr2 := startShard(), startShard()
+	fmt.Printf("shard servers: %s, %s\n", addr1, addr2)
+
+	// 3. Wire a router over both shards; every lookup batch is split by
+	// key ownership and resolved in one concurrent fan-out.
+	cl1, err := tablenet.Dial(addr1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl2, err := tablenet.Dial(addr2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := tablenet.NewRouter([]tables.Backend{cl1, cl2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+
+	// 4. Serve queries against the router, exactly like local tables.
+	svc, err := service.New(service.Config{Backend: router, QueryWorkers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	fmt.Printf("serving through %s\n\n", svc.Stats().TableFormat)
+
+	direct, err := core.FromResult(res, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct.SetWorkers(1)
+
+	ctx := context.Background()
+	specs := []string{
+		"[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]", // the paper's worked example
+		"[1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]", // NOT-equivalent: hard for heuristics
+		"[0,1,2,3,4,6,5,7,8,9,10,11,12,13,14,15]", // a transposition
+	}
+	for _, s := range specs {
+		spec, err := perm.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		circ, info, err := svc.Synthesize(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, _, err := direct.SynthesizeInfoCtx(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "MATCHES local"
+		if circ.String() != want.String() {
+			match = "DIVERGES from local(!)"
+		}
+		fmt.Printf("spec %s\n  %d gates via shards (%s): %v\n", s, info.Cost, match, circ)
+	}
+
+	// The shard fleet carried the traffic: each shard saw only its key
+	// partition.
+	st1, _ := cl1.ServerStats(ctx)
+	st2, _ := cl2.ServerStats(ctx)
+	fmt.Printf("\nshard 1: %d keys probed, %d hits; shard 2: %d keys probed, %d hits\n",
+		st1.Keys, st1.Hits, st2.Keys, st2.Hits)
+	for _, s := range router.Check(ctx) {
+		fmt.Printf("shard %s healthy: %v\n", s.Addr, s.Err == nil)
+	}
+}

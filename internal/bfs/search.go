@@ -664,6 +664,14 @@ func expandPlain(res *Result, base perm.Perm, elemIdxs []int, cost int, lvl []pe
 	return lvl
 }
 
+// LookupRaw returns the packed table value stored under a key that must
+// already be in canonical form when the search was reduced. This is the
+// transport form of an entry — what table backends carry over the wire —
+// decodable with UnpackValue.
+func (r *Result) LookupRaw(key uint64) (uint16, bool) {
+	return r.rawLookup(key)
+}
+
 // Lookup decodes the table entry for a key that must already be in
 // canonical form when the search was reduced.
 func (r *Result) Lookup(key perm.Perm) (Value, bool) {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/canon"
 	"repro/internal/circuit"
 	"repro/internal/perm"
+	"repro/internal/tables"
 )
 
 // ErrBeyondHorizon reports that the function's minimal cost exceeds the
@@ -75,13 +76,27 @@ type Config struct {
 // DefaultK is the default BFS depth.
 const DefaultK = 6
 
-// Synthesizer answers minimal-circuit queries. Create with New or
-// FromResult.
+// Synthesizer answers minimal-circuit queries. Create with New,
+// FromResult, or — for tables served by another process or machine —
+// FromBackend.
 type Synthesizer struct {
+	// backend is the table source every query reads through; meta is its
+	// pre-validated geometry and alphabet the building-block set the
+	// tables were built over (verified against meta's fingerprint).
+	backend  tables.Backend
+	meta     tables.Meta
+	alphabet *bfs.Alphabet
+	// res short-circuits to the in-process tables when the backend is
+	// Localized: the meet-in-the-middle scan and reconstruction keep the
+	// original zero-indirection probe loop on this path. nil for remote
+	// backends, which take the batched path instead.
 	res      *bfs.Result
 	maxSplit int
 	// workers is the meet-in-the-middle fan-out; ≤ 0 resolves to
-	// runtime.GOMAXPROCS(0) at query time.
+	// runtime.GOMAXPROCS(0) at query time. Remote-backend scans are
+	// sequential per query (concurrency comes from cross-query fan-out
+	// and the router's per-shard parallelism), so workers only affects
+	// the local path.
 	workers int
 }
 
@@ -127,17 +142,57 @@ func FromResult(res *bfs.Result, maxSplit int) (*Synthesizer, error) {
 	if res == nil {
 		return nil, fmt.Errorf("core: nil BFS result")
 	}
+	b, err := tables.NewLocal(res)
+	if err != nil {
+		return nil, err
+	}
+	return FromBackend(b, res.Alphabet, maxSplit)
+}
+
+// FromBackend programs a synthesizer against a table backend — the seam
+// that lets the same query engine run over in-process tables
+// (tables.Local, where it keeps the original probe loop), a single
+// remote shard server, or a shard-by-key router. alphabet is the
+// building-block set the tables were built over (nil: the 32-gate
+// library); it must match the backend's fingerprint — the alphabet is
+// code, only its fingerprint travels with the tables.
+//
+// Against a non-local backend the meet-in-the-middle scan batches: each
+// round trip fetches a chunk of level representatives and resolves every
+// candidate residue of the chunk in one LookupBatch, so the per-key
+// network cost is amortized a few-thousand-fold. Scan order (and
+// therefore the returned circuit) is identical to the sequential local
+// scan, which is what makes shard deployments byte-for-byte verifiable
+// against a single host.
+func FromBackend(b tables.Backend, alphabet *bfs.Alphabet, maxSplit int) (*Synthesizer, error) {
+	if b == nil {
+		return nil, fmt.Errorf("core: nil table backend")
+	}
+	if alphabet == nil {
+		alphabet = bfs.GateAlphabet()
+	}
+	meta := b.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if want := tables.FingerprintOf(alphabet); meta.Fingerprint != want {
+		return nil, fmt.Errorf("core: backend tables were built over a different alphabet (backend %+v, given %+v)", meta.Fingerprint, want)
+	}
 	if maxSplit == 0 {
-		maxSplit = res.MaxCost
+		maxSplit = meta.K
 	}
-	if maxSplit < 0 || maxSplit > res.MaxCost {
-		return nil, fmt.Errorf("core: MaxSplit = %d out of range [0,%d]", maxSplit, res.MaxCost)
+	if maxSplit < 0 || maxSplit > meta.K {
+		return nil, fmt.Errorf("core: MaxSplit = %d out of range [0,%d]", maxSplit, meta.K)
 	}
-	return &Synthesizer{res: res, maxSplit: maxSplit}, nil
+	s := &Synthesizer{backend: b, meta: meta, alphabet: alphabet, maxSplit: maxSplit}
+	if l, ok := b.(tables.Localized); ok {
+		s.res = l.Local()
+	}
+	return s, nil
 }
 
 // K returns the BFS depth.
-func (s *Synthesizer) K() int { return s.res.MaxCost }
+func (s *Synthesizer) K() int { return s.meta.K }
 
 // MaxSplit returns the meet-in-the-middle prefix bound.
 func (s *Synthesizer) MaxSplit() int { return s.maxSplit }
@@ -159,11 +214,22 @@ func (s *Synthesizer) Workers() int {
 // MaxSplit for unit-cost alphabets; for weighted alphabets boundary
 // effects subtract MaxCost − 1.
 func (s *Synthesizer) Horizon() int {
-	return s.res.MaxCost + s.maxSplit - (s.res.Alphabet.MaxCost() - 1)
+	return s.meta.K + s.maxSplit - (s.alphabet.MaxCost() - 1)
 }
 
-// Result exposes the underlying BFS tables (read-only).
+// Result exposes the underlying BFS tables (read-only). It is nil when
+// the synthesizer queries a remote backend — the tables live in another
+// process; use Backend and Meta then.
 func (s *Synthesizer) Result() *bfs.Result { return s.res }
+
+// Backend exposes the table backend the synthesizer reads through.
+func (s *Synthesizer) Backend() tables.Backend { return s.backend }
+
+// Meta returns the table geometry/metadata.
+func (s *Synthesizer) Meta() tables.Meta { return s.meta }
+
+// Alphabet returns the building-block set the tables were built over.
+func (s *Synthesizer) Alphabet() *bfs.Alphabet { return s.alphabet }
 
 // Info reports how a query was answered.
 type Info struct {
@@ -229,9 +295,14 @@ func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circu
 	if !f.IsValid() {
 		return nil, Info{}, ErrInvalidFunction
 	}
+	if s.res == nil {
+		// The tables live behind a (possibly remote) backend: take the
+		// batched scan path.
+		return s.synthesizeBackend(ctx, f)
+	}
 	// Algorithm 1, first branch: f is within the BFS horizon.
 	if s.res.Contains(f) {
-		c, err := s.reconstruct(f)
+		c, err := s.reconstruct(ctx, f)
 		if err != nil {
 			return nil, Info{}, err
 		}
@@ -280,11 +351,11 @@ func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circu
 	if bestTotal < 0 {
 		return nil, info, fmt.Errorf("%w (horizon %d)", ErrBeyondHorizon, s.Horizon())
 	}
-	pc, err := s.reconstruct(bestPrefix)
+	pc, err := s.reconstruct(ctx, bestPrefix)
 	if err != nil {
 		return nil, info, err
 	}
-	rc, err := s.reconstruct(bestResidue)
+	rc, err := s.reconstruct(ctx, bestResidue)
 	if err != nil {
 		return nil, info, err
 	}
@@ -460,10 +531,29 @@ func (s *Synthesizer) costOf(c circuit.Circuit) int {
 	return len(c)
 }
 
+// lookupRaw probes one canonical key through whichever table path is
+// live: the in-process result, or the backend as a batch of one (remote
+// reconstruction is a dependent chain, so singles are unavoidable there
+// — at most ~2·K per query, dwarfed by the batched scan).
+func (s *Synthesizer) lookupRaw(ctx context.Context, key uint64) (uint16, bool, error) {
+	if s.res != nil {
+		v, ok := s.res.LookupRaw(key)
+		return v, ok, nil
+	}
+	keys := [1]uint64{key}
+	var vals [1]uint16
+	var found [1]bool
+	if err := s.backend.LookupBatch(ctx, keys[:], vals[:], found[:]); err != nil {
+		return 0, false, err
+	}
+	return vals[0], found[0], nil
+}
+
 // reconstruct builds a minimal circuit for a function whose class is in
 // the table, by stripping one stored boundary element per step (paper
-// Algorithm 1's recursive branch, iterative here).
-func (s *Synthesizer) reconstruct(f perm.Perm) (circuit.Circuit, error) {
+// Algorithm 1's recursive branch, iterative here). It reads through
+// lookupRaw, so it serves local and remote backends alike.
+func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm) (circuit.Circuit, error) {
 	var front, back circuit.Circuit // back is collected in reverse
 	cur := f
 	for steps := 0; ; steps++ {
@@ -476,13 +566,17 @@ func (s *Synthesizer) reconstruct(f perm.Perm) (circuit.Circuit, error) {
 		key := cur
 		var sigma int
 		var inverted bool
-		if s.res.Reduced {
+		if s.meta.Reduced {
 			key, sigma, inverted = canon.Canonical(cur)
 		}
-		v, ok := s.res.Lookup(key)
+		raw, ok, err := s.lookupRaw(ctx, uint64(key))
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			return nil, fmt.Errorf("%w: function %v not in table", ErrBeyondHorizon, f)
 		}
+		v := bfs.UnpackValue(raw)
 		if v.IsIdentity {
 			return nil, fmt.Errorf("core: non-identity function %v stored as identity", cur)
 		}
@@ -493,11 +587,11 @@ func (s *Synthesizer) reconstruct(f perm.Perm) (circuit.Circuit, error) {
 		// first/last role of the boundary element.
 		ei := v.Elem
 		isFirst := v.First
-		if s.res.Reduced {
-			ei = s.res.Alphabet.ConjugateElement(ei, canon.InverseSigma(sigma))
+		if s.meta.Reduced {
+			ei = s.alphabet.ConjugateElement(ei, canon.InverseSigma(sigma))
 			isFirst = v.First != inverted
 		}
-		e := s.res.Alphabet.Element(ei)
+		e := s.alphabet.Element(ei)
 		if isFirst {
 			front = append(front, e.Gates...)
 			cur = e.P.Then(cur) // strip λ from the front: rest = λ⁻¹ ⋄ cur
@@ -514,4 +608,170 @@ func (s *Synthesizer) reconstruct(f perm.Perm) (circuit.Circuit, error) {
 		out = append(out, back[j])
 	}
 	return out, nil
+}
+
+// backendBatchKeys is the candidate-batch target of the remote scan: the
+// number of canonical residue keys resolved per backend round trip. At 8
+// bytes per key a full batch is a ~64 KiB request — big enough that the
+// per-round-trip cost is amortized a few-thousand-fold, small enough to
+// stay frame-bounded and keep per-query memory modest.
+const backendBatchKeys = 8192
+
+// backendCand pairs one candidate prefix variant with its residue,
+// index-aligned with the key batch sent to the backend. rep is the
+// chunk-local index of the representative the variant came from: the
+// hit scan commits to the FIRST hitting variant of each representative
+// and skips the rest, exactly as the local probeClass stops at its
+// first Contains hit — the invariant that keeps routed answers
+// byte-identical to single-host serving for weighted alphabets too.
+type backendCand struct {
+	q, residue perm.Perm
+	rep        int
+}
+
+// backendScratch is the pooled per-query workspace of the batched scan;
+// one struct holds every buffer so a remote query allocates nothing on
+// the steady-state path (mirroring the router's lookupScratch pattern).
+type backendScratch struct {
+	repBuf []uint64
+	keys   []uint64
+	cands  []backendCand
+	vals   []uint16
+	found  []bool
+}
+
+var backendScratchPool = sync.Pool{New: func() any {
+	return &backendScratch{
+		repBuf: make([]uint64, backendBatchKeys),
+		keys:   make([]uint64, 0, backendBatchKeys),
+		cands:  make([]backendCand, 0, backendBatchKeys),
+		vals:   make([]uint16, backendBatchKeys),
+		found:  make([]bool, backendBatchKeys),
+	}
+}}
+
+// synthesizeBackend answers a query against a non-local backend. Same
+// algorithm as the local path — direct probe, then meet-in-the-middle
+// over increasing prefix sizes — but restructured around batches: each
+// iteration fetches a chunk of level representatives (one LevelKeys
+// call), expands every candidate residue of the chunk, canonicalizes
+// them query-side, and resolves the whole batch in one LookupBatch. Hits
+// are taken in scan order, so results are identical to the sequential
+// local scan.
+func (s *Synthesizer) synthesizeBackend(ctx context.Context, f perm.Perm) (circuit.Circuit, Info, error) {
+	var info Info
+	// Algorithm 1, first branch: f is within the BFS horizon.
+	key := f
+	if s.meta.Reduced {
+		key = canon.Rep(f)
+	}
+	raw, ok, err := s.lookupRaw(ctx, uint64(key))
+	if err != nil {
+		return nil, info, err
+	}
+	if ok {
+		c, err := s.reconstruct(ctx, f)
+		if err != nil {
+			return nil, info, err
+		}
+		return c, Info{Cost: bfs.UnpackValue(raw).Cost, Direct: true}, nil
+	}
+
+	unit := s.alphabet.MaxCost() == 1
+	bestTotal := -1
+	var bestPrefix, bestResidue perm.Perm
+	bestSplit := 0
+	// Chunk the level scan so a full candidate expansion (≤ 48 variants
+	// per representative when reduced) fills one lookup batch.
+	variants := 48
+	if !s.meta.Reduced {
+		variants = 1
+	}
+	repChunk := max(backendBatchKeys/variants, 1)
+	sc := backendScratchPool.Get().(*backendScratch)
+	defer backendScratchPool.Put(sc)
+	repBuf := sc.repBuf[:repChunk]
+	vals, found := sc.vals, sc.found
+
+scan:
+	for i := 1; i <= s.maxSplit; i++ {
+		if bestTotal >= 0 && i >= bestTotal {
+			break // any further split costs at least i ≥ bestTotal
+		}
+		n := s.meta.LevelCounts[i]
+		for lo := 0; lo < n; lo += repChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, info, fmt.Errorf("core: query aborted: %w", err)
+			}
+			m := min(repChunk, n-lo)
+			if err := s.backend.LevelKeys(ctx, i, lo, repBuf[:m]); err != nil {
+				return nil, info, err
+			}
+			keys, cands := sc.keys[:0], sc.cands[:0]
+			for ri, rk := range repBuf[:m] {
+				rep := perm.Perm(rk)
+				if !s.meta.Reduced {
+					r := rep.Then(f)
+					keys = append(keys, uint64(r))
+					cands = append(cands, backendCand{q: rep, residue: r, rep: ri})
+					continue
+				}
+				canon.ForEachVariant(rep, func(v perm.Perm) bool {
+					r := v.Then(f)
+					keys = append(keys, uint64(canon.Rep(r)))
+					cands = append(cands, backendCand{q: v, residue: r, rep: ri})
+					return true
+				})
+			}
+			sc.keys, sc.cands = keys, cands
+			if err := s.backend.LookupBatch(ctx, keys, vals[:len(keys)], found[:len(keys)]); err != nil {
+				return nil, info, err
+			}
+			hitRep := -1
+			for j := range keys {
+				if cands[j].rep == hitRep {
+					// The local probeClass stops probing a representative at
+					// its first hitting variant; replicate that by skipping
+					// the rest of a committed representative's candidates —
+					// they were sent (batched speculatively) but must not
+					// influence the answer. Candidate accounting matches the
+					// local scan for the same reason.
+					continue
+				}
+				info.Candidates++
+				if !found[j] {
+					continue
+				}
+				hitRep = cands[j].rep
+				total := i + bfs.UnpackValue(vals[j]).Cost
+				if bestTotal < 0 || total < bestTotal {
+					bestTotal = total
+					bestPrefix = cands[j].q.Inverse()
+					bestResidue = cands[j].residue
+					bestSplit = i
+				}
+				if unit {
+					// First hit in scan order at the first hitting prefix
+					// size is provably minimal for unit costs — exactly the
+					// sequential local scan's break.
+					break scan
+				}
+			}
+		}
+	}
+	if bestTotal < 0 {
+		return nil, info, fmt.Errorf("%w (horizon %d)", ErrBeyondHorizon, s.Horizon())
+	}
+	pc, err := s.reconstruct(ctx, bestPrefix)
+	if err != nil {
+		return nil, info, err
+	}
+	rc, err := s.reconstruct(ctx, bestResidue)
+	if err != nil {
+		return nil, info, err
+	}
+	out := append(pc, rc...)
+	info.Cost = bestTotal
+	info.SplitPrefix = bestSplit
+	return out, info, nil
 }

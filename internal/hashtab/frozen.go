@@ -3,6 +3,7 @@ package hashtab
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 	"unsafe"
 )
 
@@ -38,7 +39,16 @@ type FrozenTable struct {
 	slotLog  uint
 	slotMask uint64
 	count    int
-	closer   func() error
+	// lifeMu serializes the lifecycle surface (SetMapped/SetCloser/
+	// Residency/Close): a stats scrape probing page residency must never
+	// race the shutdown path unmapping the file. The query hot path
+	// never touches these fields, so the mutex costs lookups nothing.
+	lifeMu sync.Mutex
+	closer func() error
+	// mapped is the whole backing file mapping when the table is
+	// memory-mapped (set by the loader via SetMapped), enabling
+	// page-residency telemetry; nil for heap-backed tables.
+	mapped []byte
 }
 
 // maxFrozenSlots bounds the total slot count so global slot numbers fit
@@ -281,17 +291,57 @@ func (t *FrozenTable) ComputeStats() Stats {
 	return s
 }
 
+// SetMapped records the backing file mapping of a memory-mapped table so
+// Residency can report which fraction of it is page-cache resident.
+func (t *FrozenTable) SetMapped(b []byte) {
+	t.lifeMu.Lock()
+	t.mapped = b
+	t.lifeMu.Unlock()
+}
+
+// Residency reports the mmap page-residency of the table: how many of
+// the mapped bytes are currently resident in the page cache (mincore),
+// and the total mapped size. With mmap serving the resident set is
+// workload-driven — the shard of the key space a process is routed makes
+// up its hot pages — so this is the capacity-planning signal for how
+// much of a table a host actually holds hot. ok is false when the table
+// is not memory-mapped or the platform provides no residency syscall
+// (the probe degrades to a graceful no-op there).
+func (t *FrozenTable) Residency() (resident, mapped int64, ok bool) {
+	// The probe runs under lifeMu so a concurrent Close cannot unmap the
+	// region mid-mincore (and the address range cannot be recycled into
+	// someone else's mapping under us).
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
+	if t.mapped == nil {
+		return 0, 0, false
+	}
+	mapped = int64(len(t.mapped))
+	resident, err := residentBytes(t.mapped)
+	if err != nil {
+		return 0, mapped, false
+	}
+	return resident, mapped, true
+}
+
 // SetCloser attaches a release hook (e.g. munmap of the backing file).
-func (t *FrozenTable) SetCloser(fn func() error) { t.closer = fn }
+func (t *FrozenTable) SetCloser(fn func() error) {
+	t.lifeMu.Lock()
+	t.closer = fn
+	t.lifeMu.Unlock()
+}
 
 // Close releases the backing resources, if any. The table must not be
-// used afterwards. Close is safe to call on tables without a closer and
-// at most once otherwise.
+// queried afterwards. Close is idempotent and safe against a concurrent
+// Residency probe (the release runs under the lifecycle lock).
 func (t *FrozenTable) Close() error {
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
 	if t.closer == nil {
 		return nil
 	}
 	fn := t.closer
 	t.closer = nil
+	t.mapped = nil
 	return fn()
 }

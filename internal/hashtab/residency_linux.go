@@ -1,0 +1,32 @@
+//go:build linux
+
+package hashtab
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// residentBytes asks the kernel (mincore) how many bytes of the mapping
+// are resident in the page cache. b must be the page-aligned mapping
+// returned by mmap. The cost is one syscall plus a byte per page in the
+// vector, so a stats endpoint can afford to call it on every scrape.
+func residentBytes(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	page := os.Getpagesize()
+	vec := make([]byte, (len(b)+page-1)/page)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return 0, errno
+	}
+	var pages int64
+	for _, v := range vec {
+		// The low bit is the residency flag; the rest is unspecified.
+		pages += int64(v & 1)
+	}
+	return min(pages*int64(page), int64(len(b))), nil
+}

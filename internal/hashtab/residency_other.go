@@ -1,0 +1,12 @@
+//go:build !linux
+
+package hashtab
+
+import "errors"
+
+// residentBytes degrades to a graceful no-op on platforms without a
+// mincore syscall surface in the standard syscall package; Residency
+// reports ok=false and serving stats simply omit the figure.
+func residentBytes([]byte) (int64, error) {
+	return 0, errors.New("hashtab: page residency not supported on this platform")
+}

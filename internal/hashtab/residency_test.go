@@ -1,0 +1,46 @@
+package hashtab
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResidencyCloseRace: a stats scrape probing page residency must be
+// safe against a concurrent Close unmapping the table — the lifecycle
+// surface is serialized, so under -race this stays silent and after
+// Close the probe reports not-mapped.
+func TestResidencyCloseRace(t *testing.T) {
+	ft, err := NewFrozen(make([]uint64, 16), make([]uint16, 16), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.SetMapped(make([]byte, 1<<16))
+	closed := false
+	ft.SetCloser(func() error { closed = true; return nil })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ft.Residency()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ft.Close()
+	}()
+	wg.Wait()
+	if !closed {
+		t.Fatal("closer did not run")
+	}
+	if _, _, ok := ft.Residency(); ok {
+		t.Fatal("residency reported on a closed table")
+	}
+	if err := ft.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/perm"
+	"repro/internal/tables"
 	"repro/internal/tablesio"
 )
 
@@ -52,6 +53,21 @@ import (
 var ErrClosed = errors.New("service: synthesizer is closed")
 
 // Config configures New / NewAsync.
+//
+// Exactly one table source is used, resolved in this explicit order:
+//
+//  1. Backend — an injected tables.Backend (local, network, or router).
+//  2. Tables — an injected in-process bfs.Result.
+//  3. TablesPath — a persisted store, loaded if present, else built and
+//     persisted there.
+//  4. A fresh in-memory build (K, Alphabet).
+//
+// Setting both Backend and Tables is a configuration error and fails
+// startup: each is a complete injected table source, and silently
+// preferring one would hide a wiring mistake. Tables together with
+// TablesPath is allowed — Tables wins and the path is ignored (it is
+// NOT used to persist the injected tables); likewise Backend with
+// TablesPath.
 type Config struct {
 	// K is the BFS depth used when tables must be built; see core.Config.
 	// Defaults to core.DefaultK.
@@ -60,15 +76,23 @@ type Config struct {
 	MaxSplit int
 	// Alphabet selects the building blocks (nil: the 32-gate library).
 	Alphabet *bfs.Alphabet
+	// Backend injects a table backend — the seam that lets one service
+	// serve tables held by another process or machine (tablenet.Client),
+	// or a shard-by-key fleet of them (tablenet.Router). The backend's
+	// alphabet fingerprint must match Alphabet. The caller owns the
+	// backend: Close on the service does not close it. Highest
+	// precedence; conflicts with Tables.
+	Backend tables.Backend
 	// Tables injects an already-built frozen table set, skipping both
 	// build and load — the zero-copy path for sharing one table across
-	// several services (tests, multi-tenant serving).
+	// several services (tests, multi-tenant serving). Takes precedence
+	// over TablesPath; conflicts with Backend.
 	Tables *bfs.Result
-	// TablesPath, when non-empty and Tables is nil, is tried first as a
-	// persisted table file (tablesio format); when the file is missing
-	// the tables are built and then persisted there — the paper's
-	// compute-once-on-a-big-machine workflow. A load error other than
-	// "file does not exist" fails startup rather than silently
+	// TablesPath, when non-empty and Backend/Tables are nil, is tried
+	// first as a persisted table file (tablesio format); when the file
+	// is missing the tables are built and then persisted there — the
+	// paper's compute-once-on-a-big-machine workflow. A load error other
+	// than "file does not exist" fails startup rather than silently
 	// rebuilding, so a corrupt table store is surfaced.
 	TablesPath string
 	// Workers bounds the number of queries executing simultaneously
@@ -177,11 +201,23 @@ func NewAsync(cfg Config) *Synthesizer {
 	return s
 }
 
-// acquireTables resolves the frozen table set per the Config precedence:
-// injected result, persisted file, fresh build (persisted when a path is
-// configured).
+// acquireTables resolves the table source per the Config precedence
+// (documented on Config): injected backend, injected result, persisted
+// file, fresh build (persisted when a path is configured).
 func (s *Synthesizer) acquireTables() (*core.Synthesizer, error) {
 	cfg := s.cfg
+	if cfg.Backend != nil && cfg.Tables != nil {
+		return nil, fmt.Errorf("service: Config.Backend and Config.Tables are both set; inject exactly one table source")
+	}
+	if cfg.Backend != nil {
+		synth, err := core.FromBackend(cfg.Backend, cfg.Alphabet, cfg.MaxSplit)
+		if err != nil {
+			return nil, err
+		}
+		synth.SetWorkers(cfg.QueryWorkers)
+		s.tableSource = cfg.Backend.Meta().Source
+		return synth, nil
+	}
 	if cfg.Tables != nil {
 		synth, err := core.FromResult(cfg.Tables, cfg.MaxSplit)
 		if err != nil {
@@ -395,10 +431,14 @@ func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, 
 	}
 	if err != nil {
 		s.noteErr(err)
-		// Beyond-horizon and invalid-function answers are deterministic
-		// properties of the table set, so they are cacheable (with their
-		// Info diagnostics); context errors are not.
-		if s.cache != nil && ctx.Err() == nil {
+		// Only beyond-horizon and invalid-function answers are cached
+		// (with their Info diagnostics): they are deterministic
+		// properties of the table set. Anything else — context errors,
+		// and with Config.Backend any transient network failure (dial
+		// refused, reset, remote stall) — must NOT be pinned in the
+		// cache, or a one-second shard blip would keep failing its
+		// specs until LRU eviction long after the fleet recovered.
+		if s.cache != nil && (errors.Is(err, core.ErrBeyondHorizon) || errors.Is(err, core.ErrInvalidFunction)) {
 			s.cache.put(f, nil, info, err)
 		}
 		return nil, info, err
@@ -473,11 +513,13 @@ func (s *Synthesizer) Close(ctx context.Context) error {
 			// With the pool reclaimed and new queries rejected, nothing
 			// can touch the tables again: release a mapping the service
 			// owns. Startup may still be running — its result is awaited
-			// here, off the Close caller's path.
+			// here, off the Close caller's path. Injected sources
+			// (Tables, Backend) belong to the caller and are left
+			// untouched.
 			<-s.ready
-			if s.cfg.Tables == nil && s.synth != nil {
-				if ft := s.synth.Result().Frozen; ft != nil {
-					ft.Close()
+			if s.cfg.Tables == nil && s.cfg.Backend == nil && s.synth != nil {
+				if res := s.synth.Result(); res != nil && res.Frozen != nil {
+					res.Frozen.Close()
 				}
 			}
 		}()
@@ -504,11 +546,22 @@ type Stats struct {
 	TableEntries int `json:"table_entries"`
 	// TableBytes is the table footprint (hashtab slots plus level
 	// structures); for a memory-mapped store these bytes are file-backed
-	// and shared, not process heap. TableFormat records the acquisition
-	// path: "injected", "built", or the store format loaded ("v1", "v2",
-	// "v2+mmap" — the last being the zero-copy cold-start fast path).
+	// and shared, not process heap, and zero when the tables live in a
+	// remote backend. TableFormat records the acquisition path:
+	// "injected", "built", the store format loaded ("v1", "v2",
+	// "v2+mmap" — the last being the zero-copy cold-start fast path), or
+	// the backend source ("tablenet(addr)", "router(n)").
 	TableBytes  int64  `json:"table_bytes"`
 	TableFormat string `json:"table_format,omitempty"`
+	// TableResidentBytes/TableResidentFraction report mincore-based page
+	// residency of a memory-mapped store: how much of the table this
+	// process actually holds hot. The resident set is workload-driven —
+	// behind a shard-by-key router it converges to roughly 1/N of the
+	// table — so this is the capacity-planning signal for shard sizing.
+	// Omitted when the store is not memory-mapped or the platform has no
+	// residency probe (non-Linux builds degrade gracefully).
+	TableResidentBytes    int64   `json:"table_resident_bytes,omitempty"`
+	TableResidentFraction float64 `json:"table_resident_fraction,omitempty"`
 	// Workers is the pool bound; InFlight the queries currently holding
 	// a slot.
 	Workers  int   `json:"workers"`
@@ -563,9 +616,17 @@ func (s *Synthesizer) Stats() Stats {
 		st.K = s.synth.K()
 		st.MaxSplit = s.synth.MaxSplit()
 		st.Horizon = s.synth.Horizon()
-		st.TableEntries = s.synth.Result().TotalStored()
-		st.TableBytes = s.synth.Result().MemoryBytes()
+		st.TableEntries = s.synth.Meta().Entries
 		st.TableFormat = s.tableSource
+		if res := s.synth.Result(); res != nil {
+			st.TableBytes = res.MemoryBytes()
+			if res.Frozen != nil {
+				if resident, mapped, ok := res.Frozen.Residency(); ok && mapped > 0 {
+					st.TableResidentBytes = resident
+					st.TableResidentFraction = float64(resident) / float64(mapped)
+				}
+			}
+		}
 	default:
 	}
 	return st

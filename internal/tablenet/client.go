@@ -1,0 +1,397 @@
+package tablenet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/tables"
+)
+
+// ClientOptions tune Dial; the zero value (and a nil pointer) picks the
+// defaults.
+type ClientOptions struct {
+	// Conns bounds the connection pool (concurrent in-flight requests);
+	// 0 means DefaultConns. The first connection is dialed eagerly (the
+	// handshake is what validates the server); the rest are dialed on
+	// demand as concurrency requires.
+	Conns int
+	// DialTimeout bounds each dial+handshake; 0 means 5 s.
+	DialTimeout time.Duration
+}
+
+// DefaultConns is the default connection-pool bound.
+const DefaultConns = 4
+
+// Client speaks the tablenet protocol to one shard server and exposes it
+// as a tables.Backend. Safe for concurrent use: requests are
+// multiplexed over a bounded pool of request/response connections.
+type Client struct {
+	addr string
+	opts ClientOptions
+	meta tables.Meta
+
+	// sem bounds the total number of live connections; idle holds the
+	// ones not currently carrying a request.
+	sem  chan struct{}
+	idle chan *clientConn
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*clientConn]struct{}
+}
+
+// clientConn is one pooled connection.
+type clientConn struct {
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	buf []byte // frame scratch
+	// helloMeta is the Meta this connection's handshake declared; conns
+	// after the first must agree with the client's.
+	helloMeta tables.Meta
+	dead      bool
+}
+
+// Dial connects to a shard server, performs the handshake, and returns
+// the client. The server's Meta (table geometry, alphabet fingerprint)
+// is learned from the hello frame; pass the client to core.FromBackend,
+// which verifies the fingerprint against the query alphabet.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	o := ClientOptions{}
+	if opts != nil {
+		o = *opts
+	}
+	if o.Conns <= 0 {
+		o.Conns = DefaultConns
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	cl := &Client{
+		addr:  addr,
+		opts:  o,
+		sem:   make(chan struct{}, o.Conns),
+		idle:  make(chan *clientConn, o.Conns),
+		conns: make(map[*clientConn]struct{}),
+	}
+	// Dial the first connection eagerly: its hello is the handshake that
+	// validates the server before any query depends on it.
+	cl.sem <- struct{}{}
+	cc, err := cl.dialConn()
+	if err != nil {
+		<-cl.sem
+		return nil, err
+	}
+	cl.meta = cc.helloMeta
+	cl.meta.Source = fmt.Sprintf("tablenet(%s)", addr)
+	cl.idle <- cc
+	return cl, nil
+}
+
+// dialConn opens and handshakes one connection. The caller must already
+// hold a sem slot.
+func (cl *Client) dialConn() (*clientConn, error) {
+	c, err := net.DialTimeout("tcp", cl.addr, cl.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("tablenet: dialing %s: %w", cl.addr, err)
+	}
+	cc := &clientConn{
+		c:   c,
+		br:  bufio.NewReaderSize(c, 1<<16),
+		bw:  bufio.NewWriterSize(c, 1<<16),
+		buf: make([]byte, 4096),
+	}
+	c.SetReadDeadline(time.Now().Add(cl.opts.DialTimeout))
+	op, payload, err := readFrame(cc.br, cc.buf)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tablenet: reading hello from %s: %w", cl.addr, err)
+	}
+	c.SetReadDeadline(time.Time{})
+	if op != opHello {
+		c.Close()
+		return nil, fmt.Errorf("%w: expected hello, got opcode %#x", ErrProtocol, op)
+	}
+	m, err := parseHello(payload)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	cc.helloMeta = m
+	// A reconnect that lands on a restarted server holding different
+	// tables must fail loudly, not silently mix table generations.
+	cl.mu.Lock()
+	first := cl.meta.LevelCounts == nil
+	compatible := first || cl.meta.Compatible(m)
+	if compatible && !cl.closed {
+		cl.conns[cc] = struct{}{}
+	}
+	closed := cl.closed
+	cl.mu.Unlock()
+	if closed {
+		c.Close()
+		return nil, fmt.Errorf("tablenet: client closed")
+	}
+	if !compatible {
+		c.Close()
+		return nil, fmt.Errorf("%w: server %s now serves a different table set", ErrProtocol, cl.addr)
+	}
+	return cc, nil
+}
+
+// Meta returns the table metadata learned during the handshake.
+func (cl *Client) Meta() tables.Meta { return cl.meta }
+
+// get obtains a pooled connection, dialing a new one when the pool is
+// under its bound, or waiting for an idle one otherwise. pooled reports
+// that the connection was reused from the idle pool (and may therefore
+// be stale — its peer could have restarted since the last request).
+func (cl *Client) get(ctx context.Context) (cc *clientConn, pooled bool, err error) {
+	select {
+	case cc := <-cl.idle:
+		return cc, true, nil
+	default:
+	}
+	select {
+	case cc := <-cl.idle:
+		return cc, true, nil
+	case cl.sem <- struct{}{}:
+		cc, err := cl.dialConn()
+		if err != nil {
+			<-cl.sem
+			return nil, false, err
+		}
+		return cc, false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// put returns a healthy connection to the pool, or retires a dead one.
+func (cl *Client) put(cc *clientConn) {
+	if cc.dead {
+		cl.retire(cc)
+		return
+	}
+	cl.mu.Lock()
+	closed := cl.closed
+	cl.mu.Unlock()
+	if closed {
+		cl.retire(cc)
+		return
+	}
+	cl.idle <- cc
+}
+
+func (cl *Client) retire(cc *clientConn) {
+	cc.c.Close()
+	cl.mu.Lock()
+	delete(cl.conns, cc)
+	cl.mu.Unlock()
+	<-cl.sem
+}
+
+// maxStall bounds one round trip when the context carries no deadline
+// of its own: a shard host that vanishes without RST (partition, frozen
+// process) must not pin a pooled connection — and its caller's
+// worker-pool slot — forever.
+const maxStall = 2 * time.Minute
+
+// roundTrip sends one request frame and decodes the response, honouring
+// ctx through the connection's I/O deadlines: a ctx deadline bounds the
+// exchange, plain cancellation interrupts it (context.AfterFunc fires
+// an immediate deadline, waking any blocked read/write), and maxStall
+// backstops contexts with neither. On any error the connection is
+// marked dead (request/response framing is lost).
+func (cc *clientConn) roundTrip(ctx context.Context, op byte, req []byte) (byte, []byte, error) {
+	deadline, has := ctx.Deadline()
+	if !has {
+		deadline = time.Now().Add(maxStall)
+	}
+	cc.c.SetDeadline(deadline)
+	stop := context.AfterFunc(ctx, func() {
+		cc.c.SetDeadline(time.Now())
+	})
+	defer stop()
+	if err := writeFrame(cc.bw, op, req); err != nil {
+		cc.dead = true
+		return 0, nil, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.dead = true
+		return 0, nil, err
+	}
+	respOp, payload, err := readFrame(cc.br, cc.buf)
+	if err != nil {
+		cc.dead = true
+		return 0, nil, err
+	}
+	if cap(payload) > cap(cc.buf) {
+		cc.buf = payload[:cap(payload)]
+	}
+	if respOp == opErr {
+		// The server closes after an error frame; this conn is done.
+		cc.dead = true
+		return 0, nil, remoteErr(payload)
+	}
+	if respOp != op+1 {
+		cc.dead = true
+		return 0, nil, fmt.Errorf("%w: response opcode %#x to request %#x", ErrProtocol, respOp, op)
+	}
+	return respOp, payload, nil
+}
+
+// do runs one request/response exchange on a pooled connection.
+// fn decodes the response payload while the connection is still checked
+// out (the payload aliases the connection's scratch buffer).
+//
+// A transport failure on a connection reused from the idle pool is
+// retried once on a fresh dial: after a server restart the pool holds
+// up to Conns dead sockets, and without the retry each would convert
+// into one user-visible query failure against a now-healthy server.
+// Semantic failures (an error frame, a protocol violation) and failures
+// on freshly dialed connections are not retried.
+func (cl *Client) do(ctx context.Context, op byte, req []byte, fn func(payload []byte) error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cc, pooled, err := cl.get(ctx)
+		if err != nil {
+			return err
+		}
+		_, payload, err := cc.roundTrip(ctx, op, req)
+		if err != nil {
+			cl.put(cc)
+			if attempt == 0 && pooled && ctx.Err() == nil &&
+				!errors.Is(err, ErrRemote) && !errors.Is(err, ErrProtocol) {
+				continue
+			}
+			return err
+		}
+		if fn != nil {
+			err = fn(payload)
+		}
+		cl.put(cc)
+		return err
+	}
+}
+
+// LookupBatch implements tables.Backend: canonical keys out, packed
+// values and presence back, one round trip per maxLookupKeys chunk.
+func (cl *Client) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		return fmt.Errorf("tablenet: LookupBatch slice lengths differ (%d/%d/%d)", len(keys), len(vals), len(found))
+	}
+	le := binary.LittleEndian
+	for lo := 0; lo < len(keys); lo += maxLookupKeys {
+		hi := min(lo+maxLookupKeys, len(keys))
+		n := hi - lo
+		req := make([]byte, 4+8*n)
+		le.PutUint32(req, uint32(n))
+		for i, k := range keys[lo:hi] {
+			le.PutUint64(req[4+8*i:], k)
+		}
+		err := cl.do(ctx, opLookup, req, func(payload []byte) error {
+			if len(payload) != 4+2*n+(n+7)/8 || int(le.Uint32(payload)) != n {
+				return fmt.Errorf("%w: lookup response shape mismatch (%d bytes for %d keys)", ErrProtocol, len(payload), n)
+			}
+			bitmap := payload[4+2*n:]
+			for i := 0; i < n; i++ {
+				vals[lo+i] = le.Uint16(payload[4+2*i:])
+				found[lo+i] = bitmap[i/8]&(1<<(i%8)) != 0
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LevelKeys implements tables.Backend: representative words of one cost
+// level's index range, one round trip per maxLevelKeys chunk.
+func (cl *Client) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
+	if c < 0 || c > cl.meta.K {
+		return fmt.Errorf("tablenet: level %d outside horizon %d", c, cl.meta.K)
+	}
+	if lo < 0 || lo+len(out) > cl.meta.LevelCounts[c] {
+		return fmt.Errorf("tablenet: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), cl.meta.LevelCounts[c])
+	}
+	le := binary.LittleEndian
+	for done := 0; done < len(out); done += maxLevelKeys {
+		n := min(maxLevelKeys, len(out)-done)
+		req := make([]byte, 16)
+		le.PutUint32(req, uint32(c))
+		le.PutUint64(req[4:], uint64(lo+done))
+		le.PutUint32(req[12:], uint32(n))
+		dst := out[done : done+n]
+		err := cl.do(ctx, opLevel, req, func(payload []byte) error {
+			if len(payload) != 4+8*n || int(le.Uint32(payload)) != n {
+				return fmt.Errorf("%w: level response shape mismatch (%d bytes for %d keys)", ErrProtocol, len(payload), n)
+			}
+			for i := range dst {
+				dst[i] = le.Uint64(payload[4+8*i:])
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ping checks server liveness over a pooled connection — the probe
+// /healthz uses to report a degraded router.
+func (cl *Client) Ping(ctx context.Context) error {
+	return cl.do(ctx, opPing, nil, func(payload []byte) error {
+		if len(payload) != 0 {
+			return fmt.Errorf("%w: ping response carries %d bytes", ErrProtocol, len(payload))
+		}
+		return nil
+	})
+}
+
+// ServerStats fetches the shard server's serving counters.
+func (cl *Client) ServerStats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := cl.do(ctx, opStats, nil, func(payload []byte) error {
+		var perr error
+		st, perr = parseStats(payload)
+		return perr
+	})
+	return st, err
+}
+
+// Addr returns the server address the client dials.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Close severs every pooled connection. In-flight requests fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	for cc := range cl.conns {
+		cc.c.Close()
+	}
+	cl.mu.Unlock()
+	// Drain idle so retained conns don't linger in the channel.
+	for {
+		select {
+		case <-cl.idle:
+		default:
+			return nil
+		}
+	}
+}

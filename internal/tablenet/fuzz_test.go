@@ -1,0 +1,148 @@
+package tablenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/tables"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader: a
+// forged length must produce an error, never an allocation proportional
+// to the lie (the reader caps before allocating, mirroring tablesio's
+// forged-header guards).
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	var ok bytes.Buffer
+	writeFrame(&ok, opPing, nil)
+	f.Add(ok.Bytes())
+	var big bytes.Buffer
+	writeFrame(&big, opLookup, make([]byte, 4096))
+	f.Add(big.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, payload, err := readFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			return
+		}
+		if 1+len(payload) > maxFrameLen {
+			t.Fatalf("accepted frame of %d bytes (op %#x) above the cap", 1+len(payload), op)
+		}
+	})
+}
+
+// FuzzParseHello attacks the handshake decoder with mutated hellos: it
+// must either reject or yield a Meta that passes validation — an
+// inconsistent Meta reaching the query engine would misdirect every
+// later read.
+func FuzzParseHello(f *testing.F) {
+	seed := tables.Meta{
+		K:           3,
+		Reduced:     true,
+		Entries:     4,
+		LevelCounts: []int{1, 1, 1, 1},
+		Fingerprint: tables.Fingerprint{Elements: 32, MaxCost: 1, XorPerms: 7, SumCosts: 32},
+	}
+	f.Add(encodeHello(seed))
+	f.Add([]byte{})
+	f.Add([]byte{protoVersion})
+	mutated := encodeHello(seed)
+	binary.LittleEndian.PutUint32(mutated[5:], 1<<30) // absurd horizon
+	f.Add(mutated)
+	truncated := encodeHello(seed)
+	f.Add(truncated[:len(truncated)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseHello(data)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("parseHello accepted an invalid meta %+v: %v", m, verr)
+		}
+		// Round-trip stability: re-encoding a valid parse must re-parse
+		// compatible.
+		m2, err := parseHello(encodeHello(m))
+		if err != nil || !m.Compatible(m2) {
+			t.Fatalf("hello round trip diverged: %+v vs %+v (%v)", m, m2, err)
+		}
+	})
+}
+
+// FuzzHandleRequest drives the server's request dispatcher with raw
+// opcodes and payloads over the real fixture backend: malformed frames,
+// truncated bodies, and forged counts must all error without panicking,
+// and every accepted response must decode under the protocol's own
+// shape rules.
+func FuzzHandleRequest(f *testing.F) {
+	res := fixtureTables(f)
+	local, err := tables.NewLocal(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := NewServer(local)
+	if err != nil {
+		f.Fatal(err)
+	}
+	le := binary.LittleEndian
+
+	f.Add([]byte{opPing})
+	f.Add([]byte{opStats})
+	lookup := make([]byte, 1+4+8)
+	lookup[0] = opLookup
+	le.PutUint32(lookup[1:], 1)
+	le.PutUint64(lookup[5:], 1)
+	f.Add(lookup)
+	lying := make([]byte, 1+4)
+	lying[0] = opLookup
+	le.PutUint32(lying[1:], 0xFFFFFFFF) // claims 4G keys, carries none
+	f.Add(lying)
+	level := make([]byte, 1+16)
+	level[0] = opLevel
+	le.PutUint32(level[1:], 1)
+	le.PutUint32(level[13:], 2)
+	f.Add(level)
+	levelLying := make([]byte, 1+16)
+	levelLying[0] = opLevel
+	le.PutUint32(levelLying[1:], 2)
+	le.PutUint64(levelLying[5:], 1<<40) // offset far past the level
+	le.PutUint32(levelLying[13:], 0xFFFF)
+	f.Add(levelLying)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		if len(frame) == 0 {
+			return
+		}
+		sc := &connScratch{}
+		op, resp, err := srv.handleRequest(frame[0], frame[1:], sc)
+		if err != nil {
+			return
+		}
+		switch frame[0] {
+		case opPing:
+			if op != opPingR || len(resp) != 0 {
+				t.Fatalf("ping answered (%#x, %d bytes)", op, len(resp))
+			}
+		case opStats:
+			if op != opStatsR {
+				t.Fatalf("stats answered %#x", op)
+			}
+			if _, perr := parseStats(resp); perr != nil {
+				t.Fatalf("stats response does not parse: %v", perr)
+			}
+		case opLookup:
+			n := int(le.Uint32(frame[1:]))
+			if op != opLookupR || len(resp) != 4+2*n+(n+7)/8 {
+				t.Fatalf("lookup response shape: op %#x, %d bytes for %d keys", op, len(resp), n)
+			}
+		case opLevel:
+			n := int(le.Uint32(frame[13:]))
+			if op != opLevelR || len(resp) != 4+8*n {
+				t.Fatalf("level response shape: op %#x, %d bytes for %d keys", op, len(resp), n)
+			}
+		default:
+			t.Fatalf("unknown opcode %#x was accepted", frame[0])
+		}
+	})
+}

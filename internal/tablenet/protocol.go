@@ -1,0 +1,238 @@
+// Package tablenet serves precomputed search tables over the network:
+// the distribution seam of the paper's precompute-once/query-many
+// workflow. A shard server (Serve) exports any tables.Backend —
+// typically a memory-mapped tablesio v2 store — through a compact
+// length-prefixed binary protocol; Client speaks it back as a
+// tables.Backend, and Router composes N such backends into one by
+// partitioning the canonical-representative key space on the same high
+// Wang-hash bits the in-process sharded table already routes by.
+//
+// The protocol is deliberately small. Each frame is
+//
+//	uint32 length (op + payload bytes, little-endian) | byte op | payload
+//
+// and a connection is strictly request/response (pipelining comes from a
+// client-side connection pool, not the wire). On accept the server
+// speaks first with a Hello frame carrying the protocol version, the
+// table-format generation, the alphabet fingerprint, and the per-level
+// iteration bounds — so an incompatible client fails the handshake
+// instead of misinterpreting lookups. Three requests exist: batched
+// canonical-key lookup, level-range key fetch, and server stats (plus
+// ping). Every length field is bounds-checked against hard caps before
+// any allocation, mirroring tablesio's forged-header guards: a malicious
+// peer can fail a connection, never balloon the process.
+package tablenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bfs"
+	"repro/internal/tables"
+)
+
+// ErrProtocol reports a malformed or out-of-contract frame; the
+// connection it arrived on is unusable afterwards.
+var ErrProtocol = errors.New("tablenet: protocol error")
+
+// ErrRemote reports an error frame sent by the peer (the remote's own
+// description of why it rejected a request).
+var ErrRemote = errors.New("tablenet: remote error")
+
+const (
+	// protoVersion gates the wire format itself; bumped on incompatible
+	// frame-layout changes.
+	protoVersion = 1
+
+	// maxFrameLen caps op+payload of any frame. The largest legitimate
+	// frame is a full lookup batch (4 + 8·maxLookupKeys bytes); 2 MiB
+	// leaves headroom without letting a forged length commit real
+	// memory.
+	maxFrameLen = 2 << 20
+
+	// maxLookupKeys caps keys per lookup request; larger batches are
+	// split client-side.
+	maxLookupKeys = 1 << 17
+
+	// maxLevelKeys caps representatives per level-range request.
+	maxLevelKeys = 1 << 16
+
+	// maxErrLen caps the error-message payload a peer can make us hold.
+	maxErrLen = 1 << 10
+)
+
+// Frame opcodes. Responses are request+1 so a mismatch is caught
+// structurally.
+const (
+	opHello   byte = 0x01
+	opLookup  byte = 0x10
+	opLookupR byte = 0x11
+	opLevel   byte = 0x20
+	opLevelR  byte = 0x21
+	opStats   byte = 0x30
+	opStatsR  byte = 0x31
+	opPing    byte = 0x40
+	opPingR   byte = 0x41
+	opErr     byte = 0x7F
+)
+
+// writeFrame emits one frame. payload may be nil.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload)+1 > maxFrameLen {
+		return fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, reusing buf for the payload when it is
+// large enough. The declared length is validated against maxFrameLen
+// BEFORE any allocation, so a forged length cannot OOM the reader.
+func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameLen {
+		return 0, nil, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrProtocol, n, maxFrameLen)
+	}
+	body := buf
+	if uint32(cap(body)) < n {
+		body = make([]byte, n)
+	}
+	body = body[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame: %w", ErrProtocol, err)
+	}
+	return body[0], body[1:], nil
+}
+
+// encodeHello lays out the handshake payload:
+//
+//	version byte | flags uint32 (bit0 reduced) | k uint32 |
+//	entries uint64 | fingerprint (u32 u32 u64 u64) |
+//	levelCounts (k+1)×uint64
+func encodeHello(m tables.Meta) []byte {
+	buf := make([]byte, 1+4+4+8+24+(m.K+1)*8)
+	buf[0] = protoVersion
+	le := binary.LittleEndian
+	var flags uint32
+	if m.Reduced {
+		flags |= 1
+	}
+	le.PutUint32(buf[1:], flags)
+	le.PutUint32(buf[5:], uint32(m.K))
+	le.PutUint64(buf[9:], uint64(m.Entries))
+	le.PutUint32(buf[17:], m.Fingerprint.Elements)
+	le.PutUint32(buf[21:], m.Fingerprint.MaxCost)
+	le.PutUint64(buf[25:], m.Fingerprint.XorPerms)
+	le.PutUint64(buf[33:], m.Fingerprint.SumCosts)
+	for c, n := range m.LevelCounts {
+		le.PutUint64(buf[41+8*c:], uint64(n))
+	}
+	return buf
+}
+
+// parseHello decodes and validates a handshake payload from an untrusted
+// peer. Every count is bounds-checked (k against the packed-cost cap,
+// entries against the level-count sum) so a forged hello cannot induce
+// huge allocations or an inconsistent Meta.
+func parseHello(payload []byte) (tables.Meta, error) {
+	var m tables.Meta
+	if len(payload) < 41 {
+		return m, fmt.Errorf("%w: hello of %d bytes", ErrProtocol, len(payload))
+	}
+	if v := payload[0]; v != protoVersion {
+		return m, fmt.Errorf("%w: protocol version %d, this build speaks %d", ErrProtocol, v, protoVersion)
+	}
+	le := binary.LittleEndian
+	flags := le.Uint32(payload[1:])
+	k := le.Uint32(payload[5:])
+	if k > uint32(bfs.MaxPackedCost) {
+		return m, fmt.Errorf("%w: implausible horizon %d", ErrProtocol, k)
+	}
+	entries := le.Uint64(payload[9:])
+	if len(payload) != 41+(int(k)+1)*8 {
+		return m, fmt.Errorf("%w: hello length %d does not match horizon %d", ErrProtocol, len(payload), k)
+	}
+	m = tables.Meta{
+		K:       int(k),
+		Reduced: flags&1 != 0,
+		Entries: int(entries),
+		Fingerprint: tables.Fingerprint{
+			Elements: le.Uint32(payload[17:]),
+			MaxCost:  le.Uint32(payload[21:]),
+			XorPerms: le.Uint64(payload[25:]),
+			SumCosts: le.Uint64(payload[33:]),
+		},
+		LevelCounts: make([]int, k+1),
+	}
+	var sum uint64
+	for c := range m.LevelCounts {
+		n := le.Uint64(payload[41+8*c:])
+		sum += n
+		if n > entries || sum > entries {
+			return m, fmt.Errorf("%w: level %d count %d exceeds declared entries %d", ErrProtocol, c, n, entries)
+		}
+		m.LevelCounts[c] = int(n)
+	}
+	if err := m.Validate(); err != nil {
+		return m, fmt.Errorf("%w: %w", ErrProtocol, err)
+	}
+	return m, nil
+}
+
+// Stats are the serving counters a shard server reports over opStats.
+type Stats struct {
+	// Lookups counts LookupBatch requests; Keys the keys they probed and
+	// Hits the subset found. LevelReqs counts LevelKeys requests.
+	Lookups   uint64 `json:"lookups"`
+	Keys      uint64 `json:"keys"`
+	Hits      uint64 `json:"hits"`
+	LevelReqs uint64 `json:"level_reqs"`
+}
+
+func encodeStats(st Stats) []byte {
+	buf := make([]byte, 32)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], st.Lookups)
+	le.PutUint64(buf[8:], st.Keys)
+	le.PutUint64(buf[16:], st.Hits)
+	le.PutUint64(buf[24:], st.LevelReqs)
+	return buf
+}
+
+func parseStats(payload []byte) (Stats, error) {
+	if len(payload) != 32 {
+		return Stats{}, fmt.Errorf("%w: stats payload of %d bytes", ErrProtocol, len(payload))
+	}
+	le := binary.LittleEndian
+	return Stats{
+		Lookups:   le.Uint64(payload[0:]),
+		Keys:      le.Uint64(payload[8:]),
+		Hits:      le.Uint64(payload[16:]),
+		LevelReqs: le.Uint64(payload[24:]),
+	}, nil
+}
+
+// remoteErr converts an opErr payload into an error, capping how much of
+// a hostile message is retained.
+func remoteErr(payload []byte) error {
+	if len(payload) > maxErrLen {
+		payload = payload[:maxErrLen]
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, payload)
+}

@@ -1,0 +1,213 @@
+package tablenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashtab"
+	"repro/internal/tables"
+)
+
+// Router composes N shard backends into one tables.Backend by
+// partitioning the canonical-representative key space on the high bits
+// of the Wang hash — the same bits the in-process sharded hash table
+// routes by, so the partition is uniform for exactly the same reason the
+// shard locks were. Each LookupBatch is split by key owner and fanned
+// out to the owning shards concurrently, then scattered back in place;
+// a batch therefore costs one round trip regardless of shard count.
+//
+// Every shard serves the same store (the v2 table file is cheap to
+// replicate; it is the HOT set that doesn't fit one host), so the
+// routing's effect is page-cache partitioning: shard i only ever probes
+// its hash range, and its mmap'd resident set converges to ~1/N of the
+// table. Level-range reads are not keyed, so they round-robin across
+// shards with failover — any replica can serve them.
+type Router struct {
+	shards []tables.Backend
+	meta   tables.Meta
+	rr     atomic.Uint64
+}
+
+// ShardOf returns the owning shard of a table key among n shards: a
+// range partition of the high 32 Wang-hash bits, so any shard count
+// (not just powers of two) splits the space evenly.
+func ShardOf(key uint64, n int) int {
+	h := hashtab.Hash64Shift(key)
+	return int(uint64(uint32(h>>32)) * uint64(n) >> 32)
+}
+
+// NewRouter builds a router over the given shard backends, which must
+// all serve the same logical table set (same horizon, reduction,
+// entries, level counts, and alphabet fingerprint) — a mixed-generation
+// shard fleet would answer queries inconsistently, so it is rejected
+// here, at wiring time.
+func NewRouter(shards []tables.Backend) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("tablenet: router needs at least one shard")
+	}
+	meta := shards[0].Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	for i, sh := range shards[1:] {
+		if !meta.Compatible(sh.Meta()) {
+			return nil, fmt.Errorf("tablenet: shard %d serves a different table set than shard 0", i+1)
+		}
+	}
+	m := meta
+	m.LevelCounts = append([]int(nil), meta.LevelCounts...)
+	m.Source = fmt.Sprintf("router(%d)", len(shards))
+	return &Router{shards: shards, meta: m}, nil
+}
+
+// Meta returns the (shared) table metadata.
+func (r *Router) Meta() tables.Meta { return r.meta }
+
+// lookupScratch is pooled per-call partition workspace.
+type lookupScratch struct {
+	idx  [][]int // per-shard indices into the caller's batch
+	keys []uint64
+	vals []uint16
+	ok   []bool
+}
+
+var lookupPool = sync.Pool{New: func() any { return new(lookupScratch) }}
+
+// LookupBatch partitions the batch by key owner and resolves every
+// sub-batch concurrently. Results land exactly where a single backend
+// would have put them, so callers cannot tell a router from a table.
+func (r *Router) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		return fmt.Errorf("tablenet: LookupBatch slice lengths differ (%d/%d/%d)", len(keys), len(vals), len(found))
+	}
+	n := len(r.shards)
+	if n == 1 {
+		return r.shards[0].LookupBatch(ctx, keys, vals, found)
+	}
+	sc := lookupPool.Get().(*lookupScratch)
+	defer lookupPool.Put(sc)
+	if len(sc.idx) < n {
+		sc.idx = make([][]int, n)
+	}
+	idx := sc.idx[:n]
+	for s := range idx {
+		idx[s] = idx[s][:0]
+	}
+	for i, k := range keys {
+		s := ShardOf(k, n)
+		idx[s] = append(idx[s], i)
+	}
+	if cap(sc.keys) < len(keys) {
+		sc.keys = make([]uint64, len(keys))
+		sc.vals = make([]uint16, len(keys))
+		sc.ok = make([]bool, len(keys))
+	}
+	// Slice the shared scratch into disjoint per-shard windows laid out
+	// in shard order, so the concurrent sub-lookups never overlap.
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	off := 0
+	for s := 0; s < n; s++ {
+		ids := idx[s]
+		if len(ids) == 0 {
+			continue
+		}
+		subKeys := sc.keys[off : off+len(ids)]
+		subVals := sc.vals[off : off+len(ids)]
+		subOK := sc.ok[off : off+len(ids)]
+		off += len(ids)
+		for j, i := range ids {
+			subKeys[j] = keys[i]
+		}
+		wg.Add(1)
+		go func(sh tables.Backend, ids []int, subKeys []uint64, subVals []uint16, subOK []bool) {
+			defer wg.Done()
+			if err := sh.LookupBatch(ctx, subKeys, subVals, subOK); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for j, i := range ids {
+				vals[i] = subVals[j]
+				found[i] = subOK[j]
+			}
+		}(r.shards[s], ids, subKeys, subVals, subOK)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// LevelKeys forwards a level-range read to one shard, round-robin, with
+// failover: the request is not keyed (every shard holds the full level
+// index), so any reachable replica can answer it. A request fails only
+// when every shard does.
+func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
+	n := len(r.shards)
+	start := int(r.rr.Add(1)-1) % n
+	var errs []error
+	for step := 0; step < n; step++ {
+		sh := r.shards[(start+step)%n]
+		err := sh.LevelKeys(ctx, c, lo, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		errs = append(errs, err)
+	}
+	return fmt.Errorf("tablenet: all %d shards failed level read: %w", n, errors.Join(errs...))
+}
+
+// ShardStatus is one shard's health probe outcome.
+type ShardStatus struct {
+	// Addr names the shard (its dial address, or "local[i]" for
+	// in-process backends).
+	Addr string
+	// Err is nil for a reachable shard.
+	Err error
+}
+
+// Check probes every shard for reachability (Ping for network shards;
+// in-process backends are trivially healthy). A router whose shards are
+// partly unreachable still answers lookups for the healthy partitions
+// and fails the rest, so /healthz uses Check to report "degraded" and
+// let the load balancer eject the instance.
+func (r *Router) Check(ctx context.Context) []ShardStatus {
+	out := make([]ShardStatus, len(r.shards))
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		out[i].Addr = fmt.Sprintf("local[%d]", i)
+		if a, ok := sh.(interface{ Addr() string }); ok {
+			out[i].Addr = a.Addr()
+		}
+		p, ok := sh.(interface{ Ping(context.Context) error })
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ping func(context.Context) error) {
+			defer wg.Done()
+			out[i].Err = ping(ctx)
+		}(i, p.Ping)
+	}
+	wg.Wait()
+	return out
+}
+
+// Shards returns the number of shard backends.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Close closes every shard backend.
+func (r *Router) Close() error {
+	var errs []error
+	for _, sh := range r.shards {
+		if err := sh.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

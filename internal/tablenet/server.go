@@ -1,0 +1,318 @@
+package tablenet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tables"
+)
+
+// ErrServerClosed reports Serve returning because Close was called.
+var ErrServerClosed = errors.New("tablenet: server closed")
+
+// DefaultMaxConns bounds simultaneous connections per server.
+const DefaultMaxConns = 1024
+
+// DefaultIdleTimeout drops connections that send no request for this
+// long.
+const DefaultIdleTimeout = 5 * time.Minute
+
+// Server exports a tables.Backend over the tablenet protocol. One
+// Server can serve any number of connections; each connection is
+// request/response with per-connection scratch buffers, so the steady
+// state allocates nothing per request beyond what the backend itself
+// does.
+type Server struct {
+	backend tables.Backend
+	hello   []byte
+
+	// MaxConns caps simultaneous connections (0: DefaultMaxConns);
+	// IdleTimeout drops a connection that sends no request for the
+	// duration (0: DefaultIdleTimeout, negative: never). Both bound what
+	// an idle or hostile peer can pin — each connection holds ~128 KiB
+	// of buffers and a goroutine. Set before Serve. Clients ride
+	// through an idle drop transparently: their next request on the
+	// stale socket is retried on a fresh dial.
+	MaxConns    int
+	IdleTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	lookups   atomic.Uint64
+	keys      atomic.Uint64
+	hits      atomic.Uint64
+	levelReqs atomic.Uint64
+}
+
+// NewServer wraps a backend (typically tables.Local over a memory-mapped
+// store) as a protocol server. The backend must outlive the server.
+func NewServer(b tables.Backend) (*Server, error) {
+	if b == nil {
+		return nil, fmt.Errorf("tablenet: nil backend")
+	}
+	m := b.Meta()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		backend:   b,
+		hello:     encodeHello(m),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Lookups:   s.lookups.Load(),
+		Keys:      s.keys.Load(),
+		Hits:      s.hits.Load(),
+		LevelReqs: s.levelReqs.Load(),
+	}
+}
+
+// Serve accepts connections on l until Close (returning ErrServerClosed)
+// or an accept error. Call from as many listeners as needed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		maxConns := s.MaxConns
+		if maxConns <= 0 {
+			maxConns = DefaultMaxConns
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		if len(s.conns) >= maxConns {
+			// Shed load at accept rather than queueing: the peer sees a
+			// clean close and can retry another replica.
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops all listeners, severs open connections, and waits for the
+// connection handlers to return.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// connScratch is one connection's reusable workspace.
+type connScratch struct {
+	frame []byte
+	resp  []byte
+	keys  []uint64
+	vals  []uint16
+	found []bool
+}
+
+// serveConn speaks the protocol on one connection: hello first, then a
+// request/response loop until EOF or a protocol violation (which is
+// answered with an opErr frame before the connection drops).
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReaderSize(c, 1<<16)
+	bw := bufio.NewWriterSize(c, 1<<16)
+	if err := writeFrame(bw, opHello, s.hello); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	idle := s.IdleTimeout
+	if idle == 0 {
+		idle = DefaultIdleTimeout
+	}
+	sc := &connScratch{frame: make([]byte, 4096)}
+	for {
+		if idle > 0 {
+			c.SetReadDeadline(time.Now().Add(idle))
+		}
+		op, payload, err := readFrame(br, sc.frame)
+		if err != nil {
+			return // EOF, idle timeout, peer gone, or unframeable garbage
+		}
+		if cap(payload) > cap(sc.frame) {
+			// Keep the grown buffer for the next large batch.
+			sc.frame = payload[:cap(payload)]
+		}
+		respOp, resp, err := s.handleRequest(op, payload, sc)
+		if err != nil {
+			writeFrame(bw, opErr, []byte(err.Error()))
+			bw.Flush()
+			return
+		}
+		if err := writeFrame(bw, respOp, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleRequest dispatches one decoded request frame. It is
+// transport-free so the fuzzer can drive it with raw frames; every
+// length field is validated against the actual payload size before any
+// allocation sized from it.
+func (s *Server) handleRequest(op byte, payload []byte, sc *connScratch) (byte, []byte, error) {
+	le := binary.LittleEndian
+	switch op {
+	case opPing:
+		if len(payload) != 0 {
+			return 0, nil, fmt.Errorf("%w: ping carries %d payload bytes", ErrProtocol, len(payload))
+		}
+		return opPingR, nil, nil
+
+	case opStats:
+		if len(payload) != 0 {
+			return 0, nil, fmt.Errorf("%w: stats carries %d payload bytes", ErrProtocol, len(payload))
+		}
+		return opStatsR, encodeStats(s.Stats()), nil
+
+	case opLookup:
+		if len(payload) < 4 {
+			return 0, nil, fmt.Errorf("%w: short lookup request", ErrProtocol)
+		}
+		n := int(le.Uint32(payload))
+		if n > maxLookupKeys || len(payload) != 4+8*n {
+			return 0, nil, fmt.Errorf("%w: lookup declares %d keys in %d bytes", ErrProtocol, n, len(payload))
+		}
+		if cap(sc.keys) < n {
+			sc.keys = make([]uint64, n)
+			sc.vals = make([]uint16, n)
+			sc.found = make([]bool, n)
+		}
+		keys, vals, found := sc.keys[:n], sc.vals[:n], sc.found[:n]
+		for i := range keys {
+			keys[i] = le.Uint64(payload[4+8*i:])
+		}
+		if err := s.backend.LookupBatch(context.Background(), keys, vals, found); err != nil {
+			return 0, nil, fmt.Errorf("lookup failed: %w", err)
+		}
+		s.lookups.Add(1)
+		s.keys.Add(uint64(n))
+		respLen := 4 + 2*n + (n+7)/8
+		if cap(sc.resp) < respLen {
+			sc.resp = make([]byte, respLen)
+		}
+		resp := sc.resp[:respLen]
+		le.PutUint32(resp, uint32(n))
+		bitmap := resp[4+2*n:]
+		for i := range bitmap {
+			bitmap[i] = 0
+		}
+		hits := uint64(0)
+		for i := 0; i < n; i++ {
+			le.PutUint16(resp[4+2*i:], vals[i])
+			if found[i] {
+				bitmap[i/8] |= 1 << (i % 8)
+				hits++
+			}
+		}
+		s.hits.Add(hits)
+		return opLookupR, resp, nil
+
+	case opLevel:
+		if len(payload) != 16 {
+			return 0, nil, fmt.Errorf("%w: level request of %d bytes", ErrProtocol, len(payload))
+		}
+		cost := int(le.Uint32(payload))
+		lo := le.Uint64(payload[4:])
+		n := int(le.Uint32(payload[12:]))
+		m := s.backend.Meta()
+		if cost < 0 || cost > m.K {
+			return 0, nil, fmt.Errorf("%w: level %d outside horizon %d", ErrProtocol, cost, m.K)
+		}
+		if n > maxLevelKeys || lo > uint64(m.LevelCounts[cost]) || uint64(n) > uint64(m.LevelCounts[cost])-lo {
+			return 0, nil, fmt.Errorf("%w: level %d range [%d, %d) outside its %d entries", ErrProtocol, cost, lo, lo+uint64(n), m.LevelCounts[cost])
+		}
+		if cap(sc.keys) < n {
+			sc.keys = make([]uint64, n)
+			sc.vals = make([]uint16, n)
+			sc.found = make([]bool, n)
+		}
+		keys := sc.keys[:n]
+		if err := s.backend.LevelKeys(context.Background(), cost, int(lo), keys); err != nil {
+			return 0, nil, fmt.Errorf("level fetch failed: %w", err)
+		}
+		s.levelReqs.Add(1)
+		respLen := 4 + 8*n
+		if cap(sc.resp) < respLen {
+			sc.resp = make([]byte, respLen)
+		}
+		resp := sc.resp[:respLen]
+		le.PutUint32(resp, uint32(n))
+		for i, k := range keys {
+			le.PutUint64(resp[4+8*i:], k)
+		}
+		return opLevelR, resp, nil
+
+	default:
+		return 0, nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, op)
+	}
+}

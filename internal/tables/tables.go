@@ -1,0 +1,225 @@
+// Package tables defines the backend-neutral read interface over the
+// paper's precomputed search tables — the seam that separates the query
+// engine (package core) from where the tables physically live.
+//
+// The paper's workflow is precompute-once/query-many: the breadth-first
+// search tables are built on one big machine (§3.1) and every synthesis
+// query afterwards only *reads* them — canonical-representative cost
+// lookups plus per-level iteration over the representative lists. Those
+// two read operations, batched, plus the metadata needed to interpret
+// them are exactly what Backend captures. Everything else follows from
+// implementations:
+//
+//   - Local wraps an in-process bfs.Result (live, frozen, or
+//     memory-mapped off a tablesio v2 store) — the single-host case.
+//   - tablenet.Client speaks the same interface over a wire protocol to
+//     a shard server exporting its mapped store.
+//   - tablenet.Router partitions the key space by the same high
+//     Wang-hash bits the sharded hash table already uses and fans each
+//     batch out across N shard backends.
+//
+// Both operations are batch-shaped on purpose: a network backend
+// amortizes its round trips over hundreds of keys per call, while the
+// local backend degrades to the plain probe loop with no extra
+// indirection on the hot path (core keeps the direct *bfs.Result fast
+// path via the Localized escape hatch).
+package tables
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bfs"
+)
+
+// Fingerprint summarizes an alphabet for compatibility checking: tables
+// must never be interpreted against a different building-block set than
+// the one that produced them. It is the same fingerprint tablesio
+// persists in store headers and tablenet carries in its handshake.
+type Fingerprint struct {
+	Elements uint32
+	MaxCost  uint32
+	XorPerms uint64
+	SumCosts uint64
+}
+
+// FingerprintOf computes an alphabet's fingerprint.
+func FingerprintOf(a *bfs.Alphabet) Fingerprint {
+	fp := Fingerprint{Elements: uint32(a.Len()), MaxCost: uint32(a.MaxCost())}
+	for i := 0; i < a.Len(); i++ {
+		e := a.Element(i)
+		fp.XorPerms ^= uint64(e.P) * uint64(i+1)
+		fp.SumCosts += uint64(e.Cost)
+	}
+	return fp
+}
+
+// Meta describes a table set: the geometry a query engine needs before
+// it can issue reads. It is constant over a backend's lifetime.
+type Meta struct {
+	// K is the search horizon: every class with minimal cost ≤ K is
+	// present.
+	K int
+	// Reduced records whether the canonical (÷48) symmetry reduction was
+	// applied; reduced tables are keyed by class representatives.
+	Reduced bool
+	// Entries is the total number of stored representatives (identity
+	// included).
+	Entries int
+	// LevelCounts[c] is the number of representatives with minimal cost
+	// exactly c; len(LevelCounts) == K+1. These are the per-level
+	// iteration bounds for LevelKeys.
+	LevelCounts []int
+	// Fingerprint identifies the alphabet the tables were built over.
+	Fingerprint Fingerprint
+	// Source describes where the tables live, for stats/logs: "local",
+	// "tablenet(addr)", "router(n)".
+	Source string
+}
+
+// Validate checks Meta's internal consistency; backends return validated
+// metadata, and consumers of untrusted backends (network handshakes)
+// re-check.
+func (m Meta) Validate() error {
+	if m.K < 0 || m.K > bfs.MaxPackedCost {
+		return fmt.Errorf("tables: horizon %d outside [0, %d]", m.K, bfs.MaxPackedCost)
+	}
+	if len(m.LevelCounts) != m.K+1 {
+		return fmt.Errorf("tables: %d level counts for horizon %d", len(m.LevelCounts), m.K)
+	}
+	total := 0
+	for c, n := range m.LevelCounts {
+		if n < 0 {
+			return fmt.Errorf("tables: negative count at level %d", c)
+		}
+		total += n
+	}
+	if total != m.Entries {
+		return fmt.Errorf("tables: level counts sum to %d, meta declares %d entries", total, m.Entries)
+	}
+	if m.Entries < 1 {
+		return fmt.Errorf("tables: table declares no entries")
+	}
+	return nil
+}
+
+// Compatible reports whether two metadata blocks describe the same
+// logical table set — the check a router runs across its shards and a
+// client runs when a reconnect lands on a restarted server.
+func (m Meta) Compatible(o Meta) bool {
+	if m.K != o.K || m.Reduced != o.Reduced || m.Entries != o.Entries || m.Fingerprint != o.Fingerprint {
+		return false
+	}
+	for c, n := range m.LevelCounts {
+		if o.LevelCounts[c] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Backend is the read interface of a search-table set. Implementations
+// must be safe for concurrent use by any number of goroutines.
+//
+// Keys are the raw packed-permutation words stored in the table: for a
+// reduced table set the caller canonicalizes (canon.Rep) before looking
+// up, exactly as it would against a local hash table — canonicalization
+// is query-side CPU, the backend only answers membership and packed
+// values. Values are the cost-packed uint16 words bfs.UnpackValue
+// decodes.
+type Backend interface {
+	// Meta returns the table metadata (constant, pre-validated).
+	Meta() Meta
+	// LookupBatch probes every keys[i], writing the packed value into
+	// vals[i] and presence into found[i]. The three slices must have
+	// equal length; missing keys leave vals[i] unspecified. A batch is
+	// one round trip for a network backend, so callers amortize: the
+	// meet-in-the-middle scan batches a whole chunk of candidate
+	// residues per call.
+	LookupBatch(ctx context.Context, keys []uint64, vals []uint16, found []bool) error
+	// LevelKeys fills out with the representative words of cost level c,
+	// index range [lo, lo+len(out)) in the level's storage order. The
+	// range must lie within Meta().LevelCounts[c].
+	LevelKeys(ctx context.Context, c, lo int, out []uint64) error
+	// Close releases the backend's resources (connections, mappings).
+	Close() error
+}
+
+// Localized is implemented by backends that can expose their tables as
+// an in-process bfs.Result. The core query engine uses it to keep the
+// zero-indirection probe loop — unchanged from single-host serving —
+// whenever the tables are actually local.
+type Localized interface {
+	Local() *bfs.Result
+}
+
+// Local is the in-process Backend over a bfs.Result (live, frozen, or
+// memory-mapped). It is the reference implementation the network stack
+// is tested against, and the backend every shard server exports.
+type Local struct {
+	res  *bfs.Result
+	meta Meta
+}
+
+// NewLocal wraps res as a Backend. The result must stay valid (and
+// unclosed) for the backend's lifetime; Close on the backend does not
+// release it — the result's owner does, mirroring service.Config.Tables
+// ownership.
+func NewLocal(res *bfs.Result) (*Local, error) {
+	if res == nil {
+		return nil, fmt.Errorf("tables: nil result")
+	}
+	counts := make([]int, res.MaxCost+1)
+	for c := range counts {
+		counts[c] = res.LevelLen(c)
+	}
+	m := Meta{
+		K:           res.MaxCost,
+		Reduced:     res.Reduced,
+		Entries:     res.TotalStored(),
+		LevelCounts: counts,
+		Fingerprint: FingerprintOf(res.Alphabet),
+		Source:      "local",
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Local{res: res, meta: m}, nil
+}
+
+// Local exposes the wrapped result (the Localized fast path).
+func (b *Local) Local() *bfs.Result { return b.res }
+
+// Meta returns the table metadata.
+func (b *Local) Meta() Meta { return b.meta }
+
+// LookupBatch probes the in-process table; it never fails except on
+// malformed arguments.
+func (b *Local) LookupBatch(_ context.Context, keys []uint64, vals []uint16, found []bool) error {
+	if len(vals) != len(keys) || len(found) != len(keys) {
+		return fmt.Errorf("tables: LookupBatch slice lengths differ (%d/%d/%d)", len(keys), len(vals), len(found))
+	}
+	for i, k := range keys {
+		vals[i], found[i] = b.res.LookupRaw(k)
+	}
+	return nil
+}
+
+// LevelKeys copies a slice of cost level c's representative words.
+func (b *Local) LevelKeys(_ context.Context, c, lo int, out []uint64) error {
+	if c < 0 || c > b.meta.K {
+		return fmt.Errorf("tables: level %d outside horizon %d", c, b.meta.K)
+	}
+	n := b.meta.LevelCounts[c]
+	if lo < 0 || lo+len(out) > n {
+		return fmt.Errorf("tables: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), n)
+	}
+	lv := b.res.Level(c)
+	for i := range out {
+		out[i] = uint64(lv.At(lo + i))
+	}
+	return nil
+}
+
+// Close is a no-op: the wrapped result belongs to its owner.
+func (b *Local) Close() error { return nil }

@@ -1,0 +1,130 @@
+package tables
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bfs"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *bfs.Result
+	fixtureErr  error
+)
+
+func fixture(t *testing.T) *bfs.Result {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = bfs.Search(bfs.GateAlphabet(), 3, nil)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRes
+}
+
+func TestLocalMeta(t *testing.T) {
+	res := fixture(t)
+	b, err := NewLocal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.Meta()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.K != res.MaxCost || m.Entries != res.TotalStored() || !m.Reduced || m.Source != "local" {
+		t.Fatalf("meta %+v does not describe the result", m)
+	}
+	for c := 0; c <= res.MaxCost; c++ {
+		if m.LevelCounts[c] != res.LevelLen(c) {
+			t.Fatalf("level %d count %d, want %d", c, m.LevelCounts[c], res.LevelLen(c))
+		}
+	}
+	if m.Fingerprint != FingerprintOf(res.Alphabet) {
+		t.Fatal("fingerprint mismatch")
+	}
+	if b.Local() != res {
+		t.Fatal("Localized escape hatch broken")
+	}
+}
+
+func TestLocalReads(t *testing.T) {
+	res := fixture(t)
+	b, err := NewLocal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lv := res.Level(2)
+	keys := []uint64{uint64(lv.At(0)), 3, uint64(lv.At(lv.Len() - 1))}
+	vals := make([]uint16, len(keys))
+	found := make([]bool, len(keys))
+	if err := b.LookupBatch(ctx, keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || found[1] || !found[2] {
+		t.Fatalf("presence wrong: %v", found)
+	}
+	if want, _ := res.LookupRaw(keys[0]); vals[0] != want {
+		t.Fatalf("value mismatch: %d != %d", vals[0], want)
+	}
+	if err := b.LookupBatch(ctx, keys, vals[:1], found); err == nil {
+		t.Fatal("mismatched slice lengths accepted")
+	}
+	out := make([]uint64, lv.Len())
+	if err := b.LevelKeys(ctx, 2, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != keys[0] || out[len(out)-1] != keys[2] {
+		t.Fatal("level keys out of order")
+	}
+	if err := b.LevelKeys(ctx, 2, 1, out); err == nil {
+		t.Fatal("level overrun accepted")
+	}
+	if err := b.LevelKeys(ctx, res.MaxCost+1, 0, out[:1]); err == nil {
+		t.Fatal("level beyond horizon accepted")
+	}
+}
+
+func TestMetaValidateRejects(t *testing.T) {
+	good := Meta{K: 1, Entries: 3, LevelCounts: []int{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Meta{
+		{K: -1, Entries: 1, LevelCounts: []int{}},
+		{K: bfs.MaxPackedCost + 1, Entries: 1, LevelCounts: make([]int, bfs.MaxPackedCost+2)},
+		{K: 1, Entries: 3, LevelCounts: []int{1}},     // wrong count length
+		{K: 1, Entries: 3, LevelCounts: []int{1, 1}},  // sum mismatch
+		{K: 1, Entries: 0, LevelCounts: []int{0, 0}},  // empty table
+		{K: 1, Entries: 0, LevelCounts: []int{1, -1}}, // negative level
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("case %d: invalid meta %+v accepted", i, m)
+		}
+	}
+}
+
+func TestMetaCompatible(t *testing.T) {
+	a := Meta{K: 1, Entries: 3, LevelCounts: []int{1, 2}, Fingerprint: Fingerprint{Elements: 32}}
+	b := a
+	b.LevelCounts = []int{1, 2}
+	b.Source = "elsewhere" // source is advisory, not identity
+	if !a.Compatible(b) {
+		t.Fatal("identical metas incompatible")
+	}
+	c := a
+	c.LevelCounts = []int{2, 1}
+	if a.Compatible(c) {
+		t.Fatal("different level counts compatible")
+	}
+	d := a
+	d.Fingerprint.Elements = 31
+	if a.Compatible(d) {
+		t.Fatal("different alphabets compatible")
+	}
+}

@@ -168,6 +168,7 @@ func loadV2Mmap(f *os.File, size int64, alphabet *bfs.Alphabet, opts *LoadOption
 	if err != nil {
 		return fail(err)
 	}
+	res.Frozen.SetMapped(data)
 	res.Frozen.SetCloser(unmap)
 	return res, LoadInfo{Version: 2, MemoryMapped: true, Bytes: size, Entries: res.TotalStored()}, nil
 }

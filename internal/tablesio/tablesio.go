@@ -38,6 +38,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/hashtab"
 	"repro/internal/perm"
+	"repro/internal/tables"
 )
 
 // The magic is "RVT" plus an ASCII version byte. Version gating lets a
@@ -79,23 +80,13 @@ var (
 	ErrCorrupt = errors.New("tablesio: corrupt tables file")
 )
 
-// fingerprint summarizes an alphabet for compatibility checking.
-type fingerprint struct {
-	Elements uint32
-	MaxCost  uint32
-	XorPerms uint64
-	SumCosts uint64
-}
+// fingerprint is the persisted alphabet summary — the shared type the
+// whole serving stack (store headers, network handshakes, backend
+// metadata) agrees on, so a table can never be interpreted against the
+// wrong building-block set no matter which transport delivered it.
+type fingerprint = tables.Fingerprint
 
-func fingerprintOf(a *bfs.Alphabet) fingerprint {
-	fp := fingerprint{Elements: uint32(a.Len()), MaxCost: uint32(a.MaxCost())}
-	for i := 0; i < a.Len(); i++ {
-		e := a.Element(i)
-		fp.XorPerms ^= uint64(e.P) * uint64(i+1)
-		fp.SumCosts += uint64(e.Cost)
-	}
-	return fp
-}
+func fingerprintOf(a *bfs.Alphabet) fingerprint { return tables.FingerprintOf(a) }
 
 // countingWriter tees writes into a running checksum.
 type checksumWriter struct {
