@@ -88,6 +88,39 @@
 // order is preserved; tests enforce it). ServiceConfig.Backend injects
 // the same seam programmatically. See examples/cluster for the
 // end-to-end walkthrough.
+//
+// # Cache tiering and tuning
+//
+// The remote read path is tiered. Frozen tables are immutable — the
+// handshake pins each network client to one table generation (alphabet
+// fingerprint plus table geometry), and a reconnect onto anything else
+// fails loudly — so every fetched result is cacheable for the client's
+// lifetime with no invalidation protocol at all. Each shard client
+// therefore keeps:
+//
+//   - a hot-key cache over lookup results (present and absent alike:
+//     a key's absence from an immutable table is as permanent as its
+//     value). Batches split on partial hits — only miss keys travel;
+//   - an immutable level-block cache, so repeated meet-in-the-middle
+//     scans stop re-fetching the hot low-level key ranges entirely;
+//   - singleflight coalescing: concurrent identical misses (the same
+//     level block, or the same miss batch — many clients racing one
+//     specification) share a single round trip.
+//
+// On top of the caches the query engine pipelines the remote scan
+// itself: the next chunk of level representatives is prefetched while
+// the current chunk's lookup batch is in flight. Only the fetches
+// overlap — chunks commit strictly in scan order, so remote circuits
+// stay byte-identical to single-host serving, caches on or off.
+//
+// Tuning: revserve -router takes -remote-cache N (hot-key entries per
+// shard client; 0 picks the default, negative disables every tier for
+// A/B measurement). Warm-up is traffic-driven — the first pass over a
+// working set pays the wire once, after which warm queries run within a
+// small factor of in-process serving (BENCH_5.json tracks the cold and
+// warm curves). Cache hit/miss/coalescing/byte counters surface through
+// ServiceStats.RemoteCache and the /stats endpoint ("clients" holds the
+// router's aggregate over its shard clients).
 package repro
 
 import (

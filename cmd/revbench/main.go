@@ -2,20 +2,25 @@
 // experiments — multicore BFS search, cold-start table loading across
 // store formats, serving-layer query throughput, and remote-backend
 // (tablenet shard/router) throughput — and emits one machine-readable
-// JSON report. CI uploads the report as an artifact (BENCH_4.json) so
+// JSON report. CI uploads the report as an artifact (BENCH_5.json) so
 // the scaling curves are tracked per commit; ROADMAP.md records the
 // curves measured on reference hardware.
 //
 // Usage:
 //
-//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_4.json]
+//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_5.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // One run builds the k-tables exactly once and reuses them for every
 // experiment, so the dominant cost is the first search plus one extra
 // search per worker count. The remote section serves those tables over
-// loopback TCP — first through a single tablenet shard, then through a
-// router over two shards — so the report captures the network seam's
-// overhead relative to the in-process path on identical hardware.
+// loopback TCP — a single tablenet shard and a router over two shards,
+// each measured cold (client caches disabled: the raw wire tax,
+// comparable to BENCH_4) and warm (the tiered client caches primed by
+// one pass over the spec set) — so the report captures both the network
+// seam's overhead and what the immutable-result caches claw back on
+// identical hardware. -cpuprofile/-memprofile attach pprof evidence to
+// a perf investigation without rebuilding the harness.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"testing"
@@ -88,15 +94,28 @@ type kernelReport struct {
 
 // remoteReport compares uncached serving throughput across table
 // backends on identical tables: in-process (the query_report baseline),
-// one tablenet shard over loopback, and a shard-by-key router over two.
+// one tablenet shard over loopback, and a shard-by-key router over two
+// — each cold (client caches disabled; directly comparable to
+// BENCH_4's remote section) and warm (tiered client caches primed by
+// one pass over the spec set; the service result-LRU stays off, so
+// every query still runs its full scan — the caches only remove wire
+// round trips).
 type remoteReport struct {
-	OneShardNsPerOp float64 `json:"one_shard_uncached_ns_per_op"`
-	OneShardQPS     float64 `json:"one_shard_uncached_qps_per_core"`
-	RouterNsPerOp   float64 `json:"router_2shard_uncached_ns_per_op"`
-	RouterQPS       float64 `json:"router_2shard_uncached_qps_per_core"`
-	// OverheadVsLocal is one-shard uncached ns/op over the in-process
-	// uncached ns/op: the price of the network seam per query.
-	OverheadVsLocal float64 `json:"one_shard_overhead_vs_local"`
+	OneShardColdNsPerOp float64 `json:"one_shard_cold_ns_per_op"`
+	OneShardColdQPS     float64 `json:"one_shard_cold_qps_per_core"`
+	RouterColdNsPerOp   float64 `json:"router_2shard_cold_ns_per_op"`
+	RouterColdQPS       float64 `json:"router_2shard_cold_qps_per_core"`
+	OneShardWarmNsPerOp float64 `json:"one_shard_warm_ns_per_op"`
+	OneShardWarmQPS     float64 `json:"one_shard_warm_qps_per_core"`
+	RouterWarmNsPerOp   float64 `json:"router_2shard_warm_ns_per_op"`
+	RouterWarmQPS       float64 `json:"router_2shard_warm_qps_per_core"`
+	// ColdOverheadVsLocal is one-shard cold ns/op over the in-process
+	// uncached ns/op: the raw price of the network seam per query.
+	// WarmOverheadVsLocal is the same ratio with the caches warm, and
+	// WarmSpeedupVsCold is what the tiers claw back.
+	ColdOverheadVsLocal float64 `json:"one_shard_cold_overhead_vs_local"`
+	WarmOverheadVsLocal float64 `json:"one_shard_warm_overhead_vs_local"`
+	WarmSpeedupVsCold   float64 `json:"one_shard_warm_speedup_vs_cold"`
 }
 
 type report struct {
@@ -118,11 +137,45 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revbench: ")
 	var (
-		k       = flag.Int("k", 6, "BFS depth for the table set under test")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
-		out     = flag.String("o", "BENCH_4.json", "output path (- for stdout)")
+		k          = flag.Int("k", 6, "BFS depth for the table set under test")
+		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
+		out        = flag.String("o", "BENCH_5.json", "output path (- for stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("wrote CPU profile to %s", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		// Failures here must not log.Fatal: os.Exit would skip the
+		// CPU-profile defer above and corrupt that artifact too.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("heap profile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("heap profile: %v", err)
+				return
+			}
+			log.Printf("wrote heap profile to %s", *memprofile)
+		}()
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -291,13 +344,24 @@ func main() {
 		go srv.Serve(l)
 		return l.Addr().String(), func() { srv.Close() }
 	}
-	remoteBench := func(shards int) float64 {
+	// Each configuration runs cold (client caches disabled — the raw
+	// wire tax, comparable to BENCH_4's remote section) and warm (the
+	// tiered client caches primed by one pass over the spec set). The
+	// service result-LRU stays off in both, so warm queries still run
+	// their full direct-probe/reconstruct/scan — the caches only remove
+	// wire round trips.
+	remoteBench := func(shards int, cached bool) float64 {
 		var backends []tables.Backend
 		var closers []func()
 		for i := 0; i < shards; i++ {
 			addr, closeShard := startShard()
 			closers = append(closers, closeShard)
-			cl, err := tablenet.Dial(addr, &tablenet.ClientOptions{Conns: 2 * runtime.GOMAXPROCS(0)})
+			copts := &tablenet.ClientOptions{Conns: 2 * runtime.GOMAXPROCS(0)}
+			if !cached {
+				copts.CacheKeys = -1
+				copts.LevelCacheBytes = -1
+			}
+			cl, err := tablenet.Dial(addr, copts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -310,6 +374,13 @@ func main() {
 		svc, err := service.New(service.Config{Backend: router, QueryWorkers: 1, CacheSize: -1})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if cached {
+			for _, s := range specs { // prime the client caches
+				if _, _, err := svc.Synthesize(context.Background(), s); err != nil {
+					log.Fatal(err)
+				}
+			}
 		}
 		r := testing.Benchmark(func(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
@@ -329,17 +400,27 @@ func main() {
 		}
 		return float64(r.NsPerOp())
 	}
-	oneShard := remoteBench(1)
-	twoShard := remoteBench(2)
+	oneCold := remoteBench(1, false)
+	oneWarm := remoteBench(1, true)
+	twoCold := remoteBench(2, false)
+	twoWarm := remoteBench(2, true)
 	rep.Remote = remoteReport{
-		OneShardNsPerOp: round(oneShard),
-		OneShardQPS:     round(1e9 / oneShard),
-		RouterNsPerOp:   round(twoShard),
-		RouterQPS:       round(1e9 / twoShard),
-		OverheadVsLocal: round(oneShard / uncached),
+		OneShardColdNsPerOp: round(oneCold),
+		OneShardColdQPS:     round(1e9 / oneCold),
+		RouterColdNsPerOp:   round(twoCold),
+		RouterColdQPS:       round(1e9 / twoCold),
+		OneShardWarmNsPerOp: round(oneWarm),
+		OneShardWarmQPS:     round(1e9 / oneWarm),
+		RouterWarmNsPerOp:   round(twoWarm),
+		RouterWarmQPS:       round(1e9 / twoWarm),
+		ColdOverheadVsLocal: round(oneCold / uncached),
+		WarmOverheadVsLocal: round(oneWarm / uncached),
+		WarmSpeedupVsCold:   round(oneCold / oneWarm),
 	}
-	log.Printf("remote: 1 shard %.0f ns/op (%.0f QPS/core), router over 2 shards %.0f ns/op (%.0f QPS/core), %.1f× local uncached",
-		oneShard, 1e9/oneShard, twoShard, 1e9/twoShard, oneShard/uncached)
+	log.Printf("remote cold: 1 shard %.0f ns/op (%.0f QPS/core), router over 2 shards %.0f ns/op, %.1f× local uncached",
+		oneCold, 1e9/oneCold, twoCold, oneCold/uncached)
+	log.Printf("remote warm: 1 shard %.0f ns/op (%.0f QPS/core, %.1f× over cold), router over 2 shards %.0f ns/op, %.1f× local uncached",
+		oneWarm, 1e9/oneWarm, oneCold/oneWarm, twoWarm, oneWarm/uncached)
 
 	// --- Canonicalization kernel ----------------------------------------
 	random := make([]perm.Perm, 1024)

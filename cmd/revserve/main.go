@@ -8,7 +8,7 @@
 //	revserve -addr :8080 -k 6 -tables k6.tables [-metric gates|cost|depth]
 //	         [-workers N] [-query-workers N] [-cache 4096] [-timeout 30s]
 //	revserve -shard-serve -addr :9090 -tables k6.tables
-//	revserve -router host1:9090,host2:9090 -addr :8080
+//	revserve -router host1:9090,host2:9090 -addr :8080 [-remote-cache N]
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
@@ -36,7 +36,10 @@
 //     table. That is the deployment shape for table sets too large to
 //     keep hot on one machine (the paper's k ≥ 9 regime). A router's
 //     /healthz reports "degraded" (503) while any shard is unreachable,
-//     so a load balancer can eject it.
+//     so a load balancer can eject it. Each shard client keeps a tiered
+//     cache of immutable results (hot keys, level blocks) sized by
+//     -remote-cache; /stats reports the aggregate client-pool counters
+//     under "clients" alongside the per-shard health and counters.
 //
 // Endpoints (all JSON):
 //
@@ -83,18 +86,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revserve: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (HTTP, or the tablenet protocol with -shard-serve)")
-		k          = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
-		maxSplit   = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
-		tablesPath = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
-		metric     = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
-		qworkers   = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
-		cache      = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
-		shardServe = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
-		router     = flag.String("router", "", "comma-separated shard server addresses: serve HTTP against a shard-by-key router over them")
-		shardConns = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
+		addr        = flag.String("addr", ":8080", "listen address (HTTP, or the tablenet protocol with -shard-serve)")
+		k           = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
+		maxSplit    = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
+		tablesPath  = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
+		metric      = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
+		qworkers    = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
+		cache       = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
+		shardServe  = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
+		router      = flag.String("router", "", "comma-separated shard server addresses: serve HTTP against a shard-by-key router over them")
+		shardConns  = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
+		remoteCache = flag.Int("remote-cache", 0, "per-shard client hot-key cache entries for -router "+
+			"(0: default, negative: disable all client caches). Frozen tables are immutable, so cached entries are valid for the process lifetime")
 	)
 	flag.Parse()
 	if *shardServe && *router != "" {
@@ -148,7 +153,11 @@ func main() {
 			if a == "" {
 				continue
 			}
-			cl, err := tablenet.Dial(a, &tablenet.ClientOptions{Conns: *shardConns})
+			copts := &tablenet.ClientOptions{Conns: *shardConns, CacheKeys: *remoteCache}
+			if *remoteCache < 0 {
+				copts.LevelCacheBytes = -1 // disabling the knob disables every tier
+			}
+			cl, err := tablenet.Dial(a, copts)
 			if err != nil {
 				log.Fatalf("dialing shard %s: %v", a, err)
 			}
@@ -192,27 +201,39 @@ func main() {
 			return
 		}
 		// On a router, annotate the serving stats with per-shard health
-		// and counters so one scrape sees the whole fleet.
+		// and counters plus the aggregate client-pool counters (cache
+		// tiers, coalescing, wire bytes) so one scrape sees the whole
+		// fleet and what the caches are saving it.
 		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 		defer cancel()
 		type shardStats struct {
-			Addr  string          `json:"addr"`
-			Err   string          `json:"err,omitempty"`
-			Stats *tablenet.Stats `json:"stats,omitempty"`
+			Addr    string             `json:"addr"`
+			Err     string             `json:"err,omitempty"`
+			Stats   *tablenet.Stats    `json:"stats,omitempty"`
+			Clients *tables.CacheStats `json:"clients,omitempty"`
 		}
 		var shards []shardStats
 		for _, st := range shardRouter.Check(ctx) {
 			s := shardStats{Addr: st.Addr}
 			if st.Err != nil {
 				s.Err = st.Err.Error()
-			} else if cl := shardClients[st.Addr]; cl != nil {
-				if counters, err := cl.ServerStats(ctx); err == nil {
-					s.Stats = &counters
+			}
+			if cl := shardClients[st.Addr]; cl != nil {
+				cs := cl.CacheStats()
+				s.Clients = &cs
+				if st.Err == nil {
+					if counters, err := cl.ServerStats(ctx); err == nil {
+						s.Stats = &counters
+					}
 				}
 			}
 			shards = append(shards, s)
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"service": svc.Stats(), "shards": shards})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"service": svc.Stats(),
+			"clients": shardRouter.CacheStats(),
+			"shards":  shards,
+		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Stats()

@@ -22,14 +22,20 @@
 //	#    every lookup batch through the shard fleet, partitioning the
 //	#    canonical keys on their high Wang-hash bits — each shard's
 //	#    resident set converges to ~1/N of the table
-//	#    (table_resident_bytes in each shard host's /stats):
-//	go run ./cmd/revserve -router localhost:9091,localhost:9092 -addr :8080 &
+//	#    (table_resident_bytes in each shard host's /stats). Each shard
+//	#    client keeps a tiered cache of immutable results (hot lookup
+//	#    keys, level-key blocks) — frozen tables never change under a
+//	#    fingerprint, so nothing ever needs invalidating. -remote-cache
+//	#    sizes the hot-key tier (negative disables all tiers):
+//	go run ./cmd/revserve -router localhost:9091,localhost:9092 -addr :8080 -remote-cache 1048576 &
 //
 //	# 4. Query the router exactly like a single-host revserve. /healthz
 //	#    reports "degraded" (503) if a shard dies, so a load balancer
-//	#    can eject this router:
+//	#    can eject this router. Warm-up is traffic-driven: repeat a
+//	#    working set once and the caches absorb the wire round trips —
+//	#    watch key_hits/level_hits/coalesced under "clients" in /stats:
 //	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
-//	curl 'localhost:8080/stats'     # service counters + per-shard health
+//	curl 'localhost:8080/stats'     # service counters + client-pool cache counters + per-shard health
 //	curl 'localhost:8080/healthz'
 //
 // This program walks the same topology in-process (k = 5 to keep it

@@ -98,6 +98,9 @@ type Synthesizer struct {
 	// and the router's per-shard parallelism), so workers only affects
 	// the local path.
 	workers int
+	// batchKeys overrides backendBatchKeys for the remote scan when
+	// non-zero (see SetBatchKeys).
+	batchKeys int
 }
 
 // New precomputes the search tables per cfg and returns a ready
@@ -617,6 +620,19 @@ func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm) (circuit.Cir
 // stay frame-bounded and keep per-query memory modest.
 const backendBatchKeys = 8192
 
+// SetBatchKeys overrides the candidate-batch target of the remote
+// meet-in-the-middle scan (0 restores the default). Smaller batches
+// trade round-trip amortization for less speculative candidate
+// expansion; tests use tiny batches to force many chunks through the
+// pipelined scan. Call before sharing the synthesizer across
+// goroutines. It has no effect on local backends.
+func (s *Synthesizer) SetBatchKeys(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.batchKeys = n
+}
+
 // backendCand pairs one candidate prefix variant with its residue,
 // index-aligned with the key batch sent to the backend. rep is the
 // chunk-local index of the representative the variant came from: the
@@ -632,23 +648,52 @@ type backendCand struct {
 // backendScratch is the pooled per-query workspace of the batched scan;
 // one struct holds every buffer so a remote query allocates nothing on
 // the steady-state path (mirroring the router's lookupScratch pattern).
+// Two representative buffers double-buffer the pipelined level scan:
+// while chunk i (in one buffer) is being expanded and looked up, the
+// prefetch of chunk i+1 fills the other.
 type backendScratch struct {
-	repBuf []uint64
-	keys   []uint64
-	cands  []backendCand
-	vals   []uint16
-	found  []bool
+	repBufs [2][]uint64
+	keys    []uint64
+	cands   []backendCand
+	vals    []uint16
+	found   []bool
+}
+
+func newBackendScratch(batch int) *backendScratch {
+	return &backendScratch{
+		repBufs: [2][]uint64{make([]uint64, batch), make([]uint64, batch)},
+		keys:    make([]uint64, 0, batch),
+		cands:   make([]backendCand, 0, batch),
+		vals:    make([]uint16, batch),
+		found:   make([]bool, batch),
+	}
 }
 
 var backendScratchPool = sync.Pool{New: func() any {
-	return &backendScratch{
-		repBuf: make([]uint64, backendBatchKeys),
-		keys:   make([]uint64, 0, backendBatchKeys),
-		cands:  make([]backendCand, 0, backendBatchKeys),
-		vals:   make([]uint16, backendBatchKeys),
-		found:  make([]bool, backendBatchKeys),
-	}
+	return newBackendScratch(backendBatchKeys)
 }}
+
+// levelFetch is one in-flight LevelKeys prefetch: the chunk coordinates
+// it was launched for, the double buffer it fills, a completion
+// channel, and a cancel releasing its fetch context. The error is only
+// consulted when the chunk is actually consumed — a speculative
+// prefetch the scan turned away from (a hit changed the bound) must
+// not fail the query. cancel lets an abandoning scan interrupt the
+// fetch instead of waiting out a stalled shard's I/O deadline.
+type levelFetch struct {
+	level, lo int
+	buf       []uint64
+	err       error
+	done      chan struct{}
+	cancel    context.CancelFunc
+}
+
+// discard abandons a prefetch whose result will not be used: interrupt
+// its I/O and wait for the goroutine to release the shared buffer.
+func (f *levelFetch) discard() {
+	f.cancel()
+	<-f.done
+}
 
 // synthesizeBackend answers a query against a non-local backend. Same
 // algorithm as the local path — direct probe, then meet-in-the-middle
@@ -658,6 +703,16 @@ var backendScratchPool = sync.Pool{New: func() any {
 // them query-side, and resolves the whole batch in one LookupBatch. Hits
 // are taken in scan order, so results are identical to the sequential
 // local scan.
+//
+// The two fetches are pipelined: the LevelKeys fetch of chunk i+1 is
+// launched (into the scratch's other buffer) before chunk i's candidate
+// expansion and LookupBatch run, so on a network backend the level
+// iteration rides for free under the lookup round trip. Only the
+// fetches overlap — chunks are still consumed and committed strictly in
+// scan order, which is what preserves the byte-identical-to-local
+// guarantee. A prefetch is speculative (it assumes the current chunk
+// produces no scan-stopping hit); when the scan turns elsewhere its
+// result, and any error it produced, are discarded.
 func (s *Synthesizer) synthesizeBackend(ctx context.Context, f perm.Perm) (circuit.Circuit, Info, error) {
 	var info Info
 	// Algorithm 1, first branch: f is within the BFS horizon.
@@ -687,28 +742,112 @@ func (s *Synthesizer) synthesizeBackend(ctx context.Context, f perm.Perm) (circu
 	if !s.meta.Reduced {
 		variants = 1
 	}
-	repChunk := max(backendBatchKeys/variants, 1)
-	sc := backendScratchPool.Get().(*backendScratch)
-	defer backendScratchPool.Put(sc)
-	repBuf := sc.repBuf[:repChunk]
+	batch := backendBatchKeys
+	if s.batchKeys != 0 {
+		batch = s.batchKeys
+	}
+	repChunk := max(batch/variants, 1)
+	// One chunk expands to at most repChunk·variants candidates — more
+	// than batch when batch < variants — so the scratch must hold that,
+	// not the nominal batch size.
+	need := max(batch, repChunk*variants)
+	var sc *backendScratch
+	if need == backendBatchKeys {
+		sc = backendScratchPool.Get().(*backendScratch)
+		defer backendScratchPool.Put(sc)
+	} else {
+		sc = newBackendScratch(need) // custom size: bypass the pool
+	}
 	vals, found := sc.vals, sc.found
+
+	// nextChunk names the chunk the scan will consume after (level, lo)
+	// assuming the current chunk does not change the bound — the
+	// prefetch target. Mirrors the loop bounds below exactly.
+	counts := s.meta.LevelCounts
+	nextChunk := func(level, lo int) (nl, nlo int, ok bool) {
+		if lo+repChunk < counts[level] {
+			return level, lo + repChunk, true
+		}
+		for j := level + 1; j <= s.maxSplit; j++ {
+			if bestTotal >= 0 && j >= bestTotal {
+				return 0, 0, false
+			}
+			if counts[j] > 0 {
+				return j, 0, true
+			}
+		}
+		return 0, 0, false
+	}
+	var pending *levelFetch
+	// An outstanding prefetch writes into one of the pooled buffers:
+	// never return (or reuse) the scratch until it has finished — and
+	// interrupt it rather than wait, so a stalled shard cannot hold a
+	// finished query (or an error return) hostage to a speculative
+	// fetch whose result is already moot.
+	defer func() {
+		if pending != nil {
+			pending.discard()
+		}
+	}()
+	chunkNo := 0 // alternates the double buffer
 
 scan:
 	for i := 1; i <= s.maxSplit; i++ {
 		if bestTotal >= 0 && i >= bestTotal {
 			break // any further split costs at least i ≥ bestTotal
 		}
-		n := s.meta.LevelCounts[i]
+		n := counts[i]
 		for lo := 0; lo < n; lo += repChunk {
 			if err := ctx.Err(); err != nil {
 				return nil, info, fmt.Errorf("core: query aborted: %w", err)
 			}
 			m := min(repChunk, n-lo)
-			if err := s.backend.LevelKeys(ctx, i, lo, repBuf[:m]); err != nil {
-				return nil, info, err
+			var chunk []uint64
+			if pending != nil && pending.level == i && pending.lo == lo {
+				<-pending.done
+				pending.cancel() // release the fetch context
+				if pending.err != nil {
+					err := pending.err
+					pending = nil
+					return nil, info, err
+				}
+				chunk = pending.buf
+				pending = nil
+			} else {
+				if pending != nil {
+					// Stale speculative prefetch (a weighted-alphabet hit
+					// moved the bound): interrupt it so its buffer is
+					// free, then drop it — result and error both.
+					pending.discard()
+					pending = nil
+				}
+				buf := sc.repBufs[chunkNo&1][:m]
+				if err := s.backend.LevelKeys(ctx, i, lo, buf); err != nil {
+					return nil, info, err
+				}
+				chunk = buf
+			}
+			chunkNo++
+			// Launch the next chunk's LevelKeys before this chunk's
+			// expansion and LookupBatch: on a remote backend the two
+			// round trips overlap.
+			if nl, nlo, ok := nextChunk(i, lo); ok {
+				nm := min(repChunk, counts[nl]-nlo)
+				fctx, cancel := context.WithCancel(ctx)
+				pf := &levelFetch{
+					level: nl, lo: nlo,
+					buf:    sc.repBufs[chunkNo&1][:nm],
+					done:   make(chan struct{}),
+					cancel: cancel,
+				}
+				go func() {
+					pf.err = s.backend.LevelKeys(fctx, pf.level, pf.lo, pf.buf)
+					close(pf.done)
+				}()
+				pending = pf
 			}
 			keys, cands := sc.keys[:0], sc.cands[:0]
-			for ri, rk := range repBuf[:m] {
+			for ri, rk := range chunk {
 				rep := perm.Perm(rk)
 				if !s.meta.Reduced {
 					r := rep.Then(f)

@@ -50,6 +50,46 @@ func TestConfigTablesWinOverPath(t *testing.T) {
 	}
 }
 
+// cacheStatsBackend wraps a backend with canned cache counters, playing
+// the role of a tablenet client/router for the stats-surfacing test.
+type cacheStatsBackend struct {
+	tables.Backend
+	stats tables.CacheStats
+}
+
+func (b *cacheStatsBackend) CacheStats() tables.CacheStats { return b.stats }
+
+// TestStatsSurfaceRemoteCache: a backend that maintains read caches
+// (tablenet.Client, Router) gets its counters surfaced through
+// service.Stats — the path revserve's /stats scrapes — while local
+// table sources omit the field.
+func TestStatsSurfaceRemoteCache(t *testing.T) {
+	res := fixtureTables(t)
+	b, err := tables.NewLocal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tables.CacheStats{KeyHits: 7, KeyMisses: 3, LevelHits: 2, Coalesced: 1, CacheBytes: 64, WireBytesRead: 100, WireBytesWritten: 50}
+	svc, err := New(Config{Backend: &cacheStatsBackend{Backend: b, stats: want}, QueryWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	st := svc.Stats()
+	if st.RemoteCache == nil || *st.RemoteCache != want {
+		t.Fatalf("Stats().RemoteCache = %+v, want %+v", st.RemoteCache, want)
+	}
+
+	local, err := New(Config{Tables: res, QueryWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close(context.Background())
+	if st := local.Stats(); st.RemoteCache != nil {
+		t.Fatalf("local table source reports remote cache stats: %+v", st.RemoteCache)
+	}
+}
+
 // TestConfigBackendServes: a service over an injected backend answers
 // queries identically to direct core synthesis and reports the
 // backend's source in Stats; Close leaves the caller-owned backend

@@ -8,6 +8,37 @@ import (
 	"repro/internal/perm"
 )
 
+// TestUncachedQueryAllocs guards the local uncached query path against
+// allocation creep: a cache-bypassing query against frozen tables
+// allocates only the returned circuit's slices (front/back collection
+// plus the joined output and their occasional append growth — at most
+// 8 allocations for a meet-in-the-middle answer, fewer for direct
+// lookups). This is the 1.8 µs/op path; a stray per-query buffer would
+// show up here before it shows up in the benchmark noise.
+func TestUncachedQueryAllocs(t *testing.T) {
+	res := fixtureTables(t)
+	rng := rand.New(rand.NewSource(42))
+	specs := make([]perm.Perm, 16)
+	for i := range specs {
+		specs[i] = randomCircuitPerm(rng, 2+rng.Intn(6))
+	}
+	svc, err := New(Config{Tables: res, QueryWorkers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	for _, f := range specs {
+		got := testing.AllocsPerRun(100, func() {
+			if _, _, err := svc.Synthesize(context.Background(), f); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 8 {
+			t.Errorf("spec %v: %.1f allocs per uncached query, want ≤ 8", f, got)
+		}
+	}
+}
+
 // BenchmarkServiceQueries measures serving throughput against the k = 4
 // fixture tables in the two regimes that bracket production traffic:
 // every query a cache hit (steady state for hot specifications) and

@@ -578,6 +578,12 @@ type Stats struct {
 	CacheMisses uint64 `json:"cache_misses"`
 	Direct      uint64 `json:"direct"`
 	MITM        uint64 `json:"mitm"`
+	// RemoteCache surfaces the tiered read-path counters of an injected
+	// backend that maintains caches (a tablenet.Client, or a Router's
+	// aggregate over its shard clients): hot-key and level-block hits
+	// and misses, coalesced fetches, cache memory, and wire bytes
+	// moved. Omitted for local table sources.
+	RemoteCache *tables.CacheStats `json:"remote_cache,omitempty"`
 	// AvgLatency averages the table-query time of uncached queries.
 	AvgLatency time.Duration `json:"avg_latency_ns"`
 	// LoadDuration is the startup build/load time; Uptime the age of the
@@ -626,6 +632,10 @@ func (s *Synthesizer) Stats() Stats {
 					st.TableResidentFraction = float64(resident) / float64(mapped)
 				}
 			}
+		}
+		if cs, ok := s.cfg.Backend.(tables.CacheStatser); ok {
+			rc := cs.CacheStats()
+			st.RemoteCache = &rc
 		}
 	default:
 	}

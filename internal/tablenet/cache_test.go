@@ -1,0 +1,416 @@
+package tablenet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/perm"
+)
+
+func TestHotKeyCacheBasics(t *testing.T) {
+	c := newHotKeyCache(64)
+	if _, _, ok := c.get(42); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(42, 7, true)
+	c.put(43, 0, false) // negative result: cacheable forever
+	if v, f, ok := c.get(42); !ok || !f || v != 7 {
+		t.Fatalf("get(42) = (%d, %v, %v)", v, f, ok)
+	}
+	if _, f, ok := c.get(43); !ok || f {
+		t.Fatalf("negative entry lost: found=%v ok=%v", f, ok)
+	}
+	// Re-inserting an immutable key is a no-op, never a corruption.
+	c.put(42, 7, true)
+	if v, _, ok := c.get(42); !ok || v != 7 {
+		t.Fatalf("reinsert broke entry: (%d, %v)", v, ok)
+	}
+}
+
+func TestHotKeyCacheEvictsWithinSet(t *testing.T) {
+	// A minimal cache: one set of hotWays slots. Insert more keys than
+	// ways; recently-used keys must survive over stale ones.
+	c := newHotKeyCache(1)
+	if c.mask != 0 {
+		t.Fatalf("expected a single set, mask = %d", c.mask)
+	}
+	for k := uint64(1); k <= hotWays; k++ {
+		c.put(k, uint16(k), true)
+	}
+	// Touch key 1 so it is the hottest, then overflow the set.
+	if _, _, ok := c.get(1); !ok {
+		t.Fatal("key 1 missing before overflow")
+	}
+	c.put(100, 100, true)
+	if _, _, ok := c.get(100); !ok {
+		t.Fatal("newly inserted key was not retained")
+	}
+	if v, _, ok := c.get(1); !ok || v != 1 {
+		t.Fatalf("recently-used key was evicted over a stale one (ok=%v v=%d)", ok, v)
+	}
+}
+
+func TestLookupFlightsCoalesce(t *testing.T) {
+	lf := newLookupFlights()
+	var fetches atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+	fetch := func(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
+		fetches.Add(1)
+		release.Wait() // hold every first fetch open so others can pile on
+		for i := range keys {
+			vals[i] = uint16(keys[i])
+			found[i] = true
+		}
+		return nil
+	}
+	keys := []uint64{10, 20, 30}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	valss := make([][]uint16, callers)
+	var started sync.WaitGroup
+	started.Add(callers)
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			vals := make([]uint16, len(keys))
+			found := make([]bool, len(keys))
+			started.Done()
+			errs[w] = lf.do(context.Background(), keys, vals, found, fetch)
+			valss[w] = vals
+		}(w)
+	}
+	started.Wait()
+	// Let the in-flight fetch(es) finish; callers that arrived while one
+	// was open shared it.
+	release.Done()
+	wg.Wait()
+	for w := range errs {
+		if errs[w] != nil {
+			t.Fatalf("caller %d: %v", w, errs[w])
+		}
+		for i, k := range keys {
+			if valss[w][i] != uint16(k) {
+				t.Fatalf("caller %d got vals %v", w, valss[w])
+			}
+		}
+	}
+	if f := fetches.Load(); f >= callers {
+		t.Fatalf("no coalescing: %d fetches for %d identical callers", f, callers)
+	}
+	if lf.coalesced.Load() == 0 {
+		t.Fatal("coalesced counter did not move")
+	}
+	// Different batches never share a flight.
+	other := []uint64{10, 20, 31}
+	vals := make([]uint16, len(other))
+	found := make([]bool, len(other))
+	if err := lf.do(context.Background(), other, vals, found, fetch); err != nil {
+		t.Fatal(err)
+	}
+	if vals[2] != 31 {
+		t.Fatalf("distinct batch got shared results: %v", vals)
+	}
+}
+
+// TestClientCacheServesWithoutWire proves the tiers actually remove
+// round trips: after a first pass, identical lookups and level reads
+// are answered without the server seeing any new request.
+func TestClientCacheServesWithoutWire(t *testing.T) {
+	res := fixtureTables(t)
+	srv, addr := startServer(t, fixtureBackend(t))
+	cl := dialClient(t, addr, nil) // caches on by default
+	ctx := context.Background()
+
+	var keys []uint64
+	rng := rand.New(rand.NewSource(5))
+	lv := res.Level(res.MaxCost)
+	for i := 0; i < 300; i++ {
+		keys = append(keys, uint64(lv.At(rng.Intn(lv.Len()))))
+		keys = append(keys, uint64(randomPerm16(rng))) // mostly absent
+	}
+	vals1 := make([]uint16, len(keys))
+	found1 := make([]bool, len(keys))
+	if err := cl.LookupBatch(ctx, keys, vals1, found1); err != nil {
+		t.Fatal(err)
+	}
+	out1 := make([]uint64, res.LevelLen(2))
+	if err := cl.LevelKeys(ctx, 2, 0, out1); err != nil {
+		t.Fatal(err)
+	}
+
+	before := srv.Stats()
+	vals2 := make([]uint16, len(keys))
+	found2 := make([]bool, len(keys))
+	if err := cl.LookupBatch(ctx, keys, vals2, found2); err != nil {
+		t.Fatal(err)
+	}
+	out2 := make([]uint64, res.LevelLen(2))
+	if err := cl.LevelKeys(ctx, 2, 0, out2); err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Stats()
+	if after.Lookups != before.Lookups || after.LevelReqs != before.LevelReqs {
+		t.Fatalf("warm pass hit the wire: %+v -> %+v", before, after)
+	}
+	for i := range keys {
+		if vals1[i] != vals2[i] || found1[i] != found2[i] {
+			t.Fatalf("key %d: warm (%d,%v) != cold (%d,%v)", i, vals2[i], found2[i], vals1[i], found1[i])
+		}
+	}
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatalf("level key %d: warm %#x != cold %#x", i, out2[i], out1[i])
+		}
+	}
+
+	st := cl.CacheStats()
+	if st.KeyHits < uint64(len(keys)) || st.KeyMisses == 0 {
+		t.Fatalf("key counters off: %+v", st)
+	}
+	if st.LevelHits == 0 || st.LevelMisses == 0 {
+		t.Fatalf("level counters off: %+v", st)
+	}
+	if st.CacheBytes <= 0 || st.WireBytesRead == 0 || st.WireBytesWritten == 0 {
+		t.Fatalf("byte counters off: %+v", st)
+	}
+}
+
+// TestClientPartialHitSplitsBatch: a batch mixing cached and new keys
+// sends only the misses over the wire.
+func TestClientPartialHitSplitsBatch(t *testing.T) {
+	res := fixtureTables(t)
+	srv, addr := startServer(t, fixtureBackend(t))
+	cl := dialClient(t, addr, nil)
+	ctx := context.Background()
+
+	lv := res.Level(1)
+	warm := []uint64{uint64(lv.At(0))}
+	if err := cl.LookupBatch(ctx, warm, make([]uint16, 1), make([]bool, 1)); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Stats()
+	mixed := []uint64{uint64(lv.At(0)), uint64(res.Level(2).At(0))}
+	vals := make([]uint16, 2)
+	found := make([]bool, 2)
+	if err := cl.LookupBatch(ctx, mixed, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	after := srv.Stats()
+	if moved := after.Keys - before.Keys; moved != 1 {
+		t.Fatalf("partial hit sent %d keys over the wire, want 1 (the miss)", moved)
+	}
+	if !found[0] || !found[1] {
+		t.Fatalf("mixed batch results wrong: %v", found)
+	}
+}
+
+func TestClientCachesDisabled(t *testing.T) {
+	srv, addr := startServer(t, fixtureBackend(t))
+	cl := dialClient(t, addr, &ClientOptions{CacheKeys: -1, LevelCacheBytes: -1})
+	ctx := context.Background()
+	keys := []uint64{uint64(fixtureTables(t).Level(1).At(0))}
+	for pass := 0; pass < 2; pass++ {
+		if err := cl.LookupBatch(ctx, keys, make([]uint16, 1), make([]bool, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.Lookups != 2 {
+		t.Fatalf("disabled caches still absorbed traffic: %+v", st)
+	}
+	st := cl.CacheStats()
+	if st.KeyHits != 0 || st.LevelHits != 0 || st.CacheBytes != 0 {
+		t.Fatalf("disabled caches report activity: %+v", st)
+	}
+	if st.WireBytesRead == 0 {
+		t.Fatalf("wire counters must still count: %+v", st)
+	}
+}
+
+// TestPipelinedRemoteMatchesLocal forces the remote scan through many
+// tiny chunks — so the LevelKeys prefetch of chunk i+1 genuinely
+// overlaps chunk i's LookupBatch, across level boundaries too — and
+// requires byte-identical answers to the sequential local engine, cold
+// and warm (the warm pass re-runs every spec against fully-primed
+// caches).
+func TestPipelinedRemoteMatchesLocal(t *testing.T) {
+	res := fixtureTables(t)
+	_, addr := startServer(t, fixtureBackend(t))
+	cl := dialClient(t, addr, nil)
+
+	localSynth, err := core.FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSynth.SetWorkers(1)
+	remoteSynth, err := core.FromBackend(cl, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 representatives per chunk: a level-3 scan alone is dozens of
+	// pipelined chunks.
+	remoteSynth.SetBatchKeys(192)
+
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	var specs []perm.Perm
+	for i := 0; i < 10; i++ {
+		specs = append(specs, randomCircuitPerm(rng, 5+rng.Intn(4)))
+	}
+	specs = append(specs, randomPerm16(rng), randomPerm16(rng))
+
+	mitm := 0
+	for pass, label := range []string{"cold", "warm"} {
+		_ = pass
+		for _, f := range specs {
+			wantC, wantInfo, wantErr := localSynth.SynthesizeInfoCtx(ctx, f)
+			gotC, gotInfo, gotErr := remoteSynth.SynthesizeInfoCtx(ctx, f)
+			if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && !errors.Is(gotErr, core.ErrBeyondHorizon)) {
+				t.Fatalf("%s spec %v: local err %v, remote err %v", label, f, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if wantInfo != gotInfo {
+				t.Fatalf("%s spec %v: local info %+v, remote info %+v", label, f, wantInfo, gotInfo)
+			}
+			if wantC.String() != gotC.String() {
+				t.Fatalf("%s spec %v: local circuit %v != remote %v", label, f, wantC, gotC)
+			}
+			if !wantInfo.Direct {
+				mitm++
+			}
+		}
+	}
+	if mitm < 4 {
+		t.Fatalf("only %d meet-in-the-middle answers; the pipelined scan was barely exercised", mitm)
+	}
+	if st := cl.CacheStats(); st.KeyHits == 0 || st.LevelHits == 0 {
+		t.Fatalf("warm pass did not use the caches: %+v", st)
+	}
+}
+
+// TestTinyBatchKeysMatchesLocal: a batch target below one reduced
+// representative's 48-variant expansion must clamp the scratch up, not
+// overflow it — SetBatchKeys(10) used to panic at the first
+// meet-in-the-middle chunk.
+func TestTinyBatchKeysMatchesLocal(t *testing.T) {
+	res := fixtureTables(t)
+	_, addr := startServer(t, fixtureBackend(t))
+	cl := dialClient(t, addr, nil)
+	localSynth, err := core.FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSynth.SetWorkers(1)
+	remote, err := core.FromBackend(cl, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote.SetBatchKeys(10)
+
+	rng := rand.New(rand.NewSource(33))
+	ctx := context.Background()
+	mitm := 0
+	for i := 0; i < 8; i++ {
+		f := randomCircuitPerm(rng, 5+rng.Intn(3))
+		wantC, wantInfo, wantErr := localSynth.SynthesizeInfoCtx(ctx, f)
+		gotC, gotInfo, gotErr := remote.SynthesizeInfoCtx(ctx, f)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("spec %v: local err %v, remote err %v", f, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if wantInfo != gotInfo || wantC.String() != gotC.String() {
+			t.Fatalf("spec %v: local (%+v, %v) != remote (%+v, %v)", f, wantInfo, wantC, gotInfo, gotC)
+		}
+		if !wantInfo.Direct {
+			mitm++
+		}
+	}
+	if mitm == 0 {
+		t.Fatal("no meet-in-the-middle query exercised the tiny batch")
+	}
+}
+
+// TestFrameCodecAllocs guards the pooled frame codec: with warm scratch
+// buffers, encoding and reading frames allocates nothing.
+func TestFrameCodecAllocs(t *testing.T) {
+	payload := make([]byte, 1024)
+	var buf bytes.Buffer
+	buf.Grow(4096)
+	scratch := make([]byte, 4096)
+	frame := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf.Reset()
+		out, err := appendFrame(frame[:0], opLookup, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := buf.Write(out); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := readFrame(&buf, scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("frame codec allocates %.1f times per round trip, want 0", allocs)
+	}
+}
+
+// TestClientLookupAllocs guards the client's request path: a fully
+// cache-hit batch allocates nothing, and even a wire round trip on a
+// cache-disabled client stays at a handful of fixed-size allocations
+// (the two per-chunk closures and context bookkeeping) — never a
+// per-batch buffer.
+func TestClientLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are calibrated without race instrumentation (sync.Pool drops items under -race)")
+	}
+	res := fixtureTables(t)
+	_, addr := startServer(t, fixtureBackend(t))
+	ctx := context.Background()
+	keys := make([]uint64, 64)
+	lv := res.Level(res.MaxCost)
+	for i := range keys {
+		keys[i] = uint64(lv.At(i % lv.Len()))
+	}
+	vals := make([]uint16, len(keys))
+	found := make([]bool, len(keys))
+
+	cached := dialClient(t, addr, &ClientOptions{Conns: 1})
+	if err := cached.LookupBatch(ctx, keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := cached.LookupBatch(ctx, keys, vals, found); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("cache-hit LookupBatch allocates %.1f times, want 0", allocs)
+	}
+
+	wire := dialClient(t, addr, &ClientOptions{Conns: 1, CacheKeys: -1, LevelCacheBytes: -1})
+	if err := wire.LookupBatch(ctx, keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if err := wire.LookupBatch(ctx, keys, vals, found); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("wire LookupBatch allocates %.1f times per round trip, want ≤ 4", allocs)
+	}
+}

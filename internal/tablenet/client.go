@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tables"
@@ -23,18 +24,53 @@ type ClientOptions struct {
 	Conns int
 	// DialTimeout bounds each dial+handshake; 0 means 5 s.
 	DialTimeout time.Duration
+	// CacheKeys is the hot-key cache capacity in entries (20 bytes
+	// each); 0 means DefaultCacheKeys, negative disables the key cache
+	// and its miss coalescing. The cache is correct for the client's
+	// lifetime because the handshake pins one immutable table
+	// generation: a reconnect onto different tables fails loudly instead
+	// of poisoning the cache.
+	CacheKeys int
+	// LevelCacheBytes is the byte budget of the immutable level-block
+	// cache; 0 means DefaultLevelCacheBytes, negative disables it.
+	LevelCacheBytes int64
 }
 
 // DefaultConns is the default connection-pool bound.
 const DefaultConns = 4
 
+// DefaultCacheKeys is the default hot-key cache capacity. Sized (20 MiB
+// at 20 B/entry) to hold the full candidate-key working set of repeated
+// meet-in-the-middle scans at k = 6, not just the direct-lookup keys:
+// warm scans then resolve entirely client-side.
+const DefaultCacheKeys = 1 << 20
+
+// DefaultLevelCacheBytes is the default level-block cache budget —
+// enough to retain every level key range of a k = 6 table set (≈13 MiB),
+// so repeated scans stop touching the wire for level iteration at all.
+const DefaultLevelCacheBytes = 32 << 20
+
 // Client speaks the tablenet protocol to one shard server and exposes it
 // as a tables.Backend. Safe for concurrent use: requests are
 // multiplexed over a bounded pool of request/response connections.
+//
+// The client is tiered: immutable results are cached (a sharded hot-key
+// cache for lookups, an aligned-block cache for level key ranges) and
+// identical concurrent misses are coalesced into one round trip, so a
+// warm client answers most reads without touching the network. See
+// CacheStats for the counters.
 type Client struct {
 	addr string
 	opts ClientOptions
 	meta tables.Meta
+
+	// Tiered read path (nil when disabled via options).
+	kcache   *hotKeyCache
+	kflights *lookupFlights
+	lcache   *levelCache
+
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
 
 	// sem bounds the total number of live connections; idle holds the
 	// ones not currently carrying a request.
@@ -51,7 +87,12 @@ type clientConn struct {
 	c   net.Conn
 	br  *bufio.Reader
 	bw  *bufio.Writer
-	buf []byte // frame scratch
+	buf []byte // response frame scratch
+	req []byte // request frame scratch (header + payload, one write)
+	// deadline is the socket deadline currently armed, tracked so the
+	// uncancellable fast path can skip two deadline syscalls per round
+	// trip while the stall backstop is still fresh.
+	deadline time.Time
 	// helloMeta is the Meta this connection's handshake declared; conns
 	// after the first must agree with the client's.
 	helloMeta tables.Meta
@@ -90,6 +131,24 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	}
 	cl.meta = cc.helloMeta
 	cl.meta.Source = fmt.Sprintf("tablenet(%s)", addr)
+	// The caches are keyed by what the handshake pinned — one alphabet
+	// fingerprint, one table geometry — and every later connection must
+	// agree with it, so entries never need invalidation.
+	if o.CacheKeys >= 0 {
+		ck := o.CacheKeys
+		if ck == 0 {
+			ck = DefaultCacheKeys
+		}
+		cl.kcache = newHotKeyCache(ck)
+		cl.kflights = newLookupFlights()
+	}
+	if o.LevelCacheBytes >= 0 {
+		lb := o.LevelCacheBytes
+		if lb == 0 {
+			lb = DefaultLevelCacheBytes
+		}
+		cl.lcache = newLevelCache(cl.meta.LevelCounts, lb)
+	}
 	cl.idle <- cc
 	return cl, nil
 }
@@ -106,6 +165,7 @@ func (cl *Client) dialConn() (*clientConn, error) {
 		br:  bufio.NewReaderSize(c, 1<<16),
 		bw:  bufio.NewWriterSize(c, 1<<16),
 		buf: make([]byte, 4096),
+		req: make([]byte, 0, 4096),
 	}
 	c.SetReadDeadline(time.Now().Add(cl.opts.DialTimeout))
 	op, payload, err := readFrame(cc.br, cc.buf)
@@ -125,7 +185,8 @@ func (cl *Client) dialConn() (*clientConn, error) {
 	}
 	cc.helloMeta = m
 	// A reconnect that lands on a restarted server holding different
-	// tables must fail loudly, not silently mix table generations.
+	// tables must fail loudly, not silently mix table generations (or
+	// serve stale cache entries against new tables).
 	cl.mu.Lock()
 	first := cl.meta.LevelCounts == nil
 	compatible := first || cl.meta.Compatible(m)
@@ -147,6 +208,31 @@ func (cl *Client) dialConn() (*clientConn, error) {
 
 // Meta returns the table metadata learned during the handshake.
 func (cl *Client) Meta() tables.Meta { return cl.meta }
+
+// CacheStats snapshots the tiered read path's counters: cache hits and
+// misses per tier, coalesced fetches, cache memory, and the wire bytes
+// actually moved.
+func (cl *Client) CacheStats() tables.CacheStats {
+	st := tables.CacheStats{
+		WireBytesRead:    cl.bytesRead.Load(),
+		WireBytesWritten: cl.bytesWritten.Load(),
+	}
+	if cl.kcache != nil {
+		st.KeyHits = cl.kcache.hits.Load()
+		st.KeyMisses = cl.kcache.misses.Load()
+		st.CacheBytes += cl.kcache.bytes()
+	}
+	if cl.kflights != nil {
+		st.Coalesced += cl.kflights.coalesced.Load()
+	}
+	if cl.lcache != nil {
+		st.LevelHits = cl.lcache.hits.Load()
+		st.LevelMisses = cl.lcache.misses.Load()
+		st.Coalesced += cl.lcache.coalesced.Load()
+		st.CacheBytes += cl.lcache.bytes.Load()
+	}
+	return st
+}
 
 // get obtains a pooled connection, dialing a new one when the pool is
 // under its bound, or waiting for an idle one otherwise. pooled reports
@@ -203,51 +289,80 @@ func (cl *Client) retire(cc *clientConn) {
 // worker-pool slot — forever.
 const maxStall = 2 * time.Minute
 
-// roundTrip sends one request frame and decodes the response, honouring
-// ctx through the connection's I/O deadlines: a ctx deadline bounds the
-// exchange, plain cancellation interrupts it (context.AfterFunc fires
-// an immediate deadline, waking any blocked read/write), and maxStall
-// backstops contexts with neither. On any error the connection is
-// marked dead (request/response framing is lost).
-func (cc *clientConn) roundTrip(ctx context.Context, op byte, req []byte) (byte, []byte, error) {
-	deadline, has := ctx.Deadline()
-	if !has {
-		deadline = time.Now().Add(maxStall)
+// roundTrip sends one request frame and decodes the response. encode
+// (which may be nil) appends the request payload to the connection's
+// pooled frame buffer, so the whole frame — length, opcode, payload —
+// is laid out once and written with a single Write: no per-request
+// buffer, no second copy.
+//
+// ctx is honoured through the connection's I/O deadlines: a ctx
+// deadline bounds the exchange, plain cancellation interrupts it
+// (context.AfterFunc fires an immediate deadline, waking any blocked
+// read/write), and maxStall backstops contexts with neither — armed
+// lazily, so the uncancellable hot path skips the deadline syscalls
+// while the backstop is fresh. On any error the connection is marked
+// dead (request/response framing is lost).
+func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, encode func(dst []byte) []byte) (payload []byte, err error) {
+	deadline, hasDeadline := ctx.Deadline()
+	if hasDeadline || ctx.Done() != nil {
+		if !hasDeadline {
+			deadline = time.Now().Add(maxStall)
+		}
+		cc.c.SetDeadline(deadline)
+		// Force the next uncancellable round trip to re-arm: a late
+		// cancellation may fire the AfterFunc after we return, leaving
+		// the socket with an immediate deadline this field knows nothing
+		// about.
+		cc.deadline = time.Time{}
+		stop := context.AfterFunc(ctx, func() {
+			cc.c.SetDeadline(time.Now())
+		})
+		defer stop()
+	} else if cc.deadline.IsZero() || time.Until(cc.deadline) < maxStall/2 {
+		cc.deadline = time.Now().Add(maxStall)
+		cc.c.SetDeadline(cc.deadline)
 	}
-	cc.c.SetDeadline(deadline)
-	stop := context.AfterFunc(ctx, func() {
-		cc.c.SetDeadline(time.Now())
-	})
-	defer stop()
-	if err := writeFrame(cc.bw, op, req); err != nil {
+	frame := append(cc.req[:0], 0, 0, 0, 0, op)
+	if encode != nil {
+		frame = encode(frame)
+	}
+	cc.req = frame[:0]
+	if len(frame)-4 > maxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(frame)-4)
+	}
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	if _, err := cc.bw.Write(frame); err != nil {
 		cc.dead = true
-		return 0, nil, err
+		return nil, err
 	}
 	if err := cc.bw.Flush(); err != nil {
 		cc.dead = true
-		return 0, nil, err
+		return nil, err
 	}
+	cl.bytesWritten.Add(uint64(len(frame)))
 	respOp, payload, err := readFrame(cc.br, cc.buf)
 	if err != nil {
 		cc.dead = true
-		return 0, nil, err
+		return nil, err
 	}
+	cl.bytesRead.Add(uint64(5 + len(payload)))
 	if cap(payload) > cap(cc.buf) {
 		cc.buf = payload[:cap(payload)]
 	}
 	if respOp == opErr {
 		// The server closes after an error frame; this conn is done.
 		cc.dead = true
-		return 0, nil, remoteErr(payload)
+		return nil, remoteErr(payload)
 	}
 	if respOp != op+1 {
 		cc.dead = true
-		return 0, nil, fmt.Errorf("%w: response opcode %#x to request %#x", ErrProtocol, respOp, op)
+		return nil, fmt.Errorf("%w: response opcode %#x to request %#x", ErrProtocol, respOp, op)
 	}
-	return respOp, payload, nil
+	return payload, nil
 }
 
 // do runs one request/response exchange on a pooled connection.
+// encode appends the request payload to the connection's frame scratch;
 // fn decodes the response payload while the connection is still checked
 // out (the payload aliases the connection's scratch buffer).
 //
@@ -257,7 +372,7 @@ func (cc *clientConn) roundTrip(ctx context.Context, op byte, req []byte) (byte,
 // into one user-visible query failure against a now-healthy server.
 // Semantic failures (an error frame, a protocol violation) and failures
 // on freshly dialed connections are not retried.
-func (cl *Client) do(ctx context.Context, op byte, req []byte, fn func(payload []byte) error) error {
+func (cl *Client) do(ctx context.Context, op byte, encode func(dst []byte) []byte, fn func(payload []byte) error) error {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -266,7 +381,7 @@ func (cl *Client) do(ctx context.Context, op byte, req []byte, fn func(payload [
 		if err != nil {
 			return err
 		}
-		_, payload, err := cc.roundTrip(ctx, op, req)
+		payload, err := cl.roundTrip(ctx, cc, op, encode)
 		if err != nil {
 			cl.put(cc)
 			if attempt == 0 && pooled && ctx.Err() == nil &&
@@ -284,28 +399,83 @@ func (cl *Client) do(ctx context.Context, op byte, req []byte, fn func(payload [
 }
 
 // LookupBatch implements tables.Backend: canonical keys out, packed
-// values and presence back, one round trip per maxLookupKeys chunk.
+// values and presence back. Keys present in the hot-key cache are
+// answered locally; only the misses travel (one round trip per
+// maxLookupKeys chunk), coalesced with any identical in-flight miss
+// batch, and the fetched results — present or absent, both immutable —
+// are cached for every later probe.
 func (cl *Client) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
 	if len(vals) != len(keys) || len(found) != len(keys) {
 		return fmt.Errorf("tablenet: LookupBatch slice lengths differ (%d/%d/%d)", len(keys), len(vals), len(found))
 	}
+	if cl.kcache == nil {
+		return cl.lookupWire(ctx, keys, vals, found)
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.grow(len(keys))
+	missIdx, missKeys := sc.idx[:0], sc.keys[:0]
+	for i, k := range keys {
+		if v, f, ok := cl.kcache.get(k); ok {
+			vals[i], found[i] = v, f
+		} else {
+			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, k)
+		}
+	}
+	sc.idx, sc.keys = missIdx, missKeys
+	cl.kcache.hits.Add(uint64(len(keys) - len(missIdx)))
+	if len(missIdx) == 0 {
+		batchScratchPool.Put(sc)
+		return nil
+	}
+	cl.kcache.misses.Add(uint64(len(missIdx)))
+	missVals, missFound := sc.vals[:len(missIdx)], sc.found[:len(missIdx)]
+	err := cl.kflights.do(ctx, missKeys, missVals, missFound, cl.lookupFill)
+	if err == nil {
+		for j, i := range missIdx {
+			vals[i], found[i] = missVals[j], missFound[j]
+		}
+	}
+	batchScratchPool.Put(sc)
+	return err
+}
+
+// lookupFill is the singleflight fetch function: resolve the miss keys
+// over the wire, then publish every result into the hot-key cache.
+func (cl *Client) lookupFill(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
+	if err := cl.lookupWire(ctx, keys, vals, found); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		cl.kcache.put(k, vals[i], found[i])
+	}
+	return nil
+}
+
+// lookupWire resolves keys against the server, one round trip per
+// maxLookupKeys chunk, encoding each request directly into the pooled
+// connection frame buffer.
+func (cl *Client) lookupWire(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
 	le := binary.LittleEndian
 	for lo := 0; lo < len(keys); lo += maxLookupKeys {
 		hi := min(lo+maxLookupKeys, len(keys))
 		n := hi - lo
-		req := make([]byte, 4+8*n)
-		le.PutUint32(req, uint32(n))
-		for i, k := range keys[lo:hi] {
-			le.PutUint64(req[4+8*i:], k)
-		}
-		err := cl.do(ctx, opLookup, req, func(payload []byte) error {
+		chunk := keys[lo:hi]
+		chunkVals, chunkFound := vals[lo:hi], found[lo:hi]
+		err := cl.do(ctx, opLookup, func(dst []byte) []byte {
+			dst = le.AppendUint32(dst, uint32(n))
+			for _, k := range chunk {
+				dst = le.AppendUint64(dst, k)
+			}
+			return dst
+		}, func(payload []byte) error {
 			if len(payload) != 4+2*n+(n+7)/8 || int(le.Uint32(payload)) != n {
 				return fmt.Errorf("%w: lookup response shape mismatch (%d bytes for %d keys)", ErrProtocol, len(payload), n)
 			}
 			bitmap := payload[4+2*n:]
 			for i := 0; i < n; i++ {
-				vals[lo+i] = le.Uint16(payload[4+2*i:])
-				found[lo+i] = bitmap[i/8]&(1<<(i%8)) != 0
+				chunkVals[i] = le.Uint16(payload[4+2*i:])
+				chunkFound[i] = bitmap[i/8]&(1<<(i%8)) != 0
 			}
 			return nil
 		})
@@ -317,28 +487,59 @@ func (cl *Client) LookupBatch(ctx context.Context, keys []uint64, vals []uint16,
 }
 
 // LevelKeys implements tables.Backend: representative words of one cost
-// level's index range, one round trip per maxLevelKeys chunk.
+// level's index range. With the level cache enabled the range is served
+// from aligned immutable blocks — fetched at most once each, coalesced
+// across concurrent callers — so repeated scans stop re-fetching the
+// hot low-level ranges entirely.
 func (cl *Client) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
 	if c < 0 || c > cl.meta.K {
 		return fmt.Errorf("tablenet: level %d outside horizon %d", c, cl.meta.K)
 	}
-	if lo < 0 || lo+len(out) > cl.meta.LevelCounts[c] {
-		return fmt.Errorf("tablenet: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), cl.meta.LevelCounts[c])
+	count := cl.meta.LevelCounts[c]
+	if lo < 0 || lo+len(out) > count {
+		return fmt.Errorf("tablenet: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), count)
 	}
+	if cl.lcache == nil {
+		return cl.levelWire(ctx, c, lo, out)
+	}
+	fetch := func(ctx context.Context, blockLo int, buf []uint64) error {
+		return cl.levelWire(ctx, c, blockLo, buf)
+	}
+	for done := 0; done < len(out); {
+		idx := (lo + done) / levelBlockKeys
+		blockLo := idx * levelBlockKeys
+		blockN := min(levelBlockKeys, count-blockLo)
+		blk, err := cl.lcache.block(ctx, c, idx, blockN, fetch)
+		if err != nil {
+			return err
+		}
+		off := lo + done - blockLo
+		n := min(len(out)-done, blockN-off)
+		copy(out[done:done+n], (*blk)[off:off+n])
+		done += n
+	}
+	return nil
+}
+
+// levelWire fetches one level range from the server, one round trip per
+// maxLevelKeys chunk.
+func (cl *Client) levelWire(ctx context.Context, c, lo int, out []uint64) error {
 	le := binary.LittleEndian
 	for done := 0; done < len(out); done += maxLevelKeys {
 		n := min(maxLevelKeys, len(out)-done)
-		req := make([]byte, 16)
-		le.PutUint32(req, uint32(c))
-		le.PutUint64(req[4:], uint64(lo+done))
-		le.PutUint32(req[12:], uint32(n))
-		dst := out[done : done+n]
-		err := cl.do(ctx, opLevel, req, func(payload []byte) error {
+		start := lo + done
+		dstKeys := out[done : done+n]
+		err := cl.do(ctx, opLevel, func(dst []byte) []byte {
+			dst = le.AppendUint32(dst, uint32(c))
+			dst = le.AppendUint64(dst, uint64(start))
+			dst = le.AppendUint32(dst, uint32(n))
+			return dst
+		}, func(payload []byte) error {
 			if len(payload) != 4+8*n || int(le.Uint32(payload)) != n {
 				return fmt.Errorf("%w: level response shape mismatch (%d bytes for %d keys)", ErrProtocol, len(payload), n)
 			}
-			for i := range dst {
-				dst[i] = le.Uint64(payload[4+8*i:])
+			for i := range dstKeys {
+				dstKeys[i] = le.Uint64(payload[4+8*i:])
 			}
 			return nil
 		})

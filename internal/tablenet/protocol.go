@@ -78,7 +78,9 @@ const (
 	opErr     byte = 0x7F
 )
 
-// writeFrame emits one frame. payload may be nil.
+// writeFrame emits one frame. payload may be nil. The hot paths on both
+// sides use pooled whole-frame buffers instead (appendFrame client- and
+// server-side); this remains for handshakes, error frames, and tests.
 func writeFrame(w io.Writer, op byte, payload []byte) error {
 	if len(payload)+1 > maxFrameLen {
 		return fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(payload)+1)
@@ -97,15 +99,34 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return nil
 }
 
-// readFrame reads one frame, reusing buf for the payload when it is
-// large enough. The declared length is validated against maxFrameLen
-// BEFORE any allocation, so a forged length cannot OOM the reader.
+// appendFrame appends one complete frame — length header, opcode,
+// payload — to dst and returns it: the allocation-free path for pooled
+// frame buffers, emitted with a single Write.
+func appendFrame(dst []byte, op byte, payload []byte) ([]byte, error) {
+	if len(payload)+1 > maxFrameLen {
+		return dst, fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(payload)+1)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)+1))
+	dst = append(dst, op)
+	return append(dst, payload...), nil
+}
+
+// readFrame reads one frame, reusing buf both to parse the header and
+// to hold the payload when it is large enough (the header bytes are
+// consumed before the body read overwrites them), so a warm caller
+// allocates nothing. The declared length is validated against
+// maxFrameLen BEFORE any allocation, so a forged length cannot OOM the
+// reader.
 func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdr := buf
+	if cap(hdr) < 4 {
+		hdr = make([]byte, 4)
+	}
+	hdr = hdr[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
 	if n == 0 || n > maxFrameLen {
 		return 0, nil, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrProtocol, n, maxFrameLen)
 	}

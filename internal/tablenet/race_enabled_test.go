@@ -1,0 +1,9 @@
+//go:build race
+
+package tablenet
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation guards are skipped then (sync.Pool intentionally
+// drops items under the detector, so AllocsPerRun bounds calibrated
+// for production builds do not hold).
+const raceEnabled = true

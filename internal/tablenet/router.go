@@ -198,6 +198,20 @@ func (r *Router) Check(ctx context.Context) []ShardStatus {
 	return out
 }
 
+// CacheStats aggregates the tiered-cache and wire counters of every
+// shard backend that maintains them (network clients do; in-process
+// backends contribute nothing) — one snapshot for the whole client
+// pool, the number a router daemon's /stats reports.
+func (r *Router) CacheStats() tables.CacheStats {
+	var st tables.CacheStats
+	for _, sh := range r.shards {
+		if cs, ok := sh.(tables.CacheStatser); ok {
+			st.Add(cs.CacheStats())
+		}
+	}
+	return st
+}
+
 // Shards returns the number of shard backends.
 func (r *Router) Shards() int { return len(r.shards) }
 

@@ -161,10 +161,14 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// connScratch is one connection's reusable workspace.
+// connScratch is one connection's reusable workspace. out is the
+// pooled whole-frame response buffer: header, opcode, and payload are
+// laid out once and written with a single Write, so the steady state
+// allocates nothing per request.
 type connScratch struct {
 	frame []byte
 	resp  []byte
+	out   []byte
 	keys  []uint64
 	vals  []uint16
 	found []bool
@@ -206,7 +210,12 @@ func (s *Server) serveConn(c net.Conn) {
 			bw.Flush()
 			return
 		}
-		if err := writeFrame(bw, respOp, resp); err != nil {
+		out, ferr := appendFrame(sc.out[:0], respOp, resp)
+		sc.out = out[:0]
+		if ferr != nil {
+			return
+		}
+		if _, err := bw.Write(out); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {

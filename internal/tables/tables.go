@@ -153,6 +153,51 @@ type Localized interface {
 	Local() *bfs.Result
 }
 
+// CacheStats are the read-path cache counters of a caching backend
+// (tablenet.Client's tiered caches, or a Router's aggregate over its
+// shard clients). Everything a backend fetches is immutable — frozen
+// tables never change under a fingerprint — so cache entries are valid
+// for the backend's lifetime and the hit counters measure pure wire
+// savings.
+type CacheStats struct {
+	// KeyHits/KeyMisses count canonical-key probes answered by the
+	// hot-key cache vs sent over the wire.
+	KeyHits   uint64 `json:"key_hits"`
+	KeyMisses uint64 `json:"key_misses"`
+	// LevelHits/LevelMisses count level-key blocks served from the
+	// immutable level-chunk cache vs fetched.
+	LevelHits   uint64 `json:"level_hits"`
+	LevelMisses uint64 `json:"level_misses"`
+	// Coalesced counts fetches that piggybacked on an identical
+	// in-flight miss instead of issuing their own round trip.
+	Coalesced uint64 `json:"coalesced"`
+	// CacheBytes is the memory currently held by the caches.
+	CacheBytes int64 `json:"cache_bytes"`
+	// WireBytesRead/WireBytesWritten count protocol bytes actually moved
+	// — the denominator the cache counters are saving against.
+	WireBytesRead    uint64 `json:"wire_bytes_read"`
+	WireBytesWritten uint64 `json:"wire_bytes_written"`
+}
+
+// Add accumulates o into s (the router's shard-aggregation helper).
+func (s *CacheStats) Add(o CacheStats) {
+	s.KeyHits += o.KeyHits
+	s.KeyMisses += o.KeyMisses
+	s.LevelHits += o.LevelHits
+	s.LevelMisses += o.LevelMisses
+	s.Coalesced += o.Coalesced
+	s.CacheBytes += o.CacheBytes
+	s.WireBytesRead += o.WireBytesRead
+	s.WireBytesWritten += o.WireBytesWritten
+}
+
+// CacheStatser is implemented by backends that maintain read caches;
+// service.Stats and the revserve /stats endpoint surface the counters
+// of a backend that provides them.
+type CacheStatser interface {
+	CacheStats() CacheStats
+}
+
 // Local is the in-process Backend over a bfs.Result (live, frozen, or
 // memory-mapped). It is the reference implementation the network stack
 // is tested against, and the backend every shard server exports.
