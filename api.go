@@ -79,15 +79,52 @@
 //	# batch through the shard fleet: canonical keys are partitioned on
 //	# their high Wang-hash bits (the same routing the in-process
 //	# sharded table uses), so each shard's resident set converges to
-//	# ~1/N of the table. /healthz turns "degraded" (503) if any shard
-//	# is unreachable; /stats adds per-shard health and counters, and
-//	# shard hosts report mincore page residency (table_resident_bytes).
-//	revserve -router shard1:9091,shard2:9091 -addr :8080
+//	# ~1/N of the table. "," separates hash ranges; "|" separates
+//	# replicas within one:
+//	revserve -router 'a1:9091|a2:9091,b1:9091|b2:9091' -addr :8080
 //
 // Routed answers are byte-identical to single-host serving (the scan
 // order is preserved; tests enforce it). ServiceConfig.Backend injects
 // the same seam programmatically. See examples/cluster for the
-// end-to-end walkthrough.
+// end-to-end walkthrough, including killing a shard mid-run.
+//
+// # Fault tolerance
+//
+// The fleet is built to keep answering — identically — while shards
+// misbehave. Three layers compose:
+//
+//   - Retries. Every shard client retries transport faults (dial
+//     failures, resets, timeouts, torn frames) with capped exponential
+//     backoff and full jitter, under a per-attempt deadline carved from
+//     the query context's fair share and a retry budget shared across a
+//     batch's wire chunks. Frames carry an FNV-1a checksum, so
+//     corruption is detected and retried instead of mis-decoded;
+//     protocol and server-side errors are never retried. Knobs:
+//     -retry-attempts, -retry-backoff, -attempt-timeout (programmatic:
+//     ClientOptions.Retry).
+//   - Failover. With replicas configured, a keyed sub-batch that
+//     exhausts one replica's retries fails over to a sibling — safe to
+//     resend because a table generation is immutable and the handshake
+//     pins every replica to the same one. A per-replica breaker ejects
+//     hosts after consecutive failures (ejection window doubles per
+//     streak) and a background prober (-probe-interval) re-admits them
+//     via half-open trials, so recovered shards rejoin within seconds.
+//   - Health surfaces. /healthz distinguishes "degraded" (replicas
+//     unreachable but every hash range still covered — HTTP 200, keep
+//     serving) from "down" (some range has no live replica — 503,
+//     naming the dark ranges). /stats reports per-replica breaker
+//     state, consecutive failures, and ejection counts under
+//     "replicas"; programmatic equivalents are Router.Health and
+//     ServiceStats.Replicas.
+//
+// The contract under faults is all-or-nothing: a routed query returns
+// the byte-identical circuit or a clean typed error within its
+// deadline — never a wrong answer, never a hang. internal/faultnet
+// (a deterministic, seeded fault-injecting net.Listener wrapper:
+// delays, resets, torn writes, corruption, silent drops, refused
+// connections) exists to prove exactly that, and the fault-matrix
+// tests drive every fault class, a SIGKILLed shard, and a replicated
+// failover through it.
 //
 // # Cache tiering and tuning
 //

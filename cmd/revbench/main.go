@@ -1,14 +1,14 @@
 // Command revbench runs the repository's headline performance
 // experiments — multicore BFS search, cold-start table loading across
-// store formats, serving-layer query throughput, and remote-backend
-// (tablenet shard/router) throughput — and emits one machine-readable
-// JSON report. CI uploads the report as an artifact (BENCH_5.json) so
-// the scaling curves are tracked per commit; ROADMAP.md records the
-// curves measured on reference hardware.
+// store formats, serving-layer query throughput, remote-backend
+// (tablenet shard/router) throughput, and fault-tolerance latency — and
+// emits one machine-readable JSON report. CI uploads the report as an
+// artifact (BENCH_6.json) so the scaling curves are tracked per commit;
+// ROADMAP.md records the curves measured on reference hardware.
 //
 // Usage:
 //
-//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_5.json]
+//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_6.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // One run builds the k-tables exactly once and reuses them for every
@@ -19,8 +19,12 @@
 // comparable to BENCH_4) and warm (the tiered client caches primed by
 // one pass over the spec set) — so the report captures both the network
 // seam's overhead and what the immutable-result caches claw back on
-// identical hardware. -cpuprofile/-memprofile attach pprof evidence to
-// a perf investigation without rebuilding the harness.
+// identical hardware. The faults section prices resilience: batched
+// lookup p50/p99 through a replicated fleet (2 ranges × 2 replicas),
+// healthy versus with one replica killed mid-run, so the failover +
+// breaker tail is a tracked number rather than folklore.
+// -cpuprofile/-memprofile attach pprof evidence to a perf
+// investigation without rebuilding the harness.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -118,6 +123,24 @@ type remoteReport struct {
 	WarmSpeedupVsCold   float64 `json:"one_shard_warm_speedup_vs_cold"`
 }
 
+// faultsReport prices fault tolerance: batched-lookup latency through
+// a replicated router (2 hash ranges × 2 replicas over loopback),
+// healthy versus with one replica of range 0 killed immediately before
+// the measured run. The degraded numbers include the first failed
+// attempts, the retry backoff, the failover to the sibling, and the
+// breaker ejecting the dead replica — the p99 is the failover tail, the
+// p50 is the steady state once the breaker routes around the corpse.
+type faultsReport struct {
+	BatchKeys              int     `json:"lookup_batch_keys"`
+	Rounds                 int     `json:"rounds"`
+	HealthyP50Ns           float64 `json:"healthy_p50_ns"`
+	HealthyP99Ns           float64 `json:"healthy_p99_ns"`
+	ReplicaDownP50Ns       float64 `json:"one_replica_down_p50_ns"`
+	ReplicaDownP99Ns       float64 `json:"one_replica_down_p99_ns"`
+	ReplicaDownP50Overhead float64 `json:"one_replica_down_p50_overhead"`
+	ReplicaDownP99Overhead float64 `json:"one_replica_down_p99_overhead"`
+}
+
 type report struct {
 	GeneratedAt string     `json:"generated_at"`
 	Host        hostReport `json:"host"`
@@ -130,6 +153,7 @@ type report struct {
 	ColdStart coldStartReport `json:"cold_start"`
 	Query     queryReport     `json:"service_queries"`
 	Remote    remoteReport    `json:"remote_backend"`
+	Faults    faultsReport    `json:"faults"`
 	Kernels   kernelReport    `json:"kernels"`
 }
 
@@ -139,7 +163,7 @@ func main() {
 	var (
 		k          = flag.Int("k", 6, "BFS depth for the table set under test")
 		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
-		out        = flag.String("o", "BENCH_5.json", "output path (- for stdout)")
+		out        = flag.String("o", "BENCH_6.json", "output path (- for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -421,6 +445,100 @@ func main() {
 		oneCold, 1e9/oneCold, twoCold, oneCold/uncached)
 	log.Printf("remote warm: 1 shard %.0f ns/op (%.0f QPS/core, %.1f× over cold), router over 2 shards %.0f ns/op, %.1f× local uncached",
 		oneWarm, 1e9/oneWarm, oneCold/oneWarm, twoWarm, oneWarm/uncached)
+
+	// --- Fault tolerance: lookup latency with a replica down ------------
+	const (
+		faultBatchKeys = 64
+		faultRounds    = 400
+	)
+	keyGen := randperm.New(11)
+	faultKeys := make([]uint64, faultBatchKeys)
+	for i := range faultKeys {
+		if i%2 == 0 { // half present (real table keys), half almost surely absent
+			lv := res.Level(1 + i%res.MaxCost)
+			faultKeys[i] = uint64(lv.At(i % lv.Len()))
+		} else {
+			faultKeys[i] = uint64(keyGen.Next())
+		}
+	}
+	// One measured round = one LookupBatch over the fixed key batch.
+	// killOne closes a replica of range 0 right before the measured
+	// rounds, so the degraded distribution includes the failover tail.
+	faultBench := func(killOne bool) (p50, p99 float64) {
+		var groups [][]tables.Backend
+		var closers []func()
+		var killReplica func()
+		for g := 0; g < 2; g++ {
+			var reps []tables.Backend
+			for rr := 0; rr < 2; rr++ {
+				addr, closeShard := startShard()
+				closers = append(closers, closeShard)
+				if g == 0 && rr == 0 {
+					killReplica = closeShard
+				}
+				cl, err := tablenet.Dial(addr, &tablenet.ClientOptions{
+					CacheKeys:       -1,
+					LevelCacheBytes: -1,
+					Retry: tablenet.RetryPolicy{
+						MaxAttempts:    3,
+						BaseBackoff:    time.Millisecond,
+						MaxBackoff:     10 * time.Millisecond,
+						AttemptTimeout: time.Second,
+						Seed:           1,
+					},
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				reps = append(reps, cl)
+			}
+			groups = append(groups, reps)
+		}
+		// The prober stays off so the measured distribution is purely
+		// traffic-driven: breaker ejection, then periodic re-probes of
+		// the corpse as ejection windows expire (the realistic p99).
+		router, err := tablenet.NewReplicatedRouter(groups, tablenet.RouterOptions{ProbeInterval: -1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals := make([]uint16, len(faultKeys))
+		found := make([]bool, len(faultKeys))
+		ctx := context.Background()
+		if err := router.LookupBatch(ctx, faultKeys, vals, found); err != nil { // warm the conns
+			log.Fatal(err)
+		}
+		if killOne {
+			killReplica()
+		}
+		durs := make([]float64, faultRounds)
+		for i := range durs {
+			start := time.Now()
+			if err := router.LookupBatch(ctx, faultKeys, vals, found); err != nil {
+				log.Fatal(err)
+			}
+			durs[i] = float64(time.Since(start).Nanoseconds())
+		}
+		router.Close()
+		for _, c := range closers {
+			c()
+		}
+		sort.Float64s(durs)
+		return durs[faultRounds/2], durs[faultRounds*99/100]
+	}
+	healthyP50, healthyP99 := faultBench(false)
+	downP50, downP99 := faultBench(true)
+	rep.Faults = faultsReport{
+		BatchKeys:              faultBatchKeys,
+		Rounds:                 faultRounds,
+		HealthyP50Ns:           round(healthyP50),
+		HealthyP99Ns:           round(healthyP99),
+		ReplicaDownP50Ns:       round(downP50),
+		ReplicaDownP99Ns:       round(downP99),
+		ReplicaDownP50Overhead: round(downP50 / healthyP50),
+		ReplicaDownP99Overhead: round(downP99 / healthyP99),
+	}
+	log.Printf("faults: lookup p50/p99 healthy %.0f/%.0f ns, one replica down %.0f/%.0f ns (%.2f×/%.2f×)",
+		healthyP50, healthyP99, downP50, downP99, downP50/healthyP50, downP99/healthyP99)
 
 	// --- Canonicalization kernel ----------------------------------------
 	random := make([]perm.Perm, 1024)

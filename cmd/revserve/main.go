@@ -9,6 +9,7 @@
 //	         [-workers N] [-query-workers N] [-cache 4096] [-timeout 30s]
 //	revserve -shard-serve -addr :9090 -tables k6.tables
 //	revserve -router host1:9090,host2:9090 -addr :8080 [-remote-cache N]
+//	revserve -router 'a1:9090|a2:9090,b1:9090|b2:9090' -addr :8080
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
@@ -34,12 +35,24 @@
 //     keys — the same routing the in-process sharded table uses — so
 //     every shard's hot (resident) page set converges to ~1/N of the
 //     table. That is the deployment shape for table sets too large to
-//     keep hot on one machine (the paper's k ≥ 9 regime). A router's
-//     /healthz reports "degraded" (503) while any shard is unreachable,
-//     so a load balancer can eject it. Each shard client keeps a tiered
-//     cache of immutable results (hot keys, level blocks) sized by
-//     -remote-cache; /stats reports the aggregate client-pool counters
-//     under "clients" alongside the per-shard health and counters.
+//     keep hot on one machine (the paper's k ≥ 9 regime).
+//
+// The -router argument is "," separated hash ranges, each "|" separated
+// replicas: -router 'a1|a2,b1|b2' is two ranges of two replicas each.
+// Every request is an idempotent read of an immutable table generation,
+// so a sub-batch that fails on one replica with a transport error fails
+// over to a sibling; a per-replica circuit breaker (consecutive-failure
+// ejection, background probe re-admission, half-open trials) keeps
+// traffic off dead replicas, and each shard client retries transport
+// faults with capped jittered backoff (-retry-attempts,
+// -retry-backoff, -attempt-timeout). A router's /healthz distinguishes
+// "degraded" (200 — some replica down, every range still covered: keep
+// the instance, it answers everything) from "down" (503 — some hash
+// range has no live replica: eject it). Each shard client keeps a
+// tiered cache of immutable results (hot keys, level blocks) sized by
+// -remote-cache; /stats reports the aggregate client-pool counters
+// under "clients" alongside per-replica health, breaker state, and
+// counters.
 //
 // Endpoints (all JSON):
 //
@@ -47,8 +60,8 @@
 //	POST /synthesize {"spec": "..."}    one specification
 //	POST /synthesize {"specs": [...]}   a batch, pipelined across workers
 //	GET  /size?spec=[...]               minimal cost only
-//	GET  /stats                         serving counters (+ shard stats on a router)
-//	GET  /healthz                       200 once ready, 503 before/degraded
+//	GET  /stats                         serving counters (+ replica health on a router)
+//	GET  /healthz                       200 once ready (or degraded), 503 loading/down
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
 // queries drain, then the process exits.
@@ -86,20 +99,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revserve: ")
 	var (
-		addr        = flag.String("addr", ":8080", "listen address (HTTP, or the tablenet protocol with -shard-serve)")
-		k           = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
-		maxSplit    = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
-		tablesPath  = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
-		metric      = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
-		qworkers    = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
-		cache       = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
-		shardServe  = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
-		router      = flag.String("router", "", "comma-separated shard server addresses: serve HTTP against a shard-by-key router over them")
+		addr       = flag.String("addr", ":8080", "listen address (HTTP, or the tablenet protocol with -shard-serve)")
+		k          = flag.Int("k", core.DefaultK, "BFS depth when tables must be built")
+		maxSplit   = flag.Int("maxsplit", 0, "meet-in-the-middle prefix bound (0: k)")
+		tablesPath = flag.String("tables", "", "table store: loaded when present, written after a fresh build")
+		metric     = flag.String("metric", "gates", "cost metric: gates, cost (NCV quantum cost), or depth")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent queries (worker pool bound)")
+		qworkers   = flag.Int("query-workers", 1, "per-query meet-in-the-middle fan-out (1 is right for saturated serving)")
+		cache      = flag.Int("cache", service.DefaultCacheSize, "LRU result-cache entries (negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 disables)")
+		shardServe = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
+		router     = flag.String("router", "", "shard fleet topology: comma-separated hash ranges, each a |-separated replica list "+
+			"(e.g. 'a1|a2,b1|b2'); serve HTTP against a shard-by-key router with replica failover over them")
 		shardConns  = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
 		remoteCache = flag.Int("remote-cache", 0, "per-shard client hot-key cache entries for -router "+
 			"(0: default, negative: disable all client caches). Frozen tables are immutable, so cached entries are valid for the process lifetime")
+		retryAttempts = flag.Int("retry-attempts", 0, "per-request transport retry attempts per shard client (0: default)")
+		retryBackoff  = flag.Duration("retry-backoff", 0, "first retry backoff; doubles, capped, jittered (0: default)")
+		attemptTO     = flag.Duration("attempt-timeout", 0, "per-attempt deadline for shard requests (0: default, negative: ctx-bound only)")
+		probeInterval = flag.Duration("probe-interval", 0, "background replica re-admission probe period (0: default, negative: disable)")
 	)
 	flag.Parse()
 	if *shardServe && *router != "" {
@@ -147,25 +165,39 @@ func main() {
 	var shardRouter *tablenet.Router
 	shardClients := map[string]*tablenet.Client{}
 	if *router != "" {
-		var backends []tables.Backend
-		for _, a := range strings.Split(*router, ",") {
-			a = strings.TrimSpace(a)
-			if a == "" {
-				continue
+		var groups [][]tables.Backend
+		for _, rangeSpec := range strings.Split(*router, ",") {
+			var reps []tables.Backend
+			for _, a := range strings.Split(rangeSpec, "|") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					continue
+				}
+				copts := &tablenet.ClientOptions{
+					Conns:     *shardConns,
+					CacheKeys: *remoteCache,
+					Retry: tablenet.RetryPolicy{
+						MaxAttempts:    *retryAttempts,
+						BaseBackoff:    *retryBackoff,
+						AttemptTimeout: *attemptTO,
+					},
+				}
+				if *remoteCache < 0 {
+					copts.LevelCacheBytes = -1 // disabling the knob disables every tier
+				}
+				cl, err := tablenet.Dial(a, copts)
+				if err != nil {
+					log.Fatalf("dialing shard %s: %v", a, err)
+				}
+				reps = append(reps, cl)
+				shardClients[a] = cl
+				log.Printf("shard %s (range %d): k=%d entries=%d", a, len(groups), cl.Meta().K, cl.Meta().Entries)
 			}
-			copts := &tablenet.ClientOptions{Conns: *shardConns, CacheKeys: *remoteCache}
-			if *remoteCache < 0 {
-				copts.LevelCacheBytes = -1 // disabling the knob disables every tier
+			if len(reps) > 0 {
+				groups = append(groups, reps)
 			}
-			cl, err := tablenet.Dial(a, copts)
-			if err != nil {
-				log.Fatalf("dialing shard %s: %v", a, err)
-			}
-			backends = append(backends, cl)
-			shardClients[a] = cl
-			log.Printf("shard %s: k=%d entries=%d", a, cl.Meta().K, cl.Meta().Entries)
 		}
-		r, err := tablenet.NewRouter(backends)
+		r, err := tablenet.NewReplicatedRouter(groups, tablenet.RouterOptions{ProbeInterval: *probeInterval})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -200,21 +232,24 @@ func main() {
 			writeJSON(w, http.StatusOK, svc.Stats())
 			return
 		}
-		// On a router, annotate the serving stats with per-shard health
-		// and counters plus the aggregate client-pool counters (cache
-		// tiers, coalescing, wire bytes) so one scrape sees the whole
-		// fleet and what the caches are saving it.
+		// On a router, annotate the serving stats with per-replica health
+		// (probe result plus breaker state) and counters, plus the
+		// aggregate client-pool counters (cache tiers, coalescing, wire
+		// bytes) so one scrape sees the whole fleet and what the caches
+		// are saving it.
 		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 		defer cancel()
 		type shardStats struct {
 			Addr    string             `json:"addr"`
+			Range   int                `json:"range"`
+			State   string             `json:"state"`
 			Err     string             `json:"err,omitempty"`
 			Stats   *tablenet.Stats    `json:"stats,omitempty"`
 			Clients *tables.CacheStats `json:"clients,omitempty"`
 		}
 		var shards []shardStats
 		for _, st := range shardRouter.Check(ctx) {
-			s := shardStats{Addr: st.Addr}
+			s := shardStats{Addr: st.Addr, Range: st.Range, State: st.State}
 			if st.Err != nil {
 				s.Err = st.Err.Error()
 			}
@@ -230,9 +265,10 @@ func main() {
 			shards = append(shards, s)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"service": svc.Stats(),
-			"clients": shardRouter.CacheStats(),
-			"shards":  shards,
+			"service":  svc.Stats(),
+			"clients":  shardRouter.CacheStats(),
+			"replicas": shardRouter.HealthStats(),
+			"shards":   shards,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -244,20 +280,28 @@ func main() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
 		default:
 			if shardRouter != nil {
-				// A router with an unreachable shard still answers the
-				// healthy partitions, but it is not a full replica: report
-				// degraded (503) so the load balancer ejects it rather
-				// than surfacing partial failures to clients.
+				// Degraded vs down: a fleet with dead replicas but every
+				// hash range still covered answers every query (with less
+				// headroom) — 200 "degraded", keep it in rotation. A hash
+				// range with no live replica fails its share of keyed
+				// lookups — 503 "down", eject the instance.
 				ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 				defer cancel()
-				down := map[string]string{}
-				for _, s := range shardRouter.Check(ctx) {
+				fh := shardRouter.Health(ctx)
+				unreachable := map[string]string{}
+				for _, s := range fh.Replicas {
 					if s.Err != nil {
-						down[s.Addr] = s.Err.Error()
+						unreachable[s.Addr] = s.Err.Error()
 					}
 				}
-				if len(down) > 0 {
-					writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "degraded", "unreachable_shards": down})
+				switch {
+				case fh.Down():
+					writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+						"status": "down", "down_ranges": fh.DownRanges, "unreachable_replicas": unreachable})
+					return
+				case fh.Degraded:
+					writeJSON(w, http.StatusOK, map[string]any{
+						"status": "degraded", "unreachable_replicas": unreachable})
 					return
 				}
 			}

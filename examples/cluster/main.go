@@ -1,47 +1,54 @@
-// Cluster walkthrough: serving one table set from a shard fleet — the
-// deployment shape for table sets too large to keep hot on one host
-// (the paper's k ≥ 9 tables are multi-GB; the follow-up study's are
-// larger still).
+// Cluster walkthrough: serving one table set from a replicated shard
+// fleet — the deployment shape for table sets too large to keep hot on
+// one host (the paper's k ≥ 9 tables are multi-GB; the follow-up
+// study's are larger still) that must also survive losing a shard.
 //
 //	go run ./examples/cluster
 //
-// As standalone daemons the same four steps are:
+// As standalone daemons the same five steps are:
 //
 //	# 1. Build the tables once, on the big machine (paper §3.1), and
 //	#    persist the v2 zero-copy store:
 //	go run ./cmd/revtables -table none -k 6 -save k6.tables
 //
-//	# 2. Start two shard servers. Each memory-maps the same store (the
-//	#    file is cheap to replicate — it is the HOT page set that
-//	#    doesn't fit one host) and exports it over the tablenet binary
-//	#    protocol:
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9091 &
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9092 &
+//	# 2. Start four shard servers: two hash ranges, two replicas each.
+//	#    Every process memory-maps the same store (the file is cheap to
+//	#    replicate — it is the HOT page set that doesn't fit one host)
+//	#    and exports it over the tablenet binary protocol:
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9091 &   # range 0, replica a
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9092 &   # range 0, replica b
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9093 &   # range 1, replica a
+//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9094 &   # range 1, replica b
 //
-//	# 3. Start a router. It serves the normal HTTP API but resolves
-//	#    every lookup batch through the shard fleet, partitioning the
-//	#    canonical keys on their high Wang-hash bits — each shard's
-//	#    resident set converges to ~1/N of the table
-//	#    (table_resident_bytes in each shard host's /stats). Each shard
-//	#    client keeps a tiered cache of immutable results (hot lookup
-//	#    keys, level-key blocks) — frozen tables never change under a
-//	#    fingerprint, so nothing ever needs invalidating. -remote-cache
-//	#    sizes the hot-key tier (negative disables all tiers):
-//	go run ./cmd/revserve -router localhost:9091,localhost:9092 -addr :8080 -remote-cache 1048576 &
+//	# 3. Start a router. "," separates hash ranges, "|" separates the
+//	#    replicas inside one; every lookup batch is partitioned on the
+//	#    high Wang-hash bits of its canonical keys, and a sub-batch that
+//	#    hits a dead replica fails over to its sibling (reads of an
+//	#    immutable table generation are always safe to resend). Each
+//	#    shard client retries transport faults with capped jittered
+//	#    backoff (-retry-attempts/-retry-backoff/-attempt-timeout), and
+//	#    a per-replica breaker ejects repeat offenders until a
+//	#    background probe (-probe-interval) re-admits them:
+//	go run ./cmd/revserve -router 'localhost:9091|localhost:9092,localhost:9093|localhost:9094' \
+//	    -addr :8080 -remote-cache 1048576 &
 //
-//	# 4. Query the router exactly like a single-host revserve. /healthz
-//	#    reports "degraded" (503) if a shard dies, so a load balancer
-//	#    can eject this router. Warm-up is traffic-driven: repeat a
-//	#    working set once and the caches absorb the wire round trips —
-//	#    watch key_hits/level_hits/coalesced under "clients" in /stats:
+//	# 4. Query the router exactly like a single-host revserve:
 //	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
-//	curl 'localhost:8080/stats'     # service counters + client-pool cache counters + per-shard health
+//	curl 'localhost:8080/stats'     # + per-replica breaker state under "replicas"
 //	curl 'localhost:8080/healthz'
 //
+//	# 5. Kill a shard (say :9091) and query again: answers are
+//	#    unchanged — its sibling :9092 carries range 0 — and /healthz
+//	#    now reports "degraded" with HTTP 200 (every range still
+//	#    covered; keep the instance in rotation). Only when BOTH
+//	#    replicas of a range are gone does /healthz turn "down" (503):
+//	kill %2 && curl 'localhost:8080/healthz'    # {"status":"degraded",...} — still serving
+//
 // This program walks the same topology in-process (k = 5 to keep it
-// snappy): two tablenet shard servers over one table set, a router
-// backend over both, and a serving layer programmed against the router
-// — then proves the routed answers match direct local synthesis.
+// snappy): four tablenet shard servers as two replicated ranges, a
+// router over them, and a serving layer programmed against the router —
+// then SIGKILLs one replica mid-run and proves the routed answers still
+// match direct local synthesis.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/bfs"
 	"repro/internal/core"
@@ -67,8 +75,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Export them from two shard servers on loopback.
-	startShard := func() string {
+	// 2. Export them from four shard servers on loopback: the fleet is
+	// two hash ranges × two replicas.
+	startShard := func() (*tablenet.Server, string) {
 		backend, err := tables.NewLocal(res)
 		if err != nil {
 			log.Fatal(err)
@@ -82,22 +91,33 @@ func main() {
 			log.Fatal(err)
 		}
 		go srv.Serve(l)
-		return l.Addr().String()
+		return srv, l.Addr().String()
 	}
-	addr1, addr2 := startShard(), startShard()
-	fmt.Printf("shard servers: %s, %s\n", addr1, addr2)
+	srvA1, addrA1 := startShard()
+	_, addrA2 := startShard()
+	_, addrB1 := startShard()
+	_, addrB2 := startShard()
+	fmt.Printf("range 0: %s | %s\nrange 1: %s | %s\n", addrA1, addrA2, addrB1, addrB2)
 
-	// 3. Wire a router over both shards; every lookup batch is split by
-	// key ownership and resolved in one concurrent fan-out.
-	cl1, err := tablenet.Dial(addr1, nil)
-	if err != nil {
-		log.Fatal(err)
+	// 3. Wire a replicated router: groups[range][replica]. The retry
+	// policy is the production shape scaled down so the kill below is
+	// absorbed in milliseconds.
+	dial := func(addr string) tables.Backend {
+		cl, err := tablenet.Dial(addr, &tablenet.ClientOptions{
+			Retry: tablenet.RetryPolicy{
+				MaxAttempts: 2,
+				BaseBackoff: 2 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cl
 	}
-	cl2, err := tablenet.Dial(addr2, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	router, err := tablenet.NewRouter([]tables.Backend{cl1, cl2})
+	router, err := tablenet.NewReplicatedRouter([][]tables.Backend{
+		{dial(addrA1), dial(addrA2)},
+		{dial(addrB1), dial(addrB2)},
+	}, tablenet.RouterOptions{ProbeInterval: 100 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,33 +143,47 @@ func main() {
 		"[1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]", // NOT-equivalent: hard for heuristics
 		"[0,1,2,3,4,6,5,7,8,9,10,11,12,13,14,15]", // a transposition
 	}
-	for _, s := range specs {
-		spec, err := perm.Parse(s)
-		if err != nil {
-			log.Fatal(err)
+	runSpecs := func(tag string) {
+		for _, s := range specs {
+			spec, err := perm.Parse(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			circ, info, err := svc.Synthesize(ctx, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			want, _, err := direct.SynthesizeInfoCtx(ctx, spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			match := "MATCHES local"
+			if circ.String() != want.String() {
+				match = "DIVERGES from local(!)"
+			}
+			fmt.Printf("spec %s\n  %d gates via %s (%s): %v\n", s, info.Cost, tag, match, circ)
 		}
-		circ, info, err := svc.Synthesize(ctx, spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		want, _, err := direct.SynthesizeInfoCtx(ctx, spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		match := "MATCHES local"
-		if circ.String() != want.String() {
-			match = "DIVERGES from local(!)"
-		}
-		fmt.Printf("spec %s\n  %d gates via shards (%s): %v\n", s, info.Cost, match, circ)
 	}
+	runSpecs("healthy fleet")
 
-	// The shard fleet carried the traffic: each shard saw only its key
-	// partition.
-	st1, _ := cl1.ServerStats(ctx)
-	st2, _ := cl2.ServerStats(ctx)
-	fmt.Printf("\nshard 1: %d keys probed, %d hits; shard 2: %d keys probed, %d hits\n",
-		st1.Keys, st1.Hits, st2.Keys, st2.Hits)
-	for _, s := range router.Check(ctx) {
-		fmt.Printf("shard %s healthy: %v\n", s.Addr, s.Err == nil)
+	// 5. Kill one replica of range 0 and run the same queries: its
+	// sibling carries the range, so the answers cannot change — the
+	// failure is absorbed below the API, not surfaced through it.
+	fmt.Printf("\nkilling replica %s (range 0)...\n\n", addrA1)
+	srvA1.Close()
+	runSpecs("degraded fleet")
+
+	// The health surface an operator (or load balancer) sees: degraded
+	// — a replica is unreachable — but NOT down, because every hash
+	// range still has a live replica. /healthz on a router daemon maps
+	// exactly this to 200 "degraded" vs 503 "down".
+	fh := router.Health(ctx)
+	fmt.Printf("\nfleet health: degraded=%v down=%v\n", fh.Degraded, fh.Down())
+	for _, st := range fh.Replicas {
+		ok := "reachable"
+		if st.Err != nil {
+			ok = "UNREACHABLE"
+		}
+		fmt.Printf("  range %d %s: %s, breaker %s\n", st.Range, st.Addr, ok, st.State)
 	}
 }

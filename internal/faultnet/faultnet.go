@@ -1,0 +1,297 @@
+// Package faultnet injects transport faults into net connections for
+// testing. It wraps a net.Listener so that every accepted connection
+// misbehaves on a seeded, per-connection-deterministic schedule:
+// injected delays, silently dropped writes (the peer sees a stall, not
+// an error), TCP resets, torn writes (a prefix of the buffer followed
+// by a reset — a peer dying mid-frame), and single-byte corruption.
+// An optional refuse gate accepts and immediately resets connections,
+// which a dialing client experiences as a dead host.
+//
+// The injector exists to prove a robustness contract, not to model a
+// network: the tablenet fault-matrix tests drive identical query
+// batches through every fault class and assert the distributed answers
+// stay byte-identical to local serving or fail with a clean typed
+// error within the deadline — never a wrong answer, never a hang.
+//
+// Determinism: the schedule is a pure function of (Options.Seed,
+// connection index, operation index). Two runs that accept connections
+// in the same order inject the same faults, so a failing seed
+// reproduces. Connection *ordering* still depends on the scheduler;
+// tests that need exact replay use one connection.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options selects the fault mix. Each probability is per I/O operation
+// in [0, 1]; zero disables that class. The zero Options injects
+// nothing (the wrapper is then a transparent pass-through, which tests
+// use as the control arm).
+type Options struct {
+	// Seed fixes the injection schedule; 0 picks seed 1 (still
+	// deterministic — faultnet never seeds from the clock).
+	Seed int64
+
+	// Delay sleeps before an operation: up to MaxDelay, uniform.
+	Delay    float64
+	MaxDelay time.Duration
+
+	// Drop swallows a write whole — the caller sees success, the peer
+	// sees silence. The only fault class whose symptom is a stall, so
+	// it is what attempt timeouts are tested against.
+	Drop float64
+
+	// Reset tears the connection down with an immediate TCP RST (no
+	// FIN, no pending data flushed) before the operation.
+	Reset float64
+
+	// TornWrite sends a prefix of the buffer, then resets — the peer
+	// reads a truncated frame.
+	TornWrite float64
+
+	// Corrupt flips one byte of the buffer in transit (writes only;
+	// the original buffer is not modified).
+	Corrupt float64
+
+	// SkipOps exempts each connection's first N I/O operations from
+	// injection (delays included), letting a handshake complete so a
+	// test can target the steady state — e.g. SkipOps: 1 lets a
+	// server-first hello through and then blackholes every response.
+	SkipOps int
+}
+
+// Counts reports how many faults of each class an injector has
+// injected — tests assert the schedule actually exercised a class.
+type Counts struct {
+	Delays, Drops, Resets, TornWrites, Corruptions, Refused uint64
+}
+
+// Injector hands out fault-injecting wrappers that share one schedule
+// and one set of counters. Safe for concurrent use.
+type Injector struct {
+	opts   Options
+	connID atomic.Uint64
+	refuse atomic.Bool
+
+	mu   sync.Mutex
+	live map[*conn]struct{}
+
+	delays, drops, resets, tornWrites, corruptions, refused atomic.Uint64
+}
+
+// New builds an injector over opts.
+func New(opts Options) *Injector {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return &Injector{opts: opts, live: make(map[*conn]struct{})}
+}
+
+// KillLive resets every connection currently alive through this
+// injector. KillLive plus SetRefuse(true) is a SIGKILLed shard
+// process: in-flight requests die with a reset, new dials find a dead
+// service — without restarting the listener, so SetRefuse(false) is
+// the process coming back.
+func (in *Injector) KillLive() {
+	in.mu.Lock()
+	conns := make([]*conn, 0, len(in.live))
+	for c := range in.live {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		hardClose(c.Conn)
+	}
+}
+
+func (in *Injector) track(c *conn) {
+	in.mu.Lock()
+	in.live[c] = struct{}{}
+	in.mu.Unlock()
+}
+
+func (in *Injector) forget(c *conn) {
+	in.mu.Lock()
+	delete(in.live, c)
+	in.mu.Unlock()
+}
+
+// SetRefuse toggles the refuse gate: while set, accepted connections
+// are immediately reset. To a dialing client the host is up but its
+// service is dead — dials or handshakes fail fast, the shape of a
+// crashed shard process.
+func (in *Injector) SetRefuse(v bool) { in.refuse.Store(v) }
+
+// Counts snapshots the per-class injection counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Delays:      in.delays.Load(),
+		Drops:       in.drops.Load(),
+		Resets:      in.resets.Load(),
+		TornWrites:  in.tornWrites.Load(),
+		Corruptions: in.corruptions.Load(),
+		Refused:     in.refused.Load(),
+	}
+}
+
+// Listener wraps l so every accepted connection runs the injector's
+// fault schedule.
+func (in *Injector) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, in: in}
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.in.refuse.Load() {
+			l.in.refused.Add(1)
+			hardClose(c)
+			continue
+		}
+		id := l.in.connID.Add(1)
+		// Distinct deterministic stream per connection.
+		fc := &conn{Conn: c, in: l.in, rng: newStream(l.in.opts.Seed, id)}
+		l.in.track(fc)
+		return fc, nil
+	}
+}
+
+// newStream derives connection id's schedule stream from the injector
+// seed (splitmix64 finalizer, so consecutive ids do not correlate).
+func newStream(seed int64, id uint64) *rand.Rand {
+	z := uint64(seed) + id*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// hardClose resets the connection: linger 0 turns Close into an RST
+// with any unsent data discarded, so the peer gets a hard error (or a
+// truncated stream), not a clean FIN.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+// conn is one fault-injected connection. The rng is guarded: reader
+// and writer goroutines share one schedule stream.
+type conn struct {
+	net.Conn
+	in  *Injector
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int // operations seen, for Options.SkipOps
+}
+
+// faults the schedule can pick per operation.
+const (
+	faultNone = iota
+	faultDrop
+	faultReset
+	faultTorn
+	faultCorrupt
+)
+
+// roll draws one operation's fault (cumulative thresholds, one uniform
+// draw) plus an independent delay decision.
+func (c *conn) roll(write bool) (fault int, delay time.Duration) {
+	o := &c.in.opts
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.ops <= o.SkipOps {
+		return faultNone, 0
+	}
+	if o.Delay > 0 && c.rng.Float64() < o.Delay && o.MaxDelay > 0 {
+		delay = time.Duration(c.rng.Int63n(int64(o.MaxDelay)))
+	}
+	r := c.rng.Float64()
+	switch {
+	case r < o.Reset:
+		fault = faultReset
+	case write && r < o.Reset+o.TornWrite:
+		fault = faultTorn
+	case write && r < o.Reset+o.TornWrite+o.Drop:
+		fault = faultDrop
+	case write && r < o.Reset+o.TornWrite+o.Drop+o.Corrupt:
+		fault = faultCorrupt
+	}
+	return fault, delay
+}
+
+// corruptAt picks the byte to flip.
+func (c *conn) corruptAt(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+func (c *conn) sleep(d time.Duration) {
+	if d > 0 {
+		c.in.delays.Add(1)
+		time.Sleep(d)
+	}
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	fault, delay := c.roll(false)
+	c.sleep(delay)
+	if fault == faultReset {
+		c.in.resets.Add(1)
+		hardClose(c.Conn)
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	fault, delay := c.roll(true)
+	c.sleep(delay)
+	switch fault {
+	case faultReset:
+		c.in.resets.Add(1)
+		hardClose(c.Conn)
+		return 0, net.ErrClosed
+	case faultTorn:
+		c.in.tornWrites.Add(1)
+		if n := len(p) / 2; n > 0 {
+			c.Conn.Write(p[:n])
+		}
+		hardClose(c.Conn)
+		return 0, net.ErrClosed
+	case faultDrop:
+		// The bytes vanish; the caller believes they were sent. The
+		// peer's next read stalls until its deadline fires.
+		c.in.drops.Add(1)
+		return len(p), nil
+	case faultCorrupt:
+		if len(p) > 0 {
+			c.in.corruptions.Add(1)
+			buf := make([]byte, len(p))
+			copy(buf, p)
+			buf[c.corruptAt(len(buf))] ^= 0xA5
+			return c.Conn.Write(buf)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *conn) Close() error {
+	c.in.forget(c)
+	return c.Conn.Close()
+}

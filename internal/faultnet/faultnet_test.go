@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startEcho serves one fault-wrapped echo listener: every accepted
+// connection copies its input back to its output.
+func startEcho(t *testing.T, in *Injector) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	fl := in.Listener(l)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	return c
+}
+
+// TestPassThrough: the zero fault mix is a transparent wrapper.
+func TestPassThrough(t *testing.T) {
+	in := New(Options{})
+	addr := startEcho(t, in)
+	c := dial(t, addr)
+	msg := []byte("fault-free round trip")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mangled: %q", got)
+	}
+	if counts := in.Counts(); counts != (Counts{}) {
+		t.Fatalf("zero options injected faults: %+v", counts)
+	}
+}
+
+// TestRefuseGate: while the gate is up, connections are accepted and
+// immediately reset (a dead service); dropping the gate restores
+// service without restarting anything.
+func TestRefuseGate(t *testing.T) {
+	in := New(Options{})
+	addr := startEcho(t, in)
+
+	in.SetRefuse(true)
+	// The reset can land before or after the dial returns; either way
+	// the connection is dead before it serves a byte.
+	if c, err := net.DialTimeout("tcp", addr, 2*time.Second); err == nil {
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := c.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("refused connection served a read")
+		}
+		c.Close()
+	}
+	if in.Counts().Refused == 0 {
+		t.Fatal("refuse gate did not count")
+	}
+
+	in.SetRefuse(false)
+	c2 := dial(t, addr)
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatalf("service did not recover after gate dropped: %v", err)
+	}
+}
+
+// TestCorruptFlipsExactlyOneByte: a corrupt write delivers the same
+// length with exactly one byte changed, and never mutates the caller's
+// buffer.
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	in := New(Options{Seed: 7, Corrupt: 1})
+	addr := startEcho(t, in)
+	c := dial(t, addr)
+	msg := bytes.Repeat([]byte{0x42}, 64)
+	orig := append([]byte(nil), msg...)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("injector mutated the caller's buffer")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt write changed %d bytes, want exactly 1", diff)
+	}
+	if in.Counts().Corruptions == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// TestTornWriteTruncates: a torn write delivers a strict prefix and
+// then kills the connection.
+func TestTornWriteTruncates(t *testing.T) {
+	in := New(Options{Seed: 7, TornWrite: 1})
+	addr := startEcho(t, in)
+	c := dial(t, addr)
+	msg := bytes.Repeat([]byte{0x13}, 256)
+	c.Write(msg) // the echo server's write back is what gets torn
+	buf := make([]byte, len(msg))
+	n, err := io.ReadFull(c, buf)
+	if err == nil || n >= len(msg) {
+		t.Fatalf("torn write delivered %d/%d bytes with err=%v, want prefix + error", n, len(msg), err)
+	}
+	if in.Counts().TornWrites == 0 {
+		t.Fatal("torn write not counted")
+	}
+}
+
+// TestDropStalls: a dropped write succeeds at the sender and never
+// arrives — the receiver's deadline, not an error, ends the wait.
+func TestDropStalls(t *testing.T) {
+	in := New(Options{Seed: 7, Drop: 1})
+	addr := startEcho(t, in)
+	c := dial(t, addr)
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("dropped write was delivered")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("expected a timeout waiting on dropped bytes, got %v", err)
+	}
+	if in.Counts().Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+// TestDeterministicSchedule: the same seed injects the identical fault
+// sequence across runs; a different seed diverges. Driven over
+// net.Pipe with a single connection so operation order is exact.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []int {
+		in := New(Options{Seed: seed, Reset: 0.2, TornWrite: 0.2, Drop: 0.2, Corrupt: 0.2})
+		client, server := net.Pipe()
+		defer client.Close()
+		defer server.Close()
+		fc := &conn{Conn: server, in: in, rng: newStream(in.opts.Seed, 1)}
+		go io.Copy(io.Discard, client)
+		var faults []int
+		for i := 0; i < 64; i++ {
+			f, _ := fc.roll(true)
+			faults = append(faults, f)
+		}
+		return faults
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 64-op schedule")
+	}
+}
+
+// TestDelayInjects: delays sleep but deliver intact data.
+func TestDelayInjects(t *testing.T) {
+	in := New(Options{Seed: 7, Delay: 1, MaxDelay: 5 * time.Millisecond})
+	addr := startEcho(t, in)
+	c := dial(t, addr)
+	msg := []byte("slow but sure")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("delayed echo mangled: %q", got)
+	}
+	if in.Counts().Delays == 0 {
+		t.Fatal("delay not counted")
+	}
+}

@@ -584,6 +584,11 @@ type Stats struct {
 	// and misses, coalesced fetches, cache memory, and wire bytes
 	// moved. Omitted for local table sources.
 	RemoteCache *tables.CacheStats `json:"remote_cache,omitempty"`
+	// Replicas surfaces the per-replica health trackers of an injected
+	// backend that routes over a replicated fleet (a
+	// tablenet.Router): address, hash range, breaker state, failure
+	// run, lifetime ejections. Omitted for unreplicated sources.
+	Replicas []tables.Health `json:"replicas,omitempty"`
 	// AvgLatency averages the table-query time of uncached queries.
 	AvgLatency time.Duration `json:"avg_latency_ns"`
 	// LoadDuration is the startup build/load time; Uptime the age of the
@@ -636,6 +641,9 @@ func (s *Synthesizer) Stats() Stats {
 		if cs, ok := s.cfg.Backend.(tables.CacheStatser); ok {
 			rc := cs.CacheStats()
 			st.RemoteCache = &rc
+		}
+		if hs, ok := s.cfg.Backend.(tables.HealthStatser); ok {
+			st.Replicas = hs.HealthStats()
 		}
 	default:
 	}

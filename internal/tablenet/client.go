@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -34,6 +33,11 @@ type ClientOptions struct {
 	// LevelCacheBytes is the byte budget of the immutable level-block
 	// cache; 0 means DefaultLevelCacheBytes, negative disables it.
 	LevelCacheBytes int64
+	// Retry governs how transport failures (dial errors, closed or
+	// reset connections, per-attempt timeouts, corrupted frames) are
+	// converted into fresh attempts with capped exponential backoff;
+	// the zero value picks the defaults. See RetryPolicy.
+	Retry RetryPolicy
 }
 
 // DefaultConns is the default connection-pool bound.
@@ -60,9 +64,11 @@ const DefaultLevelCacheBytes = 32 << 20
 // warm client answers most reads without touching the network. See
 // CacheStats for the counters.
 type Client struct {
-	addr string
-	opts ClientOptions
-	meta tables.Meta
+	addr   string
+	opts   ClientOptions
+	meta   tables.Meta
+	retry  RetryPolicy
+	jitter *jitterSource
 
 	// Tiered read path (nil when disabled via options).
 	kcache   *hotKeyCache
@@ -115,11 +121,13 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		o.DialTimeout = 5 * time.Second
 	}
 	cl := &Client{
-		addr:  addr,
-		opts:  o,
-		sem:   make(chan struct{}, o.Conns),
-		idle:  make(chan *clientConn, o.Conns),
-		conns: make(map[*clientConn]struct{}),
+		addr:   addr,
+		opts:   o,
+		retry:  o.Retry.withDefaults(),
+		jitter: newJitterSource(o.Retry.Seed),
+		sem:    make(chan struct{}, o.Conns),
+		idle:   make(chan *clientConn, o.Conns),
+		conns:  make(map[*clientConn]struct{}),
 	}
 	// Dial the first connection eagerly: its hello is the handshake that
 	// validates the server before any query depends on it.
@@ -295,42 +303,49 @@ const maxStall = 2 * time.Minute
 // is laid out once and written with a single Write: no per-request
 // buffer, no second copy.
 //
-// ctx is honoured through the connection's I/O deadlines: a ctx
-// deadline bounds the exchange, plain cancellation interrupts it
-// (context.AfterFunc fires an immediate deadline, waking any blocked
-// read/write), and maxStall backstops contexts with neither — armed
-// lazily, so the uncancellable hot path skips the deadline syscalls
-// while the backstop is fresh. On any error the connection is marked
-// dead (request/response framing is lost).
-func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, encode func(dst []byte) []byte) (payload []byte, err error) {
+// ctx is honoured through the connection's I/O deadlines: the tighter
+// of the ctx deadline and the retry policy's per-attempt deadline
+// (attemptDL; zero means none) bounds the exchange, plain cancellation
+// interrupts it (context.AfterFunc fires an immediate deadline, waking
+// any blocked read/write), and maxStall backstops requests with
+// neither — armed lazily, so the uncancellable unbounded path skips
+// the deadline syscalls while the backstop is fresh. On any error the
+// connection is marked dead (request/response framing is lost).
+func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, attemptDL time.Time, encode func(dst []byte) []byte) (payload []byte, err error) {
 	deadline, hasDeadline := ctx.Deadline()
+	if !attemptDL.IsZero() && (!hasDeadline || attemptDL.Before(deadline)) {
+		deadline, hasDeadline = attemptDL, true
+	}
 	if hasDeadline || ctx.Done() != nil {
 		if !hasDeadline {
 			deadline = time.Now().Add(maxStall)
 		}
 		cc.c.SetDeadline(deadline)
-		// Force the next uncancellable round trip to re-arm: a late
-		// cancellation may fire the AfterFunc after we return, leaving
-		// the socket with an immediate deadline this field knows nothing
-		// about.
+		// Force the next lazily-armed round trip to re-arm: this
+		// deadline (or a late cancellation firing the AfterFunc after we
+		// return) leaves the socket with a deadline the field knows
+		// nothing about.
 		cc.deadline = time.Time{}
-		stop := context.AfterFunc(ctx, func() {
-			cc.c.SetDeadline(time.Now())
-		})
-		defer stop()
+		if ctx.Done() != nil {
+			stop := context.AfterFunc(ctx, func() {
+				cc.c.SetDeadline(time.Now())
+			})
+			defer stop()
+		}
 	} else if cc.deadline.IsZero() || time.Until(cc.deadline) < maxStall/2 {
 		cc.deadline = time.Now().Add(maxStall)
 		cc.c.SetDeadline(cc.deadline)
 	}
-	frame := append(cc.req[:0], 0, 0, 0, 0, op)
+	frame := append(cc.req[:0], 0, 0, 0, 0, 0, 0, 0, 0, op)
 	if encode != nil {
 		frame = encode(frame)
 	}
 	cc.req = frame[:0]
-	if len(frame)-4 > maxFrameLen {
-		return nil, fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(frame)-4)
+	if len(frame)-frameHeaderLen > maxFrameLen {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(frame)-frameHeaderLen)
 	}
-	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-frameHeaderLen))
+	binary.LittleEndian.PutUint32(frame[4:], frameSum(frame[frameHeaderLen:]))
 	if _, err := cc.bw.Write(frame); err != nil {
 		cc.dead = true
 		return nil, err
@@ -345,7 +360,7 @@ func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, encode
 		cc.dead = true
 		return nil, err
 	}
-	cl.bytesRead.Add(uint64(5 + len(payload)))
+	cl.bytesRead.Add(uint64(frameHeaderLen + 1 + len(payload)))
 	if cap(payload) > cap(cc.buf) {
 		cc.buf = payload[:cap(payload)]
 	}
@@ -361,41 +376,70 @@ func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, encode
 	return payload, nil
 }
 
-// do runs one request/response exchange on a pooled connection.
+// do runs one request/response exchange under a fresh retry budget.
 // encode appends the request payload to the connection's frame scratch;
 // fn decodes the response payload while the connection is still checked
 // out (the payload aliases the connection's scratch buffer).
-//
-// A transport failure on a connection reused from the idle pool is
-// retried once on a fresh dial: after a server restart the pool holds
-// up to Conns dead sockets, and without the retry each would convert
-// into one user-visible query failure against a now-healthy server.
-// Semantic failures (an error frame, a protocol violation) and failures
-// on freshly dialed connections are not retried.
 func (cl *Client) do(ctx context.Context, op byte, encode func(dst []byte) []byte, fn func(payload []byte) error) error {
-	for attempt := 0; ; attempt++ {
+	var bud retryBudget
+	return cl.doBudget(ctx, &bud, op, encode, fn)
+}
+
+// doBudget is the retrying request loop. Each attempt runs under its
+// own derived deadline (see RetryPolicy.AttemptTimeout); a transport
+// failure — dial error, closed/reset connection, attempt timeout,
+// checksum or truncated frame — is retried on a fresh connection after
+// a capped, jittered exponential backoff, until the per-request attempt
+// cap or the caller's shared batch budget runs out (then the last
+// failure surfaces wrapped in ErrUnavailable). Deterministic failures —
+// the peer's error frame, a protocol or meta violation — and an expired
+// query ctx surface immediately.
+//
+// Retrying is sound because every request is an idempotent read of an
+// immutable table generation: re-sending can change timing, never the
+// answer.
+func (cl *Client) doBudget(ctx context.Context, bud *retryBudget, op byte, encode func(dst []byte) []byte, fn func(payload []byte) error) error {
+	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		cc, pooled, err := cl.get(ctx)
-		if err != nil {
+		err := cl.attempt(ctx, cl.attemptDeadline(ctx, attempt), op, encode, fn)
+		if err == nil {
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The query's own deadline/cancellation expired (possibly
+			// surfacing as an I/O error on the armed socket): report the
+			// ctx cause, not the transport symptom.
+			return cerr
+		}
+		if !retryable(err) {
 			return err
 		}
-		payload, err := cl.roundTrip(ctx, cc, op, encode)
-		if err != nil {
-			cl.put(cc)
-			if attempt == 0 && pooled && ctx.Err() == nil &&
-				!errors.Is(err, ErrRemote) && !errors.Is(err, ErrProtocol) {
-				continue
-			}
-			return err
+		if attempt >= cl.retry.MaxAttempts || bud.spent >= cl.retry.Budget {
+			return cl.unavailable(attempt, err)
 		}
-		if fn != nil {
-			err = fn(payload)
+		bud.spent++
+		if serr := cl.sleepBackoff(ctx, bud.spent); serr != nil {
+			return serr
 		}
-		cl.put(cc)
+	}
+}
+
+// attempt is one try: check a connection out of the pool (dialing if
+// the pool is under its bound), run the exchange under the attempt
+// deadline, return the connection.
+func (cl *Client) attempt(ctx context.Context, attemptDL time.Time, op byte, encode func(dst []byte) []byte, fn func(payload []byte) error) error {
+	cc, _, err := cl.get(ctx)
+	if err != nil {
 		return err
 	}
+	payload, err := cl.roundTrip(ctx, cc, op, attemptDL, encode)
+	if err == nil && fn != nil {
+		err = fn(payload)
+	}
+	cl.put(cc)
+	return err
 }
 
 // LookupBatch implements tables.Backend: canonical keys out, packed
@@ -454,15 +498,17 @@ func (cl *Client) lookupFill(ctx context.Context, keys []uint64, vals []uint16, 
 
 // lookupWire resolves keys against the server, one round trip per
 // maxLookupKeys chunk, encoding each request directly into the pooled
-// connection frame buffer.
+// connection frame buffer. All chunks of one batch draw retries from a
+// single budget.
 func (cl *Client) lookupWire(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
 	le := binary.LittleEndian
+	var bud retryBudget
 	for lo := 0; lo < len(keys); lo += maxLookupKeys {
 		hi := min(lo+maxLookupKeys, len(keys))
 		n := hi - lo
 		chunk := keys[lo:hi]
 		chunkVals, chunkFound := vals[lo:hi], found[lo:hi]
-		err := cl.do(ctx, opLookup, func(dst []byte) []byte {
+		err := cl.doBudget(ctx, &bud, opLookup, func(dst []byte) []byte {
 			dst = le.AppendUint32(dst, uint32(n))
 			for _, k := range chunk {
 				dst = le.AppendUint64(dst, k)
@@ -522,14 +568,16 @@ func (cl *Client) LevelKeys(ctx context.Context, c, lo int, out []uint64) error 
 }
 
 // levelWire fetches one level range from the server, one round trip per
-// maxLevelKeys chunk.
+// maxLevelKeys chunk; as with lookups, the whole range shares one retry
+// budget.
 func (cl *Client) levelWire(ctx context.Context, c, lo int, out []uint64) error {
 	le := binary.LittleEndian
+	var bud retryBudget
 	for done := 0; done < len(out); done += maxLevelKeys {
 		n := min(maxLevelKeys, len(out)-done)
 		start := lo + done
 		dstKeys := out[done : done+n]
-		err := cl.do(ctx, opLevel, func(dst []byte) []byte {
+		err := cl.doBudget(ctx, &bud, opLevel, func(dst []byte) []byte {
 			dst = le.AppendUint32(dst, uint32(c))
 			dst = le.AppendUint64(dst, uint64(start))
 			dst = le.AppendUint32(dst, uint32(n))

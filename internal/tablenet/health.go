@@ -1,0 +1,136 @@
+package tablenet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Replica health states. The tracker is a small circuit breaker per
+// replica: healthy replicas take traffic; a replica that fails
+// EjectAfter consecutive requests is ejected for a window that doubles
+// on every consecutive ejection (capped), so a flapping shard costs the
+// fleet one backoff schedule instead of one timeout per batch; when the
+// window expires a single half-open trial request (or a background
+// probe) decides between re-admission and a longer ejection.
+const (
+	stateHealthy int32 = iota
+	stateEjected
+	stateHalfOpen
+)
+
+// Health-tracker defaults; see RouterOptions.
+const (
+	DefaultEjectAfter    = 3
+	DefaultEjectBase     = 500 * time.Millisecond
+	DefaultEjectMax      = 15 * time.Second
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = time.Second
+)
+
+// healthTracker is one replica's breaker state. All fields are atomics:
+// the readers are every lookup's replica-ordering pass, and the writers
+// are request outcomes and background probes — none of which may block
+// each other. Races between concurrent observers are benign (health is
+// advisory; the worst case is one extra trial request).
+type healthTracker struct {
+	threshold int
+	baseEject time.Duration
+	maxEject  time.Duration
+
+	state  atomic.Int32
+	consec atomic.Uint64 // current consecutive-failure run
+	until  atomic.Int64  // ejection window end (UnixNano)
+	streak atomic.Uint32 // consecutive ejections, the backoff exponent
+
+	ejections atomic.Uint64 // lifetime counter, for stats
+}
+
+func newHealthTracker(threshold int, base, max time.Duration) *healthTracker {
+	return &healthTracker{threshold: threshold, baseEject: base, maxEject: max}
+}
+
+// allow reports whether the replica should receive traffic now. For an
+// ejected replica whose window has expired it admits exactly one caller
+// as the half-open trial (trial true); concurrent callers keep routing
+// around until the trial's outcome is observed. A caller that was
+// admitted as the trial but ends up not sending the request must call
+// release so the trial slot reopens.
+func (h *healthTracker) allow(now time.Time) (ok, trial bool) {
+	switch h.state.Load() {
+	case stateHealthy:
+		return true, false
+	case stateEjected:
+		if now.UnixNano() < h.until.Load() {
+			return false, false
+		}
+		if h.state.CompareAndSwap(stateEjected, stateHalfOpen) {
+			return true, true
+		}
+		return false, false
+	default: // half-open: a trial is already in flight
+		return false, false
+	}
+}
+
+// release reopens a half-open trial slot that was admitted but never
+// used (the batch succeeded on an earlier replica). The ejection window
+// is already expired, so the next allow re-admits immediately.
+func (h *healthTracker) release() {
+	h.state.CompareAndSwap(stateHalfOpen, stateEjected)
+}
+
+// observe records one request or probe outcome. Success re-admits and
+// clears the failure run and ejection streak. Failure grows the run;
+// a failed half-open trial — or a failure after the ejection window has
+// expired (a background probe finding the replica still dark) —
+// re-ejects with a doubled window, while failures inside a live window
+// (stragglers from requests already in flight at ejection time) are
+// ignored.
+func (h *healthTracker) observe(ok bool, now time.Time) {
+	if ok {
+		h.state.Store(stateHealthy)
+		h.consec.Store(0)
+		h.streak.Store(0)
+		return
+	}
+	n := h.consec.Add(1)
+	switch h.state.Load() {
+	case stateHalfOpen:
+		h.eject(now)
+	case stateHealthy:
+		if n >= uint64(h.threshold) {
+			h.eject(now)
+		}
+	case stateEjected:
+		if now.UnixNano() >= h.until.Load() {
+			h.eject(now)
+		}
+	}
+}
+
+// eject closes the breaker for the streak's backoff window.
+func (h *healthTracker) eject(now time.Time) {
+	s := h.streak.Add(1)
+	d := h.baseEject
+	for i := uint32(1); i < s && d < h.maxEject; i++ {
+		d *= 2
+	}
+	if d > h.maxEject {
+		d = h.maxEject
+	}
+	h.until.Store(now.Add(d).UnixNano())
+	h.state.Store(stateEjected)
+	h.ejections.Add(1)
+}
+
+// stateName renders the state for stats surfaces.
+func (h *healthTracker) stateName() string {
+	switch h.state.Load() {
+	case stateEjected:
+		return "ejected"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "healthy"
+	}
+}

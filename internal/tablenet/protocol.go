@@ -9,7 +9,8 @@
 //
 // The protocol is deliberately small. Each frame is
 //
-//	uint32 length (op + payload bytes, little-endian) | byte op | payload
+//	uint32 length (op + payload bytes, little-endian) |
+//	uint32 checksum (FNV-1a over op + payload) | byte op | payload
 //
 // and a connection is strictly request/response (pipelining comes from a
 // client-side connection pool, not the wire). On accept the server
@@ -21,6 +22,13 @@
 // ping). Every length field is bounds-checked against hard caps before
 // any allocation, mirroring tablesio's forged-header guards: a malicious
 // peer can fail a connection, never balloon the process.
+//
+// The checksum (protocol v2) is what makes transport corruption a
+// detected failure instead of a wrong answer: a flipped byte anywhere in
+// a frame — a lookup value, a level key, a length field that still lands
+// in bounds — fails verification (ErrChecksum) and tears the connection
+// down, and because every request is an idempotent read of an immutable
+// table, the client retries it safely on a fresh connection.
 package tablenet
 
 import (
@@ -41,10 +49,25 @@ var ErrProtocol = errors.New("tablenet: protocol error")
 // description of why it rejected a request).
 var ErrRemote = errors.New("tablenet: remote error")
 
+// ErrChecksum reports a frame whose payload did not verify against its
+// header checksum: the transport corrupted bytes in flight (or a peer
+// speaks a different frame layout). The connection is unusable, but the
+// failed request is an idempotent read and safe to retry elsewhere —
+// corruption is classified as a retryable transport fault, never
+// surfaced as data.
+var ErrChecksum = errors.New("tablenet: frame checksum mismatch")
+
+// ErrUnavailable reports that a request exhausted its retry budget
+// against transport failures (dial errors, dropped connections,
+// per-attempt timeouts): the shard is unreachable or too unhealthy to
+// answer. The router treats it — like any retryable failure — as the
+// trigger for failing over to a sibling replica.
+var ErrUnavailable = errors.New("tablenet: shard unavailable")
+
 const (
 	// protoVersion gates the wire format itself; bumped on incompatible
-	// frame-layout changes.
-	protoVersion = 1
+	// frame-layout changes. v2 added the per-frame FNV-1a checksum.
+	protoVersion = 2
 
 	// maxFrameLen caps op+payload of any frame. The largest legitimate
 	// frame is a full lookup batch (4 + 8·maxLookupKeys bytes); 2 MiB
@@ -78,6 +101,24 @@ const (
 	opErr     byte = 0x7F
 )
 
+// frameHeaderLen is the byte length of the v2 frame header: uint32
+// body length plus uint32 FNV-1a checksum of the body (op + payload).
+const frameHeaderLen = 8
+
+// frameSum is the FNV-1a checksum carried in every frame header,
+// computed over the frame body (op + payload). Not cryptographic — it
+// detects transport corruption (flipped bytes, torn frames spliced
+// across reconnects), not adversaries; hostile peers are already bounded
+// by the length caps and the handshake.
+func frameSum(body []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range body {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
 // writeFrame emits one frame. payload may be nil. The hot paths on both
 // sides use pooled whole-frame buffers instead (appendFrame client- and
 // server-side); this remains for handshakes, error frames, and tests.
@@ -85,9 +126,16 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	if len(payload)+1 > maxFrameLen {
 		return fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(payload)+1)
 	}
-	var hdr [5]byte
+	var hdr [frameHeaderLen + 1]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = op
+	hdr[8] = op
+	sum := uint32(2166136261)
+	sum = (sum ^ uint32(op)) * 16777619
+	for _, b := range payload {
+		sum ^= uint32(b)
+		sum *= 16777619
+	}
+	binary.LittleEndian.PutUint32(hdr[4:8], sum)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -99,16 +147,20 @@ func writeFrame(w io.Writer, op byte, payload []byte) error {
 	return nil
 }
 
-// appendFrame appends one complete frame — length header, opcode,
-// payload — to dst and returns it: the allocation-free path for pooled
-// frame buffers, emitted with a single Write.
+// appendFrame appends one complete frame — length+checksum header,
+// opcode, payload — to dst and returns it: the allocation-free path for
+// pooled frame buffers, emitted with a single Write.
 func appendFrame(dst []byte, op byte, payload []byte) ([]byte, error) {
 	if len(payload)+1 > maxFrameLen {
 		return dst, fmt.Errorf("%w: frame of %d bytes exceeds cap", ErrProtocol, len(payload)+1)
 	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)+1))
+	dst = append(dst, 0, 0, 0, 0) // checksum, patched below
+	start := len(dst)
 	dst = append(dst, op)
-	return append(dst, payload...), nil
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(dst[start-4:], frameSum(dst[start:]))
+	return dst, nil
 }
 
 // readFrame reads one frame, reusing buf both to parse the header and
@@ -116,19 +168,27 @@ func appendFrame(dst []byte, op byte, payload []byte) ([]byte, error) {
 // consumed before the body read overwrites them), so a warm caller
 // allocates nothing. The declared length is validated against
 // maxFrameLen BEFORE any allocation, so a forged length cannot OOM the
-// reader.
+// reader, and the body is verified against the header checksum so a
+// corrupted byte anywhere in the frame fails loudly (ErrChecksum)
+// instead of decoding into a wrong answer.
 func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	hdr := buf
-	if cap(hdr) < 4 {
-		hdr = make([]byte, 4)
+	if cap(hdr) < frameHeaderLen {
+		hdr = make([]byte, frameHeaderLen)
 	}
-	hdr = hdr[:4]
+	hdr = hdr[:frameHeaderLen]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr)
+	sum := binary.LittleEndian.Uint32(hdr[4:])
 	if n == 0 || n > maxFrameLen {
-		return 0, nil, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrProtocol, n, maxFrameLen)
+		// An implausible length is indistinguishable from a corrupted
+		// length field — the checksum can only vouch for the body it
+		// delimits. Typed ErrChecksum (transport-class, retryable): a
+		// peer that really speaks garbage just exhausts the retry budget
+		// and surfaces as unavailable.
+		return 0, nil, fmt.Errorf("%w: frame length %d outside (0, %d]", ErrChecksum, n, maxFrameLen)
 	}
 	body := buf
 	if uint32(cap(body)) < n {
@@ -136,7 +196,14 @@ func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	}
 	body = body[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, nil, fmt.Errorf("%w: truncated frame: %w", ErrProtocol, err)
+		// A frame cut short is a peer dying mid-write or a torn
+		// transport, not a contract violation: deliberately NOT
+		// ErrProtocol, so the retry classifier treats it like the
+		// connection loss it is.
+		return 0, nil, fmt.Errorf("tablenet: truncated frame: %w", err)
+	}
+	if got := frameSum(body); got != sum {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes sums to %#x, header claims %#x", ErrChecksum, n, got, sum)
 	}
 	return body[0], body[1:], nil
 }

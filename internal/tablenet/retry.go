@@ -1,0 +1,219 @@
+package tablenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the client's retry discipline. Every tablenet request is
+// an idempotent read of an immutable table generation (the handshake
+// pins it), so any failure whose cause is the *transport* — a dial that
+// never connected, a connection the peer closed, a frame that timed out
+// or failed its checksum — can be retried on a fresh connection without
+// changing the answer. Failures whose cause is the *conversation* — the
+// peer rejected the request (ErrRemote), the peer speaks a different
+// contract (ErrProtocol, which includes the reconnect meta-mismatch
+// guard) — are deterministic and retrying them just repeats the failure,
+// so they surface immediately.
+
+// Retry defaults; see RetryPolicy.
+const (
+	DefaultRetryAttempts  = 4
+	DefaultRetryBudget    = 8
+	DefaultBaseBackoff    = 5 * time.Millisecond
+	DefaultMaxBackoff     = 500 * time.Millisecond
+	DefaultAttemptTimeout = 15 * time.Second
+
+	// minAttemptTimeout floors the per-attempt share of a nearly-spent
+	// query deadline, so the final attempts are real tries rather than
+	// guaranteed timeouts.
+	minAttemptTimeout = 50 * time.Millisecond
+)
+
+// RetryPolicy governs how a Client converts transport failures into
+// fresh attempts. The zero value picks the defaults; MaxAttempts: 1
+// disables retries entirely (one attempt, no backoff).
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per round trip, the first included
+	// (default DefaultRetryAttempts).
+	MaxAttempts int
+	// Budget bounds the total retries spent across all round trips of
+	// one batched call (a LookupBatch or LevelKeys that spans several
+	// wire chunks draws every retry from one budget), so a flapping
+	// shard cannot multiply worst-case latency by the chunk count
+	// (default DefaultRetryBudget).
+	Budget int
+	// BaseBackoff is the delay before the first retry; each further
+	// retry doubles it up to MaxBackoff, and every delay is jittered to
+	// 50–100% of its nominal value so a fleet of clients released by
+	// one shard failure does not reconverge in lockstep (defaults
+	// DefaultBaseBackoff / DefaultMaxBackoff).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds each attempt (pool wait + dial + round
+	// trip). When the query ctx carries a deadline, each attempt is
+	// further clipped to its fair share of the time remaining —
+	// remaining/attempts-left, floored at minAttemptTimeout — so a
+	// stalled first attempt cannot eat the whole deadline and turn the
+	// retries into dead code. 0 means DefaultAttemptTimeout; negative
+	// leaves attempts bounded only by the ctx and the maxStall
+	// backstop (default DefaultAttemptTimeout).
+	AttemptTimeout time.Duration
+	// Seed fixes the jitter sequence for deterministic tests; 0 seeds
+	// from the clock.
+	Seed int64
+}
+
+// withDefaults resolves the zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.Budget <= 0 {
+		p.Budget = DefaultRetryBudget
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = DefaultAttemptTimeout
+	}
+	return p
+}
+
+// retryable classifies an attempt failure: true for transport faults
+// (dial failure, clean close, reset, truncated or corrupted frame, an
+// I/O timeout) where a fresh connection may well succeed, false for
+// deterministic conversation failures (the peer's own error frame, a
+// protocol/meta violation) that would only repeat.
+//
+// Context errors are deliberately not special-cased here: the retry
+// loop checks the query ctx itself before consulting this function and
+// reports its cause directly, so an expired query never reaches
+// classification. Per-attempt deadlines are armed on the socket and
+// surface as I/O timeouts (os.ErrDeadlineExceeded), which the default
+// case retries.
+func retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrRemote):
+		return false
+	case errors.Is(err, ErrChecksum):
+		return true
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		// A truncated frame is a peer dying mid-write (or a torn
+		// transport), not a contract violation: kept explicit (though
+		// the default would catch it) because it must stay retryable
+		// even if a future wrap adds ErrProtocol above it.
+		return true
+	case errors.Is(err, ErrProtocol):
+		return false
+	default:
+		return true
+	}
+}
+
+// retryBudget is the shared retry allowance of one batched call; every
+// chunk's round trips draw from it.
+type retryBudget struct {
+	spent int
+}
+
+// jitterSource is the client's lock-guarded jitter randomness (shared
+// by every in-flight retry loop).
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitterSource(seed int64) *jitterSource {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &jitterSource{rng: rand.New(rand.NewSource(seed))}
+}
+
+// jitter returns a uniform duration in [0, d).
+func (j *jitterSource) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	v := time.Duration(j.rng.Int63n(int64(d)))
+	j.mu.Unlock()
+	return v
+}
+
+// backoffFor computes the nth retry's delay (n is 1-based): capped
+// exponential growth from BaseBackoff, jittered to 50–100%.
+func (cl *Client) backoffFor(n int) time.Duration {
+	p := cl.retry
+	d := p.BaseBackoff
+	for i := 1; i < n && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d/2 + cl.jitter.jitter(d/2)
+}
+
+// sleepBackoff waits out one backoff delay, or returns early with the
+// ctx error if the query is cancelled first.
+func (cl *Client) sleepBackoff(ctx context.Context, n int) error {
+	t := time.NewTimer(cl.backoffFor(n))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// attemptDeadline computes one attempt's I/O deadline from the query
+// ctx: bounded by AttemptTimeout and, when the query carries a
+// deadline, by that deadline's fair share across the attempts still
+// allowed — remaining/attempts-left, floored at minAttemptTimeout — so
+// a stalled first attempt cannot eat the whole deadline and turn the
+// retries into dead code. The zero time means unbounded (negative
+// AttemptTimeout with no ctx deadline). It is a plain time, not a
+// derived context, so the happy path stays allocation-free: roundTrip
+// arms it on the socket directly.
+func (cl *Client) attemptDeadline(ctx context.Context, attempt int) time.Time {
+	p := cl.retry
+	timeout := p.AttemptTimeout
+	if d, ok := ctx.Deadline(); ok {
+		left := p.MaxAttempts - attempt + 1
+		if left < 1 {
+			left = 1
+		}
+		share := time.Until(d) / time.Duration(left)
+		if share < minAttemptTimeout {
+			share = minAttemptTimeout
+		}
+		if timeout <= 0 || share < timeout {
+			timeout = share
+		}
+	}
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(timeout)
+}
+
+// unavailable wraps the last transport failure once the retry budget is
+// spent: the caller-facing "this shard cannot be reached right now"
+// error a router keys failover on.
+func (cl *Client) unavailable(attempts int, err error) error {
+	return fmt.Errorf("%w: %s after %d attempts: %w", ErrUnavailable, cl.addr, attempts, err)
+}

@@ -6,61 +6,170 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hashtab"
 	"repro/internal/tables"
 )
 
-// Router composes N shard backends into one tables.Backend by
+// Router composes a fleet of shard backends into one tables.Backend by
 // partitioning the canonical-representative key space on the high bits
 // of the Wang hash — the same bits the in-process sharded hash table
 // routes by, so the partition is uniform for exactly the same reason the
 // shard locks were. Each LookupBatch is split by key owner and fanned
-// out to the owning shards concurrently, then scattered back in place;
-// a batch therefore costs one round trip regardless of shard count.
+// out to the owning ranges concurrently, then scattered back in place;
+// a batch therefore costs one round trip regardless of range count.
 //
 // Every shard serves the same store (the v2 table file is cheap to
 // replicate; it is the HOT set that doesn't fit one host), so the
-// routing's effect is page-cache partitioning: shard i only ever probes
-// its hash range, and its mmap'd resident set converges to ~1/N of the
-// table. Level-range reads are not keyed, so they round-robin across
-// shards with failover — any replica can serve them.
+// routing's effect is page-cache partitioning: a range's replicas only
+// ever probe their hash range, and their mmap'd resident sets converge
+// to ~1/N of the table. Level-range reads are not keyed, so they
+// round-robin across all replicas with failover — any replica can serve
+// them.
+//
+// Each hash range may be served by several replicas. Because every
+// request is an idempotent read of an immutable table generation, a
+// sub-batch that fails on one replica with a transport-class error
+// (see retryable) fails over to a sibling replica instead of failing
+// the query. A per-replica health tracker (healthTracker) orders the
+// failover healthy-first and ejects replicas that fail repeatedly, so
+// steady-state traffic does not keep paying a dead replica's timeout;
+// a background prober re-admits replicas as they recover.
 type Router struct {
-	shards []tables.Backend
+	groups [][]tables.Backend
+	health [][]*healthTracker
+	addrs  [][]string
 	meta   tables.Meta
-	rr     atomic.Uint64
+	opts   RouterOptions
+
+	rr    atomic.Uint64   // level-read rotation over all replicas
+	grpRR []atomic.Uint64 // per-range replica rotation for lookups
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeWG  sync.WaitGroup
 }
 
-// ShardOf returns the owning shard of a table key among n shards: a
-// range partition of the high 32 Wang-hash bits, so any shard count
+// RouterOptions tunes the router's health tracking. The zero value
+// picks the defaults.
+type RouterOptions struct {
+	// EjectAfter is the consecutive-failure count that ejects a replica
+	// (default DefaultEjectAfter).
+	EjectAfter int
+	// EjectBase is the first ejection window; each consecutive ejection
+	// doubles it up to EjectMax (defaults DefaultEjectBase /
+	// DefaultEjectMax).
+	EjectBase time.Duration
+	EjectMax  time.Duration
+	// ProbeInterval is the background re-admission prober's period; it
+	// pings non-healthy network replicas so recovery is noticed without
+	// spending query traffic on trials. 0 means DefaultProbeInterval;
+	// negative disables the prober (recovery then rides on half-open
+	// trial requests alone — the mode unit tests use).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each background probe and each Check probe
+	// (default DefaultProbeTimeout).
+	ProbeTimeout time.Duration
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.EjectAfter <= 0 {
+		o.EjectAfter = DefaultEjectAfter
+	}
+	if o.EjectBase <= 0 {
+		o.EjectBase = DefaultEjectBase
+	}
+	if o.EjectMax <= 0 {
+		o.EjectMax = DefaultEjectMax
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = DefaultProbeInterval
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = DefaultProbeTimeout
+	}
+	return o
+}
+
+// ShardOf returns the owning hash range of a table key among n ranges:
+// a range partition of the high 32 Wang-hash bits, so any range count
 // (not just powers of two) splits the space evenly.
 func ShardOf(key uint64, n int) int {
 	h := hashtab.Hash64Shift(key)
 	return int(uint64(uint32(h>>32)) * uint64(n) >> 32)
 }
 
-// NewRouter builds a router over the given shard backends, which must
-// all serve the same logical table set (same horizon, reduction,
-// entries, level counts, and alphabet fingerprint) — a mixed-generation
-// shard fleet would answer queries inconsistently, so it is rejected
-// here, at wiring time.
+// NewRouter builds a router with one replica per hash range — the
+// unreplicated fleet shape earlier revisions exposed directly.
 func NewRouter(shards []tables.Backend) (*Router, error) {
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("tablenet: router needs at least one shard")
+	groups := make([][]tables.Backend, len(shards))
+	for i, sh := range shards {
+		groups[i] = []tables.Backend{sh}
 	}
-	meta := shards[0].Meta()
+	return NewReplicatedRouter(groups, RouterOptions{})
+}
+
+// NewReplicatedRouter builds a router over groups[range][replica]. All
+// backends must serve the same logical table set (same horizon,
+// reduction, entries, level counts, and alphabet fingerprint) — a
+// mixed-generation fleet would answer queries inconsistently, so it is
+// rejected here, at wiring time.
+func NewReplicatedRouter(groups [][]tables.Backend, opts RouterOptions) (*Router, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("tablenet: router needs at least one hash range")
+	}
+	for g, reps := range groups {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("tablenet: hash range %d has no replicas", g)
+		}
+	}
+	opts = opts.withDefaults()
+	meta := groups[0][0].Meta()
 	if err := meta.Validate(); err != nil {
 		return nil, err
 	}
-	for i, sh := range shards[1:] {
-		if !meta.Compatible(sh.Meta()) {
-			return nil, fmt.Errorf("tablenet: shard %d serves a different table set than shard 0", i+1)
+	r := &Router{
+		groups: groups,
+		health: make([][]*healthTracker, len(groups)),
+		addrs:  make([][]string, len(groups)),
+		opts:   opts,
+		grpRR:  make([]atomic.Uint64, len(groups)),
+		stop:   make(chan struct{}),
+	}
+	flat := 0
+	for g, reps := range groups {
+		r.health[g] = make([]*healthTracker, len(reps))
+		r.addrs[g] = make([]string, len(reps))
+		for i, b := range reps {
+			if g+i > 0 && !meta.Compatible(b.Meta()) {
+				return nil, fmt.Errorf("tablenet: range %d replica %d serves a different table set than range 0 replica 0", g, i)
+			}
+			r.health[g][i] = newHealthTracker(opts.EjectAfter, opts.EjectBase, opts.EjectMax)
+			r.addrs[g][i] = backendAddr(b, flat)
+			flat++
 		}
 	}
 	m := meta
 	m.LevelCounts = append([]int(nil), meta.LevelCounts...)
-	m.Source = fmt.Sprintf("router(%d)", len(shards))
-	return &Router{shards: shards, meta: m}, nil
+	m.Source = fmt.Sprintf("router(%d)", len(groups))
+	if flat > len(groups) {
+		m.Source = fmt.Sprintf("router(%d x%d)", len(groups), flat)
+	}
+	r.meta = m
+	if opts.ProbeInterval > 0 && flat > len(groups) {
+		r.probeWG.Add(1)
+		go r.probeLoop()
+	}
+	return r, nil
+}
+
+// backendAddr names a backend for statuses and errors.
+func backendAddr(b tables.Backend, i int) string {
+	if a, ok := b.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return fmt.Sprintf("local[%d]", i)
 }
 
 // Meta returns the (shared) table metadata.
@@ -68,7 +177,7 @@ func (r *Router) Meta() tables.Meta { return r.meta }
 
 // lookupScratch is pooled per-call partition workspace.
 type lookupScratch struct {
-	idx  [][]int // per-shard indices into the caller's batch
+	idx  [][]int // per-range indices into the caller's batch
 	keys []uint64
 	vals []uint16
 	ok   []bool
@@ -77,15 +186,18 @@ type lookupScratch struct {
 var lookupPool = sync.Pool{New: func() any { return new(lookupScratch) }}
 
 // LookupBatch partitions the batch by key owner and resolves every
-// sub-batch concurrently. Results land exactly where a single backend
-// would have put them, so callers cannot tell a router from a table.
+// sub-batch concurrently against its range's replicas. Results land
+// exactly where a single backend would have put them, so callers cannot
+// tell a router from a table. The first sub-batch to fail terminally
+// cancels its siblings — once the batch's outcome is decided, the
+// remaining sub-lookups are wasted wire traffic.
 func (r *Router) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, found []bool) error {
 	if len(vals) != len(keys) || len(found) != len(keys) {
 		return fmt.Errorf("tablenet: LookupBatch slice lengths differ (%d/%d/%d)", len(keys), len(vals), len(found))
 	}
-	n := len(r.shards)
-	if n == 1 {
-		return r.shards[0].LookupBatch(ctx, keys, vals, found)
+	n := len(r.groups)
+	if n == 1 && len(r.groups[0]) == 1 {
+		return r.groups[0][0].LookupBatch(ctx, keys, vals, found)
 	}
 	sc := lookupPool.Get().(*lookupScratch)
 	defer lookupPool.Put(sc)
@@ -93,26 +205,28 @@ func (r *Router) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, 
 		sc.idx = make([][]int, n)
 	}
 	idx := sc.idx[:n]
-	for s := range idx {
-		idx[s] = idx[s][:0]
+	for g := range idx {
+		idx[g] = idx[g][:0]
 	}
 	for i, k := range keys {
-		s := ShardOf(k, n)
-		idx[s] = append(idx[s], i)
+		g := ShardOf(k, n)
+		idx[g] = append(idx[g], i)
 	}
 	if cap(sc.keys) < len(keys) {
 		sc.keys = make([]uint64, len(keys))
 		sc.vals = make([]uint16, len(keys))
 		sc.ok = make([]bool, len(keys))
 	}
-	// Slice the shared scratch into disjoint per-shard windows laid out
-	// in shard order, so the concurrent sub-lookups never overlap.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Slice the shared scratch into disjoint per-range windows laid out
+	// in range order, so the concurrent sub-lookups never overlap.
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
 	off := 0
-	for s := 0; s < n; s++ {
-		ids := idx[s]
+	for g := 0; g < n; g++ {
+		ids := idx[g]
 		if len(ids) == 0 {
 			continue
 		}
@@ -124,103 +238,355 @@ func (r *Router) LookupBatch(ctx context.Context, keys []uint64, vals []uint16, 
 			subKeys[j] = keys[i]
 		}
 		wg.Add(1)
-		go func(sh tables.Backend, ids []int, subKeys []uint64, subVals []uint16, subOK []bool) {
+		go func(g int, ids []int, subKeys []uint64, subVals []uint16, subOK []bool) {
 			defer wg.Done()
-			if err := sh.LookupBatch(ctx, subKeys, subVals, subOK); err != nil {
-				errOnce.Do(func() { firstErr = err })
+			if err := r.groupLookup(ctx, g, subKeys, subVals, subOK); err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
 				return
 			}
 			for j, i := range ids {
 				vals[i] = subVals[j]
 				found[i] = subOK[j]
 			}
-		}(r.shards[s], ids, subKeys, subVals, subOK)
+		}(g, ids, subKeys, subVals, subOK)
 	}
 	wg.Wait()
 	return firstErr
 }
 
-// LevelKeys forwards a level-range read to one shard, round-robin, with
-// failover: the request is not keyed (every shard holds the full level
-// index), so any reachable replica can answer it. A request fails only
-// when every shard does.
-func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
-	n := len(r.shards)
-	start := int(r.rr.Add(1)-1) % n
+// groupLookup resolves one range's sub-batch, failing over across the
+// range's replicas on transport-class errors. Replica order is
+// healthy-first (rotated per range so load spreads), then half-open
+// trials, then ejected replicas as a last resort — a batch prefers a
+// known-good replica but never fails while any replica can answer.
+func (r *Router) groupLookup(ctx context.Context, g int, keys []uint64, vals []uint16, found []bool) error {
+	reps := r.groups[g]
+	if len(reps) == 1 {
+		return r.tryReplica(ctx, g, 0, keys, vals, found)
+	}
+	order, trials := r.replicaOrder(g)
 	var errs []error
-	for step := 0; step < n; step++ {
-		sh := r.shards[(start+step)%n]
-		err := sh.LevelKeys(ctx, c, lo, out)
+	for _, i := range order {
+		if cerr := ctx.Err(); cerr != nil {
+			r.releaseTrials(g, trials)
+			return cerr
+		}
+		delete(trials, i)
+		err := r.tryReplica(ctx, g, i, keys, vals, found)
 		if err == nil {
+			r.releaseTrials(g, trials)
 			return nil
 		}
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || !retryable(err) {
+			r.releaseTrials(g, trials)
 			return err
 		}
 		errs = append(errs, err)
 	}
-	return fmt.Errorf("tablenet: all %d shards failed level read: %w", n, errors.Join(errs...))
+	return fmt.Errorf("tablenet: range %d: all %d replicas failed: %w", g, len(reps), errors.Join(errs...))
 }
 
-// ShardStatus is one shard's health probe outcome.
+// tryReplica runs one replica attempt and feeds its outcome to the
+// health tracker. Outcomes under a dead ctx are not attributed to the
+// replica — a cancelled batch says nothing about replica health.
+func (r *Router) tryReplica(ctx context.Context, g, i int, keys []uint64, vals []uint16, found []bool) error {
+	err := r.groups[g][i].LookupBatch(ctx, keys, vals, found)
+	if ctx.Err() == nil {
+		r.health[g][i].observe(err == nil || !retryable(err), time.Now())
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", r.addrs[g][i], err)
+	}
+	return nil
+}
+
+// replicaOrder returns range g's replicas in failover order: healthy
+// first (rotated), then admitted half-open trials, then everything else
+// as a last resort. trials holds the indices this caller was admitted
+// for — any it does not actually attempt must be released.
+func (r *Router) replicaOrder(g int) (order []int, trials map[int]struct{}) {
+	reps := r.groups[g]
+	n := len(reps)
+	start := int(r.grpRR[g].Add(1)-1) % n
+	now := time.Now()
+	order = make([]int, 0, n)
+	var rest []int
+	for s := 0; s < n; s++ {
+		i := (start + s) % n
+		ok, trial := r.health[g][i].allow(now)
+		switch {
+		case ok && !trial:
+			order = append(order, i)
+		case ok && trial:
+			if trials == nil {
+				trials = make(map[int]struct{})
+			}
+			trials[i] = struct{}{}
+			rest = append([]int{i}, rest...)
+		default:
+			rest = append(rest, i)
+		}
+	}
+	return append(order, rest...), trials
+}
+
+// releaseTrials reopens half-open trial slots this caller claimed but
+// never used.
+func (r *Router) releaseTrials(g int, trials map[int]struct{}) {
+	for i := range trials {
+		r.health[g][i].release()
+	}
+}
+
+// LevelKeys forwards a level-range read to one replica, round-robin
+// over the whole fleet, with failover: the request is not keyed (every
+// replica holds the full level index), so any reachable replica can
+// answer it. The rotation is health-aware — ejected replicas sort last,
+// so steady-state level reads never pay a dead replica's retry cycle —
+// and half-open trials admit one probe read when an ejection window
+// expires. A request fails only when every replica does, and the error
+// then names each failing replica.
+func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
+	type ref struct{ g, i int }
+	var flat []ref
+	for g, reps := range r.groups {
+		for i := range reps {
+			flat = append(flat, ref{g, i})
+		}
+	}
+	n := len(flat)
+	start := int(r.rr.Add(1)-1) % n
+	now := time.Now()
+	order := make([]ref, 0, n)
+	var rest []ref
+	trials := make(map[ref]struct{})
+	for step := 0; step < n; step++ {
+		f := flat[(start+step)%n]
+		ok, trial := r.health[f.g][f.i].allow(now)
+		switch {
+		case ok && !trial:
+			order = append(order, f)
+		case ok && trial:
+			trials[f] = struct{}{}
+			rest = append([]ref{f}, rest...)
+		default:
+			rest = append(rest, f)
+		}
+	}
+	releaseTrials := func() {
+		for f := range trials {
+			r.health[f.g][f.i].release()
+		}
+	}
+	var errs []error
+	for _, f := range append(order, rest...) {
+		if cerr := ctx.Err(); cerr != nil {
+			releaseTrials()
+			return cerr
+		}
+		delete(trials, f)
+		err := r.groups[f.g][f.i].LevelKeys(ctx, c, lo, out)
+		if ctx.Err() == nil {
+			r.health[f.g][f.i].observe(err == nil || !retryable(err), time.Now())
+		}
+		if err == nil {
+			releaseTrials()
+			return nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			releaseTrials()
+			return err
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", r.addrs[f.g][f.i], err))
+	}
+	return fmt.Errorf("tablenet: all %d replicas failed level read: %w", n, errors.Join(errs...))
+}
+
+// pinger is the probe interface network clients implement; in-process
+// backends are trivially reachable and are not probed.
+type pinger interface {
+	Ping(context.Context) error
+}
+
+// probeLoop is the background re-admission prober: it pings every
+// non-healthy network replica each interval and feeds the outcome to
+// the health tracker, so a recovered replica rejoins within about one
+// probe interval without a query paying for the discovery, and a
+// still-dark replica keeps extending its ejection window instead of
+// re-entering rotation.
+func (r *Router) probeLoop() {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeOnce()
+		}
+	}
+}
+
+// probeOnce pings every currently non-healthy network replica.
+func (r *Router) probeOnce() {
+	for g, reps := range r.groups {
+		for i, b := range reps {
+			h := r.health[g][i]
+			if h.state.Load() == stateHealthy {
+				continue
+			}
+			p, ok := b.(pinger)
+			if !ok {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), r.opts.ProbeTimeout)
+			err := p.Ping(ctx)
+			cancel()
+			h.observe(err == nil, time.Now())
+		}
+	}
+}
+
+// ShardStatus is one replica's health probe outcome.
 type ShardStatus struct {
-	// Addr names the shard (its dial address, or "local[i]" for
+	// Addr names the replica (its dial address, or "local[i]" for
 	// in-process backends).
 	Addr string
-	// Err is nil for a reachable shard.
+	// Range is the hash-range index the replica serves.
+	Range int
+	// State is the health tracker's view: "healthy", "ejected", or
+	// "half-open".
+	State string
+	// Err is nil for a reachable replica.
 	Err error
 }
 
-// Check probes every shard for reachability (Ping for network shards;
-// in-process backends are trivially healthy). A router whose shards are
-// partly unreachable still answers lookups for the healthy partitions
-// and fails the rest, so /healthz uses Check to report "degraded" and
-// let the load balancer eject the instance.
+// Check probes every replica for reachability (Ping for network
+// replicas, each bounded by ProbeTimeout; in-process backends are
+// trivially healthy) and annotates each with its tracker state.
+// Statuses are in range-major replica order.
 func (r *Router) Check(ctx context.Context) []ShardStatus {
-	out := make([]ShardStatus, len(r.shards))
+	out := make([]ShardStatus, 0, r.Shards())
 	var wg sync.WaitGroup
-	for i, sh := range r.shards {
-		out[i].Addr = fmt.Sprintf("local[%d]", i)
-		if a, ok := sh.(interface{ Addr() string }); ok {
-			out[i].Addr = a.Addr()
+	for g, reps := range r.groups {
+		for i, b := range reps {
+			out = append(out, ShardStatus{
+				Addr:  r.addrs[g][i],
+				Range: g,
+				State: r.health[g][i].stateName(),
+			})
+			p, ok := b.(pinger)
+			if !ok {
+				continue
+			}
+			wg.Add(1)
+			go func(st *ShardStatus, ping func(context.Context) error) {
+				defer wg.Done()
+				pctx, cancel := context.WithTimeout(ctx, r.opts.ProbeTimeout)
+				defer cancel()
+				st.Err = ping(pctx)
+			}(&out[len(out)-1], p.Ping)
 		}
-		p, ok := sh.(interface{ Ping(context.Context) error })
-		if !ok {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, ping func(context.Context) error) {
-			defer wg.Done()
-			out[i].Err = ping(ctx)
-		}(i, p.Ping)
 	}
 	wg.Wait()
 	return out
 }
 
+// FleetHealth is the router's availability summary, the /healthz
+// contract: Degraded means some replica is unreachable but every hash
+// range still has at least one live replica (the fleet answers every
+// query, with reduced headroom); DownRanges lists ranges with no
+// reachable replica at all (keyed lookups over those ranges fail).
+type FleetHealth struct {
+	Replicas   []ShardStatus
+	Degraded   bool
+	DownRanges []int
+}
+
+// Down reports whether any hash range is completely unreachable.
+func (f FleetHealth) Down() bool { return len(f.DownRanges) > 0 }
+
+// Health probes the fleet (Check) and folds the statuses into the
+// degraded-vs-down summary.
+func (r *Router) Health(ctx context.Context) FleetHealth {
+	f := FleetHealth{Replicas: r.Check(ctx)}
+	perRange := make([]int, len(r.groups)) // reachable replicas per range
+	for _, st := range f.Replicas {
+		if st.Err != nil {
+			f.Degraded = true
+		} else {
+			perRange[st.Range]++
+		}
+	}
+	for g, live := range perRange {
+		if live == 0 {
+			f.DownRanges = append(f.DownRanges, g)
+		}
+	}
+	return f
+}
+
+// HealthStats snapshots every replica's tracker — the traffic-driven
+// view (no probe I/O), the one /stats embeds.
+func (r *Router) HealthStats() []tables.Health {
+	var out []tables.Health
+	for g, reps := range r.groups {
+		for i := range reps {
+			h := r.health[g][i]
+			out = append(out, tables.Health{
+				Addr:                r.addrs[g][i],
+				Range:               g,
+				State:               h.stateName(),
+				ConsecutiveFailures: h.consec.Load(),
+				Ejections:           h.ejections.Load(),
+			})
+		}
+	}
+	return out
+}
+
 // CacheStats aggregates the tiered-cache and wire counters of every
-// shard backend that maintains them (network clients do; in-process
+// replica backend that maintains them (network clients do; in-process
 // backends contribute nothing) — one snapshot for the whole client
 // pool, the number a router daemon's /stats reports.
 func (r *Router) CacheStats() tables.CacheStats {
 	var st tables.CacheStats
-	for _, sh := range r.shards {
-		if cs, ok := sh.(tables.CacheStatser); ok {
-			st.Add(cs.CacheStats())
+	for _, reps := range r.groups {
+		for _, b := range reps {
+			if cs, ok := b.(tables.CacheStatser); ok {
+				st.Add(cs.CacheStats())
+			}
 		}
 	}
 	return st
 }
 
-// Shards returns the number of shard backends.
-func (r *Router) Shards() int { return len(r.shards) }
+// Shards returns the total replica count across all hash ranges.
+func (r *Router) Shards() int {
+	n := 0
+	for _, reps := range r.groups {
+		n += len(reps)
+	}
+	return n
+}
 
-// Close closes every shard backend.
+// Ranges returns the number of hash ranges.
+func (r *Router) Ranges() int { return len(r.groups) }
+
+// Close stops the prober and closes every replica backend.
 func (r *Router) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.probeWG.Wait()
 	var errs []error
-	for _, sh := range r.shards {
-		if err := sh.Close(); err != nil {
-			errs = append(errs, err)
+	for _, reps := range r.groups {
+		for _, b := range reps {
+			if err := b.Close(); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	return errors.Join(errs...)

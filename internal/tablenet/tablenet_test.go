@@ -528,12 +528,25 @@ func TestRouterDegradedShard(t *testing.T) {
 // a crash.
 func TestServerRejectsMalformedFrames(t *testing.T) {
 	_, addr := startServer(t, fixtureBackend(t))
+	// frame builds a well-formed v2 frame (length + checksum header)
+	// around a hostile body.
+	frame := func(op byte, payload []byte) []byte {
+		f, err := appendFrame(nil, op, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// badsum is a valid ping frame with its checksum flipped.
+	badsum := frame(opPing, nil)
+	badsum[4] ^= 0xFF
 	cases := [][]byte{
-		{0xFF, 0xFF, 0xFF, 0xFF},                                   // absurd frame length
-		{0x00, 0x00, 0x00, 0x00},                                   // zero frame length
-		{0x01, 0x00, 0x00, 0x00, 0xEE},                             // unknown opcode
-		{0x02, 0x00, 0x00, 0x00, opPing, 0x01},                     // ping with payload
-		{0x05, 0x00, 0x00, 0x00, opLookup, 0xFF, 0xFF, 0xFF, 0xFF}, // lying key count
+		{0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x00}, // absurd frame length
+		{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}, // zero frame length
+		badsum,                      // checksum mismatch
+		frame(0xEE, nil),            // unknown opcode
+		frame(opPing, []byte{0x01}), // ping with payload
+		frame(opLookup, []byte{255, 255, 255, 255}), // lying key count
 	}
 	for i, raw := range cases {
 		c, err := net.Dial("tcp", addr)

@@ -198,6 +198,33 @@ type CacheStatser interface {
 	CacheStats() CacheStats
 }
 
+// Health is one replica's availability snapshot as its router's health
+// tracker sees it — traffic-driven state, no probe I/O. A replica is
+// "healthy" while requests succeed, "ejected" after enough consecutive
+// failures (traffic routes around it until its ejection window
+// expires), and "half-open" while a single trial request decides
+// between re-admission and a longer ejection.
+type Health struct {
+	// Addr names the replica (dial address, or "local[i]" for an
+	// in-process backend); Range is the hash-range index it serves.
+	Addr  string `json:"addr"`
+	Range int    `json:"range"`
+	// State is "healthy", "ejected", or "half-open".
+	State string `json:"state"`
+	// ConsecutiveFailures is the current unbroken failure run (zeroed
+	// by any success); Ejections counts how many times the replica has
+	// been ejected over its lifetime.
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
+	Ejections           uint64 `json:"ejections"`
+}
+
+// HealthStatser is implemented by backends that track per-replica
+// health (tablenet.Router); service.Stats and the revserve /stats
+// endpoint surface the fleet view of a backend that provides it.
+type HealthStatser interface {
+	HealthStats() []Health
+}
+
 // Local is the in-process Backend over a bfs.Result (live, frozen, or
 // memory-mapped). It is the reference implementation the network stack
 // is tested against, and the backend every shard server exports.
