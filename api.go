@@ -158,6 +158,48 @@
 // warm curves). Cache hit/miss/coalescing/byte counters surface through
 // ServiceStats.RemoteCache and the /stats endpoint ("clients" holds the
 // router's aggregate over its shard clients).
+//
+// # Operations
+//
+// Both HTTP roles of revserve (front door and -router) wrap their API
+// endpoints (/synthesize, /size) in a stdlib-only traffic layer:
+//
+//   - Rate limiting: -rate R -burst B run a token bucket per client —
+//     the X-Api-Key header when present, else the remote IP — and
+//     -global-rate/-global-burst add a whole-process bucket. Over-rate
+//     requests are rejected with 429, a Retry-After header (whole
+//     seconds, computed from the token deficit), and a JSON error body.
+//     A rejection consumes no tokens, so rejected traffic cannot starve
+//     admitted traffic.
+//   - Load shedding: -max-inflight N bounds concurrent API requests;
+//     arrivals beyond the bound get an immediate 503 + Retry-After
+//     instead of queueing into their own deadline. 0 derives 8× the
+//     worker pool (the pool plus a bounded wait queue); negative
+//     disables shedding.
+//   - Metrics: GET /metrics serves Prometheus text exposition
+//     (version 0.0.4) — HTTP request counts by status code, latency
+//     histograms, the service's end-to-end query-latency histogram,
+//     result-LRU and remote-cache-tier counters, wire bytes and
+//     retries, per-replica breaker state on a router, and the
+//     rate-limit/shed counters. All hand-rolled over the stdlib; no
+//     client library dependency.
+//   - Request logging: one structured JSON record per API request
+//     (log/slog — method, path, status, latency, client, spec count,
+//     outcome, bytes; rejected requests log their rejection as the
+//     outcome). Records are assembled and serialized on a background
+//     goroutine so the request path pays nanoseconds, and an
+//     overloaded process drops log records rather than blocking
+//     requests on its own logging. -request-log=false silences it.
+//
+// /healthz, /stats, and /metrics sit outside the traffic layer so
+// orchestrator probes and metric scrapes are never rate-limited or
+// shed. Per-query HTTP statuses form a fixed taxonomy: 200 OK,
+// 422 beyond the table horizon, 400 malformed spec or parameter,
+// 504 deadline exceeded, 499 client closed request, 503 service
+// closed, shard fleet unavailable, or load shed, 500 anything else. A
+// batch answers 200 unless every result failed, in which case it
+// carries the worst per-result status. BENCH_7.json's "ops" section
+// tracks the middleware's overhead on the warm cached HTTP path.
 package repro
 
 import (

@@ -54,7 +54,30 @@
 // under "clients" alongside per-replica health, breaker state, and
 // counters.
 //
-// Endpoints (all JSON):
+// # Traffic layer
+//
+// Both HTTP roles (front door and -router) wrap the API endpoints in a
+// production traffic layer:
+//
+//   - -rate/-burst token-bucket rate limiting per client (X-Api-Key
+//     header, else remote IP), plus -global-rate/-global-burst for the
+//     whole process; over-rate requests get 429 with Retry-After.
+//   - -max-inflight load-shedding admission control: arrivals beyond
+//     the bound are rejected immediately with 503 + Retry-After rather
+//     than queued into their own deadline (0 derives 8× the worker
+//     pool; negative disables).
+//   - GET /metrics serves Prometheus text exposition: request counts
+//     and latency histograms, service counters, the query-latency
+//     histogram, result-LRU and remote-cache tiers, per-replica
+//     breaker state on a router, and the rate-limit/shed counters.
+//   - One structured JSON log record per API request (method, status,
+//     latency, client, spec count, outcome); -request-log=false
+//     silences it.
+//
+// /healthz, /stats, and /metrics sit outside the traffic layer, so
+// orchestrator probes and scrapes are never rate-limited or shed.
+//
+// Endpoints (all JSON unless noted):
 //
 //	GET  /synthesize?spec=[0,7,6,...]   one specification
 //	POST /synthesize {"spec": "..."}    one specification
@@ -62,6 +85,7 @@
 //	GET  /size?spec=[...]               minimal cost only
 //	GET  /stats                         serving counters (+ replica health on a router)
 //	GET  /healthz                       200 once ready (or degraded), 503 loading/down
+//	GET  /metrics                       Prometheus text exposition
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
 // queries drain, then the process exits.
@@ -87,6 +111,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/ops"
 	"repro/internal/perm"
 	"repro/internal/render"
 	"repro/internal/service"
@@ -118,6 +143,12 @@ func main() {
 		retryBackoff  = flag.Duration("retry-backoff", 0, "first retry backoff; doubles, capped, jittered (0: default)")
 		attemptTO     = flag.Duration("attempt-timeout", 0, "per-attempt deadline for shard requests (0: default, negative: ctx-bound only)")
 		probeInterval = flag.Duration("probe-interval", 0, "background replica re-admission probe period (0: default, negative: disable)")
+		rate          = flag.Float64("rate", 0, "per-client rate limit in req/s on /synthesize and /size; over-rate clients get 429 + Retry-After (0 disables)")
+		burst         = flag.Int("burst", 0, "per-client burst size for -rate (0: max(rate,1))")
+		globalRate    = flag.Float64("global-rate", 0, "whole-process rate limit in req/s (0 disables)")
+		globalBurst   = flag.Int("global-burst", 0, "global burst size for -global-rate (0: max(global-rate,1))")
+		maxInflight   = flag.Int("max-inflight", 0, "load-shed bound on concurrent API requests; over-depth arrivals get 503 + Retry-After (0: 8x workers, negative disables)")
+		requestLog    = flag.Bool("request-log", true, "emit one structured JSON log record per API request")
 	)
 	flag.Parse()
 	if *shardServe && *router != "" {
@@ -224,9 +255,62 @@ func main() {
 			st.TableFormat, st.TableBytes)
 	}()
 
+	layer := newOpsLayer(svc, shardRouter, opsOptions{
+		Rate:        *rate,
+		Burst:       *burst,
+		GlobalRate:  *globalRate,
+		GlobalBurst: *globalBurst,
+		MaxInflight: *maxInflight,
+		Workers:     *workers,
+		RequestLog:  *requestLog,
+	})
+	handler := buildHandler(svc, shardRouter, shardClients, layer)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Reap slow/dead clients: without these a trickled header or an
+		// abandoned keep-alive pins a goroutine and fd forever on a
+		// long-lived daemon. Handler time is governed separately by the
+		// service's per-query timeout, so no WriteTimeout here — a cold
+		// k = 9 startup keeps /healthz responsive regardless.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (metric=%s, workers=%d)", *addr, *metric, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Close(shutdownCtx); err != nil {
+		log.Printf("service drain: %v", err)
+	}
+	layer.close()
+	log.Print("bye")
+}
+
+// buildHandler assembles the HTTP surface: the API endpoints
+// (/synthesize, /size) wrapped in the traffic layer, the observability
+// endpoints (/stats, /healthz, /metrics) left outside it so health
+// polling and scraping can never be rate-limited or shed.
+func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardClients map[string]*tablenet.Client, layer *opsLayer) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", handleSynthesize(svc, true))
-	mux.HandleFunc("/size", handleSynthesize(svc, false))
+	mux.Handle("/synthesize", layer.wrap(handleSynthesize(svc, true)))
+	mux.Handle("/size", layer.wrap(handleSynthesize(svc, false)))
+	mux.Handle("/metrics", layer.registry.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if shardRouter == nil {
 			writeJSON(w, http.StatusOK, svc.Stats())
@@ -308,40 +392,7 @@ func main() {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}
 	})
-
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: mux,
-		// Reap slow/dead clients: without these a trickled header or an
-		// abandoned keep-alive pins a goroutine and fd forever on a
-		// long-lived daemon. Handler time is governed separately by the
-		// service's per-query timeout, so no WriteTimeout here — a cold
-		// k = 9 startup keeps /healthz responsive regardless.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       time.Minute,
-		IdleTimeout:       2 * time.Minute,
-	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (metric=%s, workers=%d)", *addr, *metric, *workers)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	select {
-	case err := <-errCh:
-		log.Fatal(err)
-	case <-ctx.Done():
-	}
-	log.Print("shutting down...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
-	}
-	if err := svc.Close(shutdownCtx); err != nil {
-		log.Printf("service drain: %v", err)
-	}
-	log.Print("bye")
+	return mux
 }
 
 // runShardServer is the -shard-serve role: acquire the table store
@@ -441,7 +492,15 @@ func handleSynthesize(svc *service.Synthesizer, withCircuit bool) http.HandlerFu
 		case http.MethodGet:
 			req.Spec = r.URL.Query().Get("spec")
 			if v := r.URL.Query().Get("render"); v != "" {
-				req.Render, _ = strconv.ParseBool(v)
+				b, err := strconv.ParseBool(v)
+				if err != nil {
+					// Silently dropping the parse error would serve the
+					// request without the diagram the caller asked for.
+					writeJSON(w, http.StatusBadRequest, map[string]string{
+						"err": fmt.Sprintf("invalid render parameter %q: want a boolean", v)})
+					return
+				}
+				req.Render = b
 			}
 		case http.MethodPost:
 			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22)).Decode(&req); err != nil {
@@ -472,10 +531,15 @@ func handleSynthesize(svc *service.Synthesizer, withCircuit bool) http.HandlerFu
 		}
 		results := svc.SynthesizeAll(r.Context(), fs)
 		out := make([]synthResponse, len(results))
+		failed, worst := 0, 0
 		for i, res := range results {
 			out[i] = synthResponse{Spec: fs[i].String()}
 			if res.Err != nil {
 				out[i].Err = res.Err.Error()
+				failed++
+				if s := statusFor(res.Err); s > worst {
+					worst = s
+				}
 				continue
 			}
 			out[i].Cost = res.Info.Cost
@@ -488,11 +552,31 @@ func handleSynthesize(svc *service.Synthesizer, withCircuit bool) http.HandlerFu
 				}
 			}
 		}
+		if ri := ops.Info(w); ri != nil {
+			ri.Specs = len(fs)
+			switch {
+			case failed == 0:
+				ri.Outcome = "ok"
+			case failed == len(results):
+				ri.Outcome = "error"
+			default:
+				ri.Outcome = "partial"
+			}
+		}
 		if !batch {
 			writeJSON(w, statusFor(results[0].Err), out[0])
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+		// A batch where every result failed must not answer 200: report
+		// the worst per-result status (numeric max puts capacity problems
+		// — 503/504 — above client errors) so load balancers and retry
+		// policies see a fleet outage as one. Mixed batches stay 200: the
+		// per-result errors carry the detail.
+		status := http.StatusOK
+		if failed == len(results) {
+			status = worst
+		}
+		writeJSON(w, status, map[string]any{"results": out})
 	}
 }
 
@@ -511,6 +595,12 @@ func statusFor(err error) int {
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, tablenet.ErrUnavailable):
+		// A shard fleet outage is a capacity problem, not a server bug:
+		// 503 tells the load balancer to back off and retry elsewhere,
+		// where a 500 would count against error budgets and mask the
+		// actual remedy (wait for the fleet).
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

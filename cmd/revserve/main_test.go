@@ -1,0 +1,398 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/perm"
+	"repro/internal/service"
+	"repro/internal/tablenet"
+	"repro/internal/tables"
+)
+
+// The fixture table set is built once per test binary (k = 4,
+// milliseconds) and injected via Config.Tables.
+var (
+	fixtureOnce sync.Once
+	fixtureRes  *bfs.Result
+	fixtureErr  error
+)
+
+func fixtureTables(t testing.TB) *bfs.Result {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureRes, fixtureErr = bfs.Search(bfs.GateAlphabet(), 4, nil)
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRes
+}
+
+func newTestService(t testing.TB) *service.Synthesizer {
+	t.Helper()
+	svc, err := service.New(service.Config{Tables: fixtureTables(t), QueryWorkers: 1, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close(context.Background()) })
+	return svc
+}
+
+func randomCircuitPerm(rng *rand.Rand, n int) perm.Perm {
+	c := make(circuit.Circuit, n)
+	for i := range c {
+		c[i] = gate.FromIndex(rng.Intn(gate.Count))
+	}
+	return c.Perm()
+}
+
+func randomPerm16(rng *rand.Rand) perm.Perm {
+	p, err := perm.FromSlice(rng.Perm(16))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// quietLayer builds the traffic layer with the request log discarded.
+func quietLayer(svc *service.Synthesizer, opt opsOptions) *opsLayer {
+	opt.RequestLog = true
+	opt.LogWriter = io.Discard
+	return newOpsLayer(svc, nil, opt)
+}
+
+// TestStatusFor drives the full error taxonomy, wrapped the way real
+// call paths wrap: errors.Is must see through %w chains.
+func TestStatusFor(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("service: %w", fmt.Errorf("core: %w", err)) }
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"beyond-horizon", core.ErrBeyondHorizon, http.StatusUnprocessableEntity},
+		{"beyond-horizon wrapped", wrap(core.ErrBeyondHorizon), http.StatusUnprocessableEntity},
+		{"invalid-function", core.ErrInvalidFunction, http.StatusBadRequest},
+		{"invalid-function wrapped", wrap(core.ErrInvalidFunction), http.StatusBadRequest},
+		{"deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"deadline wrapped", wrap(context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"canceled", context.Canceled, 499},
+		{"closed", service.ErrClosed, http.StatusServiceUnavailable},
+		{"fleet unavailable", tablenet.ErrUnavailable, http.StatusServiceUnavailable},
+		{"fleet unavailable wrapped", wrap(tablenet.ErrUnavailable), http.StatusServiceUnavailable},
+		{"unknown", errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("%s: statusFor(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestDeadFleetMapsTo503 proves the satellite bugfix end to end: a
+// query against a dead shard fleet must surface as 503 (capacity), not
+// 500 (bug) — errors.Is(err, tablenet.ErrUnavailable) has to survive
+// the service and core wrapping layers.
+func TestDeadFleetMapsTo503(t *testing.T) {
+	backend, err := tables.NewLocal(fixtureTables(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsrv, err := tablenet.NewServer(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go tsrv.Serve(l)
+	cl, err := tablenet.Dial(l.Addr().String(), &tablenet.ClientOptions{
+		Retry: tablenet.RetryPolicy{
+			MaxAttempts:    2,
+			Budget:         2,
+			BaseBackoff:    time.Millisecond,
+			AttemptTimeout: 200 * time.Millisecond,
+			Seed:           1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	svc, err := service.New(service.Config{Backend: cl, QueryWorkers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	rng := rand.New(rand.NewSource(1))
+	spec := randomCircuitPerm(rng, 3)
+	if _, _, err := svc.Synthesize(context.Background(), spec); err != nil {
+		t.Fatalf("query against live fleet: %v", err)
+	}
+
+	// Kill the fleet; a fresh (uncached) spec must fail as unavailable.
+	tsrv.Close()
+	dead := randomCircuitPerm(rng, 4)
+	_, _, qerr := svc.Synthesize(context.Background(), dead)
+	if qerr == nil {
+		t.Fatal("query against dead fleet succeeded")
+	}
+	if !errors.Is(qerr, tablenet.ErrUnavailable) {
+		t.Fatalf("error lost ErrUnavailable through the wrapping path: %v", qerr)
+	}
+	if got := statusFor(qerr); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusFor(dead fleet) = %d, want 503", got)
+	}
+
+	// And over HTTP: the handler must answer 503, not 500.
+	h := handleSynthesize(svc, true)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/synthesize?spec="+dead.String(), nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP status %d against dead fleet, want 503 (body %s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBatchStatusAllFailed: a batch where every result failed must
+// report the worst per-result status; mixed and all-good batches stay
+// 200.
+func TestBatchStatus(t *testing.T) {
+	svc := newTestService(t)
+	h := handleSynthesize(svc, true)
+	rng := rand.New(rand.NewSource(2))
+	easy := randomCircuitPerm(rng, 3).String()
+	hard1 := randomPerm16(rng).String() // beyond horizon at k=4
+	hard2 := randomPerm16(rng).String()
+
+	post := func(specs ...string) *httptest.ResponseRecorder {
+		body, _ := json.Marshal(map[string]any{"specs": specs})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/synthesize", strings.NewReader(string(body)))
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := post(hard1, hard2); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("all-failed batch status %d, want 422 (body %s)", rec.Code, rec.Body.String())
+	}
+	if rec := post(easy, hard1); rec.Code != http.StatusOK {
+		t.Fatalf("mixed batch status %d, want 200", rec.Code)
+	}
+	if rec := post(easy); rec.Code != http.StatusOK {
+		t.Fatalf("all-good batch status %d, want 200", rec.Code)
+	}
+	// Per-result errors still carry the detail on a mixed batch.
+	rec := post(easy, hard1)
+	var out struct {
+		Results []synthResponse `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Results[0].Err != "" || out.Results[1].Err == "" {
+		t.Fatalf("mixed batch results: %+v", out.Results)
+	}
+}
+
+// TestRenderParamRejected: an unparseable render value is a client
+// error, not something to silently ignore.
+func TestRenderParamRejected(t *testing.T) {
+	svc := newTestService(t)
+	h := handleSynthesize(svc, true)
+	spec := randomCircuitPerm(rand.New(rand.NewSource(3)), 3).String()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/synthesize?spec="+spec+"&render=bogus", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("render=bogus status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "render") {
+		t.Fatalf("400 body does not name the bad parameter: %s", rec.Body.String())
+	}
+	// Valid values still work.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/synthesize?spec="+spec+"&render=true", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("render=true status %d, want 200 (body %s)", rec.Code, rec.Body.String())
+	}
+	var resp synthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Diagram == "" {
+		t.Fatal("render=true returned no diagram")
+	}
+}
+
+// TestHandlerRateLimit429 drives the wired stack (buildHandler +
+// traffic layer) through a real HTTP server: the second request from
+// one client is rejected with 429 + Retry-After while /healthz and
+// /metrics stay exempt.
+func TestHandlerRateLimit429(t *testing.T) {
+	svc := newTestService(t)
+	layer := quietLayer(svc, opsOptions{Rate: 0.001, Burst: 1, MaxInflight: -1, Workers: 1})
+	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	defer ts.Close()
+	spec := randomCircuitPerm(rand.New(rand.NewSource(4)), 3).String()
+
+	resp, err := http.Get(ts.URL + "/synthesize?spec=" + spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/synthesize?spec=" + spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// The observability endpoints sit outside the traffic layer.
+	for _, path := range []string{"/healthz", "/stats", "/metrics"} {
+		for i := 0; i < 3; i++ {
+			r, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("%s returned %d under rate limiting, want 200", path, r.StatusCode)
+			}
+		}
+	}
+}
+
+// TestHandlerShed503 saturates a -max-inflight 1 server with
+// concurrent uncached queries: some must be shed with 503 +
+// Retry-After, and the admitted ones must still answer.
+func TestHandlerShed503(t *testing.T) {
+	svc := newTestService(t)
+	layer := quietLayer(svc, opsOptions{MaxInflight: 1, Workers: 1})
+	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	specs := make([]string, 48)
+	for i := range specs {
+		specs[i] = randomPerm16(rng).String() // distinct, uncached, slow
+	}
+	var mu sync.Mutex
+	counts := map[int]int{}
+	var wg sync.WaitGroup
+	for _, s := range specs {
+		wg.Add(1)
+		go func(spec string) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/synthesize?spec=" + spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+				t.Error("503 without Retry-After")
+			}
+			mu.Lock()
+			counts[resp.StatusCode]++
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	// Beyond-horizon specs answer 422 when admitted; everything else
+	// must have been shed with 503.
+	if counts[http.StatusServiceUnavailable] == 0 {
+		t.Fatalf("no request shed under saturation: %v", counts)
+	}
+	if counts[http.StatusUnprocessableEntity] == 0 {
+		t.Fatalf("no request admitted under saturation: %v", counts)
+	}
+	for code := range counts {
+		if code != http.StatusServiceUnavailable && code != http.StatusUnprocessableEntity {
+			t.Fatalf("unexpected status %d: %v", code, counts)
+		}
+	}
+}
+
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestMetricsEndpoint scrapes /metrics on the wired handler and
+// validates the exposition: parseable lines, the service and traffic
+// families present, and the query-latency histogram populated.
+func TestMetricsEndpoint(t *testing.T) {
+	svc := newTestService(t)
+	layer := quietLayer(svc, opsOptions{Rate: 100, Burst: 10, MaxInflight: 4, Workers: 1})
+	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	defer ts.Close()
+
+	spec := randomCircuitPerm(rand.New(rand.NewSource(6)), 3).String()
+	for i := 0; i < 2; i++ { // a miss then a cache hit
+		resp, err := http.Get(ts.URL + "/synthesize?spec=" + spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, ln := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(ln) {
+			t.Fatalf("invalid exposition line %q", ln)
+		}
+	}
+	for _, want := range []string{
+		`revserve_http_requests_total{code="200"} 2`,
+		"revserve_http_request_duration_seconds_bucket",
+		"revserve_service_queries_total 2",
+		"revserve_cache_hits_total 1",
+		"revserve_cache_misses_total 1",
+		"revserve_query_duration_seconds_count 2",
+		"revserve_ratelimit_allowed_total 2",
+		"revserve_admission_max 4",
+		"revserve_service_ready 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -23,6 +23,29 @@
 //	curl -X POST localhost:8080/synthesize -d '{"specs":["[1,0,2,3,4,5,6,7,8,9,10,11,12,13,14,15]"]}'
 //	curl 'localhost:8080/stats'
 //
+// In production, turn on the traffic layer — rate limiting, load
+// shedding, metrics — with a few flags:
+//
+//	# 100 req/s per client (X-Api-Key, else remote IP), bursts of 20,
+//	# at most 64 API requests in flight; excess traffic is rejected
+//	# early — 429 (over rate) or 503 (overloaded), both with a
+//	# Retry-After header — instead of queueing into timeouts.
+//	go run ./cmd/revserve -addr :8080 -tables k7.tables \
+//	    -rate 100 -burst 20 -max-inflight 64 &
+//
+//	curl -s localhost:8080/metrics | grep revserve_http   # Prometheus text exposition
+//	# revserve_http_requests_total{code="200"} ..., request-duration
+//	# histograms, query-latency buckets, cache tiers, shed/ratelimit
+//	# counters — and per-replica breaker state when run with -router.
+//
+// Every API request also emits one structured JSON log record (slog:
+// method, status, latency, client, spec count, outcome); silence it
+// with -request-log=false. Per-query statuses form a fixed taxonomy —
+// 200 ok, 422 beyond the table horizon, 400 bad spec/parameter, 504
+// deadline, 499 canceled, 503 closed/fleet-unavailable/shed, 500
+// anything else — and a batch answers 200 unless every result failed,
+// in which case it carries the worst per-result status.
+//
 // This program walks the same lifecycle in-process through the public
 // repro API.
 package main

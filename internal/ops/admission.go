@@ -1,0 +1,63 @@
+package ops
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Gate is the load-shedding admission controller: it bounds how many
+// requests are past the front door at once. An arrival beyond the
+// bound is rejected immediately — the caller turns that into a 503
+// with Retry-After — instead of being queued into its own deadline.
+//
+// The reasoning is the standard overload argument: once demand exceeds
+// the worker pool's throughput, every queued request waits behind the
+// whole queue, so admitting more work raises everyone's latency and
+// completes no more requests. Shedding at a fixed depth keeps the
+// queue — and therefore the latency of everything admitted — bounded,
+// and tells the rejected client when capacity is expected back.
+type Gate struct {
+	max   int64
+	depth atomic.Int64
+	shed  Counter
+	// hint is the Retry-After a shed response should advertise.
+	hint time.Duration
+}
+
+// DefaultRetryAfter is the shed Retry-After hint when NewGate gets 0.
+const DefaultRetryAfter = time.Second
+
+// NewGate admits at most maxInflight concurrent requests; retryAfter
+// (0: DefaultRetryAfter) is the hint returned with each rejection.
+func NewGate(maxInflight int, retryAfter time.Duration) *Gate {
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &Gate{max: int64(maxInflight), hint: retryAfter}
+}
+
+// Acquire tries to admit one request. On success release must be
+// called exactly once when the request finishes; on rejection release
+// is nil and retryAfter carries the backoff hint.
+func (g *Gate) Acquire() (release func(), retryAfter time.Duration, ok bool) {
+	if g.depth.Add(1) > g.max {
+		g.depth.Add(-1)
+		g.shed.Inc()
+		return nil, g.hint, false
+	}
+	var done atomic.Bool
+	return func() {
+		if done.CompareAndSwap(false, true) {
+			g.depth.Add(-1)
+		}
+	}, 0, true
+}
+
+// Depth returns the number of currently admitted requests.
+func (g *Gate) Depth() int64 { return g.depth.Load() }
+
+// Max returns the admission bound.
+func (g *Gate) Max() int64 { return g.max }
+
+// Shed returns the lifetime count of rejected requests.
+func (g *Gate) Shed() uint64 { return g.shed.Value() }

@@ -1,0 +1,158 @@
+package ops
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFastJSONHandlerRecord(t *testing.T) {
+	var buf syncWriter
+	logger := slog.New(NewFastJSONHandler(&buf, nil))
+	logger.Info("request",
+		"method", "GET",
+		"status", 200,
+		"latency", 250*time.Microsecond,
+		"ratio", 0.5,
+		"ok", true,
+		"count", uint64(7),
+		"quoted", "a\"b\\c\nd\x01e",
+	)
+	line := strings.TrimSpace(buf.String())
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("output not JSON: %v (%q)", err, line)
+	}
+	want := map[string]any{
+		"level": "INFO", "msg": "request", "method": "GET",
+		"status": float64(200), "latency": float64(250 * time.Microsecond),
+		"ratio": 0.5, "ok": true, "count": float64(7),
+		"quoted": "a\"b\\c\nd\x01e",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Errorf("rec[%q] = %v, want %v", k, rec[k], v)
+		}
+	}
+	ts, ok := rec["time"].(float64)
+	if !ok {
+		t.Fatalf("time = %v, want epoch seconds", rec["time"])
+	}
+	if now := float64(time.Now().UnixMicro()) / 1e6; ts < now-60 || ts > now+60 {
+		t.Fatalf("time %v not near now %v", ts, now)
+	}
+}
+
+func TestFastJSONHandlerLevelsAndFilter(t *testing.T) {
+	var buf syncWriter
+	logger := slog.New(NewFastJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	logger.Info("dropped")
+	logger.Warn("kept")
+	logger.Error("kept too")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2: %q", len(lines), buf.String())
+	}
+	for i, wantLevel := range []string{"WARN", "ERROR"} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec["level"] != wantLevel {
+			t.Fatalf("line %d level = %v, want %s", i, rec["level"], wantLevel)
+		}
+	}
+}
+
+func TestFastJSONHandlerWithAttrsAndGroups(t *testing.T) {
+	var buf syncWriter
+	logger := slog.New(NewFastJSONHandler(&buf, nil)).
+		With("role", "router").
+		WithGroup("req")
+	logger.Info("request", "status", 200, slog.Group("peer", "addr", "10.0.0.1"))
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["role"] != "router" {
+		t.Errorf("role = %v", rec["role"])
+	}
+	if rec["req.status"] != float64(200) {
+		t.Errorf("req.status = %v (groups must flatten to dotted keys)", rec["req.status"])
+	}
+	if rec["req.peer.addr"] != "10.0.0.1" {
+		t.Errorf("req.peer.addr = %v", rec["req.peer.addr"])
+	}
+}
+
+func TestFastJSONHandlerMatchesSlogFields(t *testing.T) {
+	// Same logging call through both handlers: identical keys and
+	// values, except the time encoding (calendar vs epoch).
+	var fastBuf, slogBuf syncWriter
+	attrs := []any{"method", "POST", "status", 422, "client", "10.0.0.9", "bytes", int64(77)}
+	slog.New(NewFastJSONHandler(&fastBuf, nil)).Info("request", attrs...)
+	slog.New(slog.NewJSONHandler(&slogBuf, nil)).Info("request", attrs...)
+	parse := func(s string) map[string]any {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(strings.TrimSpace(s)), &rec); err != nil {
+			t.Fatalf("not JSON: %v (%q)", err, s)
+		}
+		delete(rec, "time")
+		return rec
+	}
+	fast, ref := parse(fastBuf.String()), parse(slogBuf.String())
+	for k, v := range ref {
+		if fast[k] != v {
+			t.Errorf("fast[%q] = %v, slog emits %v", k, fast[k], v)
+		}
+	}
+	if len(fast) != len(ref) {
+		t.Errorf("field count %d, want %d (%v vs %v)", len(fast), len(ref), fast, ref)
+	}
+}
+
+// The direct access-entry serializer must emit byte-for-byte the line
+// the slog.Record path would, including through WithAttrs/WithGroup
+// views (dotted keys, pre-rendered prefix).
+func TestFastJSONHandlerAccessMatchesRecord(t *testing.T) {
+	e := AccessEntry{
+		Time:      time.Unix(1754618400, 123456000),
+		Method:    "GET",
+		Path:      "/synthesize",
+		Client:    "10.0.0.7",
+		Outcome:   `cached "hot"`,
+		Status:    200,
+		Specs:     3,
+		LatencyUS: 412,
+		Bytes:     57,
+	}
+	views := func(w *bytes.Buffer) map[string]*FastJSONHandler {
+		root := NewFastJSONHandler(w, nil)
+		return map[string]*FastJSONHandler{
+			"root":      root,
+			"withattrs": root.WithAttrs([]slog.Attr{slog.String("role", "front")}).(*FastJSONHandler),
+			"withgroup": root.WithGroup("http").(*FastJSONHandler),
+		}
+	}
+	var recBuf, accBuf bytes.Buffer
+	recViews, accViews := views(&recBuf), views(&accBuf)
+	for name := range recViews {
+		recBuf.Reset()
+		accBuf.Reset()
+		rec := e.record()
+		if err := recViews[name].Handle(context.Background(), rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := accViews[name].handleAccess(&e); err != nil {
+			t.Fatal(err)
+		}
+		if recBuf.String() != accBuf.String() {
+			t.Errorf("%s: access line differs from record line:\n record: %s access: %s",
+				name, recBuf.String(), accBuf.String())
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package ops
+
+import (
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.")
+	g := r.Gauge("test_inflight", "In flight.")
+	r.GaugeFunc("test_ready", "Readiness.", func() float64 { return 1 })
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP test_requests_total Requests.\n" +
+		"# TYPE test_requests_total counter\n" +
+		"test_requests_total 4\n" +
+		"# HELP test_inflight In flight.\n" +
+		"# TYPE test_inflight gauge\n" +
+		"test_inflight 5\n" +
+		"# HELP test_ready Readiness.\n" +
+		"# TYPE test_ready gauge\n" +
+		"test_ready 1\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_by_code_total", "By code.", "code")
+	v.With("200").Add(2)
+	v.With("503").Inc()
+	v.With("200").Inc() // same child
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_by_code_total{code="200"} 3`,
+		`test_by_code_total{code="503"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 102.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// le is inclusive: 0.1 lands in the first bucket.
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, want := range wantCounts {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramFrom(t *testing.T) {
+	r := NewRegistry()
+	counts := []uint64{2, 3, 1}
+	r.HistogramFrom("test_query_seconds", "Query latency.", []float64{0.001, 0.01},
+		func() []uint64 { return counts }, func() float64 { return 0.5 })
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_query_seconds_bucket{le="0.001"} 2`,
+		`test_query_seconds_bucket{le="0.01"} 5`,
+		`test_query_seconds_bucket{le="+Inf"} 6`,
+		"test_query_seconds_sum 0.5",
+		"test_query_seconds_count 6",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Collect("test_replica_state", "Replica state.", "gauge", func(emit func([]Label, float64)) {
+		emit([]Label{{"addr", `host"1\x` + "\n"}, {"state", "healthy"}}, 1)
+	})
+	var b strings.Builder
+	r.WriteText(&b)
+	want := `test_replica_state{addr="host\"1\\x\n",state="healthy"} 1`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("exposition missing escaped sample %q:\n%s", want, b.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "y")
+}
+
+// expositionLine matches one valid text-format sample line; the
+// handler test validates every non-comment line against it — the same
+// shape the CI metrics-smoke asserts with a scrape parser.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func TestHandlerServesValidExposition(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, "test")
+	m.requests.With("200").Inc()
+	m.duration.Observe(0.002)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("suspiciously short exposition:\n%s", body)
+	}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# HELP ") || strings.HasPrefix(ln, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(ln) {
+			t.Fatalf("invalid exposition line %q", ln)
+		}
+	}
+	for _, fam := range []string{
+		"test_http_requests_total", "test_http_request_duration_seconds_bucket",
+		"test_http_ratelimited_total", "test_http_shed_total", "test_http_inflight",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Fatalf("exposition missing family %s:\n%s", fam, body)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:             "0",
+		1:             "1",
+		0.1:           "0.1",
+		2.5e-05:       "2.5e-05",
+		math.Inf(1):   "+Inf",
+		math.Inf(-1):  "-Inf",
+		1234567890123: "1.234567890123e+12",
+		4:             "4",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

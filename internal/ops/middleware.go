@@ -1,0 +1,266 @@
+package ops
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the middleware's metric set, registered as one group
+// so every wrapped daemon exports the same family names.
+type HTTPMetrics struct {
+	requests    *CounterVec // by status code
+	duration    *Histogram
+	ratelimited *Counter
+	shed        *Counter
+	inflight    *Gauge
+}
+
+// NewHTTPMetrics registers the middleware families under the given
+// prefix (e.g. "revserve"): <prefix>_http_requests_total{code},
+// <prefix>_http_request_duration_seconds, _http_ratelimited_total,
+// _http_shed_total, and _http_inflight.
+func NewHTTPMetrics(r *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec(prefix+"_http_requests_total",
+			"HTTP requests completed, by status code.", "code"),
+		duration: r.Histogram(prefix+"_http_request_duration_seconds",
+			"End-to-end HTTP request latency (admitted requests).", DefBuckets),
+		ratelimited: r.Counter(prefix+"_http_ratelimited_total",
+			"Requests rejected with 429 by the token-bucket rate limiter."),
+		shed: r.Counter(prefix+"_http_shed_total",
+			"Requests rejected with 503 by the load-shedding admission gate."),
+		inflight: r.Gauge(prefix+"_http_inflight",
+			"Admitted HTTP requests currently being served."),
+	}
+}
+
+// RequestInfo is the per-request annotation channel between the
+// middleware and the handler it wraps: the middleware carries one on
+// the ResponseWriter it hands down, the handler fills in what only it
+// knows (spec count, query outcome), and the middleware's structured
+// log line carries both sides. Riding the writer instead of the
+// request context keeps the hot path free of the context-value and
+// Request-clone allocations.
+type RequestInfo struct {
+	// Specs is the number of specifications the request carried.
+	Specs int
+	// Outcome classifies how the request was answered ("ok", "cached",
+	// "beyond_horizon", "bad_request", ... — handler-defined).
+	Outcome string
+}
+
+// Info returns the request's annotation record, or nil when the
+// ResponseWriter did not come through Middleware.
+func Info(w http.ResponseWriter) *RequestInfo {
+	if sw, ok := w.(*statusWriter); ok {
+		return &sw.info
+	}
+	return nil
+}
+
+// MiddlewareConfig wires Middleware. Every field may be nil, disabling
+// that concern.
+type MiddlewareConfig struct {
+	// Limiter rejects over-rate clients with 429 + Retry-After.
+	Limiter *RateLimiter
+	// Gate sheds load with 503 + Retry-After once too many requests
+	// are in flight.
+	Gate *Gate
+	// Metrics records request counts, latency, and rejections.
+	Metrics *HTTPMetrics
+	// Logger emits one structured record per request (level Info;
+	// rejected requests too — they are the interesting ones).
+	Logger *slog.Logger
+	// ClientKey derives the rate-limit identity from a request; nil
+	// means ClientKeyDefault.
+	ClientKey func(*http.Request) string
+}
+
+// ClientKeyDefault is the default rate-limit identity: the X-Api-Key
+// header when present (a keyed client is the same principal from any
+// address), otherwise the remote IP with the ephemeral port stripped.
+func ClientKeyDefault(r *http.Request) string {
+	if k := r.Header.Get("X-Api-Key"); k != "" {
+		return k
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// Middleware wraps next with the traffic layer: per-client+global rate
+// limiting (429), load-shedding admission control (503), Prometheus
+// counters and latency buckets, and one structured log record per
+// request. Rejections carry Retry-After (whole seconds, rounded up)
+// and a JSON error body, matching the API the wrapped handlers speak.
+func Middleware(next http.Handler, cfg MiddlewareConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		client := ""
+		if cfg.Limiter != nil || cfg.Logger != nil {
+			if cfg.ClientKey != nil {
+				client = cfg.ClientKey(r)
+			} else {
+				client = ClientKeyDefault(r)
+			}
+		}
+		// One allocation carries both per-request records: the status
+		// capture and the handler's annotation channel.
+		sw := &statusWriter{ResponseWriter: w}
+		info := &sw.info
+
+		if cfg.Limiter != nil {
+			if ok, retryAfter := cfg.Limiter.Allow(client); !ok {
+				if cfg.Metrics != nil {
+					cfg.Metrics.ratelimited.Inc()
+				}
+				reject(w, http.StatusTooManyRequests, "rate limit exceeded", retryAfter)
+				cfg.logRequest(r, start, client, http.StatusTooManyRequests, 0, info, "ratelimited")
+				return
+			}
+		}
+		if cfg.Gate != nil {
+			release, retryAfter, ok := cfg.Gate.Acquire()
+			if !ok {
+				if cfg.Metrics != nil {
+					cfg.Metrics.shed.Inc()
+				}
+				reject(w, http.StatusServiceUnavailable, "overloaded, load shed", retryAfter)
+				cfg.logRequest(r, start, client, http.StatusServiceUnavailable, 0, info, "shed")
+				return
+			}
+			defer release()
+		}
+
+		if cfg.Metrics != nil {
+			cfg.Metrics.inflight.Add(1)
+			defer cfg.Metrics.inflight.Add(-1)
+		}
+		next.ServeHTTP(sw, r)
+		status := sw.Status()
+		if cfg.Metrics != nil {
+			cfg.Metrics.requests.With(statusLabel(status)).Inc()
+			cfg.Metrics.duration.Observe(time.Since(start).Seconds())
+		}
+		cfg.logRequest(r, start, client, status, sw.bytes, info, "")
+	})
+}
+
+// logRequest emits the structured per-request record. rejection names
+// the traffic-layer rejection ("ratelimited", "shed"), empty for
+// admitted requests — those carry the handler's own outcome.
+func (cfg *MiddlewareConfig) logRequest(r *http.Request, start time.Time, client string, status int, bytes int64, info *RequestInfo, rejection string) {
+	if cfg.Logger == nil {
+		return
+	}
+	outcome := info.Outcome
+	if rejection != "" {
+		outcome = rejection
+	}
+	if ah, ok := cfg.Logger.Handler().(*AsyncHandler); ok {
+		// Fast path: capture the scalars in a flat value (strings are
+		// immutable, the request itself must not escape) and let the
+		// drain goroutine serialize it. The request path allocates
+		// nothing for its log line.
+		now := time.Now()
+		ah.HandleAccess(AccessEntry{
+			Time:      now,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Client:    client,
+			Outcome:   outcome,
+			Status:    status,
+			Specs:     info.Specs,
+			LatencyUS: now.Sub(start).Microseconds(),
+			Bytes:     bytes,
+		})
+		return
+	}
+	cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Int64("latency_us", time.Since(start).Microseconds()),
+		slog.String("client", client),
+		slog.Int("specs", info.Specs),
+		slog.String("outcome", outcome),
+		slog.Int64("bytes", bytes),
+	)
+}
+
+// reject writes a traffic-layer rejection: Retry-After in whole
+// seconds (rounded up, minimum 1 — "0" would invite an instant retry)
+// and a small JSON body.
+func reject(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\n  \"err\": %q,\n  \"retry_after_seconds\": %d\n}\n", msg, secs)
+}
+
+// statusLabel interns the code label for the statuses this API
+// actually answers, so the per-request counter bump does not allocate.
+func statusLabel(status int) string {
+	switch status {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 422:
+		return "422"
+	case 429:
+		return "429"
+	case 499:
+		return "499"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	case 504:
+		return "504"
+	}
+	return strconv.Itoa(status)
+}
+
+// statusWriter captures the status code and body size a handler wrote,
+// and carries the request's annotation record (same allocation).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	info   RequestInfo
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Status returns the written status (200 when the handler never called
+// WriteHeader explicitly).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

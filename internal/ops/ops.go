@@ -1,0 +1,36 @@
+// Package ops is the production traffic layer in front of a serving
+// daemon: the machinery that keeps a front door honest when the paper's
+// cost distribution sends it millions of cheap direct lookups
+// punctuated by expensive beyond-horizon scans. It is dependency-free
+// (standard library only) and deliberately small — four orthogonal
+// pieces that compose through plain http.Handler wrapping:
+//
+//   - RateLimiter: token buckets per client (remote IP or X-Api-Key)
+//     plus one global bucket, answering "may this request run now, and
+//     if not, when?" — the Retry-After a 429 carries.
+//   - Gate: admission control with load-shedding. Instead of queueing
+//     every arrival into its own deadline, the gate bounds the number
+//     of requests past the front door; arrivals beyond the bound are
+//     rejected immediately with 503 + Retry-After, which keeps the
+//     queue short and the latency of admitted requests flat.
+//   - Registry: a hand-rolled Prometheus text-exposition metrics
+//     registry (counters, gauges, histograms, labeled families) served
+//     on /metrics — no client library, just the stable v0.0.4 text
+//     format scrapers already speak.
+//   - Middleware: the http.Handler wrapper that strings the three
+//     together and emits one structured log/slog record per request
+//     (method, path, status, latency, client, spec count, outcome).
+//
+// Two log/slog building blocks keep that last piece off the request
+// path: AsyncHandler defers record assembly and serialization to a
+// background goroutine (dropping records, not blocking, under
+// overload), and FastJSONHandler is a flat single-line JSON handler
+// several times cheaper than slog's own. Middleware detects an
+// AsyncHandler-backed logger and hands it a flat AccessEntry value, so
+// a request's log line costs one buffered channel send and allocates
+// nothing on the request path.
+//
+// The pieces are independent: every field of Middleware's options may
+// be nil, and each of RateLimiter, Gate, and Registry is usable on its
+// own. Everything is safe for concurrent use.
+package ops

@@ -1,0 +1,172 @@
+package ops
+
+import (
+	"sync"
+	"time"
+)
+
+// RateConfig configures NewRateLimiter. Rates are requests per second,
+// bursts are bucket capacities in requests. A rate ≤ 0 disables that
+// bucket (per-client or global); with both disabled the limiter admits
+// everything.
+type RateConfig struct {
+	// Rate is each client's sustained request rate; Burst the bucket
+	// capacity a client may spend at once (default: max(Rate, 1)).
+	Rate  float64
+	Burst float64
+	// GlobalRate/GlobalBurst bound the sum over all clients — the knob
+	// that protects the worker pool from a distributed burst no single
+	// per-client bucket would catch.
+	GlobalRate  float64
+	GlobalBurst float64
+	// MaxClients bounds the tracked per-client buckets (default
+	// DefaultMaxClients). At the bound, idle buckets (full again, so
+	// forgetting them loses nothing) are swept; if none are idle the
+	// oldest-touched bucket is evicted — an attacker rotating client
+	// keys can at worst reset buckets to full, never grow memory.
+	MaxClients int
+}
+
+// DefaultMaxClients bounds the per-client bucket table when
+// RateConfig.MaxClients is zero.
+const DefaultMaxClients = 1 << 16
+
+// RateLimiter is a token-bucket rate limiter with one bucket per
+// client plus a global bucket. Both buckets must have a token for a
+// request to pass, and a failed admission consumes nothing. Safe for
+// concurrent use.
+type RateLimiter struct {
+	cfg RateConfig
+
+	mu      sync.Mutex
+	global  bucket
+	clients map[string]*bucket
+
+	allowed    Counter
+	ratelimted Counter
+}
+
+// bucket is one token bucket: tokens at time last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// refill advances the bucket to now.
+func (b *bucket) refill(rate, burst float64, now time.Time) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(burst, b.tokens+rate*dt)
+	}
+	b.last = now
+}
+
+// NewRateLimiter builds a limiter; see RateConfig.
+func NewRateLimiter(cfg RateConfig) *RateLimiter {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = max(cfg.Rate, 1)
+	}
+	if cfg.GlobalRate > 0 && cfg.GlobalBurst <= 0 {
+		cfg.GlobalBurst = max(cfg.GlobalRate, 1)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	l := &RateLimiter{cfg: cfg, clients: make(map[string]*bucket)}
+	l.global.tokens = cfg.GlobalBurst
+	return l
+}
+
+// Allow decides whether one request from client may run now. When it
+// may not, retryAfter is how long until a token will be available —
+// the value a 429's Retry-After header should carry (callers round up
+// to whole seconds). Allow(client) uses the current time.
+func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	return l.AllowAt(client, time.Now())
+}
+
+// AllowAt is Allow at an explicit instant (tests drive time directly).
+func (l *RateLimiter) AllowAt(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var cb *bucket
+	if l.cfg.Rate > 0 {
+		cb = l.clients[client]
+		if cb == nil {
+			cb = l.addClient(client, now)
+		}
+		cb.refill(l.cfg.Rate, l.cfg.Burst, now)
+	}
+	if l.cfg.GlobalRate > 0 {
+		l.global.refill(l.cfg.GlobalRate, l.cfg.GlobalBurst, now)
+	}
+	// Check both buckets before consuming either: a request rejected by
+	// the global bucket must not burn the client's token (or vice
+	// versa), or rejected traffic would eat the budget of admitted
+	// traffic.
+	wait := time.Duration(0)
+	if cb != nil && cb.tokens < 1 {
+		wait = tokenWait(1-cb.tokens, l.cfg.Rate)
+	}
+	if l.cfg.GlobalRate > 0 && l.global.tokens < 1 {
+		wait = max(wait, tokenWait(1-l.global.tokens, l.cfg.GlobalRate))
+	}
+	if wait > 0 {
+		l.ratelimted.Inc()
+		return false, wait
+	}
+	if cb != nil {
+		cb.tokens--
+	}
+	if l.cfg.GlobalRate > 0 {
+		l.global.tokens--
+	}
+	l.allowed.Inc()
+	return true, 0
+}
+
+// addClient inserts a fresh full bucket, evicting under MaxClients
+// pressure. Caller holds l.mu.
+func (l *RateLimiter) addClient(client string, now time.Time) *bucket {
+	if len(l.clients) >= l.cfg.MaxClients {
+		// First pass: drop buckets that have refilled to capacity —
+		// they are indistinguishable from untracked clients.
+		for k, b := range l.clients {
+			b.refill(l.cfg.Rate, l.cfg.Burst, now)
+			if b.tokens >= l.cfg.Burst {
+				delete(l.clients, k)
+			}
+		}
+		// Still at the bound (every tracked client is actively
+		// spending): evict the least-recently-touched.
+		if len(l.clients) >= l.cfg.MaxClients {
+			var oldest string
+			var oldestAt time.Time
+			for k, b := range l.clients {
+				if oldest == "" || b.last.Before(oldestAt) {
+					oldest, oldestAt = k, b.last
+				}
+			}
+			delete(l.clients, oldest)
+		}
+	}
+	b := &bucket{tokens: l.cfg.Burst, last: now}
+	l.clients[client] = b
+	return b
+}
+
+// tokenWait is the time for deficit tokens to accrue at rate.
+func tokenWait(deficit, rate float64) time.Duration {
+	return time.Duration(deficit / rate * float64(time.Second))
+}
+
+// Clients returns the number of tracked per-client buckets.
+func (l *RateLimiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
+}
+
+// Stats returns the lifetime admitted and rejected request counts.
+func (l *RateLimiter) Stats() (allowed, ratelimited uint64) {
+	return l.allowed.Value(), l.ratelimted.Value()
+}

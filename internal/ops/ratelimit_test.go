@@ -1,0 +1,139 @@
+package ops
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l := NewRateLimiter(RateConfig{Rate: 1, Burst: 3})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.AllowAt("a", now); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retryAfter := l.AllowAt("a", now)
+	if ok {
+		t.Fatal("4th request within burst admitted")
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s]", retryAfter)
+	}
+	// One token accrues per second at rate 1.
+	if ok, _ := l.AllowAt("a", now.Add(time.Second)); !ok {
+		t.Fatal("request after full refill interval rejected")
+	}
+	if ok, _ := l.AllowAt("a", now.Add(time.Second)); ok {
+		t.Fatal("second request after one-token refill admitted")
+	}
+	allowed, limited := l.Stats()
+	if allowed != 4 || limited != 2 {
+		t.Fatalf("stats = %d allowed, %d limited; want 4, 2", allowed, limited)
+	}
+}
+
+func TestRateLimiterPerClientIsolation(t *testing.T) {
+	l := NewRateLimiter(RateConfig{Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	if ok, _ := l.AllowAt("a", now); !ok {
+		t.Fatal("client a's first request rejected")
+	}
+	if ok, _ := l.AllowAt("a", now); ok {
+		t.Fatal("client a's second request admitted")
+	}
+	// b has its own bucket: a's exhaustion must not leak.
+	if ok, _ := l.AllowAt("b", now); !ok {
+		t.Fatal("client b rejected because of client a's spending")
+	}
+}
+
+func TestRateLimiterGlobalBucket(t *testing.T) {
+	l := NewRateLimiter(RateConfig{Rate: 10, Burst: 10, GlobalRate: 1, GlobalBurst: 2})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.AllowAt(fmt.Sprintf("c%d", i), now); !ok {
+			t.Fatalf("request %d within global burst rejected", i)
+		}
+	}
+	// A fresh client with a full personal bucket still hits the global
+	// bound — and the rejection must not consume its personal token.
+	ok, retryAfter := l.AllowAt("fresh", now)
+	if ok {
+		t.Fatal("request beyond global burst admitted")
+	}
+	if retryAfter <= 0 {
+		t.Fatalf("retryAfter = %v, want positive", retryAfter)
+	}
+	// After the global bucket refills, the same client has its full
+	// burst available: the failed admission burned nothing.
+	later := now.Add(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.AllowAt("fresh", later); !ok {
+			t.Fatalf("post-refill request %d rejected: rejected admission consumed a token", i)
+		}
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	l := NewRateLimiter(RateConfig{})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.AllowAt("a", now); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+	if l.Clients() != 0 {
+		t.Fatalf("disabled limiter tracks %d clients, want 0", l.Clients())
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	l := NewRateLimiter(RateConfig{Rate: 1, Burst: 2, MaxClients: 2})
+	now := time.Unix(1000, 0)
+	l.AllowAt("a", now)
+	l.AllowAt("b", now)
+	if l.Clients() != 2 {
+		t.Fatalf("tracking %d clients, want 2", l.Clients())
+	}
+	// Much later both buckets have refilled to capacity: the idle sweep
+	// reclaims them instead of evicting an active client.
+	later := now.Add(time.Hour)
+	if ok, _ := l.AllowAt("c", later); !ok {
+		t.Fatal("new client rejected")
+	}
+	if l.Clients() != 1 {
+		t.Fatalf("after idle sweep tracking %d clients, want 1 (just c)", l.Clients())
+	}
+	// At the bound with every client active, the oldest-touched bucket
+	// is evicted; the table never exceeds MaxClients.
+	l.AllowAt("d", later)
+	l.AllowAt("e", later.Add(time.Millisecond))
+	if l.Clients() > 2 {
+		t.Fatalf("tracking %d clients, want ≤ MaxClients=2", l.Clients())
+	}
+}
+
+func TestRateLimiterConcurrentAdmitsExactly(t *testing.T) {
+	l := NewRateLimiter(RateConfig{Rate: 0.001, Burst: 50})
+	now := time.Unix(1000, 0)
+	var admitted Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if ok, _ := l.AllowAt("shared", now); ok {
+					admitted.Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted.Value() != 50 {
+		t.Fatalf("%d of 800 concurrent requests admitted, want exactly burst=50", admitted.Value())
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,6 +156,30 @@ type Synthesizer struct {
 	mitm      atomic.Uint64
 	latencyNS atomic.Int64
 	inFlight  atomic.Int64
+	// waiting counts queries blocked on a worker-pool slot — the queue
+	// depth an admission controller wants to watch.
+	waiting atomic.Int64
+	// latBuckets histograms end-to-end query() latency (every query,
+	// cached and failed alike) over LatencyBucketBounds; the extra last
+	// slot is the overflow bucket. latSumNS is the matching sum.
+	latBuckets []atomic.Uint64
+	latSumNS   atomic.Int64
+}
+
+// LatencyBucketBounds are the upper bounds, in seconds, of the query
+// latency histogram Stats reports. Spanning 1µs–10s they resolve both
+// the cached/local path (µs) and remote-fleet tails (ms–s).
+var LatencyBucketBounds = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// observeLatency records one end-to-end query duration in the histogram.
+func (s *Synthesizer) observeLatency(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(LatencyBucketBounds, secs)
+	s.latBuckets[i].Add(1)
+	s.latSumNS.Add(int64(d))
 }
 
 // New builds or loads the tables synchronously and returns a ready
@@ -178,12 +203,13 @@ func NewAsync(cfg Config) *Synthesizer {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Synthesizer{
-		cfg:     cfg,
-		start:   time.Now(),
-		ready:   make(chan struct{}),
-		sem:     make(chan struct{}, workers),
-		done:    make(chan struct{}),
-		drained: make(chan struct{}),
+		cfg:        cfg,
+		start:      time.Now(),
+		ready:      make(chan struct{}),
+		sem:        make(chan struct{}, workers),
+		done:       make(chan struct{}),
+		drained:    make(chan struct{}),
+		latBuckets: make([]atomic.Uint64, len(LatencyBucketBounds)+1),
 	}
 	switch {
 	case cfg.CacheSize < 0:
@@ -381,6 +407,8 @@ func (s *Synthesizer) SynthesizeAll(ctx context.Context, fs []perm.Perm) []Batch
 // core query, counters, cache fill.
 func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, core.Info, error) {
 	s.queries.Add(1)
+	qStart := time.Now()
+	defer func() { s.observeLatency(time.Since(qStart)) }()
 	// Reject closed services up front: WaitReady alone would race the
 	// cache probe (ready and done may both be signalled), letting a
 	// cached answer slip out after shutdown.
@@ -414,7 +442,10 @@ func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, 
 		}
 		s.misses.Add(1)
 	}
-	if err := s.acquire(ctx); err != nil {
+	s.waiting.Add(1)
+	err := s.acquire(ctx)
+	s.waiting.Add(-1)
+	if err != nil {
 		s.noteErr(err)
 		return nil, core.Info{}, err
 	}
@@ -563,9 +594,11 @@ type Stats struct {
 	TableResidentBytes    int64   `json:"table_resident_bytes,omitempty"`
 	TableResidentFraction float64 `json:"table_resident_fraction,omitempty"`
 	// Workers is the pool bound; InFlight the queries currently holding
-	// a slot.
+	// a slot; Waiting the queries blocked for one — the queue-depth
+	// signal load shedding watches.
 	Workers  int   `json:"workers"`
 	InFlight int64 `json:"in_flight"`
+	Waiting  int64 `json:"waiting"`
 	// Queries counts every query received (including cache hits and
 	// rejected ones); Errors every failed query; Canceled the subset of
 	// Errors that were context cancellations/timeouts.
@@ -591,6 +624,12 @@ type Stats struct {
 	Replicas []tables.Health `json:"replicas,omitempty"`
 	// AvgLatency averages the table-query time of uncached queries.
 	AvgLatency time.Duration `json:"avg_latency_ns"`
+	// LatencyBuckets histograms end-to-end query latency (every query,
+	// cached and failed alike) over LatencyBucketBounds; the final extra
+	// entry is the overflow bucket. Counts are non-cumulative.
+	// LatencySum is the matching total, in seconds.
+	LatencyBuckets []uint64 `json:"latency_buckets,omitempty"`
+	LatencySum     float64  `json:"latency_sum_seconds,omitempty"`
 	// LoadDuration is the startup build/load time; Uptime the age of the
 	// service.
 	LoadDuration time.Duration `json:"load_duration_ns"`
@@ -604,6 +643,7 @@ func (s *Synthesizer) Stats() Stats {
 	st := Stats{
 		Workers:     cap(s.sem),
 		InFlight:    s.inFlight.Load(),
+		Waiting:     s.waiting.Load(),
 		Queries:     s.queries.Load(),
 		Errors:      s.errors.Load(),
 		Canceled:    s.canceled.Load(),
@@ -616,6 +656,11 @@ func (s *Synthesizer) Stats() Stats {
 	if served := st.Direct + st.MITM; served > 0 {
 		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(served))
 	}
+	st.LatencyBuckets = make([]uint64, len(s.latBuckets))
+	for i := range s.latBuckets {
+		st.LatencyBuckets[i] = s.latBuckets[i].Load()
+	}
+	st.LatencySum = time.Duration(s.latSumNS.Load()).Seconds()
 	select {
 	case <-s.ready:
 		st.LoadDuration = s.loadDur

@@ -525,3 +525,37 @@ func TestServiceStatsShape(t *testing.T) {
 		t.Fatalf("implausible stats: %+v", st)
 	}
 }
+
+func TestServiceLatencyHistogram(t *testing.T) {
+	res := fixtureTables(t)
+	svc, err := New(Config{Tables: res, QueryWorkers: 1, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	f := randomCircuitPerm(rand.New(rand.NewSource(7)), 4)
+	// Two queries: a miss and a cache hit — the histogram must see both.
+	for i := 0; i < 2; i++ {
+		if _, _, err := svc.Synthesize(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if want := len(LatencyBucketBounds) + 1; len(st.LatencyBuckets) != want {
+		t.Fatalf("len(LatencyBuckets) = %d, want %d", len(st.LatencyBuckets), want)
+	}
+	var total uint64
+	for _, c := range st.LatencyBuckets {
+		total += c
+	}
+	if total != st.Queries {
+		t.Fatalf("histogram count %d != queries %d: every query must be observed", total, st.Queries)
+	}
+	if st.LatencySum <= 0 {
+		t.Fatalf("LatencySum = %v, want positive", st.LatencySum)
+	}
+	if st.Waiting != 0 {
+		t.Fatalf("Waiting = %d at rest, want 0", st.Waiting)
+	}
+}

@@ -77,6 +77,7 @@ type Client struct {
 
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
+	retries      atomic.Uint64
 
 	// sem bounds the total number of live connections; idle holds the
 	// ones not currently carrying a request.
@@ -161,10 +162,22 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	return cl, nil
 }
 
+// dialTCP is the dial function dialConn uses — a package-level seam so
+// tests can inject dial latency. (The deadline accounting dialConn
+// guards is invisible over loopback, where dialing is instantaneous.)
+var dialTCP = func(addr string, deadline time.Time) (net.Conn, error) {
+	d := net.Dialer{Deadline: deadline}
+	return d.Dial("tcp", addr)
+}
+
 // dialConn opens and handshakes one connection. The caller must already
-// hold a sem slot.
+// hold a sem slot. DialTimeout bounds dial AND hello together: one
+// deadline is carved at entry and covers both, so a slow TCP connect
+// cannot leave a fresh full budget for the handshake read (which would
+// stretch the documented bound to ~2× DialTimeout).
 func (cl *Client) dialConn() (*clientConn, error) {
-	c, err := net.DialTimeout("tcp", cl.addr, cl.opts.DialTimeout)
+	deadline := time.Now().Add(cl.opts.DialTimeout)
+	c, err := dialTCP(cl.addr, deadline)
 	if err != nil {
 		return nil, fmt.Errorf("tablenet: dialing %s: %w", cl.addr, err)
 	}
@@ -175,7 +188,7 @@ func (cl *Client) dialConn() (*clientConn, error) {
 		buf: make([]byte, 4096),
 		req: make([]byte, 0, 4096),
 	}
-	c.SetReadDeadline(time.Now().Add(cl.opts.DialTimeout))
+	c.SetReadDeadline(deadline)
 	op, payload, err := readFrame(cc.br, cc.buf)
 	if err != nil {
 		c.Close()
@@ -224,6 +237,7 @@ func (cl *Client) CacheStats() tables.CacheStats {
 	st := tables.CacheStats{
 		WireBytesRead:    cl.bytesRead.Load(),
 		WireBytesWritten: cl.bytesWritten.Load(),
+		WireRetries:      cl.retries.Load(),
 	}
 	if cl.kcache != nil {
 		st.KeyHits = cl.kcache.hits.Load()
@@ -420,6 +434,7 @@ func (cl *Client) doBudget(ctx context.Context, bud *retryBudget, op byte, encod
 			return cl.unavailable(attempt, err)
 		}
 		bud.spent++
+		cl.retries.Add(1)
 		if serr := cl.sleepBackoff(ctx, bud.spent); serr != nil {
 			return serr
 		}

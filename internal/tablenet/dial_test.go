@@ -1,0 +1,58 @@
+package tablenet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialTimeoutCoversHandshake proves DialTimeout bounds dial and
+// hello-read together. The bug it guards: dialConn used to arm a fresh
+// full DialTimeout read deadline after the TCP dial had already spent
+// part of the budget, stretching the worst case to ~2× the documented
+// bound. Dial latency is injected through the dialTCP seam because a
+// loopback connect is instantaneous.
+func TestDialTimeoutCoversHandshake(t *testing.T) {
+	// A listener that accepts and then stays silent: the hello read can
+	// only end by deadline.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+
+	const (
+		budget    = 300 * time.Millisecond
+		dialSpend = 200 * time.Millisecond
+	)
+	orig := dialTCP
+	dialTCP = func(addr string, deadline time.Time) (net.Conn, error) {
+		time.Sleep(dialSpend)
+		return orig(addr, deadline)
+	}
+	defer func() { dialTCP = orig }()
+
+	start := time.Now()
+	_, err = Dial(l.Addr().String(), &ClientOptions{DialTimeout: budget})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Dial against a silent server succeeded")
+	}
+	// Fixed behavior completes in ~budget; the old bug took
+	// dialSpend + budget (≥ 500ms here). Allow scheduling slack.
+	if elapsed > budget+150*time.Millisecond {
+		t.Fatalf("Dial took %v: DialTimeout=%v must bound dial+hello together, not each separately", elapsed, budget)
+	}
+	if elapsed < dialSpend {
+		t.Fatalf("Dial returned in %v, before the injected dial latency %v", elapsed, dialSpend)
+	}
+}

@@ -177,6 +177,9 @@ type CacheStats struct {
 	// — the denominator the cache counters are saving against.
 	WireBytesRead    uint64 `json:"wire_bytes_read"`
 	WireBytesWritten uint64 `json:"wire_bytes_written"`
+	// WireRetries counts request attempts re-sent after a retryable
+	// transport failure — the fleet-instability signal.
+	WireRetries uint64 `json:"wire_retries"`
 }
 
 // Add accumulates o into s (the router's shard-aggregation helper).
@@ -189,6 +192,7 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.CacheBytes += o.CacheBytes
 	s.WireBytesRead += o.WireBytesRead
 	s.WireBytesWritten += o.WireBytesWritten
+	s.WireRetries += o.WireRetries
 }
 
 // CacheStatser is implemented by backends that maintain read caches;
