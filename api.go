@@ -122,9 +122,46 @@
 // deadline — never a wrong answer, never a hang. internal/faultnet
 // (a deterministic, seeded fault-injecting net.Listener wrapper:
 // delays, resets, torn writes, corruption, silent drops, refused
-// connections) exists to prove exactly that, and the fault-matrix
-// tests drive every fault class, a SIGKILLed shard, and a replicated
-// failover through it.
+// connections, and frozen-process stalls that ignore deadlines)
+// exists to prove exactly that, and the fault-matrix tests drive
+// every fault class, a SIGKILLed shard, a replicated failover, and a
+// shard that freezes mid-drain through it.
+//
+// # Zero-downtime operations
+//
+// On top of fault absorption, the fleet supports planned change with
+// the same identical-answers contract:
+//
+//   - Partitioned stores. revtables -save x.tables -split N cuts the
+//     v2 store into N shard-local files; each shard mounts ONLY its
+//     slice (~1/N of the bytes, not just 1/N hot). A split store knows
+//     its owned high-hash key range, rejects out-of-range lookups with
+//     a typed error, and revserve -shard-serve advertises the range in
+//     the tablenet handshake — so a shard wired into the wrong range
+//     is refused at connect time (and at every reconnect) with
+//     ErrOwnership, never silently wrong. Programmatic:
+//     tablesio.SaveSplitFile, tables.NewPartial.
+//   - Live membership. revserve -topology fleet.json wires the fleet
+//     from a generation-stamped topology document (members are
+//     assigned to the ranges they own by rendezvous hashing, so edits
+//     move as little as possible) and reloads it on SIGHUP or POST
+//     /admin/topology. The swap is atomic: in-flight queries finish on
+//     the generation they started on, stale generations are refused,
+//     and a topology that fails to wire (unreachable member, ownership
+//     mismatch, uncovered range) is rejected 409 with the running
+//     fleet intact. Programmatic: tablenet.Topology,
+//     tablenet.BuildFleet, tablenet.SwapBackend.
+//   - Graceful drain. SIGTERM on a shard begins a drain: in-flight
+//     requests finish, the drain is advertised to routers (which steer
+//     new sub-batches to siblings), and only then does the process
+//     exit, bounded by -drain-timeout. Rolling every shard of a fleet
+//     under sustained load drops zero queries — the chaos tests prove
+//     it under the race detector. Programmatic: tablenet.Server.Drain.
+//
+// /metrics exposes the operational surfaces: topology generation,
+// ownership-mismatch and drain-rerouted counters, and per-replica
+// resident/mapped store bytes. See examples/cluster for the
+// end-to-end walkthrough, including a full rolling restart.
 //
 // # Cache tiering and tuning
 //

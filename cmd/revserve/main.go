@@ -7,9 +7,11 @@
 //
 //	revserve -addr :8080 -k 6 -tables k6.tables [-metric gates|cost|depth]
 //	         [-workers N] [-query-workers N] [-cache 4096] [-timeout 30s]
-//	revserve -shard-serve -addr :9090 -tables k6.tables
+//	revserve -shard-serve -addr :9090 -tables k6.tables [-drain-timeout 30s]
+//	revserve -shard-serve -addr :9090 -tables k6.tables.0of2   # split store
 //	revserve -router host1:9090,host2:9090 -addr :8080 [-remote-cache N]
 //	revserve -router 'a1:9090|a2:9090,b1:9090|b2:9090' -addr :8080
+//	revserve -topology fleet.json -addr :8080
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
@@ -28,7 +30,16 @@
 //
 //   - -shard-serve exports the local (typically memory-mapped) table
 //     store over the tablenet binary protocol instead of HTTP: a shard
-//     server. Cheap to replicate — every shard maps the same v2 file.
+//     server. It serves either the full store (every shard maps the
+//     same v2 file; mmap shares page-cache copies) or a shard-local
+//     split file cut by revtables -split N, which holds ONLY that
+//     range's ~1/N of the bytes. A split shard advertises its owned
+//     key range in the handshake, so wiring it into the wrong range is
+//     a typed connect-time refusal (ErrOwnership), checked again at
+//     every reconnect. On SIGTERM/SIGINT the shard drains before
+//     exiting: in-flight requests finish, the drain is advertised so
+//     routers steer new work to siblings, and -drain-timeout bounds
+//     the wait.
 //   - -router serves the normal HTTP API but reads the tables through a
 //     shard-by-key router over the listed shard servers: each lookup
 //     batch is partitioned on the high Wang-hash bits of its canonical
@@ -36,6 +47,17 @@
 //     every shard's hot (resident) page set converges to ~1/N of the
 //     table. That is the deployment shape for table sets too large to
 //     keep hot on one machine (the paper's k ≥ 9 regime).
+//   - -topology is the live-membership form of -router: the fleet is
+//     wired from a generation-stamped JSON document ({"generation",
+//     "ranges", "replication", "members"} — members are assigned to
+//     the ranges they own by rendezvous hashing, or pinned explicitly
+//     via "groups") and rewired without a restart on SIGHUP or POST
+//     /admin/topology (empty body re-reads the file; a JSON body is
+//     applied directly). Swaps are atomic — in-flight queries finish
+//     on the topology they started on — stale generations are refused,
+//     and a document that fails to wire is rejected 409 with the
+//     running fleet intact. /stats and /metrics report the installed
+//     generation.
 //
 // The -router argument is "," separated hash ranges, each "|" separated
 // replicas: -router 'a1|a2,b1|b2' is two ranges of two replicas each.
@@ -97,6 +119,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -105,6 +128,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -136,6 +160,11 @@ func main() {
 		shardServe = flag.Bool("shard-serve", false, "export the table store over the tablenet protocol on -addr instead of serving HTTP")
 		router     = flag.String("router", "", "shard fleet topology: comma-separated hash ranges, each a |-separated replica list "+
 			"(e.g. 'a1|a2,b1|b2'); serve HTTP against a shard-by-key router with replica failover over them")
+		topology = flag.String("topology", "", "fleet topology file for router serving with live membership: JSON "+
+			`{"generation", "ranges", "replication", "members"}; rendezvous hashing assigns ranges, `+
+			"SIGHUP or POST /admin/topology reloads it, and the swap applies atomically (in-flight queries finish on the old fleet)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound for -shard-serve: SIGTERM announces "+
+			"draining in the handshake, in-flight requests finish, then the process exits")
 		shardConns  = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
 		remoteCache = flag.Int("remote-cache", 0, "per-shard client hot-key cache entries for -router "+
 			"(0: default, negative: disable all client caches). Frozen tables are immutable, so cached entries are valid for the process lifetime")
@@ -151,13 +180,16 @@ func main() {
 		requestLog    = flag.Bool("request-log", true, "emit one structured JSON log record per API request")
 	)
 	flag.Parse()
-	if *shardServe && *router != "" {
-		log.Fatal("-shard-serve and -router are mutually exclusive roles")
+	if *shardServe && (*router != "" || *topology != "") {
+		log.Fatal("-shard-serve and -router/-topology are mutually exclusive roles")
 	}
-	if *router != "" && *tablesPath != "" {
+	if *router != "" && *topology != "" {
+		log.Fatal("-router (static wiring) and -topology (live membership) are mutually exclusive; pick one")
+	}
+	if (*router != "" || *topology != "") && *tablesPath != "" {
 		// Mirror the service layer's explicit-precedence stance: two
 		// complete table sources is a wiring mistake, not a fallback.
-		log.Fatal("-router serves tables from the shard fleet; -tables conflicts (drop one)")
+		log.Fatal("a router serves tables from the shard fleet; -tables conflicts (drop one)")
 	}
 
 	var alphabet *bfs.Alphabet
@@ -176,7 +208,7 @@ func main() {
 	}
 
 	if *shardServe {
-		runShardServer(*addr, *tablesPath, *k, alphabet, *qworkers)
+		runShardServer(*addr, *tablesPath, *k, alphabet, *qworkers, *drainTimeout)
 		return
 	}
 
@@ -193,9 +225,28 @@ func main() {
 			log.Printf("tables level %d: %d entries", level, entries)
 		},
 	}
-	var shardRouter *tablenet.Router
-	shardClients := map[string]*tablenet.Client{}
-	if *router != "" {
+	newClientOptions := func() *tablenet.ClientOptions {
+		copts := &tablenet.ClientOptions{
+			Conns:     *shardConns,
+			CacheKeys: *remoteCache,
+			Retry: tablenet.RetryPolicy{
+				MaxAttempts:    *retryAttempts,
+				BaseBackoff:    *retryBackoff,
+				AttemptTimeout: *attemptTO,
+			},
+		}
+		if *remoteCache < 0 {
+			copts.LevelCacheBytes = -1 // disabling the knob disables every tier
+		}
+		return copts
+	}
+	var fleet fleetView
+	var genFn func() uint64
+	reg := &clientRegistry{}
+	var admin *topologyAdmin
+	switch {
+	case *router != "":
+		shardClients := map[string]*tablenet.Client{}
 		var groups [][]tables.Backend
 		for _, rangeSpec := range strings.Split(*router, ",") {
 			var reps []tables.Backend
@@ -204,19 +255,7 @@ func main() {
 				if a == "" {
 					continue
 				}
-				copts := &tablenet.ClientOptions{
-					Conns:     *shardConns,
-					CacheKeys: *remoteCache,
-					Retry: tablenet.RetryPolicy{
-						MaxAttempts:    *retryAttempts,
-						BaseBackoff:    *retryBackoff,
-						AttemptTimeout: *attemptTO,
-					},
-				}
-				if *remoteCache < 0 {
-					copts.LevelCacheBytes = -1 // disabling the knob disables every tier
-				}
-				cl, err := tablenet.Dial(a, copts)
+				cl, err := tablenet.Dial(a, newClientOptions())
 				if err != nil {
 					log.Fatalf("dialing shard %s: %v", a, err)
 				}
@@ -232,10 +271,82 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		shardRouter = r
 		defer r.Close()
+		reg.replace(shardClients)
+		fleet = r
 		cfg.Backend = r
 		cfg.TablesPath = "" // the tables live in the shard fleet
+	case *topology != "":
+		buildFleetRouter := func(t *tablenet.Topology) (*tablenet.Router, map[string]*tablenet.Client, error) {
+			clients := map[string]*tablenet.Client{}
+			groups, err := tablenet.BuildFleet(t, func(addr string) (tables.Backend, error) {
+				cl, err := tablenet.Dial(addr, newClientOptions())
+				if err != nil {
+					return nil, err
+				}
+				clients[addr] = cl
+				return cl, nil
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := tablenet.NewReplicatedRouter(groups, tablenet.RouterOptions{ProbeInterval: *probeInterval})
+			if err != nil {
+				for _, reps := range groups {
+					for _, b := range reps {
+						b.Close()
+					}
+				}
+				return nil, nil, err
+			}
+			return r, clients, nil
+		}
+		t, err := tablenet.LoadTopologyFile(*topology)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, clients, err := buildFleetRouter(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		swap := tablenet.NewSwapBackend(r, t.Generation)
+		defer swap.Close()
+		reg.replace(clients)
+		fleet = swap
+		genFn = swap.Generation
+		cfg.Backend = swap
+		cfg.TablesPath = "" // the tables live in the shard fleet
+		log.Printf("topology generation %d: %d ranges, %d shards", t.Generation, swap.Ranges(), swap.Shards())
+		// apply is the one reload path, shared by SIGHUP and the admin
+		// endpoint: build the whole new fleet off to the side, swap it in
+		// atomically, and on any failure keep serving the old one.
+		apply := func(t *tablenet.Topology) error {
+			r, clients, err := buildFleetRouter(t)
+			if err != nil {
+				return err
+			}
+			if err := swap.Swap(r, t.Generation); err != nil {
+				r.Close()
+				return err
+			}
+			reg.replace(clients)
+			log.Printf("topology swapped to generation %d: %d ranges, %d shards", t.Generation, swap.Ranges(), swap.Shards())
+			return nil
+		}
+		admin = &topologyAdmin{swap: swap, path: *topology, apply: apply}
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				t, err := tablenet.LoadTopologyFile(*topology)
+				if err == nil {
+					err = apply(t)
+				}
+				if err != nil {
+					log.Printf("topology reload (SIGHUP): %v", err)
+				}
+			}
+		}()
 	}
 
 	svc := service.NewAsync(cfg)
@@ -255,7 +366,7 @@ func main() {
 			st.TableFormat, st.TableBytes)
 	}()
 
-	layer := newOpsLayer(svc, shardRouter, opsOptions{
+	layer := newOpsLayer(svc, fleet, genFn, opsOptions{
 		Rate:        *rate,
 		Burst:       *burst,
 		GlobalRate:  *globalRate,
@@ -264,7 +375,7 @@ func main() {
 		Workers:     *workers,
 		RequestLog:  *requestLog,
 	})
-	handler := buildHandler(svc, shardRouter, shardClients, layer)
+	handler := buildHandler(svc, fleet, reg, admin, layer)
 
 	srv := &http.Server{
 		Addr:    *addr,
@@ -302,17 +413,59 @@ func main() {
 	log.Print("bye")
 }
 
+// fleetView is what the HTTP surface needs from a shard-fleet backend.
+// Both router shapes satisfy it: the static -router wiring
+// (*tablenet.Router) and the live -topology wiring
+// (*tablenet.SwapBackend, which delegates to whichever router its
+// current epoch holds).
+type fleetView interface {
+	fleetCollector
+	Health(ctx context.Context) tablenet.FleetHealth
+	Check(ctx context.Context) []tablenet.ShardStatus
+	CacheStats() tables.CacheStats
+}
+
+// clientRegistry maps shard address to its dialed client for /stats
+// annotation. Under -topology the map is replaced on every applied
+// reload (the old clients belong to the superseded router, which closes
+// them once its in-flight queries drain).
+type clientRegistry struct {
+	mu sync.Mutex
+	m  map[string]*tablenet.Client
+}
+
+func (r *clientRegistry) replace(m map[string]*tablenet.Client) {
+	r.mu.Lock()
+	r.m = m
+	r.mu.Unlock()
+}
+
+func (r *clientRegistry) get(addr string) *tablenet.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[addr]
+}
+
+// topologyAdmin is the /admin/topology surface: report the installed
+// generation, apply a posted topology, or re-read the file.
+type topologyAdmin struct {
+	swap  *tablenet.SwapBackend
+	path  string
+	apply func(*tablenet.Topology) error
+}
+
 // buildHandler assembles the HTTP surface: the API endpoints
 // (/synthesize, /size) wrapped in the traffic layer, the observability
-// endpoints (/stats, /healthz, /metrics) left outside it so health
-// polling and scraping can never be rate-limited or shed.
-func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardClients map[string]*tablenet.Client, layer *opsLayer) http.Handler {
+// and admin endpoints (/stats, /healthz, /metrics, /admin/topology)
+// left outside it so health polling, scraping, and topology pushes can
+// never be rate-limited or shed.
+func buildHandler(svc *service.Synthesizer, fleet fleetView, reg *clientRegistry, admin *topologyAdmin, layer *opsLayer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/synthesize", layer.wrap(handleSynthesize(svc, true)))
 	mux.Handle("/size", layer.wrap(handleSynthesize(svc, false)))
 	mux.Handle("/metrics", layer.registry.Handler())
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if shardRouter == nil {
+		if fleet == nil {
 			writeJSON(w, http.StatusOK, svc.Stats())
 			return
 		}
@@ -324,20 +477,21 @@ func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardC
 		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 		defer cancel()
 		type shardStats struct {
-			Addr    string             `json:"addr"`
-			Range   int                `json:"range"`
-			State   string             `json:"state"`
-			Err     string             `json:"err,omitempty"`
-			Stats   *tablenet.Stats    `json:"stats,omitempty"`
-			Clients *tables.CacheStats `json:"clients,omitempty"`
+			Addr     string             `json:"addr"`
+			Range    int                `json:"range"`
+			State    string             `json:"state"`
+			Draining bool               `json:"draining,omitempty"`
+			Err      string             `json:"err,omitempty"`
+			Stats    *tablenet.Stats    `json:"stats,omitempty"`
+			Clients  *tables.CacheStats `json:"clients,omitempty"`
 		}
 		var shards []shardStats
-		for _, st := range shardRouter.Check(ctx) {
-			s := shardStats{Addr: st.Addr, Range: st.Range, State: st.State}
+		for _, st := range fleet.Check(ctx) {
+			s := shardStats{Addr: st.Addr, Range: st.Range, State: st.State, Draining: st.Draining}
 			if st.Err != nil {
 				s.Err = st.Err.Error()
 			}
-			if cl := shardClients[st.Addr]; cl != nil {
+			if cl := reg.get(st.Addr); cl != nil {
 				cs := cl.CacheStats()
 				s.Clients = &cs
 				if st.Err == nil {
@@ -348,13 +502,58 @@ func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardC
 			}
 			shards = append(shards, s)
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"service":  svc.Stats(),
-			"clients":  shardRouter.CacheStats(),
-			"replicas": shardRouter.HealthStats(),
+			"clients":  fleet.CacheStats(),
+			"replicas": fleet.HealthStats(),
 			"shards":   shards,
-		})
+		}
+		if admin != nil {
+			out["topology_generation"] = admin.swap.Generation()
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
+	if admin != nil {
+		mux.HandleFunc("/admin/topology", func(w http.ResponseWriter, r *http.Request) {
+			switch r.Method {
+			case http.MethodGet:
+				writeJSON(w, http.StatusOK, map[string]any{
+					"generation": admin.swap.Generation(),
+					"ranges":     admin.swap.Ranges(),
+					"shards":     admin.swap.Shards(),
+				})
+			case http.MethodPost:
+				body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, map[string]string{"err": err.Error()})
+					return
+				}
+				var t *tablenet.Topology
+				if len(strings.TrimSpace(string(body))) > 0 {
+					t, err = tablenet.ParseTopology(body)
+				} else {
+					// An empty POST means "re-read your -topology file" —
+					// the kick a config pusher sends after writing it.
+					t, err = tablenet.LoadTopologyFile(admin.path)
+				}
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, map[string]string{"err": err.Error()})
+					return
+				}
+				if err := admin.apply(t); err != nil {
+					// 409, not 500: the running topology is intact; the
+					// pushed one was refused (stale generation, unreachable
+					// member, ownership hole) and the pusher must fix it.
+					writeJSON(w, http.StatusConflict, map[string]string{"err": err.Error()})
+					return
+				}
+				writeJSON(w, http.StatusOK, map[string]any{"generation": t.Generation})
+			default:
+				w.Header().Set("Allow", "GET, POST")
+				writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"err": "use GET or POST"})
+			}
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := svc.Stats()
 		switch {
@@ -363,7 +562,7 @@ func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardC
 		case !st.Ready:
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "loading"})
 		default:
-			if shardRouter != nil {
+			if fleet != nil {
 				// Degraded vs down: a fleet with dead replicas but every
 				// hash range still covered answers every query (with less
 				// headroom) — 200 "degraded", keep it in rotation. A hash
@@ -371,7 +570,7 @@ func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardC
 				// lookups — 503 "down", eject the instance.
 				ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 				defer cancel()
-				fh := shardRouter.Health(ctx)
+				fh := fleet.Health(ctx)
 				unreachable := map[string]string{}
 				for _, s := range fh.Replicas {
 					if s.Err != nil {
@@ -396,22 +595,33 @@ func buildHandler(svc *service.Synthesizer, shardRouter *tablenet.Router, shardC
 }
 
 // runShardServer is the -shard-serve role: acquire the table store
-// (memory-mapping a v2 file when present, building and persisting one
-// otherwise) and export it over the tablenet protocol until SIGTERM.
-// The mmap path is what makes shards cheap: N shard processes on one
-// host share a single page-cache copy, and across hosts each replica's
-// resident set is only the partition the router sends it.
-func runShardServer(addr, tablesPath string, k int, alphabet *bfs.Alphabet, queryWorkers int) {
+// (memory-mapping a v2 file when present — full or split — building and
+// persisting one otherwise) and export it over the tablenet protocol
+// until SIGTERM. A split store (revtables -split N -range i) serves as
+// a range-owning partial backend: its hello advertises the owned range
+// and the router verifies it against the wiring. The mmap path is what
+// makes shards cheap: N shard processes on one host share a single
+// page-cache copy, and across hosts each replica's resident set is
+// only the partition the router sends it.
+//
+// SIGTERM (or SIGINT) begins a graceful drain rather than an abrupt
+// close: the handshake and pings announce draining (so routers steer
+// new sub-batches to siblings), in-flight requests finish, the
+// listener closes, and only then — or after drainTimeout — does the
+// process exit. A rolling restart is therefore invisible to queries.
+func runShardServer(addr, tablesPath string, k int, alphabet *bfs.Alphabet, queryWorkers int, drainTimeout time.Duration) {
 	if alphabet == nil {
 		alphabet = bfs.GateAlphabet()
 	}
 	var res *bfs.Result
+	var split *tables.Split
 	start := time.Now()
 	if tablesPath != "" {
-		loaded, info, err := tablesio.LoadFile(tablesPath, alphabet, nil)
+		loaded, info, err := tablesio.LoadFile(tablesPath, alphabet, &tablesio.LoadOptions{AllowSplit: true})
 		switch {
 		case err == nil:
 			res = loaded
+			split = info.Split
 			log.Printf("tables %s: %s, %d entries in %v", tablesPath, info, loaded.TotalStored(), time.Since(start).Round(time.Millisecond))
 		case !errors.Is(err, os.ErrNotExist):
 			log.Fatalf("loading %s: %v", tablesPath, err)
@@ -434,7 +644,18 @@ func runShardServer(addr, tablesPath string, k int, alphabet *bfs.Alphabet, quer
 		}
 		log.Printf("tables built: %d entries in %v", res.TotalStored(), time.Since(start).Round(time.Millisecond))
 	}
-	backend, err := tables.NewLocal(res)
+	var backend tables.Backend
+	var err error
+	if split != nil {
+		backend, err = tables.NewPartial(res, split)
+		if err == nil {
+			p := backend.(*tables.Partial)
+			lo, hi := p.OwnedRange()
+			log.Printf("split store %d/%d: owned range [%#x, %#x)", split.I, split.N, lo, hi)
+		}
+	} else {
+		backend, err = tables.NewLocal(res)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -457,7 +678,12 @@ func runShardServer(addr, tablesPath string, k int, alphabet *bfs.Alphabet, quer
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down...")
+	log.Printf("draining (bound %v)...", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain cut short: %v", err)
+	}
 	srv.Close()
 	if res.Frozen != nil {
 		res.Frozen.Close()

@@ -75,7 +75,7 @@ func randomPerm16(rng *rand.Rand) perm.Perm {
 func quietLayer(svc *service.Synthesizer, opt opsOptions) *opsLayer {
 	opt.RequestLog = true
 	opt.LogWriter = io.Discard
-	return newOpsLayer(svc, nil, opt)
+	return newOpsLayer(svc, nil, nil, opt)
 }
 
 // TestStatusFor drives the full error taxonomy, wrapped the way real
@@ -250,7 +250,7 @@ func TestRenderParamRejected(t *testing.T) {
 func TestHandlerRateLimit429(t *testing.T) {
 	svc := newTestService(t)
 	layer := quietLayer(svc, opsOptions{Rate: 0.001, Burst: 1, MaxInflight: -1, Workers: 1})
-	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	ts := httptest.NewServer(buildHandler(svc, nil, &clientRegistry{}, nil, layer))
 	defer ts.Close()
 	spec := randomCircuitPerm(rand.New(rand.NewSource(4)), 3).String()
 
@@ -294,7 +294,7 @@ func TestHandlerRateLimit429(t *testing.T) {
 func TestHandlerShed503(t *testing.T) {
 	svc := newTestService(t)
 	layer := quietLayer(svc, opsOptions{MaxInflight: 1, Workers: 1})
-	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	ts := httptest.NewServer(buildHandler(svc, nil, &clientRegistry{}, nil, layer))
 	defer ts.Close()
 
 	rng := rand.New(rand.NewSource(5))
@@ -348,7 +348,7 @@ var expositionLine = regexp.MustCompile(
 func TestMetricsEndpoint(t *testing.T) {
 	svc := newTestService(t)
 	layer := quietLayer(svc, opsOptions{Rate: 100, Burst: 10, MaxInflight: 4, Workers: 1})
-	ts := httptest.NewServer(buildHandler(svc, nil, nil, layer))
+	ts := httptest.NewServer(buildHandler(svc, nil, &clientRegistry{}, nil, layer))
 	defer ts.Close()
 
 	spec := randomCircuitPerm(rand.New(rand.NewSource(6)), 3).String()

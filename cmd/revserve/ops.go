@@ -1,15 +1,18 @@
 package main
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/ops"
 	"repro/internal/service"
 	"repro/internal/tablenet"
+	"repro/internal/tables"
 )
 
 // opsOptions configures the traffic layer from flags.
@@ -43,11 +46,22 @@ type opsLayer struct {
 	asyncLog *ops.AsyncHandler
 }
 
+// fleetCollector is the metrics-facing slice of a shard-fleet backend,
+// satisfied by both *tablenet.Router and *tablenet.SwapBackend.
+type fleetCollector interface {
+	HealthStats() []tables.Health
+	DrainRerouted() uint64
+	OwnershipMismatches() uint64
+	Residency(ctx context.Context) []tablenet.ShardResidency
+}
+
 // newOpsLayer builds the traffic layer and registers every /metrics
 // collector: middleware families, service counters and query-latency
-// histogram, result-LRU counters, tablenet client cache tiers, and
-// per-replica breaker state when serving as a router.
-func newOpsLayer(svc *service.Synthesizer, shardRouter *tablenet.Router, opt opsOptions) *opsLayer {
+// histogram, result-LRU counters, tablenet client cache tiers, and —
+// when serving as a router — per-replica breaker state, drain/ownership
+// counters, per-replica store residency, and (under -topology) the
+// installed generation via generation.
+func newOpsLayer(svc *service.Synthesizer, fleet fleetCollector, generation func() uint64, opt opsOptions) *opsLayer {
 	l := &opsLayer{registry: ops.NewRegistry()}
 	l.metrics = ops.NewHTTPMetrics(l.registry, "revserve")
 	if opt.Rate > 0 || opt.GlobalRate > 0 {
@@ -83,8 +97,8 @@ func newOpsLayer(svc *service.Synthesizer, shardRouter *tablenet.Router, opt ops
 	}
 	registerServiceCollectors(l.registry, svc)
 	registerTrafficCollectors(l.registry, l.limiter, l.gate)
-	if shardRouter != nil {
-		registerRouterCollectors(l.registry, shardRouter)
+	if fleet != nil {
+		registerRouterCollectors(l.registry, fleet, generation)
 	}
 	return l
 }
@@ -219,10 +233,14 @@ func registerTrafficCollectors(r *ops.Registry, limiter *ops.RateLimiter, gate *
 	}
 }
 
-// registerRouterCollectors exports per-replica breaker state for the
-// -router role: a one-hot state family plus the failure/ejection
-// counters the health trackers keep.
-func registerRouterCollectors(r *ops.Registry, router *tablenet.Router) {
+// registerRouterCollectors exports the fleet-facing families for the
+// router roles: per-replica breaker state (one-hot plus the
+// failure/ejection counters the health trackers keep), the live-fleet
+// counters (drain reroutes, ownership-mismatch refusals), per-replica
+// store residency (the shards' mincore stats, one bounded probe per
+// replica per scrape), and — when generation is non-nil, i.e. under
+// -topology — the installed topology generation.
+func registerRouterCollectors(r *ops.Registry, router fleetCollector, generation func() uint64) {
 	replicaLabels := func(addr string, rng int) []ops.Label {
 		return []ops.Label{
 			{Name: "addr", Value: addr},
@@ -248,4 +266,32 @@ func registerRouterCollectors(r *ops.Registry, router *tablenet.Router) {
 				emit(replicaLabels(h.Addr, h.Range), float64(h.ConsecutiveFailures))
 			}
 		})
+	r.Collect("revserve_drain_rerouted_total", "Sub-batches steered away from a draining replica to a live sibling.", "counter",
+		func(emit func([]ops.Label, float64)) {
+			emit(nil, float64(router.DrainRerouted()))
+		})
+	r.Collect("revserve_ownership_mismatches_total", "Reconnects refused because a shard's advertised key range changed.", "counter",
+		func(emit func([]ops.Label, float64)) {
+			emit(nil, float64(router.OwnershipMismatches()))
+		})
+	r.Collect("revserve_replica_resident_bytes", "Page-cache-resident bytes of each replica's mapped store (mincore).", "gauge",
+		func(emit func([]ops.Label, float64)) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			for _, res := range router.Residency(ctx) {
+				emit(replicaLabels(res.Addr, res.Range), float64(res.ResidentBytes))
+			}
+		})
+	r.Collect("revserve_replica_mapped_bytes", "Mapped store size of each replica.", "gauge",
+		func(emit func([]ops.Label, float64)) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			for _, res := range router.Residency(ctx) {
+				emit(replicaLabels(res.Addr, res.Range), float64(res.MappedBytes))
+			}
+		})
+	if generation != nil {
+		r.GaugeFunc("revserve_topology_generation", "Installed fleet topology generation (-topology).",
+			func() float64 { return float64(generation()) })
+	}
 }

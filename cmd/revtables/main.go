@@ -6,10 +6,19 @@
 //	revtables -table 5
 //	revtables -table fig2
 //	revtables -table none -k 7 -save k7.tables   # build + persist for revserve
+//	revtables -table none -k 7 -save k7.tables -split 4            # all 4 split stores
+//	revtables -table none -k 7 -save k7.range2 -split 4 -range 2   # one split store
 //
 // -save writes the tablesio v2 zero-copy store: revserve and revbfs
 // memory-map it on load, so serving cold starts skip the parse-and-
 // rehash entirely.
+//
+// -split N cuts the store into N (a power of two) shard-local files,
+// each holding one high-hash range — the per-shard stores of a
+// partitioned revserve fleet (disk and resident set ≈ 1/N each). With
+// -range i only that range's file is written to the -save path; without
+// it all N are written as <save>.<i>of<N>. Serve one with
+// revserve -shard-serve -tables <file>.
 //
 // Tables 1, 3, 4 and 6 need a synthesizer (built once per run); Tables 2
 // and 5 and Figure 1 are self-contained. With -k 7 every Table 6 row is
@@ -36,14 +45,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("revtables: ")
 	var (
-		table = flag.String("table", "all", "which artifact: fig1, fig2, 1, 2, 3, 4, 5, 6, ladder, or all")
-		k     = flag.Int("k", core.DefaultK, "BFS depth for the synthesizer-backed tables")
-		n     = flag.Int("n", 50, "random sample size for Tables 3/4 (paper: 10,000,000)")
-		seed  = flag.Uint("seed", 5489, "random seed for sampling experiments")
-		t1max = flag.Int("t1max", 11, "largest size timed in Table 1")
-		save  = flag.String("save", "", "persist the built search tables to this file (serve them later with revserve -tables)")
+		table    = flag.String("table", "all", "which artifact: fig1, fig2, 1, 2, 3, 4, 5, 6, ladder, or all")
+		k        = flag.Int("k", core.DefaultK, "BFS depth for the synthesizer-backed tables")
+		n        = flag.Int("n", 50, "random sample size for Tables 3/4 (paper: 10,000,000)")
+		seed     = flag.Uint("seed", 5489, "random seed for sampling experiments")
+		t1max    = flag.Int("t1max", 11, "largest size timed in Table 1")
+		save     = flag.String("save", "", "persist the built search tables to this file (serve them later with revserve -tables)")
+		split    = flag.Int("split", 0, "with -save: cut the store into this many (power of two) range-local split files")
+		rangeIdx = flag.Int("range", -1, "with -split: write only this range's split file, directly to the -save path")
 	)
 	flag.Parse()
+	if *split != 0 && *save == "" {
+		log.Fatal("-split requires -save")
+	}
+	if *rangeIdx >= 0 && *split == 0 {
+		log.Fatal("-range requires -split")
+	}
+	if *split != 0 && (*split < 1 || *split&(*split-1) != 0) {
+		log.Fatalf("-split %d is not a power of two", *split)
+	}
+	if *split != 0 && *rangeIdx >= *split {
+		log.Fatalf("-range %d outside [0, %d)", *rangeIdx, *split)
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*table, ",") {
@@ -65,11 +88,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tables ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	if *save != "" {
+	switch {
+	case *save != "" && *split == 0:
 		if err := tablesio.SaveFile(*save, synth.Result()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "saved k=%d tables to %s (%d entries)\n", *k, *save, synth.Result().TotalStored())
+	case *save != "" && *rangeIdx >= 0:
+		if err := tablesio.SaveSplitFile(*save, synth.Result(), *split, *rangeIdx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved k=%d range %d/%d to %s\n", *k, *rangeIdx, *split, *save)
+	case *save != "":
+		for i := 0; i < *split; i++ {
+			path := fmt.Sprintf("%s.%dof%d", *save, i, *split)
+			if err := tablesio.SaveSplitFile(path, synth.Result(), *split, i); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved k=%d range %d/%d to %s\n", *k, i, *split, path)
+		}
 	}
 
 	section := func(s string) { fmt.Println(s); fmt.Println() }

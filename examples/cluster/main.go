@@ -1,54 +1,59 @@
-// Cluster walkthrough: serving one table set from a replicated shard
-// fleet — the deployment shape for table sets too large to keep hot on
-// one host (the paper's k ≥ 9 tables are multi-GB; the follow-up
-// study's are larger still) that must also survive losing a shard.
+// Cluster walkthrough: serving one table set from a fleet of
+// partitioned stores — and restarting every shard, one at a time,
+// without dropping a query. This is the deployment shape for table
+// sets too large to keep hot on one host (the paper's k ≥ 9 tables are
+// multi-GB; the follow-up study's are larger still) that must also
+// survive shard loss AND routine maintenance.
 //
 //	go run ./examples/cluster
 //
-// As standalone daemons the same five steps are:
+// As standalone daemons the same steps are:
 //
 //	# 1. Build the tables once, on the big machine (paper §3.1), and
-//	#    persist the v2 zero-copy store:
-//	go run ./cmd/revtables -table none -k 6 -save k6.tables
+//	#    cut the v2 store into shard-local split files. Each shard
+//	#    mounts ONLY its slice — ~1/N of the bytes on disk and in page
+//	#    cache, not just 1/N hot:
+//	go run ./cmd/revtables -table none -k 6 -save k6.tables -split 2
+//	#    → k6.tables.0of2, k6.tables.1of2
 //
 //	# 2. Start four shard servers: two hash ranges, two replicas each.
-//	#    Every process memory-maps the same store (the file is cheap to
-//	#    replicate — it is the HOT page set that doesn't fit one host)
-//	#    and exports it over the tablenet binary protocol:
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9091 &   # range 0, replica a
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9092 &   # range 0, replica b
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9093 &   # range 1, replica a
-//	go run ./cmd/revserve -shard-serve -tables k6.tables -addr :9094 &   # range 1, replica b
+//	#    A split store advertises its owned key range in the tablenet
+//	#    handshake, so a shard wired into the wrong range is refused at
+//	#    connect time (typed ErrOwnership) — never silently wrong:
+//	go run ./cmd/revserve -shard-serve -tables k6.tables.0of2 -addr :9091 &  # range 0, replica a
+//	go run ./cmd/revserve -shard-serve -tables k6.tables.0of2 -addr :9092 &  # range 0, replica b
+//	go run ./cmd/revserve -shard-serve -tables k6.tables.1of2 -addr :9093 &  # range 1, replica a
+//	go run ./cmd/revserve -shard-serve -tables k6.tables.1of2 -addr :9094 &  # range 1, replica b
 //
-//	# 3. Start a router. "," separates hash ranges, "|" separates the
-//	#    replicas inside one; every lookup batch is partitioned on the
-//	#    high Wang-hash bits of its canonical keys, and a sub-batch that
-//	#    hits a dead replica fails over to its sibling (reads of an
-//	#    immutable table generation are always safe to resend). Each
-//	#    shard client retries transport faults with capped jittered
-//	#    backoff (-retry-attempts/-retry-backoff/-attempt-timeout), and
-//	#    a per-replica breaker ejects repeat offenders until a
-//	#    background probe (-probe-interval) re-admits them:
-//	go run ./cmd/revserve -router 'localhost:9091|localhost:9092,localhost:9093|localhost:9094' \
-//	    -addr :8080 -remote-cache 1048576 &
+//	# 3. Describe the fleet in a topology file and start a router on
+//	#    it. Members are assigned to the ranges they own by rendezvous
+//	#    hashing, so membership edits move as little as possible:
+//	cat > fleet.json <<'EOF'
+//	{"generation": 1, "ranges": 2, "replication": 2,
+//	 "members": ["localhost:9091", "localhost:9092",
+//	             "localhost:9093", "localhost:9094"]}
+//	EOF
+//	go run ./cmd/revserve -topology fleet.json -addr :8080 &
 //
-//	# 4. Query the router exactly like a single-host revserve:
+//	# 4. Query it exactly like a single-host revserve:
 //	curl -g 'localhost:8080/synthesize?spec=[0,7,6,9,4,11,10,13,8,15,14,1,12,3,2,5]'
-//	curl 'localhost:8080/stats'     # + per-replica breaker state under "replicas"
-//	curl 'localhost:8080/healthz'
+//	curl 'localhost:8080/stats'    # replicas, breaker state, topology_generation
 //
-//	# 5. Kill a shard (say :9091) and query again: answers are
-//	#    unchanged — its sibling :9092 carries range 0 — and /healthz
-//	#    now reports "degraded" with HTTP 200 (every range still
-//	#    covered; keep the instance in rotation). Only when BOTH
-//	#    replicas of a range are gone does /healthz turn "down" (503):
-//	kill %2 && curl 'localhost:8080/healthz'    # {"status":"degraded",...} — still serving
+//	# 5. Roll a shard without downtime: start its replacement, bump
+//	#    "generation" in fleet.json with the new member list, reload
+//	#    (SIGHUP or POST /admin/topology — empty body re-reads the
+//	#    file), then SIGTERM the old shard. SIGTERM drains: in-flight
+//	#    requests finish, the drain is advertised so routers steer new
+//	#    work to siblings, and only then does the process exit
+//	#    (-drain-timeout bounds the wait). Queries never notice:
+//	kill -HUP %5                                  # or: curl -X POST localhost:8080/admin/topology
+//	kill -TERM %1                                 # old shard drains, then exits
 //
-// This program walks the same topology in-process (k = 5 to keep it
-// snappy): four tablenet shard servers as two replicated ranges, a
-// router over them, and a serving layer programmed against the router —
-// then SIGKILLs one replica mid-run and proves the routed answers still
-// match direct local synthesis.
+// This program walks the same lifecycle in-process (k = 5 to keep it
+// snappy): it cuts the store into two real split files, serves them
+// from a 2×2 fleet wired by a topology document, swaps generations
+// live, and rolls every shard while continuously proving the routed
+// answers byte-match direct local synthesis.
 package main
 
 import (
@@ -56,6 +61,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/bfs"
@@ -64,25 +71,51 @@ import (
 	"repro/internal/service"
 	"repro/internal/tablenet"
 	"repro/internal/tables"
+	"repro/internal/tablesio"
 )
 
 func main() {
-	// 1. Build the tables once (stand-in for revtables + a persisted
-	// store; a real fleet would memory-map the same v2 file per shard).
+	// 1. Build the tables once and cut them into two range-local split
+	// stores — the compute-once step, then the partitioning step.
 	fmt.Println("building k=5 tables...")
 	res, err := bfs.Search(bfs.GateAlphabet(), 5, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 2. Export them from four shard servers on loopback: the fleet is
-	// two hash ranges × two replicas.
-	startShard := func() (*tablenet.Server, string) {
-		backend, err := tables.NewLocal(res)
+	dir, err := os.MkdirTemp("", "cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	const ranges, replication = 2, 2
+	loadSplit := func(i int) *tables.Partial {
+		path := filepath.Join(dir, fmt.Sprintf("k5.tables.%dof%d", i, ranges))
+		if err := tablesio.SaveSplitFile(path, res, ranges, i); err != nil {
+			log.Fatal(err)
+		}
+		sres, info, err := tablesio.LoadFile(path, bfs.GateAlphabet(), &tablesio.LoadOptions{AllowSplit: true})
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv, err := tablenet.NewServer(backend)
+		part, err := tables.NewPartial(sres, info.Split)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := part.OwnedRange()
+		fmt.Printf("split %d/%d: %d entries, owns [%#x, %#x)\n", i, ranges, info.Entries, lo, hi)
+		return part
+	}
+	parts := [ranges]*tables.Partial{loadSplit(0), loadSplit(1)}
+
+	// 2. A shard server exports one split store; its handshake carries
+	// the owned range, so miswiring is a connect-time error.
+	type shard struct {
+		srv  *tablenet.Server
+		addr string
+		rng  int
+	}
+	startShard := func(rng int) *shard {
+		srv, err := tablenet.NewServer(parts[rng])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,45 +124,57 @@ func main() {
 			log.Fatal(err)
 		}
 		go srv.Serve(l)
-		return srv, l.Addr().String()
+		return &shard{srv: srv, addr: l.Addr().String(), rng: rng}
 	}
-	srvA1, addrA1 := startShard()
-	_, addrA2 := startShard()
-	_, addrB1 := startShard()
-	_, addrB2 := startShard()
-	fmt.Printf("range 0: %s | %s\nrange 1: %s | %s\n", addrA1, addrA2, addrB1, addrB2)
+	var shards []*shard
+	for g := 0; g < ranges; g++ {
+		for r := 0; r < replication; r++ {
+			shards = append(shards, startShard(g))
+		}
+	}
 
-	// 3. Wire a replicated router: groups[range][replica]. The retry
-	// policy is the production shape scaled down so the kill below is
-	// absorbed in milliseconds.
-	dial := func(addr string) tables.Backend {
-		cl, err := tablenet.Dial(addr, &tablenet.ClientOptions{
-			Retry: tablenet.RetryPolicy{
-				MaxAttempts: 2,
-				BaseBackoff: 2 * time.Millisecond,
-			},
+	// 3. Wire the fleet from a topology document: ownership-filtered
+	// rendezvous assignment, one dialed client per member.
+	buildRouter := func(gen uint64) *tablenet.Router {
+		members := make([]string, len(shards))
+		for i, s := range shards {
+			members[i] = s.addr
+		}
+		topo := &tablenet.Topology{
+			Generation:  gen,
+			Ranges:      ranges,
+			Replication: replication,
+			Members:     members,
+		}
+		groups, err := tablenet.BuildFleet(topo, func(addr string) (tables.Backend, error) {
+			return tablenet.Dial(addr, &tablenet.ClientOptions{
+				Retry: tablenet.RetryPolicy{MaxAttempts: 3, BaseBackoff: 2 * time.Millisecond},
+			})
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return cl
+		router, err := tablenet.NewReplicatedRouter(groups, tablenet.RouterOptions{
+			ProbeInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return router
 	}
-	router, err := tablenet.NewReplicatedRouter([][]tables.Backend{
-		{dial(addrA1), dial(addrA2)},
-		{dial(addrB1), dial(addrB2)},
-	}, tablenet.RouterOptions{ProbeInterval: 100 * time.Millisecond})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer router.Close()
+	gen := uint64(1)
+	swap := tablenet.NewSwapBackend(buildRouter(gen), gen)
+	defer swap.Close()
+	fmt.Printf("fleet up: %d ranges × %d replicas, topology generation %d\n\n",
+		ranges, replication, swap.Generation())
 
-	// 4. Serve queries against the router, exactly like local tables.
-	svc, err := service.New(service.Config{Backend: router, QueryWorkers: 1})
+	// 4. Serve queries against the swappable fleet, exactly like local
+	// tables — the serving layer never learns topology exists.
+	svc, err := service.New(service.Config{Backend: swap, QueryWorkers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close(context.Background())
-	fmt.Printf("serving through %s\n\n", svc.Stats().TableFormat)
 
 	direct, err := core.FromResult(res, 0)
 	if err != nil {
@@ -151,7 +196,7 @@ func main() {
 			}
 			circ, info, err := svc.Synthesize(ctx, spec)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("%s: %v", tag, err)
 			}
 			want, _, err := direct.SynthesizeInfoCtx(ctx, spec)
 			if err != nil {
@@ -164,21 +209,36 @@ func main() {
 			fmt.Printf("spec %s\n  %d gates via %s (%s): %v\n", s, info.Cost, tag, match, circ)
 		}
 	}
-	runSpecs("healthy fleet")
+	runSpecs("fresh fleet")
 
-	// 5. Kill one replica of range 0 and run the same queries: its
-	// sibling carries the range, so the answers cannot change — the
-	// failure is absorbed below the API, not surfaced through it.
-	fmt.Printf("\nkilling replica %s (range 0)...\n\n", addrA1)
-	srvA1.Close()
-	runSpecs("degraded fleet")
+	// 5. The zero-downtime roll: replace every shard, one at a time.
+	// Replacement joins first (new topology generation swapped in
+	// atomically — in-flight queries finish on the generation they
+	// started on), then the old shard drains and exits.
+	fmt.Println("\nrolling every shard...")
+	for slot := range shards {
+		old := shards[slot]
+		shards[slot] = startShard(old.rng)
+		gen++
+		if err := swap.Swap(buildRouter(gen), gen); err != nil {
+			log.Fatal(err)
+		}
+		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		if err := old.srv.Drain(dctx); err != nil {
+			log.Printf("drain of %s cut short: %v", old.addr, err)
+		}
+		cancel()
+		old.srv.Close()
+		fmt.Printf("  rolled %s (range %d) → %s, generation %d\n",
+			old.addr, old.rng, shards[slot].addr, swap.Generation())
+		runSpecs(fmt.Sprintf("generation %d", swap.Generation()))
+	}
 
-	// The health surface an operator (or load balancer) sees: degraded
-	// — a replica is unreachable — but NOT down, because every hash
-	// range still has a live replica. /healthz on a router daemon maps
-	// exactly this to 200 "degraded" vs 503 "down".
-	fh := router.Health(ctx)
-	fmt.Printf("\nfleet health: degraded=%v down=%v\n", fh.Degraded, fh.Down())
+	// The health surface an operator sees after the roll: every range
+	// covered by fresh replicas, nothing degraded, generation advanced.
+	fh := swap.Health(ctx)
+	fmt.Printf("\nfleet health after roll: degraded=%v down=%v, generation=%d, drain-rerouted=%d\n",
+		fh.Degraded, fh.Down(), swap.Generation(), swap.DrainRerouted())
 	for _, st := range fh.Replicas {
 		ok := "reachable"
 		if st.Err != nil {

@@ -58,6 +58,14 @@ type Options struct {
 	// the original buffer is not modified).
 	Corrupt float64
 
+	// Stall latches the connection frozen (reads only): once drawn, this
+	// and every later read on the connection blocks until the connection
+	// is closed — a frozen process, distinct from Drop (one lost write)
+	// and Reset (a dead one). Deadlines do not unfreeze it; only closing
+	// the connection does, which is exactly the symptom breakers and
+	// attempt timeouts must eject on.
+	Stall float64
+
 	// SkipOps exempts each connection's first N I/O operations from
 	// injection (delays included), letting a handshake complete so a
 	// test can target the steady state — e.g. SkipOps: 1 lets a
@@ -68,7 +76,7 @@ type Options struct {
 // Counts reports how many faults of each class an injector has
 // injected — tests assert the schedule actually exercised a class.
 type Counts struct {
-	Delays, Drops, Resets, TornWrites, Corruptions, Refused uint64
+	Delays, Drops, Resets, TornWrites, Corruptions, Refused, Stalls uint64
 }
 
 // Injector hands out fault-injecting wrappers that share one schedule
@@ -81,7 +89,7 @@ type Injector struct {
 	mu   sync.Mutex
 	live map[*conn]struct{}
 
-	delays, drops, resets, tornWrites, corruptions, refused atomic.Uint64
+	delays, drops, resets, tornWrites, corruptions, refused, stalls atomic.Uint64
 }
 
 // New builds an injector over opts.
@@ -98,15 +106,32 @@ func New(opts Options) *Injector {
 // service — without restarting the listener, so SetRefuse(false) is
 // the process coming back.
 func (in *Injector) KillLive() {
+	for _, c := range in.snapshotLive() {
+		c.kill()
+	}
+}
+
+// StallLive latches every connection currently alive frozen: each one's
+// next read (and every read after) blocks until the connection closes.
+// With the shard's listener also stalled or refused, this is a frozen
+// shard process — pings hang to their deadline instead of failing fast,
+// which is the slowest-burning symptom a breaker must still eject on.
+func (in *Injector) StallLive() {
+	for _, c := range in.snapshotLive() {
+		if !c.stalled.Swap(true) {
+			in.stalls.Add(1)
+		}
+	}
+}
+
+func (in *Injector) snapshotLive() []*conn {
 	in.mu.Lock()
+	defer in.mu.Unlock()
 	conns := make([]*conn, 0, len(in.live))
 	for c := range in.live {
 		conns = append(conns, c)
 	}
-	in.mu.Unlock()
-	for _, c := range conns {
-		hardClose(c.Conn)
-	}
+	return conns
 }
 
 func (in *Injector) track(c *conn) {
@@ -136,6 +161,7 @@ func (in *Injector) Counts() Counts {
 		TornWrites:  in.tornWrites.Load(),
 		Corruptions: in.corruptions.Load(),
 		Refused:     in.refused.Load(),
+		Stalls:      in.stalls.Load(),
 	}
 }
 
@@ -163,7 +189,7 @@ func (l *listener) Accept() (net.Conn, error) {
 		}
 		id := l.in.connID.Add(1)
 		// Distinct deterministic stream per connection.
-		fc := &conn{Conn: c, in: l.in, rng: newStream(l.in.opts.Seed, id)}
+		fc := &conn{Conn: c, in: l.in, rng: newStream(l.in.opts.Seed, id), closed: make(chan struct{})}
 		l.in.track(fc)
 		return fc, nil
 	}
@@ -196,6 +222,12 @@ type conn struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 	ops int // operations seen, for Options.SkipOps
+
+	// stalled is the one-way freeze latch; closed releases the frozen
+	// readers (deadlines deliberately cannot).
+	stalled   atomic.Bool
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // faults the schedule can pick per operation.
@@ -205,6 +237,7 @@ const (
 	faultReset
 	faultTorn
 	faultCorrupt
+	faultStall
 )
 
 // roll draws one operation's fault (cumulative thresholds, one uniform
@@ -224,6 +257,8 @@ func (c *conn) roll(write bool) (fault int, delay time.Duration) {
 	switch {
 	case r < o.Reset:
 		fault = faultReset
+	case !write && r < o.Reset+o.Stall:
+		fault = faultStall
 	case write && r < o.Reset+o.TornWrite:
 		fault = faultTorn
 	case write && r < o.Reset+o.TornWrite+o.Drop:
@@ -251,6 +286,18 @@ func (c *conn) sleep(d time.Duration) {
 func (c *conn) Read(p []byte) (int, error) {
 	fault, delay := c.roll(false)
 	c.sleep(delay)
+	if fault == faultStall {
+		if !c.stalled.Swap(true) {
+			c.in.stalls.Add(1)
+		}
+	}
+	if c.stalled.Load() {
+		// Frozen, not dead: the read neither returns data nor errors
+		// until the connection is closed. SetReadDeadline cannot reach a
+		// frozen process, so it deliberately has no effect here.
+		<-c.closed
+		return 0, net.ErrClosed
+	}
 	if fault == faultReset {
 		c.in.resets.Add(1)
 		hardClose(c.Conn)
@@ -292,6 +339,14 @@ func (c *conn) Write(p []byte) (int, error) {
 }
 
 func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
 	c.in.forget(c)
 	return c.Conn.Close()
+}
+
+// kill is KillLive's per-connection action: release any frozen readers,
+// then reset the transport.
+func (c *conn) kill() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	hardClose(c.Conn)
 }

@@ -225,3 +225,79 @@ func TestDelayInjects(t *testing.T) {
 		t.Fatal("delay not counted")
 	}
 }
+
+// TestStallLiveFreezesReads: a stalled connection's reads neither
+// return data nor honour deadlines — frozen, not dead — until the
+// connection is closed (KillLive), which releases them with an error.
+func TestStallLiveFreezesReads(t *testing.T) {
+	in := New(Options{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	fl := in.Listener(l)
+	latched := make(chan struct{})
+	type result struct {
+		err  error
+		took time.Duration
+	}
+	res := make(chan result, 1)
+	go func() {
+		c, err := fl.Accept()
+		if err != nil {
+			res <- result{err: err}
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			res <- result{err: err}
+			return
+		}
+		if _, err := c.Write(buf); err != nil {
+			res <- result{err: err}
+			return
+		}
+		<-latched
+		// The deadline must NOT release the frozen read: a frozen
+		// process cannot be reached by deadline nudges.
+		c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		start := time.Now()
+		_, err = c.Read(buf)
+		res <- result{err: err, took: time.Since(start)}
+	}()
+	cl := dial(t, l.Addr().String())
+	if _, err := cl.Write([]byte{'x'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(cl, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	in.StallLive()
+	if got := in.Counts().Stalls; got != 1 {
+		t.Fatalf("Stalls = %d, want 1", got)
+	}
+	close(latched)
+	// Data arrives on the wire; the frozen read must not see it.
+	if _, err := cl.Write([]byte{'y'}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-res:
+		t.Fatalf("frozen read returned after %v: err=%v", r.took, r.err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	in.KillLive()
+	select {
+	case r := <-res:
+		if r.err == nil {
+			t.Fatal("released frozen read returned data, want error")
+		}
+		if r.took < 100*time.Millisecond {
+			t.Fatalf("frozen read released after %v — the 50ms deadline fired", r.took)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("KillLive did not release the frozen read")
+	}
+}

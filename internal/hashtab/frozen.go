@@ -25,6 +25,15 @@ import (
 // contents. A probe visits at most slotsPerShard cells, so a full
 // (corrupt) shard terminates instead of cycling.
 //
+// A FrozenTable may also hold a *split* of a table: only the shards of
+// one contiguous high-hash range out of splitN equal ranges (the store
+// partitioning unit of a fleet). The layout inside the held range is
+// identical to the full table's — shard index is still derived from the
+// hash alone, offset by the first owned shard — so a split table answers
+// its range byte-identically to the full table and reports keys outside
+// its range as absent (callers that must distinguish "absent" from "not
+// owned" check OwnsKey first).
+//
 // A FrozenTable is safe for concurrent use by any number of readers.
 type FrozenTable struct {
 	keys []uint64
@@ -33,12 +42,17 @@ type FrozenTable struct {
 	// above keep the memory (or mapping owner) reachable.
 	keysPtr unsafe.Pointer
 	valsPtr unsafe.Pointer
-	// shardShift is 64 − log2(shardCount): shard index = hash >> shardShift.
+	// shardShift is 64 − log2(splitN·shardCount): global shard index =
+	// hash >> shardShift. For a full table splitN is 1 and shardBase 0.
 	shardShift uint
 	// slotLog is log2(slots per shard); slotMask = 1<<slotLog − 1.
 	slotLog  uint
 	slotMask uint64
-	count    int
+	// shardBase is the first global shard this table holds; local shard
+	// index = global − shardBase, valid in [0, shardCount).
+	shardBase  uint64
+	shardCount int
+	count      int
 	// lifeMu serializes the lifecycle surface (SetMapped/SetCloser/
 	// Residency/Close): a stats scrape probing page residency must never
 	// race the shutdown path unmapping the file. The query hot path
@@ -68,11 +82,28 @@ const minShardSlots = 16
 // here; the placement invariant is the writer's contract (tablesio
 // verifies it when loading untrusted streams).
 func NewFrozen(keys []uint64, vals []uint16, shardCount, count int) (*FrozenTable, error) {
+	return NewFrozenSplit(keys, vals, shardCount, count, 1, 0)
+}
+
+// NewFrozenSplit wraps the slot arrays of one split of a table: range
+// splitIdx of splitN equal high-hash ranges (splitN a power of two). The
+// arrays hold only this range's shardCount shards; global shard index
+// hash >> shardShift runs over splitN·shardCount conceptual shards, of
+// which this table owns [splitIdx·shardCount, (splitIdx+1)·shardCount).
+// NewFrozen is the splitN = 1 case.
+func NewFrozenSplit(keys []uint64, vals []uint16, shardCount, count, splitN, splitIdx int) (*FrozenTable, error) {
 	if len(keys) == 0 || len(keys) != len(vals) {
 		return nil, fmt.Errorf("hashtab: frozen slot arrays have lengths %d/%d", len(keys), len(vals))
 	}
-	if shardCount < 1 || shardCount&(shardCount-1) != 0 || shardCount > 1<<16 {
-		return nil, fmt.Errorf("hashtab: frozen shard count %d is not a power of two in [1, 65536]", shardCount)
+	if splitN < 1 || splitN&(splitN-1) != 0 {
+		return nil, fmt.Errorf("hashtab: split count %d is not a power of two", splitN)
+	}
+	if splitIdx < 0 || splitIdx >= splitN {
+		return nil, fmt.Errorf("hashtab: split index %d out of range [0, %d)", splitIdx, splitN)
+	}
+	if shardCount < 1 || shardCount&(shardCount-1) != 0 || shardCount > 1<<16 ||
+		int64(shardCount)*int64(splitN) > 1<<16 {
+		return nil, fmt.Errorf("hashtab: %d shards × split %d is not a power of two in [1, 65536]", shardCount, splitN)
 	}
 	if int64(len(keys)) > maxFrozenSlots {
 		return nil, fmt.Errorf("hashtab: %d slots exceed the uint32 slot-index space", len(keys))
@@ -90,9 +121,11 @@ func NewFrozen(keys []uint64, vals []uint16, shardCount, count int) (*FrozenTabl
 		vals:       vals,
 		keysPtr:    unsafe.Pointer(unsafe.SliceData(keys)),
 		valsPtr:    unsafe.Pointer(unsafe.SliceData(vals)),
-		shardShift: uint(64 - bits.TrailingZeros(uint(shardCount))),
+		shardShift: uint(64 - bits.TrailingZeros(uint(shardCount*splitN))),
 		slotLog:    slotLog,
 		slotMask:   uint64(perShard - 1),
+		shardBase:  uint64(splitIdx) * uint64(shardCount),
+		shardCount: shardCount,
 		count:      count,
 	}, nil
 }
@@ -135,11 +168,59 @@ func Compact(t *ShardedTable) (*FrozenTable, error) {
 	return ft, nil
 }
 
-// place inserts during Compact; keys come from a map, so duplicates are
-// impossible and an empty slot always exists (load factor < 1).
+// CompactSplit lays explicit (key, value) entries — the contents of one
+// split range — into the frozen layout: shardCount uniform shards sized
+// to keep the fullest at or under the build load factor, inside range
+// splitIdx of splitN. Every key must hash into the owned range and keys
+// must be unique; both hold when the entries come from one range of an
+// existing table, which is the store splitter's contract.
+func CompactSplit(keys []uint64, vals []uint16, shardCount, splitN, splitIdx int) (*FrozenTable, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("hashtab: split entry arrays have lengths %d/%d", len(keys), len(vals))
+	}
+	if shardCount < 1 || shardCount&(shardCount-1) != 0 ||
+		splitN < 1 || splitN&(splitN-1) != 0 ||
+		int64(shardCount)*int64(splitN) > 1<<16 || splitIdx < 0 || splitIdx >= splitN {
+		return nil, fmt.Errorf("hashtab: invalid split geometry %d×%d[%d]", shardCount, splitN, splitIdx)
+	}
+	shift := uint(64 - bits.TrailingZeros(uint(shardCount*splitN)))
+	base := uint64(splitIdx) * uint64(shardCount)
+	perShardCount := make([]int, shardCount)
+	maxCount := 0
+	for _, k := range keys {
+		shard := (Hash64Shift(k) >> shift) - base
+		if shard >= uint64(shardCount) {
+			return nil, fmt.Errorf("hashtab: key %#x hashes outside split %d/%d", k, splitIdx, splitN)
+		}
+		perShardCount[shard]++
+		if perShardCount[shard] > maxCount {
+			maxCount = perShardCount[shard]
+		}
+	}
+	perShard := minShardSlots
+	for float64(maxCount) > maxLoadFactor*float64(perShard) {
+		perShard <<= 1
+	}
+	if int64(shardCount)*int64(perShard) > maxFrozenSlots {
+		return nil, fmt.Errorf("hashtab: split layout needs %d slots, over the uint32 slot-index space", int64(shardCount)*int64(perShard))
+	}
+	ft, err := NewFrozenSplit(make([]uint64, shardCount*perShard), make([]uint16, shardCount*perShard),
+		shardCount, len(keys), splitN, splitIdx)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		ft.place(k, vals[i])
+	}
+	return ft, nil
+}
+
+// place inserts during Compact and SaveSplit; keys come from a map, so
+// duplicates are impossible and an empty slot always exists (load factor
+// < 1). The caller guarantees the key falls in an owned shard.
 func (t *FrozenTable) place(key uint64, val uint16) {
 	h := Hash64Shift(key)
-	base := (h >> t.shardShift) << t.slotLog
+	base := ((h >> t.shardShift) - t.shardBase) << t.slotLog
 	i := h & t.slotMask
 	for {
 		j := base + i
@@ -159,7 +240,14 @@ func (t *FrozenTable) Lookup(key uint64) (uint16, bool) {
 		return 0, false
 	}
 	h := Hash64Shift(key)
-	base := (h >> t.shardShift) << t.slotLog
+	shard := (h >> t.shardShift) - t.shardBase
+	if shard >= uint64(t.shardCount) {
+		// Outside the owned split range (unsigned wrap catches below-base
+		// too). For a full table this branch is dead: shard < shardCount
+		// by construction.
+		return 0, false
+	}
+	base := shard << t.slotLog
 	mask := t.slotMask
 	i := h & mask
 	// Geometry proof for the unchecked loads: base ≤ (shardCount−1)<<slotLog
@@ -191,7 +279,11 @@ func (t *FrozenTable) SlotOf(key uint64) (uint32, bool) {
 		return 0, false
 	}
 	h := Hash64Shift(key)
-	base := (h >> t.shardShift) << t.slotLog
+	shard := (h >> t.shardShift) - t.shardBase
+	if shard >= uint64(t.shardCount) {
+		return 0, false
+	}
+	base := shard << t.slotLog
 	mask := t.slotMask
 	i := h & mask
 	for n := uint64(0); n <= mask; n++ {
@@ -226,8 +318,23 @@ func (t *FrozenTable) Len() int { return t.count }
 // Slots returns the total slot count (a power of two).
 func (t *FrozenTable) Slots() int { return len(t.keys) }
 
-// ShardCount returns the number of uniform shards.
-func (t *FrozenTable) ShardCount() int { return 1 << (64 - t.shardShift) }
+// ShardCount returns the number of uniform shards this table holds
+// (for a split table, the shards of its range only).
+func (t *FrozenTable) ShardCount() int { return t.shardCount }
+
+// SplitN returns how many equal high-hash ranges the full key space is
+// divided into (1 for a full table) and which range this table holds.
+func (t *FrozenTable) SplitN() (n, idx int) {
+	n = (1 << (64 - t.shardShift)) / t.shardCount
+	return n, int(t.shardBase) / t.shardCount
+}
+
+// OwnsKey reports whether key's hash falls in this table's split range.
+// Always true for a full table.
+func (t *FrozenTable) OwnsKey(key uint64) bool {
+	shard := (Hash64Shift(key) >> t.shardShift) - t.shardBase
+	return shard < uint64(t.shardCount)
+}
 
 // SlotsPerShard returns the per-shard slot count.
 func (t *FrozenTable) SlotsPerShard() int { return 1 << t.slotLog }

@@ -70,6 +70,18 @@ type Client struct {
 	retry  RetryPolicy
 	jitter *jitterSource
 
+	// rangeLo/rangeHi is the owned key range the first hello pinned —
+	// [0, tables.RangeSpace) for a full store. Every reconnect must
+	// advertise the same range or dialConn refuses with ErrOwnership: a
+	// shard silently remounted with a different split file must not serve
+	// through a client wired for its old position.
+	rangeLo, rangeHi uint64
+	// draining tracks the shard's latest announced drain state, learned
+	// from hellos and ping responses; the router reads it to steer new
+	// sub-batches to siblings.
+	draining            atomic.Bool
+	ownershipMismatches atomic.Uint64
+
 	// Tiered read path (nil when disabled via options).
 	kcache   *hotKeyCache
 	kflights *lookupFlights
@@ -199,22 +211,30 @@ func (cl *Client) dialConn() (*clientConn, error) {
 		c.Close()
 		return nil, fmt.Errorf("%w: expected hello, got opcode %#x", ErrProtocol, op)
 	}
-	m, err := parseHello(payload)
+	h, err := parseHello(payload)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	cc.helloMeta = m
+	cc.helloMeta = h.Meta
+	cl.draining.Store(h.Draining)
 	// A reconnect that lands on a restarted server holding different
 	// tables must fail loudly, not silently mix table generations (or
-	// serve stale cache entries against new tables).
+	// serve stale cache entries against new tables) — and one whose owned
+	// key range moved must fail typed, so the router can refuse the
+	// wiring instead of returning not-found for keys the fleet holds.
 	cl.mu.Lock()
 	first := cl.meta.LevelCounts == nil
-	compatible := first || cl.meta.Compatible(m)
-	if compatible && !cl.closed {
+	compatible := first || cl.meta.Compatible(h.Meta)
+	sameRange := first || (cl.rangeLo == h.RangeLo && cl.rangeHi == h.RangeHi)
+	if first {
+		cl.rangeLo, cl.rangeHi = h.RangeLo, h.RangeHi
+	}
+	if compatible && sameRange && !cl.closed {
 		cl.conns[cc] = struct{}{}
 	}
 	closed := cl.closed
+	pinLo, pinHi := cl.rangeLo, cl.rangeHi
 	cl.mu.Unlock()
 	if closed {
 		c.Close()
@@ -224,8 +244,29 @@ func (cl *Client) dialConn() (*clientConn, error) {
 		c.Close()
 		return nil, fmt.Errorf("%w: server %s now serves a different table set", ErrProtocol, cl.addr)
 	}
+	if !sameRange {
+		cl.ownershipMismatches.Add(1)
+		c.Close()
+		return nil, fmt.Errorf("%w: %s now advertises [%#x, %#x), handshake pinned [%#x, %#x)", ErrOwnership, cl.addr, h.RangeLo, h.RangeHi, pinLo, pinHi)
+	}
 	return cc, nil
 }
+
+// OwnedRange returns the key range the first hello pinned: the half-open
+// [lo, hi) interval of high-32 Wang-hash space this shard owns.
+func (cl *Client) OwnedRange() (lo, hi uint64) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.rangeLo, cl.rangeHi
+}
+
+// Draining reports the shard's last announced drain state (from its
+// hello or a ping response).
+func (cl *Client) Draining() bool { return cl.draining.Load() }
+
+// OwnershipMismatches counts reconnects refused because the shard's
+// advertised range no longer matched the pinned one.
+func (cl *Client) OwnershipMismatches() uint64 { return cl.ownershipMismatches.Load() }
 
 // Meta returns the table metadata learned during the handshake.
 func (cl *Client) Meta() tables.Meta { return cl.meta }
@@ -556,6 +597,12 @@ func (cl *Client) LevelKeys(ctx context.Context, c, lo int, out []uint64) error 
 	if c < 0 || c > cl.meta.K {
 		return fmt.Errorf("tablenet: level %d outside horizon %d", c, cl.meta.K)
 	}
+	if lo2, hi := cl.OwnedRange(); lo2 != 0 || hi != tables.RangeSpace {
+		// A split shard holds only its range's slice of each level; a
+		// dense read would silently miss the rest. Typed so callers are
+		// steered to the sparse path.
+		return fmt.Errorf("%w: dense level read against a shard owning [%#x, %#x); use LevelKeysSparse", tables.ErrNotOwned, lo2, hi)
+	}
 	count := cl.meta.LevelCounts[c]
 	if lo < 0 || lo+len(out) > count {
 		return fmt.Errorf("tablenet: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), count)
@@ -613,13 +660,77 @@ func (cl *Client) levelWire(ctx context.Context, c, lo int, out []uint64) error 
 	return nil
 }
 
+// LevelKeysSparse implements tables.SparseLevels over the wire: global
+// level positions [lo, lo+n) are scanned server-side and only the keys
+// whose high hash falls in [filterLo, filterHi) come back, as
+// (position-lo, key) pairs — the level-iteration primitive of a split
+// fleet, where each shard contributes its range's slice of the global
+// level order. Results are not cached: the router's per-range fan-out
+// already dedupes work, and sparse windows rarely repeat exactly.
+func (cl *Client) LevelKeysSparse(ctx context.Context, c, lo, n int, filterLo, filterHi uint64, pos []uint32, keys []uint64) (int, error) {
+	if c < 0 || c > cl.meta.K {
+		return 0, fmt.Errorf("tablenet: level %d outside horizon %d", c, cl.meta.K)
+	}
+	count := cl.meta.LevelCounts[c]
+	if lo < 0 || n < 0 || lo+n > count {
+		return 0, fmt.Errorf("tablenet: sparse level %d window [%d, %d) outside [0, %d)", c, lo, lo+n, count)
+	}
+	if len(pos) < n || len(keys) < n {
+		return 0, fmt.Errorf("tablenet: sparse level scratch smaller than window %d", n)
+	}
+	if filterLo >= filterHi || filterHi > tables.RangeSpace {
+		return 0, fmt.Errorf("tablenet: sparse level filter [%#x, %#x)", filterLo, filterHi)
+	}
+	le := binary.LittleEndian
+	var bud retryBudget
+	total := 0
+	for done := 0; done < n; done += maxLevelKeys {
+		cn := min(maxLevelKeys, n-done)
+		start := lo + done
+		chunkBase := total
+		err := cl.doBudget(ctx, &bud, opLevelSparse, func(dst []byte) []byte {
+			return encodeSparseReq(dst, c, start, cn, filterLo, filterHi)
+		}, func(payload []byte) error {
+			// A transport retry re-runs this decoder from scratch; rewind
+			// so a half-decoded earlier attempt cannot leave stale pairs.
+			total = chunkBase
+			if len(payload) < 4 {
+				return fmt.Errorf("%w: short sparse level response", ErrProtocol)
+			}
+			cnt := int(le.Uint32(payload))
+			if cnt > cn || len(payload) != 4+12*cnt {
+				return fmt.Errorf("%w: sparse level response shape mismatch (%d bytes, %d pairs)", ErrProtocol, len(payload), cnt)
+			}
+			prev := -1
+			for i := 0; i < cnt; i++ {
+				rp := int(le.Uint32(payload[4+12*i:]))
+				if rp >= cn || rp <= prev {
+					return fmt.Errorf("%w: sparse level positions not strictly increasing", ErrProtocol)
+				}
+				prev = rp
+				pos[total] = uint32(rp + done)
+				keys[total] = le.Uint64(payload[8+12*i:])
+				total++
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
 // Ping checks server liveness over a pooled connection — the probe
-// /healthz uses to report a degraded router.
+// /healthz uses to report a degraded router. The v3 response carries the
+// shard's drain state, so pooled connections learn of a drain without
+// redialing for a fresh hello; Draining reflects it afterwards.
 func (cl *Client) Ping(ctx context.Context) error {
 	return cl.do(ctx, opPing, nil, func(payload []byte) error {
-		if len(payload) != 0 {
+		if len(payload) != 1 {
 			return fmt.Errorf("%w: ping response carries %d bytes", ErrProtocol, len(payload))
 		}
+		cl.draining.Store(payload[0] != 0)
 		return nil
 	})
 }

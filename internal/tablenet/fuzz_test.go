@@ -34,16 +34,21 @@ func FuzzReadFrame(f *testing.F) {
 }
 
 // FuzzParseHello attacks the handshake decoder with mutated hellos: it
-// must either reject or yield a Meta that passes validation — an
-// inconsistent Meta reaching the query engine would misdirect every
-// later read.
+// must either reject or yield a Meta that passes validation and an owned
+// range inside the hash space — an inconsistent Meta reaching the query
+// engine would misdirect every later read, and an accepted implausible
+// range claim would corrupt the router's ownership verification.
 func FuzzParseHello(f *testing.F) {
-	seed := tables.Meta{
-		K:           3,
-		Reduced:     true,
-		Entries:     4,
-		LevelCounts: []int{1, 1, 1, 1},
-		Fingerprint: tables.Fingerprint{Elements: 32, MaxCost: 1, XorPerms: 7, SumCosts: 32},
+	seed := hello{
+		Meta: tables.Meta{
+			K:           3,
+			Reduced:     true,
+			Entries:     4,
+			LevelCounts: []int{1, 1, 1, 1},
+			Fingerprint: tables.Fingerprint{Elements: 32, MaxCost: 1, XorPerms: 7, SumCosts: 32},
+		},
+		RangeLo: 0,
+		RangeHi: tables.RangeSpace,
 	}
 	f.Add(encodeHello(seed))
 	f.Add([]byte{})
@@ -53,19 +58,38 @@ func FuzzParseHello(f *testing.F) {
 	f.Add(mutated)
 	truncated := encodeHello(seed)
 	f.Add(truncated[:len(truncated)-3])
+	// The v3 fields: a draining split shard, an inverted range, and a
+	// range claim past the end of the hash space.
+	split := seed
+	split.RangeLo, split.RangeHi = tables.RangeOf(2, 4)
+	split.Draining = true
+	f.Add(encodeHello(split))
+	inverted := encodeHello(seed)
+	binary.LittleEndian.PutUint64(inverted[41:], tables.RangeSpace)
+	binary.LittleEndian.PutUint64(inverted[49:], 0)
+	f.Add(inverted)
+	beyond := encodeHello(seed)
+	binary.LittleEndian.PutUint64(beyond[49:], tables.RangeSpace+1)
+	f.Add(beyond)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := parseHello(data)
+		h, err := parseHello(data)
 		if err != nil {
 			return
 		}
-		if verr := m.Validate(); verr != nil {
-			t.Fatalf("parseHello accepted an invalid meta %+v: %v", m, verr)
+		if verr := h.Meta.Validate(); verr != nil {
+			t.Fatalf("parseHello accepted an invalid meta %+v: %v", h.Meta, verr)
+		}
+		if h.RangeLo >= h.RangeHi || h.RangeHi > tables.RangeSpace {
+			t.Fatalf("parseHello accepted implausible range [%#x, %#x)", h.RangeLo, h.RangeHi)
 		}
 		// Round-trip stability: re-encoding a valid parse must re-parse
-		// compatible.
-		m2, err := parseHello(encodeHello(m))
-		if err != nil || !m.Compatible(m2) {
-			t.Fatalf("hello round trip diverged: %+v vs %+v (%v)", m, m2, err)
+		// compatible, with the serving state preserved bit-for-bit.
+		h2, err := parseHello(encodeHello(h))
+		if err != nil || !h.Meta.Compatible(h2.Meta) {
+			t.Fatalf("hello round trip diverged: %+v vs %+v (%v)", h, h2, err)
+		}
+		if h2.RangeLo != h.RangeLo || h2.RangeHi != h.RangeHi || h2.Draining != h.Draining {
+			t.Fatalf("hello round trip dropped serving state: %+v vs %+v", h, h2)
 		}
 	})
 }
@@ -109,6 +133,20 @@ func FuzzHandleRequest(f *testing.F) {
 	le.PutUint64(levelLying[5:], 1<<40) // offset far past the level
 	le.PutUint32(levelLying[13:], 0xFFFF)
 	f.Add(levelLying)
+	sparse := make([]byte, 1+sparseReqLen)
+	sparse[0] = opLevelSparse
+	le.PutUint32(sparse[1:], 1)
+	le.PutUint32(sparse[13:], 2)
+	le.PutUint64(sparse[17:], 0)
+	le.PutUint64(sparse[25:], tables.RangeSpace)
+	f.Add(sparse)
+	sparseLying := make([]byte, 1+sparseReqLen)
+	sparseLying[0] = opLevelSparse
+	le.PutUint32(sparseLying[1:], 1)
+	le.PutUint32(sparseLying[13:], 0xFFFF) // window far past the level
+	le.PutUint64(sparseLying[17:], 1<<40)  // filter outside the space
+	le.PutUint64(sparseLying[25:], 1<<41)
+	f.Add(sparseLying)
 
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		if len(frame) == 0 {
@@ -121,7 +159,7 @@ func FuzzHandleRequest(f *testing.F) {
 		}
 		switch frame[0] {
 		case opPing:
-			if op != opPingR || len(resp) != 0 {
+			if op != opPingR || len(resp) != 1 {
 				t.Fatalf("ping answered (%#x, %d bytes)", op, len(resp))
 			}
 		case opStats:
@@ -140,6 +178,15 @@ func FuzzHandleRequest(f *testing.F) {
 			n := int(le.Uint32(frame[13:]))
 			if op != opLevelR || len(resp) != 4+8*n {
 				t.Fatalf("level response shape: op %#x, %d bytes for %d keys", op, len(resp), n)
+			}
+		case opLevelSparse:
+			n := int(le.Uint32(frame[13:]))
+			if op != opLevelSparseR || len(resp) < 4 {
+				t.Fatalf("sparse level response shape: op %#x, %d bytes", op, len(resp))
+			}
+			cnt := int(le.Uint32(resp))
+			if cnt > n || len(resp) != 4+12*cnt {
+				t.Fatalf("sparse level response: %d pairs in %d bytes for window %d", cnt, len(resp), n)
 			}
 		default:
 			t.Fatalf("unknown opcode %#x was accepted", frame[0])

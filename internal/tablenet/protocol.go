@@ -64,10 +64,27 @@ var ErrChecksum = errors.New("tablenet: frame checksum mismatch")
 // trigger for failing over to a sibling replica.
 var ErrUnavailable = errors.New("tablenet: shard unavailable")
 
+// ErrOwnership reports a shard whose hello-advertised key range does not
+// cover the range it was wired to serve — a split store mounted at the
+// wrong fleet position, or a shard whose range changed across a
+// reconnect. Deliberately NOT a retryable transport fault: retrying the
+// same miswired shard cannot help, and serving through it would return
+// not-found for keys the fleet actually holds. The router refuses the
+// wiring instead.
+var ErrOwnership = errors.New("tablenet: shard does not own its wired range")
+
+// ErrDraining reports a request refused because the shard is draining:
+// it finishes in-flight work but accepts no new connections or requests.
+// Clients treat it like unavailability (fail over to a sibling), except
+// it is the shard's own orderly announcement rather than a fault.
+var ErrDraining = errors.New("tablenet: shard is draining")
+
 const (
 	// protoVersion gates the wire format itself; bumped on incompatible
-	// frame-layout changes. v2 added the per-frame FNV-1a checksum.
-	protoVersion = 2
+	// frame-layout changes. v2 added the per-frame FNV-1a checksum; v3
+	// added the owned key range and draining flag to the hello, the
+	// sparse level-read op, and residency fields in stats.
+	protoVersion = 3
 
 	// maxFrameLen caps op+payload of any frame. The largest legitimate
 	// frame is a full lookup batch (4 + 8·maxLookupKeys bytes); 2 MiB
@@ -89,16 +106,18 @@ const (
 // Frame opcodes. Responses are request+1 so a mismatch is caught
 // structurally.
 const (
-	opHello   byte = 0x01
-	opLookup  byte = 0x10
-	opLookupR byte = 0x11
-	opLevel   byte = 0x20
-	opLevelR  byte = 0x21
-	opStats   byte = 0x30
-	opStatsR  byte = 0x31
-	opPing    byte = 0x40
-	opPingR   byte = 0x41
-	opErr     byte = 0x7F
+	opHello        byte = 0x01
+	opLookup       byte = 0x10
+	opLookupR      byte = 0x11
+	opLevel        byte = 0x20
+	opLevelR       byte = 0x21
+	opLevelSparse  byte = 0x22
+	opLevelSparseR byte = 0x23
+	opStats        byte = 0x30
+	opStatsR       byte = 0x31
+	opPing         byte = 0x40
+	opPingR        byte = 0x41
+	opErr          byte = 0x7F
 )
 
 // frameHeaderLen is the byte length of the v2 frame header: uint32
@@ -208,18 +227,46 @@ func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	return body[0], body[1:], nil
 }
 
+// Hello flag bits (the uint32 at payload offset 1).
+const (
+	helloFlagReduced  uint32 = 1 << 0
+	helloFlagDraining uint32 = 1 << 1
+)
+
+// helloFixedLen is the byte length of the v3 hello before the
+// variable-length level counts: version byte, flags, k, entries,
+// fingerprint, and the owned key range.
+const helloFixedLen = 1 + 4 + 4 + 8 + 24 + 8 + 8
+
+// hello is the decoded handshake: the shard's table metadata plus its
+// serving state. RangeLo/RangeHi is the half-open [lo, hi) interval of
+// high-32 Wang-hash space the shard owns — [0, tables.RangeSpace) for a
+// full store — and is what the router's ownership check verifies against
+// the position the shard was wired into. Draining announces the shard is
+// finishing in-flight work and should receive no new sub-batches.
+type hello struct {
+	Meta     tables.Meta
+	RangeLo  uint64
+	RangeHi  uint64
+	Draining bool
+}
+
 // encodeHello lays out the handshake payload:
 //
-//	version byte | flags uint32 (bit0 reduced) | k uint32 |
-//	entries uint64 | fingerprint (u32 u32 u64 u64) |
-//	levelCounts (k+1)×uint64
-func encodeHello(m tables.Meta) []byte {
-	buf := make([]byte, 1+4+4+8+24+(m.K+1)*8)
+//	version byte | flags uint32 (bit0 reduced, bit1 draining) |
+//	k uint32 | entries uint64 | fingerprint (u32 u32 u64 u64) |
+//	rangeLo uint64 | rangeHi uint64 | levelCounts (k+1)×uint64
+func encodeHello(h hello) []byte {
+	m := h.Meta
+	buf := make([]byte, helloFixedLen+(m.K+1)*8)
 	buf[0] = protoVersion
 	le := binary.LittleEndian
 	var flags uint32
 	if m.Reduced {
-		flags |= 1
+		flags |= helloFlagReduced
+	}
+	if h.Draining {
+		flags |= helloFlagDraining
 	}
 	le.PutUint32(buf[1:], flags)
 	le.PutUint32(buf[5:], uint32(m.K))
@@ -228,37 +275,46 @@ func encodeHello(m tables.Meta) []byte {
 	le.PutUint32(buf[21:], m.Fingerprint.MaxCost)
 	le.PutUint64(buf[25:], m.Fingerprint.XorPerms)
 	le.PutUint64(buf[33:], m.Fingerprint.SumCosts)
+	le.PutUint64(buf[41:], h.RangeLo)
+	le.PutUint64(buf[49:], h.RangeHi)
 	for c, n := range m.LevelCounts {
-		le.PutUint64(buf[41+8*c:], uint64(n))
+		le.PutUint64(buf[helloFixedLen+8*c:], uint64(n))
 	}
 	return buf
 }
 
 // parseHello decodes and validates a handshake payload from an untrusted
 // peer. Every count is bounds-checked (k against the packed-cost cap,
-// entries against the level-count sum) so a forged hello cannot induce
-// huge allocations or an inconsistent Meta.
-func parseHello(payload []byte) (tables.Meta, error) {
-	var m tables.Meta
-	if len(payload) < 41 {
-		return m, fmt.Errorf("%w: hello of %d bytes", ErrProtocol, len(payload))
+// entries against the level-count sum, the owned range against the hash
+// space) so a forged hello cannot induce huge allocations or an
+// inconsistent Meta.
+func parseHello(payload []byte) (hello, error) {
+	var h hello
+	if len(payload) < helloFixedLen {
+		return h, fmt.Errorf("%w: hello of %d bytes", ErrProtocol, len(payload))
 	}
 	if v := payload[0]; v != protoVersion {
-		return m, fmt.Errorf("%w: protocol version %d, this build speaks %d", ErrProtocol, v, protoVersion)
+		return h, fmt.Errorf("%w: protocol version %d, this build speaks %d", ErrProtocol, v, protoVersion)
 	}
 	le := binary.LittleEndian
 	flags := le.Uint32(payload[1:])
 	k := le.Uint32(payload[5:])
 	if k > uint32(bfs.MaxPackedCost) {
-		return m, fmt.Errorf("%w: implausible horizon %d", ErrProtocol, k)
+		return h, fmt.Errorf("%w: implausible horizon %d", ErrProtocol, k)
 	}
 	entries := le.Uint64(payload[9:])
-	if len(payload) != 41+(int(k)+1)*8 {
-		return m, fmt.Errorf("%w: hello length %d does not match horizon %d", ErrProtocol, len(payload), k)
+	if len(payload) != helloFixedLen+(int(k)+1)*8 {
+		return h, fmt.Errorf("%w: hello length %d does not match horizon %d", ErrProtocol, len(payload), k)
 	}
-	m = tables.Meta{
+	h.RangeLo = le.Uint64(payload[41:])
+	h.RangeHi = le.Uint64(payload[49:])
+	if h.RangeLo >= h.RangeHi || h.RangeHi > tables.RangeSpace {
+		return h, fmt.Errorf("%w: implausible owned range [%#x, %#x)", ErrProtocol, h.RangeLo, h.RangeHi)
+	}
+	h.Draining = flags&helloFlagDraining != 0
+	h.Meta = tables.Meta{
 		K:       int(k),
-		Reduced: flags&1 != 0,
+		Reduced: flags&helloFlagReduced != 0,
 		Entries: int(entries),
 		Fingerprint: tables.Fingerprint{
 			Elements: le.Uint32(payload[17:]),
@@ -269,51 +325,101 @@ func parseHello(payload []byte) (tables.Meta, error) {
 		LevelCounts: make([]int, k+1),
 	}
 	var sum uint64
-	for c := range m.LevelCounts {
-		n := le.Uint64(payload[41+8*c:])
+	for c := range h.Meta.LevelCounts {
+		n := le.Uint64(payload[helloFixedLen+8*c:])
 		sum += n
 		if n > entries || sum > entries {
-			return m, fmt.Errorf("%w: level %d count %d exceeds declared entries %d", ErrProtocol, c, n, entries)
+			return h, fmt.Errorf("%w: level %d count %d exceeds declared entries %d", ErrProtocol, c, n, entries)
 		}
-		m.LevelCounts[c] = int(n)
+		h.Meta.LevelCounts[c] = int(n)
 	}
-	if err := m.Validate(); err != nil {
-		return m, fmt.Errorf("%w: %w", ErrProtocol, err)
+	if err := h.Meta.Validate(); err != nil {
+		return h, fmt.Errorf("%w: %w", ErrProtocol, err)
 	}
-	return m, nil
+	return h, nil
 }
 
 // Stats are the serving counters a shard server reports over opStats.
 type Stats struct {
 	// Lookups counts LookupBatch requests; Keys the keys they probed and
-	// Hits the subset found. LevelReqs counts LevelKeys requests.
+	// Hits the subset found. LevelReqs counts LevelKeys requests (dense
+	// and sparse).
 	Lookups   uint64 `json:"lookups"`
 	Keys      uint64 `json:"keys"`
 	Hits      uint64 `json:"hits"`
 	LevelReqs uint64 `json:"level_reqs"`
+	// ResidentBytes/MappedBytes report the shard store's page-cache
+	// residency (v3): how much of the mapped table is actually in RAM.
+	// Zero when the backend is not memory-mapped or residency is
+	// unsupported on the host.
+	ResidentBytes uint64 `json:"resident_bytes"`
+	MappedBytes   uint64 `json:"mapped_bytes"`
 }
 
 func encodeStats(st Stats) []byte {
-	buf := make([]byte, 32)
+	buf := make([]byte, 48)
 	le := binary.LittleEndian
 	le.PutUint64(buf[0:], st.Lookups)
 	le.PutUint64(buf[8:], st.Keys)
 	le.PutUint64(buf[16:], st.Hits)
 	le.PutUint64(buf[24:], st.LevelReqs)
+	le.PutUint64(buf[32:], st.ResidentBytes)
+	le.PutUint64(buf[40:], st.MappedBytes)
 	return buf
 }
 
 func parseStats(payload []byte) (Stats, error) {
-	if len(payload) != 32 {
+	if len(payload) != 48 {
 		return Stats{}, fmt.Errorf("%w: stats payload of %d bytes", ErrProtocol, len(payload))
 	}
 	le := binary.LittleEndian
 	return Stats{
-		Lookups:   le.Uint64(payload[0:]),
-		Keys:      le.Uint64(payload[8:]),
-		Hits:      le.Uint64(payload[16:]),
-		LevelReqs: le.Uint64(payload[24:]),
+		Lookups:       le.Uint64(payload[0:]),
+		Keys:          le.Uint64(payload[8:]),
+		Hits:          le.Uint64(payload[16:]),
+		LevelReqs:     le.Uint64(payload[24:]),
+		ResidentBytes: le.Uint64(payload[32:]),
+		MappedBytes:   le.Uint64(payload[40:]),
 	}, nil
+}
+
+// sparseReqLen is the fixed payload of an opLevelSparse request:
+//
+//	cost uint32 | lo uint64 | n uint32 | filterLo uint64 | filterHi uint64
+//
+// Global level positions [lo, lo+n) are scanned and the keys whose high
+// hash falls in [filterLo, filterHi) are returned as (position-lo, key)
+// pairs. The filter is how a full store wired into a split topology
+// serves exactly one range's slice without duplicating siblings' keys.
+const sparseReqLen = 4 + 8 + 4 + 8 + 8
+
+func encodeSparseReq(buf []byte, cost, lo, n int, filterLo, filterHi uint64) []byte {
+	le := binary.LittleEndian
+	buf = le.AppendUint32(buf, uint32(cost))
+	buf = le.AppendUint64(buf, uint64(lo))
+	buf = le.AppendUint32(buf, uint32(n))
+	buf = le.AppendUint64(buf, filterLo)
+	buf = le.AppendUint64(buf, filterHi)
+	return buf
+}
+
+func parseSparseReq(payload []byte) (cost, lo, n int, filterLo, filterHi uint64, err error) {
+	if len(payload) != sparseReqLen {
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: sparse level request of %d bytes", ErrProtocol, len(payload))
+	}
+	le := binary.LittleEndian
+	cost = int(le.Uint32(payload[0:]))
+	lo64 := le.Uint64(payload[4:])
+	n = int(le.Uint32(payload[12:]))
+	filterLo = le.Uint64(payload[16:])
+	filterHi = le.Uint64(payload[24:])
+	if cost > bfs.MaxPackedCost || lo64 > uint64(int(^uint(0)>>1)) || n > maxLevelKeys {
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: sparse level request cost=%d lo=%d n=%d out of contract", ErrProtocol, cost, lo64, n)
+	}
+	if filterLo >= filterHi || filterHi > tables.RangeSpace {
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: sparse level filter [%#x, %#x)", ErrProtocol, filterLo, filterHi)
+	}
+	return cost, int(lo64), n, filterLo, filterHi, nil
 }
 
 // remoteErr converts an opErr payload into an error, capping how much of

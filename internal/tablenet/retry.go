@@ -107,6 +107,12 @@ func retryable(err error) bool {
 		return false
 	case errors.Is(err, ErrRemote):
 		return false
+	case errors.Is(err, ErrOwnership), errors.Is(err, ErrDraining):
+		// Deterministic shard state, not a transport fault: redialing the
+		// same shard returns the same answer. Surfacing immediately is
+		// what lets the router fail over to a sibling replica instead of
+		// burning the retry budget here.
+		return false
 	case errors.Is(err, ErrChecksum):
 		return true
 	case errors.Is(err, io.ErrUnexpectedEOF):

@@ -42,9 +42,15 @@ type Router struct {
 	addrs  [][]string
 	meta   tables.Meta
 	opts   RouterOptions
+	// split records that at least one replica owns less than the full
+	// hash space: level iteration must then fan out sparse per-range
+	// reads and merge them by global position instead of asking any one
+	// replica for the dense range.
+	split bool
 
-	rr    atomic.Uint64   // level-read rotation over all replicas
-	grpRR []atomic.Uint64 // per-range replica rotation for lookups
+	rr            atomic.Uint64   // level-read rotation over all replicas
+	grpRR         []atomic.Uint64 // per-range replica rotation for lookups
+	drainRerouted atomic.Uint64   // sub-batches steered away from draining replicas
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -114,7 +120,11 @@ func NewRouter(shards []tables.Backend) (*Router, error) {
 // backends must serve the same logical table set (same horizon,
 // reduction, entries, level counts, and alphabet fingerprint) — a
 // mixed-generation fleet would answer queries inconsistently, so it is
-// rejected here, at wiring time.
+// rejected here, at wiring time. A replica that reports an owned key
+// range (tables.RangeOwner — split stores and their network clients do)
+// must cover the hash range it is wired into, or the wiring is refused
+// with ErrOwnership: a split file mounted at the wrong fleet position
+// would otherwise answer not-found for keys the fleet holds.
 func NewReplicatedRouter(groups [][]tables.Backend, opts RouterOptions) (*Router, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("tablenet: router needs at least one hash range")
@@ -141,12 +151,22 @@ func NewReplicatedRouter(groups [][]tables.Backend, opts RouterOptions) (*Router
 	for g, reps := range groups {
 		r.health[g] = make([]*healthTracker, len(reps))
 		r.addrs[g] = make([]string, len(reps))
+		wiredLo, wiredHi := tables.RangeOf(g, len(groups))
 		for i, b := range reps {
 			if g+i > 0 && !meta.Compatible(b.Meta()) {
 				return nil, fmt.Errorf("tablenet: range %d replica %d serves a different table set than range 0 replica 0", g, i)
 			}
 			r.health[g][i] = newHealthTracker(opts.EjectAfter, opts.EjectBase, opts.EjectMax)
 			r.addrs[g][i] = backendAddr(b, flat)
+			if ro, ok := b.(tables.RangeOwner); ok {
+				olo, ohi := ro.OwnedRange()
+				if olo > wiredLo || ohi < wiredHi {
+					return nil, fmt.Errorf("%w: range %d replica %s owns [%#x, %#x), wired for [%#x, %#x)", ErrOwnership, g, r.addrs[g][i], olo, ohi, wiredLo, wiredHi)
+				}
+				if olo != 0 || ohi != tables.RangeSpace {
+					r.split = true
+				}
+			}
 			flat++
 		}
 	}
@@ -303,33 +323,53 @@ func (r *Router) tryReplica(ctx context.Context, g, i int, keys []uint64, vals [
 	return nil
 }
 
+// drainReporter is implemented by backends that track their shard's
+// announced drain state (network clients do).
+type drainReporter interface{ Draining() bool }
+
+func isDraining(b tables.Backend) bool {
+	d, ok := b.(drainReporter)
+	return ok && d.Draining()
+}
+
 // replicaOrder returns range g's replicas in failover order: healthy
-// first (rotated), then admitted half-open trials, then everything else
-// as a last resort. trials holds the indices this caller was admitted
-// for — any it does not actually attempt must be released.
+// non-draining first (rotated), then admitted half-open trials, then
+// draining replicas (they still answer — in-flight work finishes during
+// a drain — but new sub-batches should land on siblings), then ejected
+// replicas as a last resort. trials holds the indices this caller was
+// admitted for — any it does not actually attempt must be released.
 func (r *Router) replicaOrder(g int) (order []int, trials map[int]struct{}) {
 	reps := r.groups[g]
 	n := len(reps)
 	start := int(r.grpRR[g].Add(1)-1) % n
 	now := time.Now()
 	order = make([]int, 0, n)
-	var rest []int
+	var trialL, drainL, rest []int
 	for s := 0; s < n; s++ {
 		i := (start + s) % n
 		ok, trial := r.health[g][i].allow(now)
 		switch {
-		case ok && !trial:
-			order = append(order, i)
 		case ok && trial:
 			if trials == nil {
 				trials = make(map[int]struct{})
 			}
 			trials[i] = struct{}{}
-			rest = append([]int{i}, rest...)
+			trialL = append(trialL, i)
+		case ok && isDraining(reps[i]):
+			drainL = append(drainL, i)
+		case ok:
+			order = append(order, i)
 		default:
 			rest = append(rest, i)
 		}
 	}
+	if len(drainL) > 0 && len(order) > 0 {
+		// A draining replica was demoted behind a live sibling: this
+		// sub-batch was rerouted by the drain, not by a fault.
+		r.drainRerouted.Add(1)
+	}
+	order = append(order, trialL...)
+	order = append(order, drainL...)
 	return append(order, rest...), trials
 }
 
@@ -341,15 +381,25 @@ func (r *Router) releaseTrials(g int, trials map[int]struct{}) {
 	}
 }
 
-// LevelKeys forwards a level-range read to one replica, round-robin
-// over the whole fleet, with failover: the request is not keyed (every
-// replica holds the full level index), so any reachable replica can
-// answer it. The rotation is health-aware — ejected replicas sort last,
-// so steady-state level reads never pay a dead replica's retry cycle —
-// and half-open trials admit one probe read when an ejection window
-// expires. A request fails only when every replica does, and the error
-// then names each failing replica.
+// LevelKeys serves a level-range read. In a fleet of full-store
+// replicas the request is not keyed (every replica holds the full level
+// index), so it forwards to one replica, round-robin over the whole
+// fleet, with failover. In a split fleet no single replica holds the
+// dense range: the read fans out one sparse request per hash range —
+// each filtered to that range's interval, so even a full-store replica
+// wired into the topology contributes exactly its range's slice — and
+// the (global position, key) pairs merge back in place, with a coverage
+// check that every slot was filled exactly once.
+//
+// The rotation is health- and drain-aware — ejected and draining
+// replicas sort last, so steady-state level reads never pay a dead
+// replica's retry cycle — and half-open trials admit one probe read when
+// an ejection window expires. A request fails only when every replica
+// does, and the error then names each failing replica.
 func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
+	if r.split {
+		return r.levelKeysSparse(ctx, c, lo, out)
+	}
 	type ref struct{ g, i int }
 	var flat []ref
 	for g, reps := range r.groups {
@@ -361,21 +411,25 @@ func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
 	start := int(r.rr.Add(1)-1) % n
 	now := time.Now()
 	order := make([]ref, 0, n)
-	var rest []ref
+	var trialL, drainL, rest []ref
 	trials := make(map[ref]struct{})
 	for step := 0; step < n; step++ {
 		f := flat[(start+step)%n]
 		ok, trial := r.health[f.g][f.i].allow(now)
 		switch {
-		case ok && !trial:
-			order = append(order, f)
 		case ok && trial:
 			trials[f] = struct{}{}
-			rest = append([]ref{f}, rest...)
+			trialL = append(trialL, f)
+		case ok && isDraining(r.groups[f.g][f.i]):
+			drainL = append(drainL, f)
+		case ok:
+			order = append(order, f)
 		default:
 			rest = append(rest, f)
 		}
 	}
+	order = append(order, trialL...)
+	order = append(order, drainL...)
 	releaseTrials := func() {
 		for f := range trials {
 			r.health[f.g][f.i].release()
@@ -403,6 +457,171 @@ func (r *Router) LevelKeys(ctx context.Context, c, lo int, out []uint64) error {
 		errs = append(errs, fmt.Errorf("%s: %w", r.addrs[f.g][f.i], err))
 	}
 	return fmt.Errorf("tablenet: all %d replicas failed level read: %w", n, errors.Join(errs...))
+}
+
+// levelKeysSparse is the split-fleet level read: one sparse request per
+// hash range, concurrently, each filtered to the range's own interval;
+// the returned (global position, key) pairs scatter into out. Ranges
+// partition the level by key hash, so the position sets are disjoint —
+// the concurrent scatters never touch the same slot — and their union
+// must be exactly the requested window, which the fill count verifies.
+func (r *Router) levelKeysSparse(ctx context.Context, c, lo int, out []uint64) error {
+	if c < 0 || c > r.meta.K {
+		return fmt.Errorf("tablenet: level %d outside horizon %d", c, r.meta.K)
+	}
+	count := r.meta.LevelCounts[c]
+	if lo < 0 || lo+len(out) > count {
+		return fmt.Errorf("tablenet: level %d range [%d, %d) outside [0, %d)", c, lo, lo+len(out), count)
+	}
+	L := len(out)
+	if L == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	filled := make([]bool, L)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	var total atomic.Int64
+	for g := range r.groups {
+		glo, ghi := tables.RangeOf(g, len(r.groups))
+		wg.Add(1)
+		go func(g int, glo, ghi uint64) {
+			defer wg.Done()
+			pos := make([]uint32, L)
+			keys := make([]uint64, L)
+			cnt, err := r.groupSparseLevel(ctx, g, c, lo, L, glo, ghi, pos, keys)
+			if err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					cancel()
+				})
+				return
+			}
+			for j := 0; j < cnt; j++ {
+				p := int(pos[j])
+				if p >= L || filled[p] {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("%w: range %d returned level position %d outside or colliding in window %d", ErrProtocol, g, p, L)
+						cancel()
+					})
+					return
+				}
+				out[p] = keys[j]
+				filled[p] = true
+			}
+			total.Add(int64(cnt))
+		}(g, glo, ghi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if got := int(total.Load()); got != L {
+		return fmt.Errorf("%w: split level read covered %d of %d positions", ErrProtocol, got, L)
+	}
+	return nil
+}
+
+// groupSparseLevel resolves one range's sparse level read with the same
+// replica failover discipline as groupLookup.
+func (r *Router) groupSparseLevel(ctx context.Context, g, c, lo, n int, filterLo, filterHi uint64, pos []uint32, keys []uint64) (int, error) {
+	order, trials := r.replicaOrder(g)
+	var errs []error
+	for _, i := range order {
+		if cerr := ctx.Err(); cerr != nil {
+			r.releaseTrials(g, trials)
+			return 0, cerr
+		}
+		delete(trials, i)
+		cnt, err := tables.SparseLevelKeys(ctx, r.groups[g][i], c, lo, n, filterLo, filterHi, pos, keys)
+		if ctx.Err() == nil {
+			r.health[g][i].observe(err == nil || !retryable(err), time.Now())
+		}
+		if err == nil {
+			r.releaseTrials(g, trials)
+			return cnt, nil
+		}
+		if ctx.Err() != nil || !retryable(err) {
+			r.releaseTrials(g, trials)
+			return 0, err
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", r.addrs[g][i], err))
+	}
+	return 0, fmt.Errorf("tablenet: range %d: all %d replicas failed sparse level read: %w", g, len(r.groups[g]), errors.Join(errs...))
+}
+
+// DrainRerouted counts sub-batches (lookup or level) that were steered
+// away from a draining replica to a live sibling.
+func (r *Router) DrainRerouted() uint64 { return r.drainRerouted.Load() }
+
+// OwnershipMismatches sums, over every replica client, the reconnects
+// refused because a shard's advertised key range no longer matched the
+// range pinned at first handshake.
+func (r *Router) OwnershipMismatches() uint64 {
+	var n uint64
+	for _, reps := range r.groups {
+		for _, b := range reps {
+			if om, ok := b.(interface{ OwnershipMismatches() uint64 }); ok {
+				n += om.OwnershipMismatches()
+			}
+		}
+	}
+	return n
+}
+
+// ShardResidency is one replica's mapped-store page residency — the
+// mincore stats its server reports — labeled for metrics export.
+type ShardResidency struct {
+	Addr          string
+	Range         int
+	ResidentBytes uint64
+	MappedBytes   uint64
+}
+
+// Residency collects each replica's store residency: one ServerStats
+// probe per network replica (bounded by ProbeTimeout, concurrently), a
+// direct read for in-process backends. Replicas that cannot report — no
+// mapped store, or unreachable right now — are omitted rather than
+// reported as zero, so a scrape distinguishes "cold" from "unknown".
+func (r *Router) Residency(ctx context.Context) []ShardResidency {
+	type statser interface {
+		ServerStats(context.Context) (Stats, error)
+	}
+	var mu sync.Mutex
+	var out []ShardResidency
+	var wg sync.WaitGroup
+	for g, reps := range r.groups {
+		for i, b := range reps {
+			ss, ok := b.(statser)
+			if !ok {
+				if rr, ok := b.(tables.ResidencyReporter); ok {
+					if res, mapped, ok := rr.Residency(); ok {
+						out = append(out, ShardResidency{Addr: r.addrs[g][i], Range: g,
+							ResidentBytes: uint64(res), MappedBytes: uint64(mapped)})
+					}
+				}
+				continue
+			}
+			wg.Add(1)
+			go func(addr string, g int, ss statser) {
+				defer wg.Done()
+				sctx, cancel := context.WithTimeout(ctx, r.opts.ProbeTimeout)
+				defer cancel()
+				st, err := ss.ServerStats(sctx)
+				if err != nil || st.MappedBytes == 0 {
+					return
+				}
+				mu.Lock()
+				out = append(out, ShardResidency{Addr: addr, Range: g,
+					ResidentBytes: st.ResidentBytes, MappedBytes: st.MappedBytes})
+				mu.Unlock()
+			}(r.addrs[g][i], g, ss)
+		}
+	}
+	wg.Wait()
+	return out
 }
 
 // pinger is the probe interface network clients implement; in-process
@@ -461,6 +680,9 @@ type ShardStatus struct {
 	// State is the health tracker's view: "healthy", "ejected", or
 	// "half-open".
 	State string
+	// Draining reports the shard's announced drain state: still
+	// answering, but routing steers new work to siblings.
+	Draining bool
 	// Err is nil for a reachable replica.
 	Err error
 }
@@ -475,9 +697,10 @@ func (r *Router) Check(ctx context.Context) []ShardStatus {
 	for g, reps := range r.groups {
 		for i, b := range reps {
 			out = append(out, ShardStatus{
-				Addr:  r.addrs[g][i],
-				Range: g,
-				State: r.health[g][i].stateName(),
+				Addr:     r.addrs[g][i],
+				Range:    g,
+				State:    r.health[g][i].stateName(),
+				Draining: isDraining(b),
 			})
 			p, ok := b.(pinger)
 			if !ok {

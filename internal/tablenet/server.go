@@ -31,7 +31,13 @@ const DefaultIdleTimeout = 5 * time.Minute
 // does.
 type Server struct {
 	backend tables.Backend
-	hello   []byte
+	// hello and helloDraining are the precomputed handshake pair; which
+	// one a new connection receives is picked by a single atomic load of
+	// draining, so a drain begun mid-accept is still announced
+	// consistently.
+	hello         []byte
+	helloDraining []byte
+	draining      atomic.Bool
 
 	// MaxConns caps simultaneous connections (0: DefaultMaxConns);
 	// IdleTimeout drops a connection that sends no request for the
@@ -56,7 +62,10 @@ type Server struct {
 }
 
 // NewServer wraps a backend (typically tables.Local over a memory-mapped
-// store) as a protocol server. The backend must outlive the server.
+// store, or tables.Partial over a split store) as a protocol server. The
+// backend must outlive the server. A backend implementing
+// tables.RangeOwner has its owned range advertised in the hello; full
+// stores advertise [0, tables.RangeSpace).
 func NewServer(b tables.Backend) (*Server, error) {
 	if b == nil {
 		return nil, fmt.Errorf("tablenet: nil backend")
@@ -65,23 +74,41 @@ func NewServer(b tables.Backend) (*Server, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	h := hello{Meta: m, RangeLo: 0, RangeHi: tables.RangeSpace}
+	if ro, ok := b.(tables.RangeOwner); ok {
+		h.RangeLo, h.RangeHi = ro.OwnedRange()
+	}
+	hd := h
+	hd.Draining = true
 	return &Server{
-		backend:   b,
-		hello:     encodeHello(m),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		backend:       b,
+		hello:         encodeHello(h),
+		helloDraining: encodeHello(hd),
+		listeners:     make(map[net.Listener]struct{}),
+		conns:         make(map[net.Conn]struct{}),
 	}, nil
 }
 
-// Stats snapshots the serving counters.
+// Stats snapshots the serving counters, including the backing store's
+// page-cache residency when the backend can report it.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Lookups:   s.lookups.Load(),
 		Keys:      s.keys.Load(),
 		Hits:      s.hits.Load(),
 		LevelReqs: s.levelReqs.Load(),
 	}
+	if rr, ok := s.backend.(tables.ResidencyReporter); ok {
+		if res, mapped, ok := rr.Residency(); ok {
+			st.ResidentBytes = uint64(res)
+			st.MappedBytes = uint64(mapped)
+		}
+	}
+	return st
 }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Serve accepts connections on l until Close (returning ErrServerClosed)
 // or an accept error. Call from as many listeners as needed.
@@ -161,6 +188,39 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Drain begins a graceful shutdown. The draining flag flips first — so
+// every hello and ping from this moment on announces it — then the
+// listeners close (no new connections) and every open connection's read
+// deadline is yanked to now: a connection idle in its read fails
+// immediately and closes, while one mid-request still writes its
+// response (only reads are deadlined) and closes before reading another.
+// No accepted request is dropped. Drain then waits for the connection
+// handlers to finish, or for ctx to expire; either way the server is
+// done accepting work and a subsequent Close is cheap.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.draining.Store(true)
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // connScratch is one connection's reusable workspace. out is the
 // pooled whole-frame response buffer: header, opcode, and payload are
 // laid out once and written with a single Write, so the steady state
@@ -172,6 +232,7 @@ type connScratch struct {
 	keys  []uint64
 	vals  []uint16
 	found []bool
+	pos   []uint32
 }
 
 // serveConn speaks the protocol on one connection: hello first, then a
@@ -181,7 +242,11 @@ func (s *Server) serveConn(c net.Conn) {
 	defer c.Close()
 	br := bufio.NewReaderSize(c, 1<<16)
 	bw := bufio.NewWriterSize(c, 1<<16)
-	if err := writeFrame(bw, opHello, s.hello); err != nil {
+	h := s.hello
+	if s.draining.Load() {
+		h = s.helloDraining
+	}
+	if err := writeFrame(bw, opHello, h); err != nil {
 		return
 	}
 	if err := bw.Flush(); err != nil {
@@ -193,8 +258,19 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 	sc := &connScratch{frame: make([]byte, 4096)}
 	for {
-		if idle > 0 {
+		// The deadline reset races with Drain's deadline-to-now nudge;
+		// taking mu (which Drain holds while nudging) makes the two
+		// orderings both safe: either this iteration sees draining and
+		// returns, or Drain's nudge lands after the reset and the read
+		// below fails immediately.
+		s.mu.Lock()
+		draining := s.draining.Load()
+		if !draining && idle > 0 {
 			c.SetReadDeadline(time.Now().Add(idle))
+		}
+		s.mu.Unlock()
+		if draining {
+			return // current request already answered; drain closes here
 		}
 		op, payload, err := readFrame(br, sc.frame)
 		if err != nil {
@@ -235,7 +311,14 @@ func (s *Server) handleRequest(op byte, payload []byte, sc *connScratch) (byte, 
 		if len(payload) != 0 {
 			return 0, nil, fmt.Errorf("%w: ping carries %d payload bytes", ErrProtocol, len(payload))
 		}
-		return opPingR, nil, nil
+		// The one-byte drain state lets pooled client connections learn
+		// of a drain from their regular health probe without redialing
+		// for a fresh hello.
+		drain := byte(0)
+		if s.draining.Load() {
+			drain = 1
+		}
+		return opPingR, []byte{drain}, nil
 
 	case opStats:
 		if len(payload) != 0 {
@@ -320,6 +403,43 @@ func (s *Server) handleRequest(op byte, payload []byte, sc *connScratch) (byte, 
 			le.PutUint64(resp[4+8*i:], k)
 		}
 		return opLevelR, resp, nil
+
+	case opLevelSparse:
+		cost, lo, n, filterLo, filterHi, err := parseSparseReq(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		m := s.backend.Meta()
+		if cost > m.K {
+			return 0, nil, fmt.Errorf("%w: level %d outside horizon %d", ErrProtocol, cost, m.K)
+		}
+		if lo > m.LevelCounts[cost] || n > m.LevelCounts[cost]-lo {
+			return 0, nil, fmt.Errorf("%w: sparse level %d window [%d, %d) outside its %d entries", ErrProtocol, cost, lo, lo+n, m.LevelCounts[cost])
+		}
+		if cap(sc.keys) < n {
+			sc.keys = make([]uint64, n)
+			sc.vals = make([]uint16, n)
+			sc.found = make([]bool, n)
+		}
+		if cap(sc.pos) < n {
+			sc.pos = make([]uint32, n)
+		}
+		cnt, err := tables.SparseLevelKeys(context.Background(), s.backend, cost, lo, n, filterLo, filterHi, sc.pos[:n], sc.keys[:n])
+		if err != nil {
+			return 0, nil, fmt.Errorf("sparse level fetch failed: %w", err)
+		}
+		s.levelReqs.Add(1)
+		respLen := 4 + 12*cnt
+		if cap(sc.resp) < respLen {
+			sc.resp = make([]byte, respLen)
+		}
+		resp := sc.resp[:respLen]
+		le.PutUint32(resp, uint32(cnt))
+		for i := 0; i < cnt; i++ {
+			le.PutUint32(resp[4+12*i:], sc.pos[i])
+			le.PutUint64(resp[8+12*i:], sc.keys[i])
+		}
+		return opLevelSparseR, resp, nil
 
 	default:
 		return 0, nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, op)

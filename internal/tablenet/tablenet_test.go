@@ -659,7 +659,7 @@ func TestClientSurvivesServerRestart(t *testing.T) {
 // handshakes, then goes silent must not pin a request past its
 // context's cancellation — plain cancel, no deadline.
 func TestClientCancellationInterruptsStall(t *testing.T) {
-	hello := encodeHello(fixtureBackend(t).Meta())
+	helloBytes := encodeHello(hello{Meta: fixtureBackend(t).Meta(), RangeLo: 0, RangeHi: tables.RangeSpace})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -671,7 +671,7 @@ func TestClientCancellationInterruptsStall(t *testing.T) {
 			if err != nil {
 				return
 			}
-			writeFrame(c, opHello, hello)
+			writeFrame(c, opHello, helloBytes)
 			// ...and never answer anything again.
 		}
 	}()
@@ -697,18 +697,22 @@ func TestClientCancellationInterruptsStall(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	m := fixtureBackend(t).Meta()
-	got, err := parseHello(encodeHello(m))
+	lo, hi := tables.RangeOf(1, 2)
+	want := hello{Meta: fixtureBackend(t).Meta(), RangeLo: lo, RangeHi: hi, Draining: true}
+	got, err := parseHello(encodeHello(want))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got.Compatible(m) {
-		t.Fatalf("hello round trip: %+v != %+v", got, m)
+	if !got.Meta.Compatible(want.Meta) {
+		t.Fatalf("hello round trip: %+v != %+v", got.Meta, want.Meta)
+	}
+	if got.RangeLo != lo || got.RangeHi != hi || !got.Draining {
+		t.Fatalf("hello round trip dropped serving state: %+v", got)
 	}
 }
 
 func TestStatsRoundTrip(t *testing.T) {
-	want := Stats{Lookups: 1, Keys: 2, Hits: 3, LevelReqs: 4}
+	want := Stats{Lookups: 1, Keys: 2, Hits: 3, LevelReqs: 4, ResidentBytes: 5, MappedBytes: 6}
 	got, err := parseStats(encodeStats(want))
 	if err != nil {
 		t.Fatal(err)

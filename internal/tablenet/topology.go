@@ -1,0 +1,232 @@
+package tablenet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/hashtab"
+	"repro/internal/tables"
+)
+
+// Topology is the declarative description of a serving fleet — the
+// fleet.json a router daemon loads at start and reloads on SIGHUP or
+// POST /admin/topology. It names the members; which member serves which
+// hash range is decided here, by rendezvous hashing filtered through
+// ownership (a member only qualifies for a range its store covers), so
+// two routers reading the same topology always wire the same fleet
+// without coordinating.
+//
+// Generation orders topologies: a reload only applies when the incoming
+// generation is strictly newer, so a stale file redelivered by a config
+// system cannot roll the fleet backwards.
+type Topology struct {
+	// Generation is the topology's monotonic version.
+	Generation uint64 `json:"generation"`
+	// Ranges is the hash-range count queries partition over.
+	Ranges int `json:"ranges"`
+	// Replication is how many members rendezvous assignment places on
+	// each range (0 means 1). Ignored when Groups pins the layout.
+	Replication int `json:"replication,omitempty"`
+	// Members are the shard addresses rendezvous assignment draws from.
+	Members []string `json:"members,omitempty"`
+	// Groups, when set, pins the layout explicitly: Groups[g] lists the
+	// replica addresses of hash range g. Overrides Members/Replication.
+	Groups [][]string `json:"groups,omitempty"`
+}
+
+// ParseTopology decodes and validates a topology document.
+func ParseTopology(data []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tablenet: parsing topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadTopologyFile reads and parses a topology file.
+func LoadTopologyFile(path string) (*Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTopology(data)
+}
+
+// Validate checks the topology's internal consistency.
+func (t *Topology) Validate() error {
+	if len(t.Groups) > 0 {
+		if t.Ranges != 0 && t.Ranges != len(t.Groups) {
+			return fmt.Errorf("tablenet: topology declares %d ranges but pins %d groups", t.Ranges, len(t.Groups))
+		}
+		for g, reps := range t.Groups {
+			if len(reps) == 0 {
+				return fmt.Errorf("tablenet: topology group %d has no replicas", g)
+			}
+		}
+		return nil
+	}
+	if t.Ranges < 1 {
+		return fmt.Errorf("tablenet: topology needs at least one range (got %d)", t.Ranges)
+	}
+	if len(t.Members) == 0 {
+		return fmt.Errorf("tablenet: topology has no members")
+	}
+	seen := make(map[string]struct{}, len(t.Members))
+	for _, m := range t.Members {
+		if m == "" {
+			return fmt.Errorf("tablenet: topology member with empty address")
+		}
+		if _, dup := seen[m]; dup {
+			return fmt.Errorf("tablenet: topology member %q listed twice", m)
+		}
+		seen[m] = struct{}{}
+	}
+	return nil
+}
+
+// NumRanges returns the effective range count (pinned groups win).
+func (t *Topology) NumRanges() int {
+	if len(t.Groups) > 0 {
+		return len(t.Groups)
+	}
+	return t.Ranges
+}
+
+// rendezvousScore ranks member addr for hash range g: the member with
+// the highest score owns the range's first replica slot, the next
+// highest its second, and so on. Hashing (addr, range) jointly means
+// adding or removing one member only moves the ranges that member wins —
+// the minimal-disruption property that keeps a membership change from
+// reshuffling the whole fleet's page caches.
+func rendezvousScore(addr string, g int) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= 1099511628211
+	}
+	return hashtab.Hash64Shift(h ^ uint64(g)<<1)
+}
+
+// Assign resolves the topology to an explicit groups[range][replica]
+// address layout. owned reports each member's owned key range (what its
+// hello advertised); members whose store does not cover a range are
+// filtered from that range's candidates before rendezvous ranking, so a
+// fleet of split stores lands each store on exactly the range it holds.
+// A range with no covering member is an error — assignment must never
+// produce a fleet with a hole.
+func (t *Topology) Assign(owned func(addr string) (lo, hi uint64)) ([][]string, error) {
+	if len(t.Groups) > 0 {
+		return t.Groups, nil
+	}
+	repl := t.Replication
+	if repl <= 0 {
+		repl = 1
+	}
+	groups := make([][]string, t.Ranges)
+	for g := range groups {
+		wiredLo, wiredHi := tables.RangeOf(g, t.Ranges)
+		cands := make([]string, 0, len(t.Members))
+		for _, m := range t.Members {
+			lo, hi := owned(m)
+			if lo <= wiredLo && wiredHi <= hi {
+				cands = append(cands, m)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: no member owns range %d of %d", ErrOwnership, g, t.Ranges)
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			sa, sb := rendezvousScore(cands[a], g), rendezvousScore(cands[b], g)
+			if sa != sb {
+				return sa > sb
+			}
+			return cands[a] < cands[b]
+		})
+		n := min(repl, len(cands))
+		groups[g] = append([]string(nil), cands[:n]...)
+	}
+	return groups, nil
+}
+
+// BuildFleet dials the topology's members (each address once, via dial)
+// and wires them into groups[range][replica] backends, rendezvous-
+// assigned and ownership-filtered by what each member's handshake
+// actually advertised. On any error every dialed backend is closed. The
+// caller typically hands the groups to NewReplicatedRouter, which
+// re-verifies ownership against the wiring as its own last line of
+// defense.
+func BuildFleet(t *Topology, dial func(addr string) (tables.Backend, error)) ([][]tables.Backend, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	backends := make(map[string]tables.Backend)
+	closeAll := func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}
+	get := func(addr string) (tables.Backend, error) {
+		if b, ok := backends[addr]; ok {
+			return b, nil
+		}
+		b, err := dial(addr)
+		if err != nil {
+			return nil, fmt.Errorf("tablenet: dialing member %s: %w", addr, err)
+		}
+		backends[addr] = b
+		return b, nil
+	}
+	// Dial the member set first: ownership filtering needs every
+	// member's advertised range before any assignment is decided.
+	members := t.Members
+	if len(t.Groups) > 0 {
+		members = nil
+		for _, reps := range t.Groups {
+			members = append(members, reps...)
+		}
+	}
+	for _, m := range members {
+		if _, err := get(m); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	layout, err := t.Assign(func(addr string) (lo, hi uint64) {
+		if ro, ok := backends[addr].(tables.RangeOwner); ok {
+			return ro.OwnedRange()
+		}
+		return 0, tables.RangeSpace
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	groups := make([][]tables.Backend, len(layout))
+	used := make(map[string]struct{}, len(backends))
+	for g, reps := range layout {
+		groups[g] = make([]tables.Backend, len(reps))
+		for i, addr := range reps {
+			b, err := get(addr)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			groups[g][i] = b
+			used[addr] = struct{}{}
+		}
+	}
+	// A member dialed for the ownership census but assigned nowhere
+	// (outscored everywhere by rendezvous) must not leak its connection:
+	// the router will never close what it was never given.
+	for addr, b := range backends {
+		if _, ok := used[addr]; !ok {
+			b.Close()
+		}
+	}
+	return groups, nil
+}

@@ -1,6 +1,7 @@
 package tablesio
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"unsafe"
 
 	"repro/internal/bfs"
+	"repro/internal/tables"
 )
 
 // hostLittleEndian gates the zero-copy reinterpretation of mapped bytes
@@ -27,8 +29,13 @@ type LoadInfo struct {
 	MemoryMapped bool
 	// Bytes is the store size on disk.
 	Bytes int64
-	// Entries is the number of table entries loaded.
+	// Entries is the number of table entries loaded (local entries for a
+	// split store).
 	Entries int
+	// Split carries a split store's range and global-order metadata; nil
+	// for a full store. It is only ever non-nil when the load opted in
+	// with LoadOptions.AllowSplit.
+	Split *tables.Split
 }
 
 // String renders the info the way serving logs and /stats report it.
@@ -39,6 +46,9 @@ func (i LoadInfo) String() string {
 	s := fmt.Sprintf("v%d", i.Version)
 	if i.MemoryMapped {
 		s += "+mmap"
+	}
+	if i.Split != nil {
+		s += fmt.Sprintf("+split(%d/%d)", i.Split.I, i.Split.N)
 	}
 	return s
 }
@@ -88,7 +98,8 @@ func LoadFile(path string, alphabet *bfs.Alphabet, opts *LoadOptions) (*bfs.Resu
 		case err == nil:
 			return res, info, nil
 		case errors.Is(err, ErrCorrupt) || errors.Is(err, ErrBadMagic) ||
-			errors.Is(err, ErrUnsupportedVersion) || errors.Is(err, ErrAlphabetMismatch):
+			errors.Is(err, ErrUnsupportedVersion) || errors.Is(err, ErrAlphabetMismatch) ||
+			errors.Is(err, ErrSplitStore):
 			// A verdict on the file itself; falling back would just parse
 			// the same damage more slowly (or, worse, more leniently).
 			return nil, LoadInfo{}, err
@@ -99,15 +110,24 @@ func LoadFile(path string, alphabet *bfs.Alphabet, opts *LoadOptions) (*bfs.Resu
 			return nil, LoadInfo{}, serr
 		}
 	}
+	if [3]byte{m[0], m[1], m[2]} == magicPrefix && m[3] == version2 {
+		// The v2 streaming path directly, so a split store's metadata
+		// survives the mmap fallback (LoadWithOptions cannot return it).
+		maxEntries := opts.MaxEntries
+		if maxEntries <= 0 {
+			maxEntries = DefaultMaxEntries
+		}
+		res, split, err := loadV2Stream(bufio.NewReaderSize(f, 1<<20), alphabet, opts, maxEntries)
+		if err != nil {
+			return nil, LoadInfo{}, err
+		}
+		return res, LoadInfo{Version: 2, Bytes: st.Size(), Entries: res.TotalStored(), Split: split}, nil
+	}
 	res, err := LoadWithOptions(f, alphabet, opts)
 	if err != nil {
 		return nil, LoadInfo{}, err
 	}
-	version := 1
-	if m[3] == version2 {
-		version = 2
-	}
-	return res, LoadInfo{Version: version, Bytes: st.Size(), Entries: res.TotalStored()}, nil
+	return res, LoadInfo{Version: 1, Bytes: st.Size(), Entries: res.TotalStored()}, nil
 }
 
 // loadV2Mmap is the zero-copy fast path: validate the header page, check
@@ -124,6 +144,9 @@ func loadV2Mmap(f *os.File, size int64, alphabet *bfs.Alphabet, opts *LoadOption
 	h, _, err := parseHeaderV2(page)
 	if err != nil {
 		return nil, LoadInfo{}, err
+	}
+	if h.split() && !opts.AllowSplit {
+		return nil, LoadInfo{}, fmt.Errorf("%w: store holds range %d of %d", ErrSplitStore, h.splitI, h.splitN)
 	}
 	if want := fingerprintOf(alphabet); h.fp != want {
 		return nil, LoadInfo{}, fmt.Errorf("%w (file %+v, given %+v)", ErrAlphabetMismatch, h.fp, want)
@@ -150,7 +173,11 @@ func loadV2Mmap(f *os.File, size int64, alphabet *bfs.Alphabet, opts *LoadOption
 	// Geometry validation guarantees every section starts strictly inside
 	// the mapping: slots ≥ 16 puts keys/vals before their own non-empty
 	// payloads, and entryCount ≥ 1 (enforced) keeps idxOff < fileSize.
-	for _, off := range []uint64{l.keysOff, l.valsOff, l.idxOff} {
+	sections := []uint64{l.keysOff, l.valsOff, l.idxOff}
+	if h.split() {
+		sections = append(sections, l.gposOff)
+	}
+	for _, off := range sections {
 		if off >= uint64(len(data)) || uintptr(unsafe.Pointer(&data[off]))%8 != 0 {
 			return fail(fmt.Errorf("%w: section at %d is outside or misaligned in the mapping", ErrCorrupt, off))
 		}
@@ -159,16 +186,25 @@ func loadV2Mmap(f *os.File, size int64, alphabet *bfs.Alphabet, opts *LoadOption
 	keys := unsafe.Slice((*uint64)(unsafe.Pointer(&data[l.keysOff])), total)
 	vals := unsafe.Slice((*uint16)(unsafe.Pointer(&data[l.valsOff])), total)
 	idx := unsafe.Slice((*uint32)(unsafe.Pointer(&data[l.idxOff])), int(h.entryCount))
+	var gpos []uint32
+	if h.split() {
+		// The split metadata aliases the mapping (like the slot arrays),
+		// so it shares the result's lifetime: valid until res is closed.
+		gpos = unsafe.Slice((*uint32)(unsafe.Pointer(&data[l.gposOff])), int(h.entryCount))
+	}
 	if opts.VerifyContent {
 		if hashKeyWords(keys) != h.keysHash || hashValWords(vals) != h.valsHash || hashIdxWords(idx) != h.idxHash {
 			return fail(fmt.Errorf("%w: section fingerprint mismatch", ErrCorrupt))
 		}
+		if h.split() && hashIdxWords(gpos) != h.gposHash {
+			return fail(fmt.Errorf("%w: global-position section fingerprint mismatch", ErrCorrupt))
+		}
 	}
-	res, err := assembleV2(h, alphabet, keys, vals, idx, opts, opts.VerifyContent)
+	res, split, err := assembleV2(h, alphabet, keys, vals, idx, gpos, opts, opts.VerifyContent)
 	if err != nil {
 		return fail(err)
 	}
 	res.Frozen.SetMapped(data)
 	res.Frozen.SetCloser(unmap)
-	return res, LoadInfo{Version: 2, MemoryMapped: true, Bytes: size, Entries: res.TotalStored()}, nil
+	return res, LoadInfo{Version: 2, MemoryMapped: true, Bytes: size, Entries: res.TotalStored(), Split: split}, nil
 }

@@ -13,11 +13,24 @@
 //
 //	page 0   magic "RVT2" | flags | k | alphabet fingerprint |
 //	         geometry (shards, slots/shard, entries) | section offsets |
-//	         section fingerprints | per-level counts | header fingerprint
+//	         section fingerprints | per-level counts |
+//	         [split extension] | header fingerprint
 //	aligned  keys  — totalSlots × uint64 (0 = empty slot)
 //	aligned  vals  — totalSlots × uint16 (cost-packed bfs values)
 //	aligned  index — entries × uint32 global slot numbers, grouped by
 //	         cost level in level-storage order
+//	8-align  gpos  — split stores only: entries × uint32 global
+//	         level positions, same grouping as index
+//
+// A *split* store (flagSplit) holds one of splitN equal high-Wang-hash
+// ranges of a table set: the slot arrays cover only the owned range's
+// shards (disk and resident set ≈ 1/N), the header's geometry and level
+// counts describe the LOCAL contents (so every structural check above
+// applies unchanged), and the split extension records which range this
+// is plus the GLOBAL entry/level counts. The gpos section maps each
+// local entry to its position in the global level order, which is what
+// lets a fleet of split shards reproduce full-table level iteration —
+// and therefore byte-identical synthesis — through sparse merges.
 //
 // Integrity is two-tier, matching the two load paths. The header always
 // carries and verifies an xxhash-style fingerprint of itself; the three
@@ -39,6 +52,7 @@ import (
 
 	"repro/internal/bfs"
 	"repro/internal/hashtab"
+	"repro/internal/tables"
 )
 
 const (
@@ -157,16 +171,25 @@ type layoutV2 struct {
 	keysOff    uint64
 	valsOff    uint64
 	idxOff     uint64
-	fileSize   uint64
+	// gposOff is the global-position section of a split store (0 for a
+	// full store); it follows the index section at 8-byte alignment, so
+	// both uint32 sections stay word-aligned in a page-aligned mapping.
+	gposOff  uint64
+	fileSize uint64
 }
 
-func computeLayoutV2(headerLen int, shardCount uint32, slotsPerShard, entryCount uint64) layoutV2 {
+func computeLayoutV2(headerLen int, shardCount uint32, slotsPerShard, entryCount uint64, split bool) layoutV2 {
 	var l layoutV2
 	l.totalSlots = uint64(shardCount) * slotsPerShard
 	l.keysOff = alignUp(uint64(headerLen), pageAlign)
 	l.valsOff = alignUp(l.keysOff+l.totalSlots*8, pageAlign)
 	l.idxOff = alignUp(l.valsOff+l.totalSlots*2, pageAlign)
-	l.fileSize = l.idxOff + alignUp(entryCount*4, 8)
+	idxSize := alignUp(entryCount*4, 8)
+	l.fileSize = l.idxOff + idxSize
+	if split {
+		l.gposOff = l.fileSize
+		l.fileSize += idxSize
+	}
 	return l
 }
 
@@ -186,9 +209,33 @@ type headerV2 struct {
 	valsHash      uint64
 	idxHash       uint64
 	levelCounts   []uint64
+	// Split extension (flagSplit): which of splitN ranges this store
+	// holds, the global table-set shape, and the gpos section's offset
+	// and fingerprint. levelCounts above stay LOCAL.
+	splitN            uint32
+	splitI            uint32
+	globalEntries     uint64
+	gposOff           uint64
+	gposHash          uint64
+	globalLevelCounts []uint64
 }
 
-func (h *headerV2) headerLen() int { return headerFixedLen + (int(h.maxCost)+1)*8 + 8 }
+// splitExtLen is the fixed part of the split header extension:
+// splitN u32 | splitI u32 | globalEntries u64 | gposOff u64 | gposHash
+// u64, followed by (maxCost+1) global level counts.
+const splitExtLen = 32
+
+func (h *headerV2) split() bool { return h.flags&flagSplit != 0 }
+
+func headerLenFor(flags, maxCost uint32) int {
+	n := headerFixedLen + (int(maxCost)+1)*8 + 8
+	if flags&flagSplit != 0 {
+		n += splitExtLen + (int(maxCost)+1)*8
+	}
+	return n
+}
+
+func (h *headerV2) headerLen() int { return headerLenFor(h.flags, h.maxCost) }
 
 // encodeHeaderV2 lays the header out, computes its trailing fingerprint,
 // and returns the encoded bytes.
@@ -220,6 +267,18 @@ func encodeHeaderV2(h *headerV2) []byte {
 	for _, n := range h.levelCounts {
 		le.PutUint64(buf[off:], n)
 		off += 8
+	}
+	if h.split() {
+		le.PutUint32(buf[off:], h.splitN)
+		le.PutUint32(buf[off+4:], h.splitI)
+		le.PutUint64(buf[off+8:], h.globalEntries)
+		le.PutUint64(buf[off+16:], h.gposOff)
+		le.PutUint64(buf[off+24:], h.gposHash)
+		off += splitExtLen
+		for _, n := range h.globalLevelCounts {
+			le.PutUint64(buf[off:], n)
+			off += 8
+		}
 	}
 	le.PutUint64(buf[off:], hashBytesV2(buf[:off]))
 	return buf
@@ -271,6 +330,19 @@ func parseHeaderV2(b []byte) (*headerV2, int, error) {
 	for c := range h.levelCounts {
 		h.levelCounts[c] = le.Uint64(b[headerFixedLen+8*c:])
 	}
+	if h.split() {
+		off := headerFixedLen + 8*len(h.levelCounts)
+		h.splitN = le.Uint32(b[off:])
+		h.splitI = le.Uint32(b[off+4:])
+		h.globalEntries = le.Uint64(b[off+8:])
+		h.gposOff = le.Uint64(b[off+16:])
+		h.gposHash = le.Uint64(b[off+24:])
+		off += splitExtLen
+		h.globalLevelCounts = make([]uint64, h.maxCost+1)
+		for c := range h.globalLevelCounts {
+			h.globalLevelCounts[c] = le.Uint64(b[off+8*c:])
+		}
+	}
 	return h, n, nil
 }
 
@@ -321,8 +393,35 @@ func validateGeometryV2(h *headerV2, maxEntries int64) (layoutV2, error) {
 	if sum != h.entryCount {
 		return layoutV2{}, fmt.Errorf("%w: level counts sum to %d, header declares %d", ErrCorrupt, sum, h.entryCount)
 	}
-	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount)
-	if l.keysOff != h.keysOff || l.valsOff != h.valsOff || l.idxOff != h.idxOff || l.fileSize != h.fileSize {
+	if h.split() {
+		sn := uint64(h.splitN)
+		if sn == 0 || sn&(sn-1) != 0 || sn > maxShardCount || uint64(h.splitI) >= sn {
+			return layoutV2{}, fmt.Errorf("%w: split %d/%d is not a valid power-of-two partition", ErrCorrupt, h.splitI, sn)
+		}
+		if sc*sn > maxShardCount {
+			return layoutV2{}, fmt.Errorf("%w: %d shards × split %d exceed the shard-count cap", ErrCorrupt, sc, sn)
+		}
+		if h.globalEntries > maxTotalSlots {
+			// Global level positions must stay addressable by uint32.
+			return layoutV2{}, fmt.Errorf("%w: %d global entries exceed the uint32 position space", ErrCorrupt, h.globalEntries)
+		}
+		var gsum uint64
+		for c, n := range h.globalLevelCounts {
+			if n > h.globalEntries {
+				return layoutV2{}, fmt.Errorf("%w: global level %d declares %d entries, total %d", ErrCorrupt, c, n, h.globalEntries)
+			}
+			if n < h.levelCounts[c] {
+				return layoutV2{}, fmt.Errorf("%w: global level %d smaller than its local share (%d < %d)", ErrCorrupt, c, n, h.levelCounts[c])
+			}
+			gsum += n
+		}
+		if gsum != h.globalEntries {
+			return layoutV2{}, fmt.Errorf("%w: global level counts sum to %d, header declares %d", ErrCorrupt, gsum, h.globalEntries)
+		}
+	}
+	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount, h.split())
+	if l.keysOff != h.keysOff || l.valsOff != h.valsOff || l.idxOff != h.idxOff ||
+		l.gposOff != h.gposOff || l.fileSize != h.fileSize {
 		return layoutV2{}, fmt.Errorf("%w: section offsets disagree with the table geometry", ErrCorrupt)
 	}
 	return l, nil
@@ -358,8 +457,106 @@ func SaveV2(w io.Writer, res *bfs.Result) error {
 	for c, n := range counts {
 		h.levelCounts[c] = uint64(n)
 	}
-	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount)
-	h.keysOff, h.valsOff, h.idxOff, h.fileSize = l.keysOff, l.valsOff, l.idxOff, l.fileSize
+	return writeV2(w, h, keys, vals, levelIdx, nil)
+}
+
+// SaveSplit serializes range i of n (a power of two) of a full result as
+// a split v2 store: only the owned range's entries, laid into their own
+// split frozen table, with the global level geometry and per-entry
+// global positions recorded so a fleet of such stores reassembles the
+// exact global level order. Splitting is an offline cut of an immutable
+// table set, so the same (res, n) always produces the same n files.
+func SaveSplit(w io.Writer, res *bfs.Result, n, i int) error {
+	if res == nil {
+		return fmt.Errorf("tablesio: nil result")
+	}
+	if n < 1 || n&(n-1) != 0 || n > maxShardCount {
+		return fmt.Errorf("tablesio: split count %d is not a power of two in [1, %d]", n, maxShardCount)
+	}
+	if i < 0 || i >= n {
+		return fmt.Errorf("tablesio: split index %d outside [0, %d)", i, n)
+	}
+	fullFT, _, counts, err := res.CompactView()
+	if err != nil {
+		return err
+	}
+	lo, hi := tables.RangeOf(i, n)
+	var (
+		keys        []uint64
+		vals        []uint16
+		gpos        []uint32
+		localCounts = make([]uint64, len(counts))
+	)
+	for c := 0; c <= res.MaxCost; c++ {
+		lv := res.Level(c)
+		for j := 0; j < lv.Len(); j++ {
+			k := uint64(lv.At(j))
+			if !tables.KeyInRange(k, lo, hi) {
+				continue
+			}
+			v, ok := fullFT.Lookup(k)
+			if !ok {
+				return fmt.Errorf("tablesio: representative %#x missing from its own table", k)
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+			gpos = append(gpos, uint32(j))
+			localCounts[c]++
+		}
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("tablesio: split %d/%d owns no entries (table too small for %d ranges)", i, n, n)
+	}
+	// Keep the full table's shard granularity where possible: n ranges of
+	// shardCount/n shards reproduce the full table's conceptual shard
+	// grid, so per-shard slot sizing stays comparable across the fleet.
+	sc := fullFT.ShardCount() / n
+	if sc < 1 {
+		sc = 1
+	}
+	ft, err := hashtab.CompactSplit(keys, vals, sc, n, i)
+	if err != nil {
+		return err
+	}
+	idx := make([]uint32, len(keys))
+	for j, k := range keys {
+		slot, ok := ft.SlotOf(k)
+		if !ok {
+			return fmt.Errorf("tablesio: split entry %#x lost during placement", k)
+		}
+		idx[j] = slot
+	}
+	h := &headerV2{
+		flags:         flagSplit,
+		maxCost:       uint32(res.MaxCost),
+		fp:            fingerprintOf(res.Alphabet),
+		shardCount:    uint32(ft.ShardCount()),
+		slotsPerShard: uint64(ft.SlotsPerShard()),
+		entryCount:    uint64(ft.Len()),
+		keysHash:      hashKeyWords(ft.RawKeys()),
+		valsHash:      hashValWords(ft.RawVals()),
+		idxHash:       hashIdxWords(idx),
+		levelCounts:   localCounts,
+		splitN:        uint32(n),
+		splitI:        uint32(i),
+		globalEntries: uint64(res.TotalStored()),
+		gposHash:      hashIdxWords(gpos),
+	}
+	if res.Reduced {
+		h.flags |= flagReduced
+	}
+	h.globalLevelCounts = make([]uint64, len(counts))
+	for c, gn := range counts {
+		h.globalLevelCounts[c] = uint64(gn)
+	}
+	return writeV2(w, h, ft.RawKeys(), ft.RawVals(), idx, gpos)
+}
+
+// writeV2 computes the layout, stamps the offsets into the header, and
+// streams header plus sections (gpos only for split stores).
+func writeV2(w io.Writer, h *headerV2, keys []uint64, vals []uint16, levelIdx, gpos []uint32) error {
+	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount, h.split())
+	h.keysOff, h.valsOff, h.idxOff, h.gposOff, h.fileSize = l.keysOff, l.valsOff, l.idxOff, l.gposOff, l.fileSize
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	pos := uint64(0)
@@ -409,12 +606,26 @@ func SaveV2(w io.Writer, res *bfs.Result) error {
 	if err := padTo(l.idxOff); err != nil {
 		return err
 	}
-	for lo := 0; lo < len(levelIdx); lo += len(buf) / 4 {
-		hi := min(lo+len(buf)/4, len(levelIdx))
-		for i, v := range levelIdx[lo:hi] {
-			binary.LittleEndian.PutUint32(buf[i*4:], v)
+	writeU32s := func(vs []uint32) error {
+		for lo := 0; lo < len(vs); lo += len(buf) / 4 {
+			hi := min(lo+len(buf)/4, len(vs))
+			for i, v := range vs[lo:hi] {
+				binary.LittleEndian.PutUint32(buf[i*4:], v)
+			}
+			if err := emit(buf[:(hi-lo)*4]); err != nil {
+				return err
+			}
 		}
-		if err := emit(buf[:(hi-lo)*4]); err != nil {
+		return nil
+	}
+	if err := writeU32s(levelIdx); err != nil {
+		return err
+	}
+	if h.split() {
+		if err := padTo(l.gposOff); err != nil {
+			return err
+		}
+		if err := writeU32s(gpos); err != nil {
 			return err
 		}
 	}
@@ -435,31 +646,35 @@ const sectionChunk = 1 << 20
 // re-validates the structural invariants entry by entry. This is the
 // path for untrusted bytes; LoadFile uses the mmap fast path instead
 // when it can.
-func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, maxEntries int64) (*bfs.Result, error) {
+func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, maxEntries int64) (*bfs.Result, *tables.Split, error) {
 	page := make([]byte, pageAlign)
 	if _, err := io.ReadFull(br, page[:headerFixedLen+8]); err != nil {
-		return nil, fmt.Errorf("%w: reading v2 header: %w", ErrCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: reading v2 header: %w", ErrCorrupt, err)
 	}
-	// The fixed fields give the level-count length; read the remainder.
+	// The fixed fields give the variable header length (level counts,
+	// split extension); read the remainder.
 	le := binary.LittleEndian
 	maxCost := le.Uint32(page[8:])
 	if maxCost > uint32(bfs.MaxPackedCost) {
-		return nil, fmt.Errorf("%w: implausible horizon %d", ErrCorrupt, maxCost)
+		return nil, nil, fmt.Errorf("%w: implausible horizon %d", ErrCorrupt, maxCost)
 	}
-	rest := (int(maxCost) + 1) * 8
-	if _, err := io.ReadFull(br, page[headerFixedLen+8:headerFixedLen+8+rest]); err != nil {
-		return nil, fmt.Errorf("%w: reading v2 header: %w", ErrCorrupt, err)
+	full := headerLenFor(le.Uint32(page[4:]), maxCost)
+	if _, err := io.ReadFull(br, page[headerFixedLen+8:full]); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading v2 header: %w", ErrCorrupt, err)
 	}
-	h, headerLen, err := parseHeaderV2(page[:headerFixedLen+8+rest])
+	h, headerLen, err := parseHeaderV2(page[:full])
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if h.split() && !opts.AllowSplit {
+		return nil, nil, fmt.Errorf("%w: store holds range %d of %d", ErrSplitStore, h.splitI, h.splitN)
 	}
 	if want := fingerprintOf(alphabet); h.fp != want {
-		return nil, fmt.Errorf("%w (file %+v, given %+v)", ErrAlphabetMismatch, h.fp, want)
+		return nil, nil, fmt.Errorf("%w (file %+v, given %+v)", ErrAlphabetMismatch, h.fp, want)
 	}
 	l, err := validateGeometryV2(h, maxEntries)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pos := uint64(headerLen)
 	skipTo := func(off uint64) error {
@@ -470,7 +685,7 @@ func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, m
 		return nil
 	}
 	if err := skipTo(l.keysOff); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	total := int(l.totalSlots)
 	keys := make([]uint64, 0, min(total, sectionChunk))
@@ -478,7 +693,7 @@ func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, m
 	for len(keys) < total {
 		n := min((total-len(keys))*8, len(buf))
 		if _, err := io.ReadFull(br, buf[:n]); err != nil {
-			return nil, fmt.Errorf("%w: truncated key section: %w", ErrCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: truncated key section: %w", ErrCorrupt, err)
 		}
 		for i := 0; i < n; i += 8 {
 			keys = append(keys, le.Uint64(buf[i:]))
@@ -486,16 +701,16 @@ func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, m
 		pos += uint64(n)
 	}
 	if got := hashKeyWords(keys); got != h.keysHash {
-		return nil, fmt.Errorf("%w: key section fingerprint mismatch", ErrCorrupt)
+		return nil, nil, fmt.Errorf("%w: key section fingerprint mismatch", ErrCorrupt)
 	}
 	if err := skipTo(l.valsOff); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vals := make([]uint16, 0, min(total, 4*sectionChunk))
 	for len(vals) < total {
 		n := min((total-len(vals))*2, len(buf))
 		if _, err := io.ReadFull(br, buf[:n]); err != nil {
-			return nil, fmt.Errorf("%w: truncated value section: %w", ErrCorrupt, err)
+			return nil, nil, fmt.Errorf("%w: truncated value section: %w", ErrCorrupt, err)
 		}
 		for i := 0; i < n; i += 2 {
 			vals = append(vals, le.Uint16(buf[i:]))
@@ -503,39 +718,65 @@ func loadV2Stream(br *bufio.Reader, alphabet *bfs.Alphabet, opts *LoadOptions, m
 		pos += uint64(n)
 	}
 	if got := hashValWords(vals); got != h.valsHash {
-		return nil, fmt.Errorf("%w: value section fingerprint mismatch", ErrCorrupt)
+		return nil, nil, fmt.Errorf("%w: value section fingerprint mismatch", ErrCorrupt)
+	}
+	readU32s := func(count int, wantHash uint64, what string) ([]uint32, error) {
+		out := make([]uint32, 0, min(count, 2*sectionChunk))
+		for len(out) < count {
+			n := min((count-len(out))*4, len(buf))
+			if _, err := io.ReadFull(br, buf[:n]); err != nil {
+				return nil, fmt.Errorf("%w: truncated %s section: %w", ErrCorrupt, what, err)
+			}
+			for i := 0; i < n; i += 4 {
+				out = append(out, le.Uint32(buf[i:]))
+			}
+			pos += uint64(n)
+		}
+		if got := hashIdxWords(out); got != wantHash {
+			return nil, fmt.Errorf("%w: %s section fingerprint mismatch", ErrCorrupt, what)
+		}
+		return out, nil
 	}
 	if err := skipTo(l.idxOff); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	entries := int(h.entryCount)
-	idx := make([]uint32, 0, min(entries, 2*sectionChunk))
-	for len(idx) < entries {
-		n := min((entries-len(idx))*4, len(buf))
-		if _, err := io.ReadFull(br, buf[:n]); err != nil {
-			return nil, fmt.Errorf("%w: truncated index section: %w", ErrCorrupt, err)
-		}
-		for i := 0; i < n; i += 4 {
-			idx = append(idx, le.Uint32(buf[i:]))
-		}
-		pos += uint64(n)
+	idx, err := readU32s(entries, h.idxHash, "index")
+	if err != nil {
+		return nil, nil, err
 	}
-	if got := hashIdxWords(idx); got != h.idxHash {
-		return nil, fmt.Errorf("%w: index section fingerprint mismatch", ErrCorrupt)
+	var gpos []uint32
+	if h.split() {
+		if err := skipTo(l.gposOff); err != nil {
+			return nil, nil, err
+		}
+		if gpos, err = readU32s(entries, h.gposHash, "global-position"); err != nil {
+			return nil, nil, err
+		}
 	}
 	// Consume the trailing alignment padding so the stream loader holds
 	// the same strict length contract as the file loader.
 	if err := skipTo(l.fileSize); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return assembleV2(h, alphabet, keys, vals, idx, opts, true)
+	return assembleV2(h, alphabet, keys, vals, idx, gpos, opts, true)
 }
 
-// assembleV2 builds the frozen-backend Result from parsed sections.
-func assembleV2(h *headerV2, alphabet *bfs.Alphabet, keys []uint64, vals []uint16, idx []uint32, opts *LoadOptions, verify bool) (*bfs.Result, error) {
-	ft, err := hashtab.NewFrozen(keys, vals, int(h.shardCount), int(h.entryCount))
+// assembleV2 builds the frozen-backend Result from parsed sections; for
+// a split store it additionally assembles (and validates) the split
+// metadata binding the local entries to the global level order.
+func assembleV2(h *headerV2, alphabet *bfs.Alphabet, keys []uint64, vals []uint16, idx, gpos []uint32, opts *LoadOptions, verify bool) (*bfs.Result, *tables.Split, error) {
+	var (
+		ft  *hashtab.FrozenTable
+		err error
+	)
+	if h.split() {
+		ft, err = hashtab.NewFrozenSplit(keys, vals, int(h.shardCount), int(h.entryCount), int(h.splitN), int(h.splitI))
+	} else {
+		ft, err = hashtab.NewFrozen(keys, vals, int(h.shardCount), int(h.entryCount))
+	}
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	counts := make([]int, h.maxCost+1)
 	for c, n := range h.levelCounts {
@@ -543,12 +784,23 @@ func assembleV2(h *headerV2, alphabet *bfs.Alphabet, keys []uint64, vals []uint1
 	}
 	res, err := bfs.FromFrozen(alphabet, int(h.maxCost), h.flags&flagReduced != 0, ft, idx, counts, verify)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	var split *tables.Split
+	if h.split() {
+		gcounts := make([]int, h.maxCost+1)
+		for c, n := range h.globalLevelCounts {
+			gcounts[c] = int(n)
+		}
+		split, err = tables.NewSplit(int(h.splitN), int(h.splitI), gcounts, counts, gpos)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
 	}
 	if opts.Progress != nil {
 		for c, n := range counts {
 			opts.Progress(c, n)
 		}
 	}
-	return res, nil
+	return res, split, nil
 }

@@ -322,7 +322,7 @@ func TestV2EmptyTableRejected(t *testing.T) {
 		entryCount:    0,
 		levelCounts:   []uint64{0, 0, 0},
 	}
-	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount)
+	l := computeLayoutV2(h.headerLen(), h.shardCount, h.slotsPerShard, h.entryCount, h.split())
 	h.keysOff, h.valsOff, h.idxOff, h.fileSize = l.keysOff, l.valsOff, l.idxOff, l.fileSize
 	h.keysHash = hashKeyWords(make([]uint64, 16))
 	h.valsHash = hashValWords(make([]uint16, 16))

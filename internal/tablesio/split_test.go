@@ -1,0 +1,128 @@
+package tablesio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bfs"
+	"repro/internal/tables"
+)
+
+// The splitter's contract: the n split stores of a table set hold
+// disjoint hash ranges that together cover every entry, each answers
+// its range byte-identically to the full table (values and sparse level
+// order included), and nothing but an opted-in loader will touch one.
+func TestSplitRoundTrip(t *testing.T) {
+	res, err := bfs.Search(bfs.GateAlphabet(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disableMmap := range []bool{false, true} {
+		const n = 4
+		dir := t.TempDir()
+		ctx := context.Background()
+		totalLocal := 0
+		for i := 0; i < n; i++ {
+			p := filepath.Join(dir, "split")
+			if err := SaveSplitFile(p, res, n, i); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := LoadFile(p, bfs.GateAlphabet(), &LoadOptions{DisableMmap: disableMmap}); !errors.Is(err, ErrSplitStore) {
+				t.Fatalf("plain load of a split store: err = %v, want ErrSplitStore", err)
+			}
+			opts := &LoadOptions{AllowSplit: true, VerifyContent: true, DisableMmap: disableMmap}
+			sres, info, err := LoadFile(p, bfs.GateAlphabet(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Split == nil || info.Split.N != n || info.Split.I != i {
+				t.Fatalf("split info = %+v", info.Split)
+			}
+			totalLocal += info.Entries
+			part, err := tables.NewPartial(sres, info.Split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := part.Meta().Entries, res.TotalStored(); got != want {
+				t.Fatalf("partial meta declares %d entries, global is %d", got, want)
+			}
+			lo, hi := part.OwnedRange()
+			for c := 0; c <= res.MaxCost; c++ {
+				lv := res.Level(c)
+				for j := 0; j < lv.Len(); j++ {
+					k := uint64(lv.At(j))
+					if !tables.KeyInRange(k, lo, hi) {
+						continue
+					}
+					var v [1]uint16
+					var f [1]bool
+					if err := part.LookupBatch(ctx, []uint64{k}, v[:], f[:]); err != nil {
+						t.Fatal(err)
+					}
+					want, _ := res.LookupRaw(k)
+					if !f[0] || v[0] != want {
+						t.Fatalf("range %d key %#x: got (%#x, %v), want %#x", i, k, v[0], f[0], want)
+					}
+				}
+			}
+			// A key outside the owned range must fail typed, not miss.
+			for c := 0; c <= res.MaxCost; c++ {
+				lv := res.Level(c)
+				for j := 0; j < lv.Len(); j++ {
+					if k := uint64(lv.At(j)); !tables.KeyInRange(k, lo, hi) {
+						var v [1]uint16
+						var f [1]bool
+						if err := part.LookupBatch(ctx, []uint64{k}, v[:], f[:]); !errors.Is(err, tables.ErrNotOwned) {
+							t.Fatalf("out-of-range lookup: err = %v, want ErrNotOwned", err)
+						}
+						c = res.MaxCost + 1
+						break
+					}
+				}
+			}
+			// Sparse level reads return (global position, key) pairs that
+			// match the full table's level order exactly.
+			for c := 0; c <= res.MaxCost; c++ {
+				gn := res.LevelLen(c)
+				pos := make([]uint32, gn)
+				keys := make([]uint64, gn)
+				cnt, err := part.LevelKeysSparse(ctx, c, 0, gn, lo, hi, pos, keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < cnt; j++ {
+					if got, want := keys[j], uint64(res.Level(c).At(int(pos[j]))); got != want {
+						t.Fatalf("sparse level %d pair %d: key %#x at global %d, full table has %#x", c, j, got, pos[j], want)
+					}
+				}
+			}
+			sres.Frozen.Close()
+		}
+		if totalLocal != res.TotalStored() {
+			t.Fatalf("splits hold %d entries total, full table %d", totalLocal, res.TotalStored())
+		}
+	}
+}
+
+// Reader-based Load must never hand back a split store: it has no way
+// to return the range metadata, so both the default and the (invalid)
+// opted-in path reject.
+func TestSplitRejectedByReaderLoad(t *testing.T) {
+	res, err := bfs.Search(bfs.GateAlphabet(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveSplit(&buf, res, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), bfs.GateAlphabet()); !errors.Is(err, ErrSplitStore) {
+		t.Fatalf("Load: err = %v, want ErrSplitStore", err)
+	}
+	if _, err := LoadWithOptions(bytes.NewReader(buf.Bytes()), bfs.GateAlphabet(), &LoadOptions{AllowSplit: true}); err == nil {
+		t.Fatal("LoadWithOptions with AllowSplit should refuse (metadata would be dropped)")
+	}
+}

@@ -59,6 +59,10 @@ var magicV1 = [4]byte{magicPrefix[0], magicPrefix[1], magicPrefix[2], version1}
 
 const (
 	flagReduced = 1 << 0
+	// flagSplit marks a v2 store holding one high-hash range of a table
+	// set (see SaveSplit); the header then carries the split extension
+	// and the file a global-position section.
+	flagSplit = 1 << 1
 )
 
 // Sentinel errors, matchable with errors.Is; every Load failure wraps
@@ -78,6 +82,13 @@ var (
 	// ErrCorrupt reports structural damage: implausible sizes, invalid
 	// permutation words, duplicate entries, or a checksum mismatch.
 	ErrCorrupt = errors.New("tablesio: corrupt tables file")
+	// ErrSplitStore reports a split store (one hash range of a table
+	// set) offered to a loader that was not told to expect one. A
+	// partial table silently served as a full one would answer "absent"
+	// for every key outside its range, so loads must opt in
+	// (LoadOptions.AllowSplit) and route the result through a
+	// range-aware backend (tables.Partial).
+	ErrSplitStore = errors.New("tablesio: split store requires AllowSplit")
 )
 
 // fingerprint is the persisted alphabet summary — the shared type the
@@ -205,6 +216,28 @@ func SaveFile(path string, res *bfs.Result) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// SaveSplitFile persists range i of n of a result as a split v2 store,
+// with the same atomic temp-file-and-rename discipline as SaveFile.
+func SaveSplitFile(path string, res *bfs.Result, n, i int) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".revtables-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveSplit(tmp, res, n, i); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // checksumReader tees reads into a running checksum.
 type checksumReader struct {
 	r io.Reader
@@ -237,6 +270,11 @@ type LoadOptions struct {
 	// DisableMmap forces LoadFile through the streaming loader even for
 	// v2 stores on capable hosts.
 	DisableMmap bool
+	// AllowSplit permits loading split stores (SaveSplit); without it
+	// every loader rejects them with ErrSplitStore. Only LoadFile can
+	// return the split metadata (LoadInfo.Split), so split stores must
+	// be loaded through it.
+	AllowSplit bool
 }
 
 // DefaultMaxEntries bounds the declared entry count accepted by Load:
@@ -285,7 +323,15 @@ func LoadWithOptions(r io.Reader, alphabet *bfs.Alphabet, opts *LoadOptions) (*b
 	case version1:
 		return loadV1Stream(br, alphabet, opts, maxEntries)
 	case version2:
-		return loadV2Stream(br, alphabet, opts, maxEntries)
+		// The reader path has no way to hand back split metadata, so it
+		// loads full stores only: loadV2Stream rejects split stores
+		// unless AllowSplit, and the metadata (if allowed) is dropped —
+		// callers that need it use LoadFile.
+		if opts.AllowSplit {
+			return nil, fmt.Errorf("tablesio: AllowSplit requires LoadFile (the reader path cannot return split metadata)")
+		}
+		res, _, err := loadV2Stream(br, alphabet, opts, maxEntries)
+		return res, err
 	default:
 		return nil, fmt.Errorf("%w: file version %q, this build reads %q and %q", ErrUnsupportedVersion, m[3], version1, version2)
 	}
