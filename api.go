@@ -163,6 +163,51 @@
 // resident/mapped store bytes. See examples/cluster for the
 // end-to-end walkthrough, including a full rolling restart.
 //
+// # Multi-k federation
+//
+// Table depth is a cost/coverage dial: a small-k store is a few MB and
+// answers most realistic traffic (the paper's empirical cost
+// distribution is bottom-heavy), while the big-k stores that guarantee
+// every function are multi-GB and mostly cache-cold. A federation
+// serves both behind one front door:
+//
+//	# one fleet per depth; ';' separates tiers, each tier uses the
+//	# -router fleet syntax, order is irrelevant (sorted by depth):
+//	revserve -federation 'small:9090;big1:9091|big2:9092' -addr :8080
+//
+// Lookups probe the smallest-k tier first — a probe against a small,
+// permanently warm table — and only the keys that tier does not hold
+// escalate deeper, so the big fleet sees just the hard tail. Escalated
+// answers are byte-identical to big-k-only serving because every tier
+// must come from the same build family: same alphabet fingerprint,
+// same reduction, strictly increasing depths, level lists that are
+// exact prefixes of each deeper tier's. All of that is validated when
+// the federation is wired and mismatches are refused with a typed
+// error (tablenet.ErrTierMismatch), never served. tables.Meta carries
+// a Horizon (the max synthesizable cost) in store headers and the wire
+// hello, so the federation advertises its top tier's guarantee and the
+// query engine trusts a federated "beyond horizon" answer without
+// re-scanning per tier.
+//
+// Callers that know a cost bound take the cost-horizon routing fast
+// path (tables.BoundedLookuper): the meet-in-the-middle scan — which
+// scans for residues against the full table depth — and every
+// reconstruction step — where each stripped element lowers the
+// remaining cost — are routed to the single shallowest tier that is
+// authoritative for the bound. No escalation, no key probed twice; an
+// easy function's reconstruction never leaves the small tier.
+//
+// /stats and /metrics expose per-tier probe/hit/escalation/error
+// counters ("tiers"); /healthz folds tier health: Down only when the
+// top tier — the only authoritative one — is down, Degraded when any
+// lower tier is out (the federation collapses gracefully to
+// big-k-only serving). Programmatic: tablenet.NewFederation;
+// Topology.K pins a member fleet's expected depth so one topology
+// document can describe a heterogeneous federation. The federation
+// section of BENCH_9.json prices a paper-distribution mix federated
+// vs big-k-only on identical hardware. See examples/federation for
+// the end-to-end walkthrough.
+//
 // # Cache tiering and tuning
 //
 // The remote read path is tiered. Frozen tables are immutable — the
@@ -174,7 +219,15 @@
 //
 //   - a hot-key cache over lookup results (present and absent alike:
 //     a key's absence from an immutable table is as permanent as its
-//     value). Batches split on partial hits — only miss keys travel;
+//     value). Batches split on partial hits — only miss keys travel.
+//     Insertion is guarded by TinyLFU admission: a 4-bit count-min
+//     sketch (periodically halved, so frequencies age) must rank a
+//     candidate above its would-be victim before it may evict, which
+//     keeps the flood of unique scan keys a beyond-horizon query
+//     generates from churning out the direct-lookup working set.
+//     ClientOptions.Admission selects the policy (default TinyLFU;
+//     AdmissionAll restores blind insertion) and admission rejects
+//     are counted in the cache stats;
 //   - an immutable level-block cache, so repeated meet-in-the-middle
 //     scans stop re-fetching the hot low-level key ranges entirely;
 //   - singleflight coalescing: concurrent identical misses (the same
@@ -235,7 +288,7 @@
 // 504 deadline exceeded, 499 client closed request, 503 service
 // closed, shard fleet unavailable, or load shed, 500 anything else. A
 // batch answers 200 unless every result failed, in which case it
-// carries the worst per-result status. BENCH_7.json's "ops" section
+// carries the worst per-result status. BENCH_9.json's "ops" section
 // tracks the middleware's overhead on the warm cached HTTP path.
 package repro
 

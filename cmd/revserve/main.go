@@ -12,6 +12,7 @@
 //	revserve -router host1:9090,host2:9090 -addr :8080 [-remote-cache N]
 //	revserve -router 'a1:9090|a2:9090,b1:9090|b2:9090' -addr :8080
 //	revserve -topology fleet.json -addr :8080
+//	revserve -federation 'small:9090;big1:9091|big2:9092' -addr :8080
 //
 // The daemon starts listening immediately; /healthz reports 503 until
 // the tables are servable, so an orchestrator can gate traffic on
@@ -47,6 +48,18 @@
 //     every shard's hot (resident) page set converges to ~1/N of the
 //     table. That is the deployment shape for table sets too large to
 //     keep hot on one machine (the paper's k ≥ 9 regime).
+//   - -federation fronts several per-k fleets as cost-horizon tiers:
+//     ';'-separated tiers, each in -router syntax, ordered by table
+//     depth automatically. Queries probe the smallest-k tier first —
+//     its store is a few MB and permanently page-cache-hot — and only
+//     the keys it does not hold escalate to the deeper fleets, so the
+//     big-k fleet sees only the rare hard traffic (the paper's cost
+//     distribution is overwhelmingly bottom-heavy). Tiers must be built
+//     from the same alphabet (validated at startup; mismatches refuse
+//     typed); answers are byte-identical to big-k-only serving. /stats
+//     and /metrics report per-tier probe/hit/escalation counters;
+//     /healthz is 503 only when the top (deepest) tier is down — lower
+//     tier outages degrade to big-k-only serving.
 //   - -topology is the live-membership form of -router: the fleet is
 //     wired from a generation-stamped JSON document ({"generation",
 //     "ranges", "replication", "members"} — members are assigned to
@@ -163,6 +176,11 @@ func main() {
 		topology = flag.String("topology", "", "fleet topology file for router serving with live membership: JSON "+
 			`{"generation", "ranges", "replication", "members"}; rendezvous hashing assigns ranges, `+
 			"SIGHUP or POST /admin/topology reloads it, and the swap applies atomically (in-flight queries finish on the old fleet)")
+		federation = flag.String("federation", "", "tiered multi-k serving: ';'-separated tiers, each a -router style fleet spec "+
+			"(e.g. 'small:9090;big1:9091|big2:9092') ordered by table depth automatically; queries probe the smallest-k tier "+
+			"first and only beyond-horizon keys escalate to the deeper fleets")
+		cacheAdmission = flag.Bool("cache-admission", true, "TinyLFU admission on the shard clients' hot-key caches "+
+			"(false: blind insert-on-miss, which beyond-horizon scan floods can thrash)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound for -shard-serve: SIGTERM announces "+
 			"draining in the handshake, in-flight requests finish, then the process exits")
 		shardConns  = flag.Int("shard-conns", 0, "connection-pool size per shard backend (0: default)")
@@ -180,13 +198,19 @@ func main() {
 		requestLog    = flag.Bool("request-log", true, "emit one structured JSON log record per API request")
 	)
 	flag.Parse()
-	if *shardServe && (*router != "" || *topology != "") {
-		log.Fatal("-shard-serve and -router/-topology are mutually exclusive roles")
+	fleetRoles := 0
+	for _, set := range []bool{*router != "", *topology != "", *federation != ""} {
+		if set {
+			fleetRoles++
+		}
 	}
-	if *router != "" && *topology != "" {
-		log.Fatal("-router (static wiring) and -topology (live membership) are mutually exclusive; pick one")
+	if *shardServe && fleetRoles > 0 {
+		log.Fatal("-shard-serve and -router/-topology/-federation are mutually exclusive roles")
 	}
-	if (*router != "" || *topology != "") && *tablesPath != "" {
+	if fleetRoles > 1 {
+		log.Fatal("-router (static wiring), -topology (live membership), and -federation (tiered fleets) are mutually exclusive; pick one")
+	}
+	if fleetRoles > 0 && *tablesPath != "" {
 		// Mirror the service layer's explicit-precedence stance: two
 		// complete table sources is a wiring mistake, not a fallback.
 		log.Fatal("a router serves tables from the shard fleet; -tables conflicts (drop one)")
@@ -238,17 +262,17 @@ func main() {
 		if *remoteCache < 0 {
 			copts.LevelCacheBytes = -1 // disabling the knob disables every tier
 		}
+		if !*cacheAdmission {
+			copts.Admission = tablenet.AdmissionAll
+		}
 		return copts
 	}
-	var fleet fleetView
-	var genFn func() uint64
-	reg := &clientRegistry{}
-	var admin *topologyAdmin
-	switch {
-	case *router != "":
-		shardClients := map[string]*tablenet.Client{}
+	// dialRouterSpec wires one '-router'-syntax fleet spec (','-separated
+	// hash ranges of '|'-separated replicas) into a replicated router,
+	// recording each dialed client for /stats annotation.
+	dialRouterSpec := func(spec, role string, shardClients map[string]*tablenet.Client) *tablenet.Router {
 		var groups [][]tables.Backend
-		for _, rangeSpec := range strings.Split(*router, ",") {
+		for _, rangeSpec := range strings.Split(spec, ",") {
 			var reps []tables.Backend
 			for _, a := range strings.Split(rangeSpec, "|") {
 				a = strings.TrimSpace(a)
@@ -261,7 +285,7 @@ func main() {
 				}
 				reps = append(reps, cl)
 				shardClients[a] = cl
-				log.Printf("shard %s (range %d): k=%d entries=%d", a, len(groups), cl.Meta().K, cl.Meta().Entries)
+				log.Printf("%s shard %s (range %d): k=%d entries=%d", role, a, len(groups), cl.Meta().K, cl.Meta().Entries)
 			}
 			if len(reps) > 0 {
 				groups = append(groups, reps)
@@ -271,11 +295,43 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		return r
+	}
+	var fleet fleetView
+	var genFn func() uint64
+	reg := &clientRegistry{}
+	var admin *topologyAdmin
+	switch {
+	case *router != "":
+		shardClients := map[string]*tablenet.Client{}
+		r := dialRouterSpec(*router, "router", shardClients)
 		defer r.Close()
 		reg.replace(shardClients)
 		fleet = r
 		cfg.Backend = r
 		cfg.TablesPath = "" // the tables live in the shard fleet
+	case *federation != "":
+		shardClients := map[string]*tablenet.Client{}
+		var tiers []tables.Backend
+		for ti, tierSpec := range strings.Split(*federation, ";") {
+			tierSpec = strings.TrimSpace(tierSpec)
+			if tierSpec == "" {
+				continue
+			}
+			tiers = append(tiers, dialRouterSpec(tierSpec, fmt.Sprintf("tier %d", ti), shardClients))
+		}
+		fed, err := tablenet.NewFederation(tiers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fed.Close()
+		reg.replace(shardClients)
+		fleet = fed
+		cfg.Backend = fed
+		cfg.TablesPath = "" // the tables live in the tiered fleets
+		for _, ts := range fed.TierStats() {
+			log.Printf("federation tier k=%d horizon=%d (%s)", ts.K, ts.Horizon, ts.Source)
+		}
 	case *topology != "":
 		buildFleetRouter := func(t *tablenet.Topology) (*tablenet.Router, map[string]*tablenet.Client, error) {
 			clients := map[string]*tablenet.Client{}
@@ -507,6 +563,12 @@ func buildHandler(svc *service.Synthesizer, fleet fleetView, reg *clientRegistry
 			"clients":  fleet.CacheStats(),
 			"replicas": fleet.HealthStats(),
 			"shards":   shards,
+		}
+		if ts, ok := fleet.(tables.TierStatser); ok {
+			// A federation: per-tier routing counters (probes, hits,
+			// escalations) — the signal that says how much traffic never
+			// left the small always-warm tier.
+			out["tiers"] = ts.TierStats()
 		}
 		if admin != nil {
 			out["topology_generation"] = admin.swap.Generation()

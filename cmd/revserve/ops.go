@@ -211,6 +211,37 @@ func registerServiceCollectors(r *ops.Registry, svc *service.Synthesizer) {
 		func(emit func([]ops.Label, float64), st service.Stats) {
 			emit(nil, float64(st.RemoteCache.WireRetries))
 		})
+	remote("revserve_remote_admission_rejects_total", "Hot-key cache insertions refused by TinyLFU admission.", "counter",
+		func(emit func([]ops.Label, float64), st service.Stats) {
+			emit(nil, float64(st.RemoteCache.AdmissionRejects))
+		})
+	remote("revserve_remote_cache_hit_ratio", "Remote-cache hit fraction by tier (derived at scrape time).", "gauge",
+		func(emit func([]ops.Label, float64), st service.Stats) {
+			emit([]ops.Label{{Name: "tier", Value: "key"}}, st.RemoteCache.KeyHitRatio())
+			emit([]ops.Label{{Name: "tier", Value: "level"}}, st.RemoteCache.LevelHitRatio())
+		})
+
+	// Federation tiers: present only when the backend escalates over
+	// per-k fleets; one series per tier, labeled by table depth.
+	tier := func(name, help, typ string, get func(tables.TierStats) float64) {
+		r.Collect(name, help, typ, func(emit func([]ops.Label, float64)) {
+			for _, ts := range svc.Stats().Tiers {
+				emit([]ops.Label{{Name: "k", Value: strconv.Itoa(ts.K)}}, get(ts))
+			}
+		})
+	}
+	tier("revserve_tier_probes_total", "Keys offered to each federation tier.", "counter",
+		func(ts tables.TierStats) float64 { return float64(ts.Probes) })
+	tier("revserve_tier_hits_total", "Keys answered by each federation tier.", "counter",
+		func(ts tables.TierStats) float64 { return float64(ts.Hits) })
+	tier("revserve_tier_escalations_total", "Keys escalated past each federation tier to the next deeper one.", "counter",
+		func(ts tables.TierStats) float64 { return float64(ts.Escalations) })
+	tier("revserve_tier_level_reads_total", "Level-range reads routed to each federation tier.", "counter",
+		func(ts tables.TierStats) float64 { return float64(ts.LevelReads) })
+	tier("revserve_tier_errors_total", "Tier probes that failed outright and escalated their whole sub-batch.", "counter",
+		func(ts tables.TierStats) float64 { return float64(ts.TierErrors) })
+	tier("revserve_tier_horizon", "Each federation tier's synthesis horizon.", "gauge",
+		func(ts tables.TierStats) float64 { return float64(ts.Horizon) })
 }
 
 // registerTrafficCollectors exports the rate limiter's and admission

@@ -86,6 +86,12 @@ type Synthesizer struct {
 	backend  tables.Backend
 	meta     tables.Meta
 	alphabet *bfs.Alphabet
+	// bounded is the backend's cost-horizon routing refinement, when it
+	// has one (a tablenet.Federation does). Probes whose useful-cost
+	// bound is known — every scan batch, every reconstruction step —
+	// take it, so a federation answers them from the single shallowest
+	// authoritative tier instead of escalating through the chain.
+	bounded tables.BoundedLookuper
 	// res short-circuits to the in-process tables when the backend is
 	// Localized: the meet-in-the-middle scan and reconstruction keep the
 	// original zero-indirection probe loop on this path. nil for remote
@@ -191,6 +197,7 @@ func FromBackend(b tables.Backend, alphabet *bfs.Alphabet, maxSplit int) (*Synth
 	if l, ok := b.(tables.Localized); ok {
 		s.res = l.Local()
 	}
+	s.bounded, _ = b.(tables.BoundedLookuper)
 	return s, nil
 }
 
@@ -217,7 +224,17 @@ func (s *Synthesizer) Workers() int {
 // MaxSplit for unit-cost alphabets; for weighted alphabets boundary
 // effects subtract MaxCost − 1.
 func (s *Synthesizer) Horizon() int {
-	return s.meta.K + s.maxSplit - (s.alphabet.MaxCost() - 1)
+	h := s.meta.K + s.maxSplit - (s.alphabet.MaxCost() - 1)
+	// A backend that advertises its own synthesis horizon
+	// (tables.Meta.Horizon) caps the guarantee: a tiered federation, for
+	// instance, reports its top tier's bound, and a "beyond horizon"
+	// outcome attributed to that backend is final — this synthesizer
+	// scans the backend once and never re-scans per tier; escalation
+	// between tiers already happened inside the backend's LookupBatch.
+	if s.meta.Horizon != 0 && s.meta.Horizon < h {
+		h = s.meta.Horizon
+	}
+	return h
 }
 
 // Result exposes the underlying BFS tables (read-only). It is nil when
@@ -305,7 +322,7 @@ func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circu
 	}
 	// Algorithm 1, first branch: f is within the BFS horizon.
 	if s.res.Contains(f) {
-		c, err := s.reconstruct(ctx, f)
+		c, err := s.reconstruct(ctx, f, -1)
 		if err != nil {
 			return nil, Info{}, err
 		}
@@ -354,11 +371,11 @@ func (s *Synthesizer) SynthesizeInfoCtx(ctx context.Context, f perm.Perm) (circu
 	if bestTotal < 0 {
 		return nil, info, fmt.Errorf("%w (horizon %d)", ErrBeyondHorizon, s.Horizon())
 	}
-	pc, err := s.reconstruct(ctx, bestPrefix)
+	pc, err := s.reconstruct(ctx, bestPrefix, bestSplit)
 	if err != nil {
 		return nil, info, err
 	}
-	rc, err := s.reconstruct(ctx, bestResidue)
+	rc, err := s.reconstruct(ctx, bestResidue, bestTotal-bestSplit)
 	if err != nil {
 		return nil, info, err
 	}
@@ -537,8 +554,12 @@ func (s *Synthesizer) costOf(c circuit.Circuit) int {
 // lookupRaw probes one canonical key through whichever table path is
 // live: the in-process result, or the backend as a batch of one (remote
 // reconstruction is a dependent chain, so singles are unavoidable there
-// — at most ~2·K per query, dwarfed by the batched scan).
-func (s *Synthesizer) lookupRaw(ctx context.Context, key uint64) (uint16, bool, error) {
+// — at most ~2·K per query, dwarfed by the batched scan). bound is the
+// caller's cost-horizon promise: when it knows the key is only useful
+// if its cost is ≤ bound, a bound-aware backend (tables.BoundedLookuper
+// — a federation) answers from the single shallowest tier covering the
+// bound. bound < 0 means "no promise": the plain tiered LookupBatch.
+func (s *Synthesizer) lookupRaw(ctx context.Context, key uint64, bound int) (uint16, bool, error) {
 	if s.res != nil {
 		v, ok := s.res.LookupRaw(key)
 		return v, ok, nil
@@ -546,7 +567,13 @@ func (s *Synthesizer) lookupRaw(ctx context.Context, key uint64) (uint16, bool, 
 	keys := [1]uint64{key}
 	var vals [1]uint16
 	var found [1]bool
-	if err := s.backend.LookupBatch(ctx, keys[:], vals[:], found[:]); err != nil {
+	var err error
+	if s.bounded != nil && bound >= 0 {
+		err = s.bounded.LookupBatchBounded(ctx, keys[:], vals[:], found[:], bound)
+	} else {
+		err = s.backend.LookupBatch(ctx, keys[:], vals[:], found[:])
+	}
+	if err != nil {
 		return 0, false, err
 	}
 	return vals[0], found[0], nil
@@ -556,7 +583,14 @@ func (s *Synthesizer) lookupRaw(ctx context.Context, key uint64) (uint16, bool, 
 // the table, by stripping one stored boundary element per step (paper
 // Algorithm 1's recursive branch, iterative here). It reads through
 // lookupRaw, so it serves local and remote backends alike.
-func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm) (circuit.Circuit, error) {
+//
+// bound is the known cost of f (or -1 if unknown) and shrinks as
+// elements are stripped — each remainder costs at least one less than
+// the last — so against a federation every step of an easy function's
+// reconstruction resolves inside the shallowest tier that holds it;
+// even a hard function's chain walks down into cheaper tiers as it
+// unwinds.
+func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm, bound int) (circuit.Circuit, error) {
 	var front, back circuit.Circuit // back is collected in reverse
 	cur := f
 	for steps := 0; ; steps++ {
@@ -572,7 +606,7 @@ func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm) (circuit.Cir
 		if s.meta.Reduced {
 			key, sigma, inverted = canon.Canonical(cur)
 		}
-		raw, ok, err := s.lookupRaw(ctx, uint64(key))
+		raw, ok, err := s.lookupRaw(ctx, uint64(key), bound)
 		if err != nil {
 			return nil, err
 		}
@@ -583,6 +617,9 @@ func (s *Synthesizer) reconstruct(ctx context.Context, f perm.Perm) (circuit.Cir
 		if v.IsIdentity {
 			return nil, fmt.Errorf("core: non-identity function %v stored as identity", cur)
 		}
+		// The stored value names cur's true cost; the remainder after
+		// stripping one boundary element costs at least one less.
+		bound = v.Cost - 1
 		// Translate the boundary element of the representative's circuit
 		// back to cur's circuit: rep = conj(base, σ) with base = cur or
 		// cur⁻¹, so cur's circuit is the σ⁻¹-conjugate of rep's —
@@ -720,12 +757,17 @@ func (s *Synthesizer) synthesizeBackend(ctx context.Context, f perm.Perm) (circu
 	if s.meta.Reduced {
 		key = canon.Rep(f)
 	}
-	raw, ok, err := s.lookupRaw(ctx, uint64(key))
+	// The direct probe is unbounded — the function's cost is exactly the
+	// unknown — so a federation runs its tiered escalation here; it is
+	// the one probe per query where escalation earns its keep. The hit
+	// then reveals the cost, and the whole reconstruction chain is
+	// bounded by it: an easy function never leaves the shallow tier.
+	raw, ok, err := s.lookupRaw(ctx, uint64(key), -1)
 	if err != nil {
 		return nil, info, err
 	}
 	if ok {
-		c, err := s.reconstruct(ctx, f)
+		c, err := s.reconstruct(ctx, f, bfs.UnpackValue(raw).Cost)
 		if err != nil {
 			return nil, info, err
 		}
@@ -863,8 +905,22 @@ scan:
 				})
 			}
 			sc.keys, sc.cands = keys, cands
-			if err := s.backend.LookupBatch(ctx, keys, vals[:len(keys)], found[:len(keys)]); err != nil {
-				return nil, info, err
+			// Scan batches are bounded by the full table depth: that is no
+			// relaxation (every stored class costs ≤ K) but it routes a
+			// federation straight to its one authoritative tier — a scan
+			// probes each candidate exactly once instead of walking misses
+			// through the whole tier chain. The bound must NOT be tightened
+			// to bestTotal−i−1: dropping a representative's first hitting
+			// variant would let a later variant commit instead, breaking
+			// byte-identity with the local scan for weighted alphabets.
+			var lerr error
+			if s.bounded != nil {
+				lerr = s.bounded.LookupBatchBounded(ctx, keys, vals[:len(keys)], found[:len(keys)], s.meta.K)
+			} else {
+				lerr = s.backend.LookupBatch(ctx, keys, vals[:len(keys)], found[:len(keys)])
+			}
+			if lerr != nil {
+				return nil, info, lerr
 			}
 			hitRep := -1
 			for j := range keys {
@@ -901,11 +957,11 @@ scan:
 	if bestTotal < 0 {
 		return nil, info, fmt.Errorf("%w (horizon %d)", ErrBeyondHorizon, s.Horizon())
 	}
-	pc, err := s.reconstruct(ctx, bestPrefix)
+	pc, err := s.reconstruct(ctx, bestPrefix, bestSplit)
 	if err != nil {
 		return nil, info, err
 	}
-	rc, err := s.reconstruct(ctx, bestResidue)
+	rc, err := s.reconstruct(ctx, bestResidue, bestTotal-bestSplit)
 	if err != nil {
 		return nil, info, err
 	}

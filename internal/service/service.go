@@ -622,6 +622,11 @@ type Stats struct {
 	// tablenet.Router): address, hash range, breaker state, failure
 	// run, lifetime ejections. Omitted for unreplicated sources.
 	Replicas []tables.Health `json:"replicas,omitempty"`
+	// Tiers surfaces the per-tier routing counters of an injected tiered
+	// backend (a tablenet.Federation): probes, hits, escalations, level
+	// reads, and each tier's own cache view, shallowest tier first.
+	// Omitted for untiered sources.
+	Tiers []tables.TierStats `json:"tiers,omitempty"`
 	// AvgLatency averages the table-query time of uncached queries.
 	AvgLatency time.Duration `json:"avg_latency_ns"`
 	// LatencyBuckets histograms end-to-end query latency (every query,
@@ -689,6 +694,9 @@ func (s *Synthesizer) Stats() Stats {
 		}
 		if hs, ok := s.cfg.Backend.(tables.HealthStatser); ok {
 			st.Replicas = hs.HealthStats()
+		}
+		if ts, ok := s.cfg.Backend.(tables.TierStatser); ok {
+			st.Tiers = ts.TierStats()
 		}
 	default:
 	}

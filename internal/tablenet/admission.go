@@ -1,0 +1,138 @@
+package tablenet
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashtab"
+)
+
+// TinyLFU admission for the hot-key cache (Einziger & Friedman,
+// "TinyLFU: A Highly Efficient Cache Admission Policy").
+//
+// The problem it solves is specific to this workload: direct lookups
+// probe a small recurring working set of canonical keys, while every
+// beyond-horizon query's meet-in-the-middle scan probes thousands of
+// keys that will never be seen again. Blind insert-on-miss lets that
+// one-shot scan stream evict the recurring set — the cache churns at
+// 0% effectiveness exactly when the backend is busiest. TinyLFU keeps
+// an approximate frequency histogram of *recent* traffic in a 4-bit
+// count-min sketch and admits a new key only if it has been seen more
+// often than the entry it would evict. One-shot keys lose that
+// comparison by construction; the working set stays resident.
+//
+// The sketch is blocked for cache locality: each key's four counters
+// live in one 64-byte aligned group of eight words, so an estimate or
+// increment touches a single cache line. Counters are 4-bit nibbles
+// packed 16 per word, incremented with a single CAS (lost races just
+// under-count — the sketch is approximate by design, and an undercount
+// only delays admission by one encounter). Aging is the classic reset:
+// after sampleCap observed increments every counter halves, so the
+// histogram tracks recent frequency, not all-time, and yesterday's hot
+// keys cannot squat on the cache forever.
+
+// admissionNibbles is the number of counters consulted per key (the
+// count-min depth).
+const admissionNibbles = 4
+
+// admissionBlockWords is the word width of one counter block: 8×8 bytes
+// = one cache line, 64 nibble counters to pick from.
+const admissionBlockWords = 8
+
+type admissionSketch struct {
+	blockMask uint64          // block count − 1 (power of two)
+	words     []atomic.Uint64 // admissionBlockWords per block
+	adds      atomic.Uint64   // increments since the last halving
+	sampleCap uint64          // halve every counter past this many adds
+	halveMu   sync.Mutex      // one halver at a time; others skip
+}
+
+// newAdmissionSketch sizes the sketch for a cache of roughly capacity
+// entries: ~8 nibble counters per cached entry keeps estimate error
+// low at 68 bytes per cache line of counters, and the halving sample
+// is 10× capacity — the sketch remembers an order of magnitude more
+// traffic than the cache holds, which is what lets a recurring key
+// out-count a one-shot stream.
+func newAdmissionSketch(capacity int) *admissionSketch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	blocks := 1
+	for blocks*admissionBlockWords*16 < capacity*8 {
+		blocks <<= 1
+	}
+	return &admissionSketch{
+		blockMask: uint64(blocks - 1),
+		words:     make([]atomic.Uint64, blocks*admissionBlockWords),
+		sampleCap: uint64(capacity) * 10,
+	}
+}
+
+// counterAt derives the j-th counter position for hash h: a word index
+// into the key's block and the nibble's bit shift within that word.
+// All four positions come from independent bits of the one hash.
+func (s *admissionSketch) counterAt(h uint64, j int) (word int, shift uint) {
+	n := h >> (8 + 6*j) & 63 // one of the block's 64 nibbles
+	block := h & s.blockMask
+	return int(block)*admissionBlockWords + int(n>>4), uint(n&15) * 4
+}
+
+// inc bumps the key's counters (saturating at 15) and ages the sketch
+// when the sample window is spent.
+func (s *admissionSketch) inc(key uint64) {
+	h := hashtab.Hash64Shift(key)
+	for j := 0; j < admissionNibbles; j++ {
+		w, shift := s.counterAt(h, j)
+		// One CAS attempt per counter: a lost race is a lost increment,
+		// which the estimate tolerates and the hot path appreciates.
+		old := s.words[w].Load()
+		if old>>shift&0xf < 15 {
+			s.words[w].CompareAndSwap(old, old+1<<shift)
+		}
+	}
+	if s.adds.Add(1) >= s.sampleCap {
+		s.halve()
+	}
+}
+
+// estimate returns the key's approximate recent frequency: the minimum
+// of its counters (count-min — collisions only inflate, so min bounds
+// the true count from above).
+func (s *admissionSketch) estimate(key uint64) uint32 {
+	h := hashtab.Hash64Shift(key)
+	est := uint32(15)
+	for j := 0; j < admissionNibbles; j++ {
+		w, shift := s.counterAt(h, j)
+		if c := uint32(s.words[w].Load() >> shift & 0xf); c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// halve ages every counter by one bit. TryLock: concurrent callers that
+// lose the race skip — the winner is already halving, and an extra
+// window's worth of precision is worth nothing here. Increments racing
+// the sweep land before or after their word is halved; either order is
+// a valid approximate histogram.
+func (s *admissionSketch) halve() {
+	if !s.halveMu.TryLock() {
+		return
+	}
+	defer s.halveMu.Unlock()
+	if s.adds.Load() < s.sampleCap {
+		return // another halver finished while we waited
+	}
+	s.adds.Store(0)
+	for i := range s.words {
+		for {
+			old := s.words[i].Load()
+			if s.words[i].CompareAndSwap(old, old>>1&0x7777777777777777) {
+				break
+			}
+		}
+	}
+}
+
+// bytes is the sketch's fixed memory footprint.
+func (s *admissionSketch) bytes() int64 { return int64(len(s.words)) * 8 }

@@ -5,16 +5,18 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/perm"
 )
 
 func TestHotKeyCacheBasics(t *testing.T) {
-	c := newHotKeyCache(64)
+	c := newHotKeyCache(64, true)
 	if _, _, ok := c.get(42); ok {
 		t.Fatal("empty cache reported a hit")
 	}
@@ -36,7 +38,7 @@ func TestHotKeyCacheBasics(t *testing.T) {
 func TestHotKeyCacheEvictsWithinSet(t *testing.T) {
 	// A minimal cache: one set of hotWays slots. Insert more keys than
 	// ways; recently-used keys must survive over stale ones.
-	c := newHotKeyCache(1)
+	c := newHotKeyCache(1, false)
 	if c.mask != 0 {
 		t.Fatalf("expected a single set, mask = %d", c.mask)
 	}
@@ -339,6 +341,74 @@ func TestTinyBatchKeysMatchesLocal(t *testing.T) {
 	}
 	if mitm == 0 {
 		t.Fatal("no meet-in-the-middle query exercised the tiny batch")
+	}
+}
+
+// TestWireBytesCountRetriedFrames: WireBytesWritten is the offered-load
+// denominator, so a frame re-sent on the retry path must count once per
+// attempt — the counter used to tick only after a successful flush,
+// silently dropping every frame that died on a stale pooled connection.
+func TestWireBytesCountRetriedFrames(t *testing.T) {
+	local := fixtureBackend(t)
+	srv1, err := NewServer(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	go srv1.Serve(l)
+
+	cl := dialClient(t, addr, &ClientOptions{Conns: 1, CacheKeys: -1, LevelCacheBytes: -1})
+	ctx := context.Background()
+	keys := []uint64{uint64(fixtureTables(t).Level(1).At(0))}
+	vals := make([]uint16, 1)
+	found := make([]bool, 1)
+
+	before := cl.CacheStats()
+	if err := cl.LookupBatch(ctx, keys, vals, found); err != nil {
+		t.Fatal(err)
+	}
+	mid := cl.CacheStats()
+	oneAttempt := mid.WireBytesWritten - before.WireBytesWritten
+	if oneAttempt == 0 {
+		t.Fatal("clean lookup wrote no counted bytes")
+	}
+	if mid.WireRetries != before.WireRetries {
+		t.Fatalf("clean lookup retried: %+v", mid)
+	}
+
+	// Restart the server on the same address: the pooled connection is
+	// now dead, so the identical lookup is written twice — once into the
+	// stale socket, once on the redialed retry.
+	srv1.Close()
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(l2)
+	t.Cleanup(func() { srv2.Close() })
+
+	lbCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := cl.LookupBatch(lbCtx, keys, vals, found); err != nil || !found[0] {
+		t.Fatalf("lookup after restart: %v (found %v)", err, found[0])
+	}
+	after := cl.CacheStats()
+	retried := after.WireRetries - mid.WireRetries
+	if retried == 0 {
+		t.Fatal("restart did not exercise the retry path; the fixture is broken")
+	}
+	attempts := 1 + retried
+	if got := after.WireBytesWritten - mid.WireBytesWritten; got != attempts*oneAttempt {
+		t.Fatalf("retried lookup counted %d wire bytes over %d attempts, want %d (%d per attempt)",
+			got, attempts, attempts*oneAttempt, oneAttempt)
 	}
 }
 

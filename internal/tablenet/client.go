@@ -38,7 +38,26 @@ type ClientOptions struct {
 	// converted into fresh attempts with capped exponential backoff;
 	// the zero value picks the defaults. See RetryPolicy.
 	Retry RetryPolicy
+	// Admission selects the hot-key cache's insertion policy. The zero
+	// value is AdmissionTinyLFU — frequency-gated admission that keeps
+	// the recurring direct-lookup working set resident under floods of
+	// one-shot beyond-horizon scan keys (see admission.go). AdmissionAll
+	// restores unconditional insert-on-miss.
+	Admission AdmissionPolicy
 }
+
+// AdmissionPolicy selects how the hot-key cache decides whether a
+// fetched miss is worth caching.
+type AdmissionPolicy int
+
+const (
+	// AdmissionTinyLFU (the default) admits a new key only when its
+	// recent frequency — tracked in a 4-bit count-min sketch with
+	// periodic halving — beats the entry it would evict.
+	AdmissionTinyLFU AdmissionPolicy = iota
+	// AdmissionAll inserts every fetched result unconditionally.
+	AdmissionAll
+)
 
 // DefaultConns is the default connection-pool bound.
 const DefaultConns = 4
@@ -160,7 +179,7 @@ func Dial(addr string, opts *ClientOptions) (*Client, error) {
 		if ck == 0 {
 			ck = DefaultCacheKeys
 		}
-		cl.kcache = newHotKeyCache(ck)
+		cl.kcache = newHotKeyCache(ck, o.Admission == AdmissionTinyLFU)
 		cl.kflights = newLookupFlights()
 	}
 	if o.LevelCacheBytes >= 0 {
@@ -284,6 +303,7 @@ func (cl *Client) CacheStats() tables.CacheStats {
 		st.KeyHits = cl.kcache.hits.Load()
 		st.KeyMisses = cl.kcache.misses.Load()
 		st.CacheBytes += cl.kcache.bytes()
+		st.AdmissionRejects = cl.kcache.rejects.Load()
 	}
 	if cl.kflights != nil {
 		st.Coalesced += cl.kflights.coalesced.Load()
@@ -401,6 +421,12 @@ func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, attemp
 	}
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-frameHeaderLen))
 	binary.LittleEndian.PutUint32(frame[4:], frameSum(frame[frameHeaderLen:]))
+	// Count the frame when it is offered to the transport, not after the
+	// flush succeeds: a retried attempt re-sends the whole frame, and a
+	// write that dies mid-flush still moved bytes. Counting up front
+	// makes WireBytesWritten the true offered-load denominator — every
+	// attempt, first and retried alike.
+	cl.bytesWritten.Add(uint64(len(frame)))
 	if _, err := cc.bw.Write(frame); err != nil {
 		cc.dead = true
 		return nil, err
@@ -409,7 +435,6 @@ func (cl *Client) roundTrip(ctx context.Context, cc *clientConn, op byte, attemp
 		cc.dead = true
 		return nil, err
 	}
-	cl.bytesWritten.Add(uint64(len(frame)))
 	respOp, payload, err := readFrame(cc.br, cc.buf)
 	if err != nil {
 		cc.dead = true

@@ -1,0 +1,450 @@
+package tablenet
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bfs"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/perm"
+	"repro/internal/tables"
+)
+
+// The shallow fixture (k = 3, ≈600 classes) shares the k = 4 fixture's
+// alphabet: the pair forms a valid federation whose escalation path is
+// genuinely exercised — plenty of cost-4 representatives live only in
+// the deep tier.
+var (
+	shallowOnce sync.Once
+	shallowRes  *bfs.Result
+	shallowErr  error
+)
+
+func shallowTables(t testing.TB) *bfs.Result {
+	t.Helper()
+	shallowOnce.Do(func() {
+		shallowRes, shallowErr = bfs.Search(bfs.GateAlphabet(), 3, nil)
+	})
+	if shallowErr != nil {
+		t.Fatal(shallowErr)
+	}
+	return shallowRes
+}
+
+func shallowBackend(t testing.TB) *tables.Local {
+	t.Helper()
+	b, err := tables.NewLocal(shallowTables(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFederationIdenticalToBigK is the tentpole's acceptance gate: a
+// two-tier federation (k=3 fleet fronting the k=4 fleet, both behind
+// real servers) must answer every query byte-identically to the big-k
+// backend alone — raw lookups and fully-synthesized circuits alike —
+// while its counters prove the shallow tier absorbed traffic and only
+// the hard keys escalated.
+func TestFederationIdenticalToBigK(t *testing.T) {
+	res := fixtureTables(t)
+	_, addrSmall := startServer(t, shallowBackend(t))
+	_, addrBig := startServer(t, fixtureBackend(t))
+	clSmall := dialClient(t, addrSmall, nil)
+	clBig := dialClient(t, addrBig, nil)
+
+	// Deliberately passed deep-first: NewFederation orders by depth.
+	fed, err := NewFederation([]tables.Backend{clBig, clSmall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fed.Meta(); got.K != res.MaxCost || got.Source != "federation(2)" {
+		t.Fatalf("federation meta = %+v", got)
+	}
+	ctx := context.Background()
+
+	// Raw lookups across every level plus absent keys, against the big
+	// backend directly.
+	direct := fixtureBackend(t)
+	rng := rand.New(rand.NewSource(17))
+	var keys []uint64
+	for c := 0; c <= res.MaxCost; c++ {
+		lv := res.Level(c)
+		for i := 0; i < lv.Len(); i += 1 + rng.Intn(32) {
+			keys = append(keys, uint64(lv.At(i)))
+		}
+	}
+	for i := 0; i < 200; i++ {
+		keys = append(keys, uint64(randomPerm16(rng)))
+	}
+	gotVals := make([]uint16, len(keys))
+	gotOK := make([]bool, len(keys))
+	if err := fed.LookupBatch(ctx, keys, gotVals, gotOK); err != nil {
+		t.Fatal(err)
+	}
+	wantVals := make([]uint16, len(keys))
+	wantOK := make([]bool, len(keys))
+	if err := direct.LookupBatch(ctx, keys, wantVals, wantOK); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if gotOK[i] != wantOK[i] || (gotOK[i] && gotVals[i] != wantVals[i]) {
+			t.Fatalf("key %#x: federated (%v, %v) != direct (%v, %v)", keys[i], gotVals[i], gotOK[i], wantVals[i], wantOK[i])
+		}
+	}
+
+	// Full synthesis through the query engine: the federation is one
+	// tables.Backend, so core plans scans off the top tier's geometry.
+	localSynth, err := core.FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localSynth.SetWorkers(1)
+	fedSynth, err := core.FromBackend(fed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fedSynth.K() != localSynth.K() || fedSynth.Horizon() != localSynth.Horizon() {
+		t.Fatalf("geometry: federated k=%d h=%d, local k=%d h=%d",
+			fedSynth.K(), fedSynth.Horizon(), localSynth.K(), localSynth.Horizon())
+	}
+	checked := 0
+	for i := 0; i < 80; i++ {
+		var f perm.Perm
+		if i%6 == 5 {
+			f = randomPerm16(rng)
+		} else {
+			f = randomCircuitPerm(rng, 1+rng.Intn(8))
+		}
+		wantC, wantInfo, wantErr := localSynth.SynthesizeInfoCtx(ctx, f)
+		gotC, gotInfo, gotErr := fedSynth.SynthesizeInfoCtx(ctx, f)
+		if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && !errors.Is(gotErr, core.ErrBeyondHorizon)) {
+			t.Fatalf("spec %v: local err %v, federated err %v", f, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if wantInfo != gotInfo || wantC.String() != gotC.String() {
+			t.Fatalf("spec %v:\n  local     %+v %v\n  federated %+v %v", f, wantInfo, wantC, gotInfo, gotC)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d specs compared", checked)
+	}
+
+	ts := fed.TierStats()
+	if len(ts) != 2 || ts[0].K != 3 || ts[1].K != res.MaxCost {
+		t.Fatalf("tier stats mis-ordered: %+v", ts)
+	}
+	if ts[0].Probes == 0 || ts[0].Hits == 0 {
+		t.Fatalf("shallow tier absorbed nothing: %+v", ts[0])
+	}
+	if ts[0].Escalations == 0 || ts[1].Hits == 0 {
+		t.Fatalf("nothing escalated to the deep tier: %+v", ts)
+	}
+	// The deep tier's probes are the shallow tier's escalations plus the
+	// bounded scan/reconstruction batches cost-horizon routing sent to it
+	// directly (those never touch tier 0, so they cannot be smaller).
+	if ts[1].Probes < ts[0].Escalations {
+		t.Fatalf("deep tier probes %d < shallow escalations %d", ts[1].Probes, ts[0].Escalations)
+	}
+	if ts[0].Probes <= ts[0].Escalations {
+		t.Fatalf("escalation is not rare: %d of %d probes escaped the shallow tier", ts[0].Escalations, ts[0].Probes)
+	}
+	if ts[0].Horizon >= ts[1].Horizon {
+		t.Fatalf("tier horizons not increasing: %d then %d", ts[0].Horizon, ts[1].Horizon)
+	}
+	if cs := fed.CacheStats(); cs.WireBytesRead == 0 {
+		t.Fatalf("federation cache stats empty: %+v", cs)
+	}
+}
+
+func TestFederationRejectsMismatchedTiers(t *testing.T) {
+	if _, err := NewFederation(nil); err == nil {
+		t.Fatal("empty federation accepted")
+	}
+
+	// Two tiers of the same depth: no escalation relationship exists.
+	a := fixtureBackend(t)
+	b := fixtureBackend(t)
+	if _, err := NewFederation([]tables.Backend{a, b}); !errors.Is(err, ErrTierMismatch) {
+		t.Fatalf("duplicate-depth tiers: %v", err)
+	}
+
+	// Tiers over different alphabets: escalated answers would come from
+	// a different table family entirely.
+	alphabet, err := bfs.WeightedGateAlphabet(gate.Gate.QuantumCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := bfs.Search(alphabet, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := tables.NewLocal(wres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFederation([]tables.Backend{shallowBackend(t), wb}); !errors.Is(err, ErrTierMismatch) {
+		t.Fatalf("cross-alphabet tiers: %v", err)
+	}
+}
+
+// TestFederationBoundedRouting: cost-horizon routing. A bounded batch
+// goes to the single shallowest tier whose depth covers the bound —
+// that tier is authoritative for every usable answer, so its miss is
+// final and no other tier is probed — failing over deeper only when
+// the chosen tier errors.
+func TestFederationBoundedRouting(t *testing.T) {
+	res := fixtureTables(t)
+	shallowK := shallowTables(t).MaxCost
+	fed, err := NewFederation([]tables.Backend{shallowBackend(t), fixtureBackend(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	easy, hard := uint64(res.Level(1).At(0)), uint64(res.Level(res.MaxCost).At(0))
+	keys := []uint64{easy, hard}
+	vals := make([]uint16, 2)
+	found := make([]bool, 2)
+
+	// bound ≤ shallow K: tier 0 alone answers. The deep key is reported
+	// absent — the relaxation the interface licenses — and the deep tier
+	// is never touched.
+	if err := fed.LookupBatchBounded(ctx, keys, vals, found, shallowK); err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || found[1] {
+		t.Fatalf("bound %d: found = %v, want [true false]", shallowK, found)
+	}
+	ts := fed.TierStats()
+	if ts[0].Probes != 2 || ts[1].Probes != 0 || ts[0].Escalations != 0 {
+		t.Fatalf("bound %d probed the wrong tiers: %+v", shallowK, ts)
+	}
+
+	// bound beyond shallow K: the deep tier is the authority, tier 0 is
+	// skipped entirely — one probe per key, not a walk up the chain.
+	if err := fed.LookupBatchBounded(ctx, keys, vals, found, shallowK+1); err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || !found[1] {
+		t.Fatalf("bound %d: found = %v, want both", shallowK+1, found)
+	}
+	ts = fed.TierStats()
+	if ts[0].Probes != 2 || ts[1].Probes != 2 {
+		t.Fatalf("bound %d did not route straight to the deep tier: %+v", shallowK+1, ts)
+	}
+
+	// Failover: the covering shallow tier is dead; deeper tiers hold
+	// strictly more, so the batch lands there and the answer survives.
+	srv, addr := startServer(t, shallowBackend(t))
+	cl := dialClient(t, addr, &ClientOptions{Conns: 1, CacheKeys: -1, LevelCacheBytes: -1})
+	fed2, err := NewFederation([]tables.Backend{cl, fixtureBackend(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	fctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	if err := fed2.LookupBatchBounded(fctx, []uint64{easy}, vals[:1], found[:1], 1); err != nil {
+		t.Fatalf("bounded lookup did not fail over past the dead tier: %v", err)
+	}
+	if !found[0] {
+		t.Fatal("failover lost the answer")
+	}
+	if fed2.TierStats()[0].TierErrors == 0 {
+		t.Fatal("dead covering tier not counted")
+	}
+}
+
+// TestFederationLowerTierOutageDegrades: with the shallow fleet dead
+// the federation must keep answering every query — the whole batch
+// escalates to the deep tier — and only a dead TOP tier fails hard
+// queries (while shallow ones still resolve at tier 0).
+func TestFederationLowerTierOutageDegrades(t *testing.T) {
+	res := fixtureTables(t)
+	srvSmall, addrSmall := startServer(t, shallowBackend(t))
+	clSmall := dialClient(t, addrSmall, &ClientOptions{Conns: 1, CacheKeys: -1, LevelCacheBytes: -1})
+	fed, err := NewFederation([]tables.Backend{clSmall, fixtureBackend(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvSmall.Close()
+
+	keys := []uint64{uint64(res.Level(res.MaxCost).At(0)), uint64(res.Level(1).At(0))}
+	vals := make([]uint16, len(keys))
+	found := make([]bool, len(keys))
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := fed.LookupBatch(ctx, keys, vals, found); err != nil {
+		t.Fatalf("lookup with dead shallow tier: %v", err)
+	}
+	if !found[0] || !found[1] {
+		t.Fatalf("dead shallow tier lost answers: %v", found)
+	}
+	ts := fed.TierStats()
+	if ts[0].TierErrors == 0 {
+		t.Fatalf("shallow outage not counted: %+v", ts[0])
+	}
+	if ts[0].Escalations != uint64(len(keys)) {
+		t.Fatalf("expected the whole batch to escalate, got %d of %d", ts[0].Escalations, len(keys))
+	}
+
+	// The reverse wiring: deep tier dead, shallow alive.
+	srvBig, addrBig := startServer(t, fixtureBackend(t))
+	clBig := dialClient(t, addrBig, &ClientOptions{Conns: 1, CacheKeys: -1, LevelCacheBytes: -1})
+	fed2, err := NewFederation([]tables.Backend{shallowBackend(t), clBig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvBig.Close()
+
+	// A shallow key resolves at tier 0 without touching the dead tier.
+	easy := []uint64{uint64(res.Level(1).At(0))}
+	if err := fed2.LookupBatch(ctx, easy, make([]uint16, 1), make([]bool, 1)); err != nil {
+		t.Fatalf("shallow key needed the dead top tier: %v", err)
+	}
+	// A deep key cannot be answered authoritatively: loud failure.
+	hard := []uint64{uint64(res.Level(res.MaxCost).At(0))}
+	if err := fed2.LookupBatch(ctx, hard, make([]uint16, 1), make([]bool, 1)); err == nil {
+		t.Fatal("deep key answered with the top tier dead")
+	}
+}
+
+// TestFederationLevelKeysRoutesShallow: a level held by both tiers is
+// read from the shallowest (byte-identically), and a dead shallow tier
+// fails over to the deep one.
+func TestFederationLevelKeysRoutesShallow(t *testing.T) {
+	res := fixtureTables(t)
+	fed, err := NewFederation([]tables.Backend{shallowBackend(t), fixtureBackend(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	direct := fixtureBackend(t)
+
+	for _, c := range []int{0, 2, 3, res.MaxCost} {
+		want := make([]uint64, res.LevelLen(c))
+		got := make([]uint64, res.LevelLen(c))
+		if err := direct.LevelKeys(ctx, c, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.LevelKeys(ctx, c, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("level %d key %d: federated %#x != direct %#x", c, i, got[i], want[i])
+			}
+		}
+	}
+	ts := fed.TierStats()
+	if ts[0].LevelReads != 3 { // levels 0, 2, 3 belong to the shallow tier
+		t.Fatalf("shallow tier served %d level reads, want 3", ts[0].LevelReads)
+	}
+	if ts[1].LevelReads != 1 { // level 4 only the deep tier holds
+		t.Fatalf("deep tier served %d level reads, want 1", ts[1].LevelReads)
+	}
+	if err := fed.LevelKeys(ctx, res.MaxCost+1, 0, make([]uint64, 1)); err == nil {
+		t.Fatal("level beyond the top tier accepted")
+	}
+
+	// Failover: shallow tier behind a dead server, reads land deep.
+	srv, addr := startServer(t, shallowBackend(t))
+	cl := dialClient(t, addr, &ClientOptions{Conns: 1, LevelCacheBytes: -1, CacheKeys: -1})
+	fed2, err := NewFederation([]tables.Backend{cl, fixtureBackend(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	fctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	out := make([]uint64, res.LevelLen(1))
+	if err := fed2.LevelKeys(fctx, 1, 0, out); err != nil {
+		t.Fatalf("level read did not fail over past the dead shallow tier: %v", err)
+	}
+	if fed2.TierStats()[0].TierErrors == 0 {
+		t.Fatal("failed shallow level read not counted")
+	}
+}
+
+// TestFederationHealthFolding: the federation is Down only when its top
+// tier is down; a shallow-tier outage merely degrades it (big-k-only
+// serving).
+func TestFederationHealthFolding(t *testing.T) {
+	srvSmall, addrSmall := startServer(t, shallowBackend(t))
+	srvBig, addrBig := startServer(t, fixtureBackend(t))
+	rSmall, err := NewRouter([]tables.Backend{dialClient(t, addrSmall, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := NewRouter([]tables.Backend{dialClient(t, addrBig, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewFederation([]tables.Backend{rSmall, rBig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	h := fed.Health(ctx)
+	if h.Down() || h.Degraded {
+		t.Fatalf("healthy federation reports %+v", h)
+	}
+	if len(h.Replicas) != 2 {
+		t.Fatalf("expected 2 replica statuses, got %d", len(h.Replicas))
+	}
+
+	srvSmall.Close()
+	hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	h = fed.Health(hctx)
+	if h.Down() {
+		t.Fatalf("shallow outage reported as Down: %+v", h)
+	}
+	if !h.Degraded {
+		t.Fatalf("shallow outage not Degraded: %+v", h)
+	}
+
+	srvBig.Close()
+	hctx2, cancel2 := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel2()
+	if h = fed.Health(hctx2); !h.Down() {
+		t.Fatalf("top-tier outage not Down: %+v", h)
+	}
+}
+
+// TestTopologyPinsDepth: a topology that names its tier's depth refuses
+// a member serving a different one — the guard that keeps a small-k
+// shard out of the big-k fleet in a heterogeneous deployment.
+func TestTopologyPinsDepth(t *testing.T) {
+	_, addr := startServer(t, fixtureBackend(t)) // serves k=4
+	topo := &Topology{Generation: 1, K: 3, Ranges: 1, Members: []string{addr}}
+	dial := func(a string) (tables.Backend, error) { return Dial(a, nil) }
+	if _, err := BuildFleet(topo, dial); !errors.Is(err, ErrTierMismatch) {
+		t.Fatalf("depth-pinned topology accepted a k=4 member: %v", err)
+	}
+	topo.K = 4
+	groups, err := BuildFleet(topo, dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range groups {
+		for _, b := range g {
+			b.Close()
+		}
+	}
+
+	bad := &Topology{Generation: 1, K: -1, Ranges: 1, Members: []string{addr}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative depth pin validated")
+	}
+}

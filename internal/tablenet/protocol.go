@@ -227,10 +227,16 @@ func readFrame(r io.Reader, buf []byte) (op byte, payload []byte, err error) {
 	return body[0], body[1:], nil
 }
 
-// Hello flag bits (the uint32 at payload offset 1).
+// Hello flag bits (the uint32 at payload offset 1). Bits 8–15 carry
+// the shard's synthesis horizon (tables.Meta.Horizon) — 0 there means
+// "unadvertised" (a pre-horizon peer), which Meta.NormHorizon defaults
+// to K, so mixed-version fleets interoperate without a protocol bump.
 const (
 	helloFlagReduced  uint32 = 1 << 0
 	helloFlagDraining uint32 = 1 << 1
+
+	helloHorizonShift        = 8
+	helloHorizonMask  uint32 = 0xff
 )
 
 // helloFixedLen is the byte length of the v3 hello before the
@@ -253,9 +259,10 @@ type hello struct {
 
 // encodeHello lays out the handshake payload:
 //
-//	version byte | flags uint32 (bit0 reduced, bit1 draining) |
-//	k uint32 | entries uint64 | fingerprint (u32 u32 u64 u64) |
-//	rangeLo uint64 | rangeHi uint64 | levelCounts (k+1)×uint64
+//	version byte | flags uint32 (bit0 reduced, bit1 draining,
+//	bits 8–15 synthesis horizon) | k uint32 | entries uint64 |
+//	fingerprint (u32 u32 u64 u64) | rangeLo uint64 | rangeHi uint64 |
+//	levelCounts (k+1)×uint64
 func encodeHello(h hello) []byte {
 	m := h.Meta
 	buf := make([]byte, helloFixedLen+(m.K+1)*8)
@@ -268,6 +275,7 @@ func encodeHello(h hello) []byte {
 	if h.Draining {
 		flags |= helloFlagDraining
 	}
+	flags |= (uint32(m.NormHorizon()) & helloHorizonMask) << helloHorizonShift
 	le.PutUint32(buf[1:], flags)
 	le.PutUint32(buf[5:], uint32(m.K))
 	le.PutUint64(buf[9:], uint64(m.Entries))
@@ -323,6 +331,7 @@ func parseHello(payload []byte) (hello, error) {
 			SumCosts: le.Uint64(payload[33:]),
 		},
 		LevelCounts: make([]int, k+1),
+		Horizon:     int(flags >> helloHorizonShift & helloHorizonMask),
 	}
 	var sum uint64
 	for c := range h.Meta.LevelCounts {

@@ -24,6 +24,14 @@ import (
 type Topology struct {
 	// Generation is the topology's monotonic version.
 	Generation uint64 `json:"generation"`
+	// K, when set, pins the table depth this fleet must serve: BuildFleet
+	// refuses a member whose handshake advertises a different depth. In a
+	// heterogeneous federation one topology document per tier names its
+	// depth explicitly, so a small-k shard accidentally wired into the
+	// big-k fleet (or vice versa) is refused at build time instead of
+	// answering with the wrong geometry. 0 means "any depth" (homogeneous
+	// fleets don't need the pin — Compatible catches mixed generations).
+	K int `json:"k,omitempty"`
 	// Ranges is the hash-range count queries partition over.
 	Ranges int `json:"ranges"`
 	// Replication is how many members rendezvous assignment places on
@@ -59,6 +67,9 @@ func LoadTopologyFile(path string) (*Topology, error) {
 
 // Validate checks the topology's internal consistency.
 func (t *Topology) Validate() error {
+	if t.K < 0 {
+		return fmt.Errorf("tablenet: topology pins negative table depth k=%d", t.K)
+	}
 	if len(t.Groups) > 0 {
 		if t.Ranges != 0 && t.Ranges != len(t.Groups) {
 			return fmt.Errorf("tablenet: topology declares %d ranges but pins %d groups", t.Ranges, len(t.Groups))
@@ -191,9 +202,14 @@ func BuildFleet(t *Topology, dial func(addr string) (tables.Backend, error)) ([]
 		}
 	}
 	for _, m := range members {
-		if _, err := get(m); err != nil {
+		b, err := get(m)
+		if err != nil {
 			closeAll()
 			return nil, err
+		}
+		if t.K != 0 && b.Meta().K != t.K {
+			closeAll()
+			return nil, fmt.Errorf("%w: member %s serves depth k=%d, topology pins k=%d", ErrTierMismatch, m, b.Meta().K, t.K)
 		}
 	}
 	layout, err := t.Assign(func(addr string) (lo, hi uint64) {

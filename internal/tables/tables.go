@@ -27,6 +27,7 @@ package tables
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/bfs"
@@ -72,9 +73,29 @@ type Meta struct {
 	LevelCounts []int
 	// Fingerprint identifies the alphabet the tables were built over.
 	Fingerprint Fingerprint
+	// Horizon is the maximum circuit cost the meet-in-the-middle engine
+	// can synthesize from these tables: K + maxSplit − (alphabet
+	// MaxCost − 1), where maxSplit ≤ K. A cost above Horizon is not
+	// "missing", it is *unanswerable* at this depth — the signal a
+	// federation uses to escalate to a deeper tier, and the fact a
+	// "beyond horizon" error from a tier-attributed backend is final
+	// (core never re-scans). Zero means "unadvertised" (a pre-horizon
+	// store or hello); NormHorizon normalizes that to the conservative
+	// floor K. Advisory: Compatible ignores it, so mixed-age fleets
+	// where only some members advertise a horizon still interoperate.
+	Horizon int
 	// Source describes where the tables live, for stats/logs: "local",
-	// "tablenet(addr)", "router(n)".
+	// "tablenet(addr)", "router(n)", "federation(n)".
 	Source string
+}
+
+// NormHorizon returns the advertised horizon, defaulting an unadvertised
+// (zero) value to K — always answerable, never over-promising.
+func (m Meta) NormHorizon() int {
+	if m.Horizon == 0 {
+		return m.K
+	}
+	return m.Horizon
 }
 
 // Validate checks Meta's internal consistency; backends return validated
@@ -99,6 +120,9 @@ func (m Meta) Validate() error {
 	}
 	if m.Entries < 1 {
 		return fmt.Errorf("tables: table declares no entries")
+	}
+	if m.Horizon != 0 && (m.Horizon < m.K || m.Horizon > 2*m.K) {
+		return fmt.Errorf("tables: synthesis horizon %d outside [%d, %d]", m.Horizon, m.K, 2*m.K)
 	}
 	return nil
 }
@@ -145,6 +169,21 @@ type Backend interface {
 	Close() error
 }
 
+// BoundedLookuper is the optional Backend refinement behind
+// cost-horizon routing. LookupBatchBounded is LookupBatch for callers
+// that only need to distinguish "present with minimal cost ≤ bound"
+// from "not": a key whose cost exceeds bound MAY be reported absent.
+// The relaxation is what a Federation needs to route the whole batch
+// to the single shallowest tier whose depth covers the bound — that
+// tier is authoritative for every cost ≤ its K, so there is nothing to
+// escalate and nothing is probed twice. The meet-in-the-middle scan
+// always knows such a bound (the residue cost it is scanning for), as
+// does reconstruction (each step strips one element, so the remainder
+// costs one less than the last).
+type BoundedLookuper interface {
+	LookupBatchBounded(ctx context.Context, keys []uint64, vals []uint16, found []bool, bound int) error
+}
+
 // Localized is implemented by backends that can expose their tables as
 // an in-process bfs.Result. The core query engine uses it to keep the
 // zero-indirection probe loop — unchanged from single-host serving —
@@ -180,6 +219,12 @@ type CacheStats struct {
 	// WireRetries counts request attempts re-sent after a retryable
 	// transport failure — the fleet-instability signal.
 	WireRetries uint64 `json:"wire_retries"`
+	// AdmissionRejects counts hot-key cache insertions refused by the
+	// TinyLFU admission filter: one-shot keys (beyond-horizon scan
+	// residues, mostly) judged less valuable than the entry they would
+	// have evicted. A high rate under scan pressure is the filter
+	// working, not a problem.
+	AdmissionRejects uint64 `json:"admission_rejects"`
 }
 
 // Add accumulates o into s (the router's shard-aggregation helper).
@@ -193,6 +238,36 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.WireBytesRead += o.WireBytesRead
 	s.WireBytesWritten += o.WireBytesWritten
 	s.WireRetries += o.WireRetries
+	s.AdmissionRejects += o.AdmissionRejects
+}
+
+// KeyHitRatio is the hot-key tier's hit fraction (0 when unprobed).
+// Ratios are derived at read time, never stored: Add aggregates raw
+// counters and the ratio of a sum stays meaningful.
+func (s CacheStats) KeyHitRatio() float64 {
+	if t := s.KeyHits + s.KeyMisses; t > 0 {
+		return float64(s.KeyHits) / float64(t)
+	}
+	return 0
+}
+
+// LevelHitRatio is the level-block tier's hit fraction (0 when unprobed).
+func (s CacheStats) LevelHitRatio() float64 {
+	if t := s.LevelHits + s.LevelMisses; t > 0 {
+		return float64(s.LevelHits) / float64(t)
+	}
+	return 0
+}
+
+// MarshalJSON emits the counters plus the derived per-tier hit ratios,
+// so /stats consumers get dashboard-ready signals without re-deriving.
+func (s CacheStats) MarshalJSON() ([]byte, error) {
+	type raw CacheStats // shed methods: avoid recursive marshal
+	return json.Marshal(struct {
+		raw
+		KeyHitRatio   float64 `json:"key_hit_ratio"`
+		LevelHitRatio float64 `json:"level_hit_ratio"`
+	}{raw(s), s.KeyHitRatio(), s.LevelHitRatio()})
 }
 
 // CacheStatser is implemented by backends that maintain read caches;
@@ -229,6 +304,39 @@ type HealthStatser interface {
 	HealthStats() []Health
 }
 
+// TierStats is one tier's routing counters inside a federation: how
+// much traffic the tier absorbed vs passed upward. Hits/Escalations
+// partition Probes for every tier below the top (the top tier never
+// escalates — its misses are authoritative).
+type TierStats struct {
+	// K and Horizon describe the tier's tables; Source names its fleet.
+	K       int    `json:"k"`
+	Horizon int    `json:"horizon"`
+	Source  string `json:"source"`
+	// Probes counts keys offered to this tier; Hits the keys it
+	// answered; Escalations the keys passed to the next deeper tier
+	// (not found here, or the tier's probe failed outright).
+	Probes      uint64 `json:"probes"`
+	Hits        uint64 `json:"hits"`
+	Escalations uint64 `json:"escalations"`
+	// LevelReads counts LevelKeys calls routed to this tier (the
+	// federation serves level c from the shallowest tier holding it).
+	LevelReads uint64 `json:"level_reads"`
+	// TierErrors counts probe calls that failed and were failed over to
+	// the next tier wholesale — the tier-outage signal.
+	TierErrors uint64 `json:"tier_errors"`
+	// Cache is the tier's aggregated client-cache view, when its fleet
+	// keeps caches.
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// TierStatser is implemented by tiered backends (tablenet.Federation);
+// service.Stats and /stats+/metrics surface per-tier routing counters
+// of a backend that provides them.
+type TierStatser interface {
+	TierStats() []TierStats
+}
+
 // Local is the in-process Backend over a bfs.Result (live, frozen, or
 // memory-mapped). It is the reference implementation the network stack
 // is tested against, and the backend every shard server exports.
@@ -249,12 +357,20 @@ func NewLocal(res *bfs.Result) (*Local, error) {
 	for c := range counts {
 		counts[c] = res.LevelLen(c)
 	}
+	// The synthesis horizon of a full-depth MITM engine over these
+	// tables: both scan halves reach depth K, overlapping by the
+	// costliest single gate (2K − (maxGateCost−1)), never below K.
+	horizon := 2*res.MaxCost - (res.Alphabet.MaxCost() - 1)
+	if horizon < res.MaxCost {
+		horizon = res.MaxCost
+	}
 	m := Meta{
 		K:           res.MaxCost,
 		Reduced:     res.Reduced,
 		Entries:     res.TotalStored(),
 		LevelCounts: counts,
 		Fingerprint: FingerprintOf(res.Alphabet),
+		Horizon:     horizon,
 		Source:      "local",
 	}
 	if err := m.Validate(); err != nil {

@@ -195,8 +195,14 @@ func computeLayoutV2(headerLen int, shardCount uint32, slotsPerShard, entryCount
 
 // headerV2 is the parsed fixed-size header.
 type headerV2 struct {
-	flags         uint32
-	maxCost       uint32
+	flags   uint32
+	maxCost uint32
+	// horizon is the max synthesizable cost of a full-depth MITM engine
+	// over this store (tables.Meta.Horizon): 2K − (maxGateCost−1),
+	// floored at K. Carried in the formerly-reserved u32 at offset 40;
+	// pre-horizon stores read back 0, which loaders treat as
+	// "unadvertised" (tables.Meta.NormHorizon defaults it to K).
+	horizon       uint32
 	fp            fingerprint
 	shardCount    uint32
 	slotsPerShard uint64
@@ -251,7 +257,7 @@ func encodeHeaderV2(h *headerV2) []byte {
 	le.PutUint64(buf[20:], h.fp.XorPerms)
 	le.PutUint64(buf[28:], h.fp.SumCosts)
 	le.PutUint32(buf[36:], h.shardCount)
-	le.PutUint32(buf[40:], 0) // reserved
+	le.PutUint32(buf[40:], h.horizon) // synthesis horizon (0: unadvertised)
 	le.PutUint64(buf[44:], h.slotsPerShard)
 	le.PutUint64(buf[52:], h.entryCount)
 	le.PutUint64(buf[60:], h.keysOff)
@@ -317,6 +323,10 @@ func parseHeaderV2(b []byte) (*headerV2, int, error) {
 	h.maxCost = le.Uint32(b[8:])
 	if h.maxCost > uint32(bfs.MaxPackedCost) {
 		return nil, 0, fmt.Errorf("%w: implausible horizon %d", ErrCorrupt, h.maxCost)
+	}
+	h.horizon = le.Uint32(b[40:])
+	if h.horizon != 0 && (h.horizon < h.maxCost || h.horizon > 2*h.maxCost) {
+		return nil, 0, fmt.Errorf("%w: synthesis horizon %d outside [%d, %d]", ErrCorrupt, h.horizon, h.maxCost, 2*h.maxCost)
 	}
 	n := h.headerLen()
 	if len(b) < n {
@@ -427,6 +437,18 @@ func validateGeometryV2(h *headerV2, maxEntries int64) (layoutV2, error) {
 	return l, nil
 }
 
+// synthHorizon is the max synthesizable cost stamped into a v2 header:
+// 2K − (maxGateCost−1), floored at K — the same value tables.NewLocal
+// derives, recorded so readers of the raw header (and future
+// cross-version loaders) see it without the alphabet in hand.
+func synthHorizon(res *bfs.Result) uint32 {
+	h := 2*res.MaxCost - (res.Alphabet.MaxCost() - 1)
+	if h < res.MaxCost {
+		h = res.MaxCost
+	}
+	return uint32(h)
+}
+
 // SaveV2 serializes a BFS result in format v2. A frozen-backend result
 // (v2 load, Result.Compact) is written directly from its slot arrays; a
 // live result is compacted transiently first. The alphabet is identified
@@ -442,6 +464,7 @@ func SaveV2(w io.Writer, res *bfs.Result) error {
 	keys, vals := ft.RawKeys(), ft.RawVals()
 	h := &headerV2{
 		maxCost:       uint32(res.MaxCost),
+		horizon:       synthHorizon(res),
 		fp:            fingerprintOf(res.Alphabet),
 		shardCount:    uint32(ft.ShardCount()),
 		slotsPerShard: uint64(ft.SlotsPerShard()),
@@ -529,6 +552,7 @@ func SaveSplit(w io.Writer, res *bfs.Result, n, i int) error {
 	h := &headerV2{
 		flags:         flagSplit,
 		maxCost:       uint32(res.MaxCost),
+		horizon:       synthHorizon(res),
 		fp:            fingerprintOf(res.Alphabet),
 		shardCount:    uint32(ft.ShardCount()),
 		slotsPerShard: uint64(ft.SlotsPerShard()),
