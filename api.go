@@ -32,6 +32,37 @@
 // reproduces the original sequential behaviour exactly, and per-level
 // class counts are identical for every worker count.
 //
+// # Paper-scale builds
+//
+// The in-memory BFS needs the whole table resident, which caps the
+// reachable depth at the build machine's RAM — the paper's k = 9 run
+// took "over 100 GB" (§4.1). The out-of-core builder (internal/extbuild,
+// driven by revtables -out-of-core) removes that cap: each frontier
+// streams to sorted spill runs on disk, new levels merge-dedup against
+// all prior levels by external k-way merge under a hard -mem-budget,
+// and the finished store — plus every -split shard file, in the same
+// pass — is emitted directly, without materializing the table:
+//
+//	go run ./cmd/revtables -table none -k 8 -save k8.tables -out-of-core -mem-budget 2GiB
+//	go run ./cmd/revtables -table none -k 9 -save k9 -out-of-core -split 16 -mem-budget 8GiB
+//
+// The output is byte-identical to tablesio.SaveFile of the sequential
+// in-memory build, for any budget, worker count, or crash history —
+// per-shard merges assign the same deterministic sequence numbers the
+// sequential builder would, so the emitted file is independent of the
+// spill schedule. Days-long builds survive interruption: the work
+// directory (-build-workdir, default <save>.work) carries a
+// generation-stamped checkpoint manifest with per-artifact
+// fingerprints, and -resume picks the build up with at most one level
+// of rework, even under a different budget. Progress streams per level
+// (slabs, candidates, spill traffic, ETA) and the final level counts
+// are diffed against the paper's Table 4 before the store is declared
+// good. CI proves the byte-identity and kill/-resume paths end-to-end
+// on every push, and the "build" section of BENCH_10.json records
+// entries/s, spill traffic, and peak tracked memory under a budget a
+// quarter of the finished store. See examples/build for the
+// programmatic walkthrough.
+//
 // # Serving
 //
 // The paper's production shape is precompute-once/query-many: tables
@@ -248,6 +279,15 @@
 // warm curves). Cache hit/miss/coalescing/byte counters surface through
 // ServiceStats.RemoteCache and the /stats endpoint ("clients" holds the
 // router's aggregate over its shard clients).
+//
+// The front result-LRU is escalation-aware when the backend is a
+// federation: a result that had to escalate past the small tiers cost a
+// deep-fleet round trip to produce, so it is retained with as many
+// second-chance lives as the index of the tier that answered it, while
+// cheap tier-0 answers evict in plain LRU order. Per-tier
+// retained/evicted counters surface in ServiceStats and as
+// revserve_cache_{retained,evicted}_total{tier="i"} on /metrics;
+// non-federated backends keep the exact unweighted LRU behaviour.
 //
 // # Operations
 //

@@ -4,12 +4,12 @@
 // (tablenet shard/router) throughput, fault-tolerance latency, and the
 // traffic-layer (ops middleware) overhead on the warm cached HTTP path
 // — and emits one machine-readable JSON report. CI uploads the report
-// as an artifact (BENCH_9.json) so the scaling curves are tracked per
+// as an artifact (BENCH_10.json) so the scaling curves are tracked per
 // commit; ROADMAP.md records the curves measured on reference hardware.
 //
 // Usage:
 //
-//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_9.json]
+//	revbench [-k 6] [-workers 1,2,4,8] [-o BENCH_10.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // One run builds the k-tables exactly once and reuses them for every
@@ -29,6 +29,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -48,12 +49,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/bfs"
 	"repro/internal/canon"
 	"repro/internal/circuit"
+	"repro/internal/extbuild"
 	"repro/internal/gate"
 	"repro/internal/ops"
 	"repro/internal/perm"
@@ -197,6 +200,27 @@ type federationReport struct {
 	Caveat                string  `json:"caveat,omitempty"`
 }
 
+// buildReport prices the out-of-core table build (extbuild) against
+// the in-memory search at the same k: entry throughput, spill traffic,
+// and the builder's tracked-memory peak under a budget deliberately
+// smaller than the finished store. Byte-identity with the in-memory
+// build's SaveFile is asserted in-run — a diff aborts the bench.
+// MaxRSSBytes is the whole process's high-water mark (it includes the
+// earlier in-memory sections, so it bounds, not measures, the build).
+type buildReport struct {
+	Entries          int64   `json:"entries"`
+	MemBudgetBytes   int64   `json:"mem_budget_bytes"`
+	StoreBytes       int64   `json:"store_bytes"`
+	Seconds          float64 `json:"seconds"`
+	EntriesPerSec    float64 `json:"entries_per_sec"`
+	CandidatesPerSec float64 `json:"candidates_per_sec"`
+	SpillWritten     int64   `json:"spill_written_bytes"`
+	SpillRead        int64   `json:"spill_read_bytes"`
+	PeakTracked      int64   `json:"peak_tracked_bytes"`
+	MaxRSSBytes      int64   `json:"process_max_rss_bytes"`
+	ByteIdentical    bool    `json:"byte_identical_to_in_memory"`
+}
+
 type report struct {
 	GeneratedAt string     `json:"generated_at"`
 	Host        hostReport `json:"host"`
@@ -207,6 +231,7 @@ type report struct {
 	K          int              `json:"k"`
 	Search     []searchPoint    `json:"search_parallel"`
 	ColdStart  coldStartReport  `json:"cold_start"`
+	Build      buildReport      `json:"build"`
 	Query      queryReport      `json:"service_queries"`
 	Remote     remoteReport     `json:"remote_backend"`
 	Federation federationReport `json:"federation"`
@@ -221,7 +246,7 @@ func main() {
 	var (
 		k          = flag.Int("k", 6, "BFS depth for the table set under test")
 		workers    = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the search curve")
-		out        = flag.String("o", "BENCH_9.json", "output path (- for stdout)")
+		out        = flag.String("o", "BENCH_10.json", "output path (- for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
@@ -361,6 +386,60 @@ func main() {
 	rep.ColdStart.MemoryMapped = v2Info.MemoryMapped
 	log.Printf("cold start: v1 %.3fs, v2+mmap %.6fs (%.0f×), heap %.1f → %.3f B/rep",
 		v1Secs, v2Secs, v1Secs/v2Secs, v1Heap, v2Heap)
+
+	// --- Out-of-core build ----------------------------------------------
+	// Budget: a quarter of the finished store (min 4 MiB) — small enough
+	// that frontiers must spill and the prior-level dedup table is
+	// dropped for the disk merge-join on bigger k.
+	oocBudget := max64(rep.ColdStart.V2Bytes/4, 4<<20)
+	oocPath := filepath.Join(dir, "ooc.tables")
+	// The byte-identity oracle is the *sequential* in-memory build —
+	// extbuild's contract. The scaling-curve result above may come from
+	// the parallel builder, which resolves duplicate candidates by
+	// insertion race and so freezes arbitrary equal-cost winners.
+	refPath := filepath.Join(dir, "ref.tables")
+	refRes, err := bfs.Search(bfs.GateAlphabet(), *k, &bfs.Options{Workers: 1, CapacityHint: hint})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tablesio.SaveFile(refPath, refRes); err != nil {
+		log.Fatal(err)
+	}
+	refRes = nil
+	oocStart := time.Now()
+	oocStats, err := extbuild.Build(extbuild.Options{
+		Alphabet:  bfs.GateAlphabet(),
+		K:         *k,
+		WorkDir:   filepath.Join(dir, "ooc.work"),
+		MemBudget: oocBudget,
+		OutPath:   oocPath,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oocSecs := time.Since(oocStart).Seconds()
+	identical, err := filesEqual(oocPath, refPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !identical {
+		log.Fatalf("out-of-core store %s differs from sequential in-memory SaveFile %s", oocPath, refPath)
+	}
+	rep.Build = buildReport{
+		Entries:          oocStats.Entries,
+		MemBudgetBytes:   oocBudget,
+		StoreBytes:       fileSize(oocPath),
+		Seconds:          round(oocSecs),
+		EntriesPerSec:    round(float64(oocStats.Entries) / oocSecs),
+		CandidatesPerSec: round(float64(oocStats.Candidates) / oocSecs),
+		SpillWritten:     oocStats.SpillWrittenBytes,
+		SpillRead:        oocStats.SpillReadBytes,
+		PeakTracked:      oocStats.PeakTrackedBytes,
+		MaxRSSBytes:      maxRSSBytes(),
+		ByteIdentical:    identical,
+	}
+	log.Printf("out-of-core build k=%d: %.2fs under %d MiB budget (%.0f entries/s, %d MiB spilled, byte-identical)",
+		*k, oocSecs, oocBudget>>20, float64(oocStats.Entries)/oocSecs, oocStats.SpillWrittenBytes>>20)
 
 	// --- Serving throughput ---------------------------------------------
 	rng := rand.New(rand.NewSource(42))
@@ -956,4 +1035,52 @@ func round(x float64) float64 {
 		return -round(-x)
 	}
 	return float64(int64(x*1000+0.5)) / 1000
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// filesEqual streams both files and compares bytes.
+func filesEqual(a, b string) (bool, error) {
+	fa, err := os.Open(a)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(b)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	ba, bb := make([]byte, 1<<20), make([]byte, 1<<20)
+	for {
+		na, ea := io.ReadFull(fa, ba)
+		nb, eb := io.ReadFull(fb, bb)
+		if na != nb || !bytes.Equal(ba[:na], bb[:nb]) {
+			return false, nil
+		}
+		if ea == io.EOF || ea == io.ErrUnexpectedEOF {
+			return eb == io.EOF || eb == io.ErrUnexpectedEOF, nil
+		}
+		if ea != nil {
+			return false, ea
+		}
+		if eb != nil {
+			return false, eb
+		}
+	}
+}
+
+// maxRSSBytes reports the process's resident-set high-water mark
+// (Linux rusage counts kilobytes).
+func maxRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
 }

@@ -20,6 +20,19 @@
 // it all N are written as <save>.<i>of<N>. Serve one with
 // revserve -shard-serve -tables <file>.
 //
+// -out-of-core builds the store without ever holding the table in
+// memory: each BFS frontier streams to sorted spill runs on disk,
+// levels merge-dedup externally under the -mem-budget cap, and the
+// store (and all -split files, in the same pass) is emitted directly —
+// byte-identical to the in-memory build's output. The work directory
+// (-build-workdir, default <save>.work) holds a checkpoint manifest;
+// after a crash or kill, -resume picks the build up with at most one
+// level of rework:
+//
+//	revtables -table none -k 8 -save k8.tables -out-of-core -mem-budget 2GiB
+//	revtables -table none -k 8 -save k8.tables -out-of-core -mem-budget 2GiB -resume
+//	revtables -table none -k 9 -save k9 -out-of-core -split 16 -mem-budget 8GiB
+//
 // Tables 1, 3, 4 and 6 need a synthesizer (built once per run); Tables 2
 // and 5 and Figure 1 are self-contained. With -k 7 every Table 6 row is
 // in range and Table 3 covers sizes through 14 (≈1 minute of
@@ -53,6 +66,11 @@ func main() {
 		save     = flag.String("save", "", "persist the built search tables to this file (serve them later with revserve -tables)")
 		split    = flag.Int("split", 0, "with -save: cut the store into this many (power of two) range-local split files")
 		rangeIdx = flag.Int("range", -1, "with -split: write only this range's split file, directly to the -save path")
+		ooc      = flag.Bool("out-of-core", false, "with -save: build disk-streamed under -mem-budget instead of in memory (output is byte-identical)")
+		memBudg  = flag.String("mem-budget", "", "out-of-core memory cap, e.g. 512MiB or 2GiB (default 256MiB)")
+		resume   = flag.Bool("resume", false, "resume an interrupted out-of-core build from its work-directory checkpoint")
+		workDir  = flag.String("build-workdir", "", "out-of-core spill/checkpoint directory (default <save>.work)")
+		crashAt  = flag.String("build-crash", "", "kill the process at an out-of-core checkpoint stage:level[:slab] (testing)")
 	)
 	flag.Parse()
 	if *split != 0 && *save == "" {
@@ -67,13 +85,22 @@ func main() {
 	if *split != 0 && *rangeIdx >= *split {
 		log.Fatalf("-range %d outside [0, %d)", *rangeIdx, *split)
 	}
+	if *ooc {
+		if *save == "" {
+			log.Fatal("-out-of-core requires -save")
+		}
+		if *rangeIdx >= 0 {
+			log.Fatal("-out-of-core emits every -split range in one pass; -range is not supported")
+		}
+		buildOutOfCore(*save, *k, *split, *memBudg, *workDir, *resume, *crashAt)
+	}
 
 	want := map[string]bool{}
 	for _, t := range strings.Split(*table, ",") {
 		want[strings.TrimSpace(t)] = true
 	}
 	all := want["all"]
-	needsSynth := all || want["fig2"] || want["1"] || want["3"] || want["4"] || want["6"] || want["ladder"] || *save != ""
+	needsSynth := all || want["fig2"] || want["1"] || want["3"] || want["4"] || want["6"] || want["ladder"] || (*save != "" && !*ooc)
 
 	var synth *core.Synthesizer
 	if needsSynth {
@@ -89,6 +116,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tables ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	switch {
+	case *ooc:
+		// Already emitted by buildOutOfCore above.
 	case *save != "" && *split == 0:
 		if err := tablesio.SaveFile(*save, synth.Result()); err != nil {
 			log.Fatal(err)

@@ -3,7 +3,6 @@ package bfs
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -432,16 +431,7 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 
 	// Group element indices by cost so level c expands from level
 	// c − cost(e) for each group.
-	costGroups := map[int][]int{}
-	for i := 0; i < a.Len(); i++ {
-		c := a.Element(i).Cost
-		costGroups[c] = append(costGroups[c], i)
-	}
-	costs := make([]int, 0, len(costGroups))
-	for c := range costGroups {
-		costs = append(costs, c)
-	}
-	sort.Ints(costs)
+	costs, costGroups := CostGroups(a)
 
 	for c := 1; c <= k; c++ {
 		var lvl []perm.Perm
@@ -460,9 +450,11 @@ func Search(a *Alphabet, k int, opts *Options) (*Result, error) {
 }
 
 // expandLevel computes cost level c sequentially, in the exact expansion
-// order of the original single-threaded implementation.
+// order of the original single-threaded implementation: the candidates
+// stream through a sink that inserts immediately, so the level list is
+// the first-insertion order.
 func expandLevel(res *Result, costs []int, costGroups map[int][]int, c int, noReduction bool) []perm.Perm {
-	var lvl []perm.Perm
+	s := &liveSeqSink{res: res}
 	for _, ec := range costs {
 		src := c - ec
 		if src < 0 {
@@ -470,17 +462,24 @@ func expandLevel(res *Result, costs []int, costGroups map[int][]int, c int, noRe
 		}
 		elemIdxs := costGroups[ec]
 		for _, r := range res.Levels[src] {
-			if noReduction {
-				lvl = expandPlain(res, r, elemIdxs, c, lvl)
-				continue
-			}
-			lvl = expandReduced(res, r, elemIdxs, c, lvl)
-			if ri := r.Inverse(); ri != r {
-				lvl = expandReduced(res, ri, elemIdxs, c, lvl)
-			}
+			ExpandRep(res.Alphabet, r, elemIdxs, c, !noReduction, 0, s)
 		}
 	}
-	return lvl
+	return s.lvl
+}
+
+// liveSeqSink is the sequential in-memory sink: immediate insertion into
+// the sharded table, survivors appended in arrival order. Sequence
+// numbers are irrelevant here — arrival order IS the sequential order.
+type liveSeqSink struct {
+	res *Result
+	lvl []perm.Perm
+}
+
+func (s *liveSeqSink) Candidate(key uint64, val uint16, _ uint64) {
+	if _, inserted := s.res.Table.Insert(key, val); inserted {
+		s.lvl = append(s.lvl, perm.Perm(key))
+	}
 }
 
 // expandChunk is one unit of parallel work: a contiguous slice of a
@@ -532,14 +531,7 @@ func expandLevelParallel(res *Result, costs []int, costGroups map[int][]int, c i
 				}
 				ch := chunks[j]
 				for _, r := range ch.reps {
-					if noReduction {
-						e.expandPlain(r, ch.elemIdxs)
-						continue
-					}
-					e.expandReduced(r, ch.elemIdxs)
-					if ri := r.Inverse(); ri != r {
-						e.expandReduced(ri, ch.elemIdxs)
-					}
+					ExpandRep(res.Alphabet, r, ch.elemIdxs, c, !noReduction, 0, e)
 				}
 			}
 			e.flush()
@@ -585,31 +577,13 @@ func newExpander(res *Result, cost int) *expander {
 	}
 }
 
-// expandReduced appends one element to base (a representative or the
-// inverse of one), canonicalizes, and queues the candidate for batched
-// insertion. Paper Algorithm 2's inner loop.
-func (e *expander) expandReduced(base perm.Perm, elemIdxs []int) {
-	a := e.res.Alphabet
-	for _, ei := range elemIdxs {
-		h := base.Then(a.Element(ei).P)
-		rep, sigma, inverted := canon.Canonical(h)
-		// The appended element is the last element of a minimal circuit
-		// for h. Conjugating h's circuit by σ yields rep's circuit when
-		// rep = conj(h, σ); when rep = conj(h⁻¹, σ) the circuit also
-		// reverses, making the conjugated element rep's first element.
-		ce := a.ConjugateElement(ei, sigma)
-		e.push(uint64(rep), PackValue(e.cost, ce, inverted))
-	}
-}
-
-// expandPlain is the unreduced variant: every function is its own key and
-// the appended element is always a last element.
-func (e *expander) expandPlain(base perm.Perm, elemIdxs []int) {
-	a := e.res.Alphabet
-	for _, ei := range elemIdxs {
-		h := base.Then(a.Element(ei).P)
-		e.push(uint64(h), PackValue(e.cost, ei, false))
-	}
+// Candidate queues one expansion product for batched insertion; the
+// expander is the parallel path's CandidateSink. Sequence numbers are
+// ignored: races on duplicate keys are resolved by the table instead
+// (exactly one insert wins), so the set is schedule-invariant even
+// though the winning value may not be the sequential one.
+func (e *expander) Candidate(key uint64, val uint16, _ uint64) {
+	e.push(key, val)
 }
 
 func (e *expander) push(key uint64, val uint16) {
@@ -635,33 +609,6 @@ func (e *expander) flush() {
 	}
 	e.keys = e.keys[:0]
 	e.vals = e.vals[:0]
-}
-
-// expandReduced is the sequential (Workers == 1) inner loop, inserting
-// directly so the level order matches the original implementation.
-func expandReduced(res *Result, base perm.Perm, elemIdxs []int, cost int, lvl []perm.Perm) []perm.Perm {
-	a := res.Alphabet
-	for _, ei := range elemIdxs {
-		h := base.Then(a.Element(ei).P)
-		rep, sigma, inverted := canon.Canonical(h)
-		ce := a.ConjugateElement(ei, sigma)
-		if _, inserted := res.Table.Insert(uint64(rep), PackValue(cost, ce, inverted)); inserted {
-			lvl = append(lvl, rep)
-		}
-	}
-	return lvl
-}
-
-// expandPlain is the sequential unreduced variant.
-func expandPlain(res *Result, base perm.Perm, elemIdxs []int, cost int, lvl []perm.Perm) []perm.Perm {
-	a := res.Alphabet
-	for _, ei := range elemIdxs {
-		h := base.Then(a.Element(ei).P)
-		if _, inserted := res.Table.Insert(uint64(h), PackValue(cost, ei, false)); inserted {
-			lvl = append(lvl, h)
-		}
-	}
-	return lvl
 }
 
 // LookupRaw returns the packed table value stored under a key that must

@@ -3,6 +3,7 @@ package hashtab
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 	"sync"
 	"unsafe"
 )
@@ -130,12 +131,75 @@ func NewFrozenSplit(keys []uint64, vals []uint16, shardCount, count, splitN, spl
 	}, nil
 }
 
+// FrozenSlotsPerShard returns the uniform per-shard slot count the
+// frozen layout uses for a table whose fullest shard holds maxCount
+// entries: the smallest power of two ≥ minShardSlots that keeps that
+// shard at or under the build-phase load factor. Exported so an
+// out-of-core builder that knows only per-shard entry counts can size a
+// store identically to Compact without materializing the table.
+func FrozenSlotsPerShard(maxCount int) int {
+	perShard := minShardSlots
+	for float64(maxCount) > maxLoadFactor*float64(perShard) {
+		perShard <<= 1
+	}
+	return perShard
+}
+
+// PlaceShardCanonical lays one shard's entries into the caller's zeroed
+// slot arrays (len a power of two ≥ minShardSlots, strictly greater than
+// len(ks)) in the canonical frozen order: entries sorted by (home slot,
+// key) and then linear-probed. Linear probing fills the same SET of
+// slots for any insertion order; fixing the order makes the assignment
+// of keys to slots — and therefore the persisted bytes — a pure
+// function of the entry set, which is what lets an out-of-core build
+// and an in-memory Compact of the same table emit identical stores.
+// Keys must be unique and nonzero; ks and vs are reordered in place.
+func PlaceShardCanonical(ks []uint64, vs []uint16, slotKeys []uint64, slotVals []uint16) {
+	mask := uint64(len(slotKeys) - 1)
+	homes := make([]uint64, len(ks))
+	for i, k := range ks {
+		homes[i] = Hash64Shift(k) & mask
+	}
+	sort.Sort(&shardEntrySort{homes, ks, vs})
+	for i, k := range ks {
+		j := homes[i]
+		for slotKeys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		slotKeys[j] = k
+		slotVals[j] = vs[i]
+	}
+}
+
+// shardEntrySort sorts one shard's entries by (home slot, key) keeping
+// the three parallel slices aligned.
+type shardEntrySort struct {
+	homes []uint64
+	keys  []uint64
+	vals  []uint16
+}
+
+func (s *shardEntrySort) Len() int { return len(s.keys) }
+func (s *shardEntrySort) Less(a, b int) bool {
+	if s.homes[a] != s.homes[b] {
+		return s.homes[a] < s.homes[b]
+	}
+	return s.keys[a] < s.keys[b]
+}
+func (s *shardEntrySort) Swap(a, b int) {
+	s.homes[a], s.homes[b] = s.homes[b], s.homes[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.vals[a], s.vals[b] = s.vals[b], s.vals[a]
+}
+
 // Compact re-lays a sharded table into the frozen flat layout: one pass
 // that sizes every shard to the same power of two (the smallest keeping
 // the fullest shard at or under the build-phase load factor) and places
-// each entry on its probe chain. This is the once-per-table cost the
-// serving path pays so that queries — and the persisted v2 format — get
-// the two-array layout; afterwards the sharded table can be dropped.
+// each entry on its probe chain in the canonical (home slot, key) order,
+// so the resulting arrays depend only on the stored entries, never on
+// insertion history. This is the once-per-table cost the serving path
+// pays so that queries — and the persisted v2 format — get the
+// two-array layout; afterwards the sharded table can be dropped.
 func Compact(t *ShardedTable) (*FrozenTable, error) {
 	maxCount, total := 0, 0
 	for i := range t.shards {
@@ -145,10 +209,7 @@ func Compact(t *ShardedTable) (*FrozenTable, error) {
 			maxCount = n
 		}
 	}
-	perShard := minShardSlots
-	for float64(maxCount) > maxLoadFactor*float64(perShard) {
-		perShard <<= 1
-	}
+	perShard := FrozenSlotsPerShard(maxCount)
 	shardCount := len(t.shards)
 	if int64(shardCount)*int64(perShard) > maxFrozenSlots {
 		return nil, fmt.Errorf("hashtab: compact layout needs %d slots, over the uint32 slot-index space", int64(shardCount)*int64(perShard))
@@ -159,11 +220,16 @@ func Compact(t *ShardedTable) (*FrozenTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	eks := make([]uint64, 0, maxCount)
+	evs := make([]uint16, 0, maxCount)
 	for i := range t.shards {
+		eks, evs = eks[:0], evs[:0]
 		t.shards[i].t.ForEach(func(k uint64, v uint16) bool {
-			ft.place(k, v)
+			eks = append(eks, k)
+			evs = append(evs, v)
 			return true
 		})
+		PlaceShardCanonical(eks, evs, keys[i*perShard:(i+1)*perShard], vals[i*perShard:(i+1)*perShard])
 	}
 	return ft, nil
 }
@@ -197,40 +263,36 @@ func CompactSplit(keys []uint64, vals []uint16, shardCount, splitN, splitIdx int
 			maxCount = perShardCount[shard]
 		}
 	}
-	perShard := minShardSlots
-	for float64(maxCount) > maxLoadFactor*float64(perShard) {
-		perShard <<= 1
-	}
+	perShard := FrozenSlotsPerShard(maxCount)
 	if int64(shardCount)*int64(perShard) > maxFrozenSlots {
 		return nil, fmt.Errorf("hashtab: split layout needs %d slots, over the uint32 slot-index space", int64(shardCount)*int64(perShard))
 	}
-	ft, err := NewFrozenSplit(make([]uint64, shardCount*perShard), make([]uint16, shardCount*perShard),
-		shardCount, len(keys), splitN, splitIdx)
+	slotKeys := make([]uint64, shardCount*perShard)
+	slotVals := make([]uint16, shardCount*perShard)
+	ft, err := NewFrozenSplit(slotKeys, slotVals, shardCount, len(keys), splitN, splitIdx)
 	if err != nil {
 		return nil, err
 	}
+	// Group the entries by shard (counting sort over the counts already
+	// gathered above), then lay each shard canonically.
+	starts := make([]int, shardCount+1)
+	for s := 0; s < shardCount; s++ {
+		starts[s+1] = starts[s] + perShardCount[s]
+	}
+	cursor := append([]int(nil), starts[:shardCount]...)
+	gk := make([]uint64, len(keys))
+	gv := make([]uint16, len(vals))
 	for i, k := range keys {
-		ft.place(k, vals[i])
+		shard := (Hash64Shift(k) >> shift) - base
+		gk[cursor[shard]] = k
+		gv[cursor[shard]] = vals[i]
+		cursor[shard]++
+	}
+	for s := 0; s < shardCount; s++ {
+		PlaceShardCanonical(gk[starts[s]:starts[s+1]], gv[starts[s]:starts[s+1]],
+			slotKeys[s*perShard:(s+1)*perShard], slotVals[s*perShard:(s+1)*perShard])
 	}
 	return ft, nil
-}
-
-// place inserts during Compact and SaveSplit; keys come from a map, so
-// duplicates are impossible and an empty slot always exists (load factor
-// < 1). The caller guarantees the key falls in an owned shard.
-func (t *FrozenTable) place(key uint64, val uint16) {
-	h := Hash64Shift(key)
-	base := ((h >> t.shardShift) - t.shardBase) << t.slotLog
-	i := h & t.slotMask
-	for {
-		j := base + i
-		if t.keys[j] == 0 {
-			t.keys[j] = key
-			t.vals[j] = val
-			return
-		}
-		i = (i + 1) & t.slotMask
-	}
 }
 
 // Lookup returns the value stored under key and whether it is present.

@@ -189,6 +189,48 @@ func (t *ShardedTable) InsertBatch(keys []uint64, vals []uint16, inserted []bool
 	return n
 }
 
+// ContainsBatchSorted records presence for a run-sorted batch: keys must
+// arrive grouped by ascending shard (ascending Hash64Shift(key)>>shift —
+// the order an external merge naturally produces, since spill runs are
+// sorted by (shard, key)). Each shard's lock is then taken at most once
+// per call and released before the next group, so a dedup pass can probe
+// millions of candidates against prior levels without per-key lock
+// traffic. present[i] is set for every i; returns the number present.
+// Panics if the batch violates the shard ordering contract.
+func (t *ShardedTable) ContainsBatchSorted(keys []uint64, present []bool) int {
+	if len(present) != len(keys) {
+		panic("hashtab: ContainsBatchSorted slice lengths differ")
+	}
+	frozen := t.frozen.Load()
+	n := 0
+	for start := 0; start < len(keys); {
+		shard := int(Hash64Shift(keys[start]) >> t.shift)
+		end := start + 1
+		for end < len(keys) && int(Hash64Shift(keys[end])>>t.shift) == shard {
+			end++
+		}
+		if end < len(keys) && int(Hash64Shift(keys[end])>>t.shift) < shard {
+			panic("hashtab: ContainsBatchSorted batch not sorted by shard")
+		}
+		sh := &t.shards[shard]
+		if !frozen {
+			sh.mu.Lock()
+		}
+		for i := start; i < end; i++ {
+			_, ok := sh.t.Lookup(keys[i])
+			present[i] = ok
+			if ok {
+				n++
+			}
+		}
+		if !frozen {
+			sh.mu.Unlock()
+		}
+		start = end
+	}
+	return n
+}
+
 // Update overwrites the value under an existing key, inserting if absent,
 // under the owning shard's lock.
 func (t *ShardedTable) Update(key uint64, val uint16) {

@@ -16,11 +16,26 @@ import (
 // errors (beyond-horizon, invalid function) are cached alongside
 // successes: re-asking an impossible query is as common as re-asking a
 // possible one.
+//
+// Retention is escalation-aware: each entry carries the index of the
+// backend tier that answered it, and eviction runs second-chance with
+// that index as the entry's life count. An answer the shallowest tier
+// (or a non-tiered backend) produced is evicted on first touch, while
+// one that needed tier i survives i trips to the cold end before it
+// goes — deep-tier answers are exactly the traffic worth keeping,
+// because recomputing them replays the whole escalation chain. With a
+// non-tiered backend every entry has tier 0 and the policy degenerates
+// to plain LRU.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
 	m   map[perm.Perm]*list.Element
 	l   *list.List // front = most recently used
+	// retained[t]/evicted[t] count second chances granted to and final
+	// evictions of tier-t entries; sized on demand to the deepest tier
+	// seen.
+	retained []uint64
+	evicted  []uint64
 }
 
 type lruEntry struct {
@@ -28,6 +43,11 @@ type lruEntry struct {
 	c    circuit.Circuit
 	info core.Info
 	err  error
+	// tier is the answering tier (0 = shallowest or non-tiered); lives
+	// is the remaining second-chance count, refilled to tier on every
+	// hit.
+	tier  int
+	lives int
 }
 
 func newLRU(capacity int) *lruCache {
@@ -50,23 +70,40 @@ func (c *lruCache) get(key perm.Perm) (circuit.Circuit, core.Info, error, bool) 
 	}
 	c.l.MoveToFront(el)
 	e := el.Value.(*lruEntry)
+	e.lives = e.tier
 	return e.c, e.info, e.err, true
 }
 
-func (c *lruCache) put(key perm.Perm, circ circuit.Circuit, info core.Info, err error) {
+func (c *lruCache) put(key perm.Perm, circ circuit.Circuit, info core.Info, err error, tier int) {
+	if tier < 0 {
+		tier = 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.l.MoveToFront(el)
-		*el.Value.(*lruEntry) = lruEntry{key: key, c: circ, info: info, err: err}
+		*el.Value.(*lruEntry) = lruEntry{key: key, c: circ, info: info, err: err, tier: tier, lives: tier}
 		return
 	}
-	if c.l.Len() >= c.cap {
+	for c.l.Len() >= c.cap {
 		oldest := c.l.Back()
+		e := oldest.Value.(*lruEntry)
+		if e.lives > 0 {
+			// Second chance: spend a life and rotate to the warm end.
+			// The loop terminates because each pass burns one life from
+			// a finite pool.
+			e.lives--
+			c.l.MoveToFront(oldest)
+			c.tierCounter(&c.retained, e.tier)
+			c.retained[e.tier]++
+			continue
+		}
 		c.l.Remove(oldest)
-		delete(c.m, oldest.Value.(*lruEntry).key)
+		delete(c.m, e.key)
+		c.tierCounter(&c.evicted, e.tier)
+		c.evicted[e.tier]++
 	}
-	c.m[key] = c.l.PushFront(&lruEntry{key: key, c: circ, info: info, err: err})
+	c.m[key] = c.l.PushFront(&lruEntry{key: key, c: circ, info: info, err: err, tier: tier, lives: tier})
 }
 
 // len reports the number of cached entries.
@@ -74,4 +111,28 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.l.Len()
+}
+
+// tierCounter grows a per-tier counter slice to cover tier.
+func (c *lruCache) tierCounter(s *[]uint64, tier int) {
+	for len(*s) <= tier {
+		*s = append(*s, 0)
+	}
+}
+
+// retentionStats snapshots the per-tier second-chance and eviction
+// counters (index = answering tier, shallowest first). Both slices have
+// the same length: the deepest tier either counter has touched.
+func (c *lruCache) retentionStats() (retained, evicted []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := max(len(c.retained), len(c.evicted))
+	if n == 0 {
+		return nil, nil
+	}
+	retained = make([]uint64, n)
+	evicted = make([]uint64, n)
+	copy(retained, c.retained)
+	copy(evicted, c.evicted)
+	return retained, evicted
 }

@@ -470,7 +470,7 @@ func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, 
 		// cache, or a one-second shard blip would keep failing its
 		// specs until LRU eviction long after the fleet recovered.
 		if s.cache != nil && (errors.Is(err, core.ErrBeyondHorizon) || errors.Is(err, core.ErrInvalidFunction)) {
-			s.cache.put(f, nil, info, err)
+			s.cache.put(f, nil, info, err, s.cacheTier(info, err))
 		}
 		return nil, info, err
 	}
@@ -480,9 +480,29 @@ func (s *Synthesizer) query(ctx context.Context, f perm.Perm) (circuit.Circuit, 
 		s.mitm.Add(1)
 	}
 	if s.cache != nil {
-		s.cache.put(f, c, info, nil)
+		s.cache.put(f, c, info, nil, s.cacheTier(info, nil))
 	}
 	return c, info, nil
+}
+
+// cacheTier resolves a finished query's retention weight: the index of
+// the backend tier that answered it, 0 when the backend is not tiered.
+// Direct answers route by their cost. Meet-in-the-middle answers and
+// beyond-horizon verdicts consumed the deepest tier's escalation chain,
+// so they carry its full weight; invalid functions are rejected before
+// any table lookup and stay at weight 0.
+func (s *Synthesizer) cacheTier(info core.Info, err error) int {
+	tr, ok := s.cfg.Backend.(tables.TierResolver)
+	if !ok {
+		return 0
+	}
+	if err != nil && errors.Is(err, core.ErrInvalidFunction) {
+		return 0
+	}
+	if err == nil && info.Direct {
+		return tr.TierForCost(info.Cost)
+	}
+	return tr.TierForCost(1 << 30)
 }
 
 func (s *Synthesizer) noteErr(err error) {
@@ -611,6 +631,13 @@ type Stats struct {
 	CacheMisses uint64 `json:"cache_misses"`
 	Direct      uint64 `json:"direct"`
 	MITM        uint64 `json:"mitm"`
+	// CacheRetainedByTier/CacheEvictedByTier report the escalation-aware
+	// result-cache retention policy per answering tier (index 0 =
+	// shallowest): second chances granted at the cache's cold end vs
+	// final evictions. Present once eviction pressure has occurred;
+	// without a tiered backend every entry counts under tier 0.
+	CacheRetainedByTier []uint64 `json:"cache_retained_by_tier,omitempty"`
+	CacheEvictedByTier  []uint64 `json:"cache_evicted_by_tier,omitempty"`
 	// RemoteCache surfaces the tiered read-path counters of an injected
 	// backend that maintains caches (a tablenet.Client, or a Router's
 	// aggregate over its shard clients): hot-key and level-block hits
@@ -657,6 +684,9 @@ func (s *Synthesizer) Stats() Stats {
 		Direct:      s.direct.Load(),
 		MITM:        s.mitm.Load(),
 		Uptime:      time.Since(s.start),
+	}
+	if s.cache != nil {
+		st.CacheRetainedByTier, st.CacheEvictedByTier = s.cache.retentionStats()
 	}
 	if served := st.Direct + st.MITM; served > 0 {
 		st.AvgLatency = time.Duration(s.latencyNS.Load() / int64(served))

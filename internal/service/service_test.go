@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/perm"
+	"repro/internal/tables"
 )
 
 // The fixture table set is built once per test binary (k = 4: ≈7000
@@ -347,20 +348,129 @@ func TestServiceCache(t *testing.T) {
 func TestLRUEviction(t *testing.T) {
 	c := newLRU(2)
 	a := perm.Perm(perm.Identity)
-	c.put(a, nil, core.Info{Cost: 0}, nil)
+	c.put(a, nil, core.Info{Cost: 0}, nil, 0)
 	b := randomCircuitPerm(rand.New(rand.NewSource(1)), 3)
-	c.put(b, nil, core.Info{Cost: 1}, nil)
+	c.put(b, nil, core.Info{Cost: 1}, nil, 0)
 	if _, _, _, ok := c.get(a); !ok {
 		t.Fatal("a evicted too early")
 	}
 	// a is now most recent; inserting a third key must evict b.
 	d := randomCircuitPerm(rand.New(rand.NewSource(2)), 5)
-	c.put(d, nil, core.Info{Cost: 2}, nil)
+	c.put(d, nil, core.Info{Cost: 2}, nil, 0)
 	if _, _, _, ok := c.get(b); ok {
 		t.Fatal("b not evicted")
 	}
 	if c.len() != 2 {
 		t.Fatalf("len %d, want 2", c.len())
+	}
+}
+
+// TestLRUTieredRetention: the escalation-aware policy — a deep-tier
+// entry at the cold end is rotated back (spending a life) instead of
+// evicted, so it outlives the shallow-tier churn around it, and the
+// per-tier retention counters record both outcomes.
+func TestLRUTieredRetention(t *testing.T) {
+	c := newLRU(2)
+	deep := randomCircuitPerm(rand.New(rand.NewSource(1)), 5)
+	c.put(deep, nil, core.Info{Cost: 5}, nil, 2)
+	shallow := perm.Perm(perm.Identity)
+	c.put(shallow, nil, core.Info{}, nil, 0)
+	// Inserting a third key finds the deep entry at the cold end: it
+	// must be granted a second chance and the shallow one evicted.
+	next := randomCircuitPerm(rand.New(rand.NewSource(2)), 3)
+	c.put(next, nil, core.Info{Cost: 3}, nil, 0)
+	if _, _, _, ok := c.get(deep); !ok {
+		t.Fatal("deep-tier entry evicted before a shallow one")
+	}
+	if _, _, _, ok := c.get(shallow); ok {
+		t.Fatal("shallow-tier entry survived a deep one")
+	}
+	retained, evicted := c.retentionStats()
+	if len(retained) < 3 || retained[2] != 1 {
+		t.Fatalf("retained = %v, want one second chance at tier 2", retained)
+	}
+	if evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want one tier-0 eviction", evicted)
+	}
+	// Untouched, the deep entry's lives run out under continued churn:
+	// it must eventually be evicted (no permanent pinning).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		c.put(randomCircuitPerm(rng, 4), nil, core.Info{Cost: 4}, nil, 0)
+	}
+	if _, _, _, ok := c.get(deep); ok {
+		t.Fatal("deep-tier entry pinned forever")
+	}
+	if _, evicted := c.retentionStats(); len(evicted) < 3 || evicted[2] != 1 {
+		t.Fatalf("evicted = %v, want the deep entry's final eviction at tier 2", evicted)
+	}
+}
+
+// tieredBackend wraps a backend with a static cost→tier map, standing
+// in for a tablenet.Federation in retention tests.
+type tieredBackend struct {
+	tables.Backend
+	horizons []int
+}
+
+func (b *tieredBackend) TierForCost(cost int) int {
+	for i, h := range b.horizons {
+		if cost <= h {
+			return i
+		}
+	}
+	return len(b.horizons) - 1
+}
+
+// TestServiceTieredCacheRetention: end to end through the service —
+// with a tier-resolving backend, answers that needed the deep tier
+// outlive shallow-tier churn in the result cache, and the per-tier
+// retention counters surface in Stats.
+func TestServiceTieredCacheRetention(t *testing.T) {
+	res := fixtureTables(t)
+	b, err := tables.NewLocal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{
+		Backend:      &tieredBackend{Backend: b, horizons: []int{1, 2, 100}},
+		QueryWorkers: 1,
+		CacheSize:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+
+	// A cost-4 representative resolves to tier 2 (two retention lives);
+	// identity and cost-1 representatives to tier 0.
+	deep := res.Levels[4][0]
+	if _, info, err := svc.Synthesize(context.Background(), deep); err != nil {
+		t.Fatal(err)
+	} else if got := svc.cacheTier(info, nil); got != 2 {
+		t.Fatalf("deep query resolved to tier %d (cost %d), want 2", got, info.Cost)
+	}
+	// Flood with cheap queries; the deep answer must still be a cache
+	// hit afterwards (capacity 2 with plain LRU would have evicted it).
+	cheap := []perm.Perm{perm.Perm(perm.Identity), res.Levels[1][0], res.Levels[1][1]}
+	for _, f := range cheap {
+		if _, _, err := svc.Synthesize(context.Background(), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := svc.Stats().CacheHits
+	if _, _, err := svc.Synthesize(context.Background(), deep); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.CacheHits != before+1 {
+		t.Fatalf("deep-tier answer was evicted by shallow churn (hits %d → %d)", before, st.CacheHits)
+	}
+	if len(st.CacheRetainedByTier) < 3 || st.CacheRetainedByTier[2] == 0 {
+		t.Fatalf("CacheRetainedByTier = %v, want tier-2 second chances", st.CacheRetainedByTier)
+	}
+	if len(st.CacheEvictedByTier) == 0 || st.CacheEvictedByTier[0] == 0 {
+		t.Fatalf("CacheEvictedByTier = %v, want tier-0 evictions", st.CacheEvictedByTier)
 	}
 }
 

@@ -442,9 +442,16 @@ func validateGeometryV2(h *headerV2, maxEntries int64) (layoutV2, error) {
 // derives, recorded so readers of the raw header (and future
 // cross-version loaders) see it without the alphabet in hand.
 func synthHorizon(res *bfs.Result) uint32 {
-	h := 2*res.MaxCost - (res.Alphabet.MaxCost() - 1)
-	if h < res.MaxCost {
-		h = res.MaxCost
+	return SynthHorizon(res.Alphabet, res.MaxCost)
+}
+
+// SynthHorizon computes the stamped synthesis horizon from the alphabet
+// and the table depth alone, for writers (the out-of-core builder) that
+// have no bfs.Result in hand.
+func SynthHorizon(a *bfs.Alphabet, k int) uint32 {
+	h := 2*k - (a.MaxCost() - 1)
+	if h < k {
+		h = k
 	}
 	return uint32(h)
 }

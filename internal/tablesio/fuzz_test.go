@@ -3,9 +3,13 @@ package tablesio
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/bfs"
+	"repro/internal/tables"
 )
 
 // FuzzLoad feeds arbitrary byte streams to the loader. The invariant is
@@ -129,6 +133,111 @@ func FuzzLoad(f *testing.F) {
 		}
 		if n != res.TotalStored() {
 			t.Fatalf("levels carry %d entries, table %d", n, res.TotalStored())
+		}
+	})
+}
+
+// FuzzManifest feeds arbitrary bytes to the checkpoint-manifest decoder,
+// mirroring FuzzLoad's forged-header guards: a forged or truncated
+// manifest must fail with a typed sentinel — never a panic, never an
+// allocation driven by a lying length field, and never a "valid"
+// manifest whose file names could steer a resume outside its work
+// directory.
+func FuzzManifest(f *testing.F) {
+	valid := &BuildManifest{
+		Generation: 2,
+		K:          5,
+		Reduced:    true,
+		Alphabet:   tables.FingerprintOf(bfs.GateAlphabet()),
+		Shards:     64,
+		LevelSlabs: 3,
+		Levels: []ManifestLevel{
+			{Level: 0, Entries: 1,
+				Srt: ManifestFile{Name: "level_0.srt", Size: 10, Hash: 0x1234},
+				Seq: ManifestFile{Name: "level_0.seq", Size: 8, Hash: 0x5678}},
+			{Level: 1, Entries: 4,
+				Srt: ManifestFile{Name: "level_1.srt", Size: 40, Hash: 0x9abc},
+				Seq: ManifestFile{Name: "level_1.seq", Size: 32, Hash: 0xdef0}},
+		},
+		Runs: []ManifestRun{
+			{Level: 2, Slab: 0, Candidates: 128, File: ManifestFile{Name: "run_2_0.run", Size: 2304, Hash: 0x42}},
+			{Level: 2, Slab: 2, Candidates: 64, File: ManifestFile{Name: "run_2_2.run", Size: 1152, Hash: 0x43}},
+		},
+	}
+	blob, err := EncodeManifest(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2]) // truncated payload
+	f.Add(blob[:4])           // truncated magic
+	f.Add([]byte{})
+	f.Add([]byte("RVTM1 0000000000000000 99999999999999\n{}")) // lying length
+	f.Add([]byte("RVTM9 0000000000000000 2\n{}"))              // future envelope
+	corrupt := func(pos int, bit uint) []byte {
+		c := append([]byte(nil), blob...)
+		c[pos] ^= 1 << bit
+		return c
+	}
+	f.Add(corrupt(0, 1))           // magic
+	f.Add(corrupt(8, 3))           // fingerprint hex
+	f.Add(corrupt(len(blob)-2, 5)) // payload
+	// Resealed forgeries: structurally wrong payloads behind a correct
+	// envelope, which must be caught by validation, not the checksum.
+	reseal := func(mutate func(m *BuildManifest)) []byte {
+		m := *valid
+		m.Levels = append([]ManifestLevel(nil), valid.Levels...)
+		m.Runs = append([]ManifestRun(nil), valid.Runs...)
+		mutate(&m)
+		b, err := EncodeManifest(&m)
+		if err != nil {
+			return nil
+		}
+		return b
+	}
+	f.Add(reseal(func(m *BuildManifest) { m.Levels[1].Srt.Name = "../../etc/passwd" }))
+	f.Add(reseal(func(m *BuildManifest) { m.Levels[1].Srt.Name = "a/b.srt" }))
+	f.Add(reseal(func(m *BuildManifest) { m.Shards = 65 }))
+	f.Add(reseal(func(m *BuildManifest) { m.Generation = 0 }))
+	f.Add(reseal(func(m *BuildManifest) { m.Runs[0].Slab = 99 }))
+	f.Add(reseal(func(m *BuildManifest) { m.Runs[1].Slab = 0 }))
+	f.Add(reseal(func(m *BuildManifest) { m.Levels[1].Level = 7 }))
+	f.Add(reseal(func(m *BuildManifest) { m.K = 77 }))
+	f.Add(reseal(func(m *BuildManifest) { m.Levels[0].Entries = -1 }))
+	// Envelope with a huge declared length but a matching small payload
+	// (cap check must fire before any comparison with real bytes).
+	big := fmt.Sprintf("RVTM1 %016x %d\n{}", hashManifestBytes([]byte("{}")), maxManifestBytes+1)
+	f.Add([]byte(big))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrUnsupportedVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped manifest error: %v", err)
+			}
+			return
+		}
+		// Accepted manifests must be safe to act on: contiguous levels,
+		// bare file names, in-range runs — and must round-trip.
+		for i, lv := range m.Levels {
+			if lv.Level != i {
+				t.Fatalf("accepted manifest with level %d at position %d", lv.Level, i)
+			}
+		}
+		for _, r := range m.Runs {
+			if strings.ContainsAny(r.File.Name, "/\\") || r.File.Name == ".." {
+				t.Fatalf("accepted manifest with path-like run name %q", r.File.Name)
+			}
+			if r.Slab < 0 || r.Slab >= m.LevelSlabs {
+				t.Fatalf("accepted manifest with out-of-range slab %d", r.Slab)
+			}
+		}
+		re, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		if _, err := DecodeManifest(re); err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
 		}
 	})
 }
