@@ -105,14 +105,19 @@ func (s *slabSink) Candidate(key uint64, val uint16, seq uint64) {
 // need no ordering between them.
 func (b *builder) expandLevel(c int, p levelPlan) error {
 	// Pin the slab partition in the manifest: sealed runs are only
-	// reusable under the identical partition (a resumed build with a
-	// different budget or worker count re-partitions, discarding them).
-	if b.man.LevelSlabs != p.slabCount || someRunNotFor(b.man.Runs, c) {
+	// reusable under the identical partition — slab count AND reps per
+	// slab, since different budget/worker combinations can tile the same
+	// frontier into the same number of differently-sized slabs. A resume
+	// whose plan disagrees on either re-partitions, discarding the runs;
+	// reusing a run whose rep range shifted would silently skip frontier
+	// representatives.
+	if b.man.LevelSlabs != p.slabCount || b.man.LevelReps != p.repsPerSlab || someRunNotFor(b.man.Runs, c) {
 		for _, r := range b.man.Runs {
 			os.Remove(filepath.Join(b.dir, r.File.Name))
 		}
 		b.man.Runs = nil
 		b.man.LevelSlabs = p.slabCount
+		b.man.LevelReps = p.repsPerSlab
 		if err := b.writeManifest(); err != nil {
 			return err
 		}

@@ -298,6 +298,91 @@ func TestResumeWithDifferentBudget(t *testing.T) {
 	}
 }
 
+// TestResumeSameSlabCountDifferentPartition: the hazard the manifest's
+// LevelReps pin exists for. The slab count alone does not determine the
+// partition — two budgets can tile the same frontier into the same
+// number of differently-sized slabs. A crash that seals the first two
+// of three slabs, resumed under a budget whose slabs are LARGER but
+// equally many, must discard the sealed runs: reusing them would leave
+// the frontier range between old slab 1's end and new slab 2's start
+// silently unexpanded.
+func TestResumeSameSlabCountDifferentPartition(t *testing.T) {
+	a := bfs.GateAlphabet()
+	const k = 4
+	ref := referenceFile(t, a, k, false)
+
+	// Level k's expansion plan over the known Table 4 level sizes: with
+	// Workers 1, planSlabs yields repsPerSlab = budget/2/perRepBytes.
+	costs, groups := bfs.CostGroups(a)
+	var totalReps int64
+	var maxStride uint64
+	for _, ec := range costs {
+		src := k - ec
+		if src < 0 {
+			continue
+		}
+		if reps := bfs.GateReducedCounts[src]; reps > 0 {
+			totalReps += reps
+			if s := bfs.SeqStride(true, len(groups[ec])); s > maxStride {
+				maxStride = s
+			}
+		}
+	}
+	perRepBytes := int64(maxStride) * candMemBytes
+	repsA := (totalReps + 2) / 3 // ceil(T/3): 3 slabs, the smallest tiling
+	repsB := repsA + 8           // still 3 slabs (any value below T/2)
+	if (totalReps+repsB-1)/repsB != 3 {
+		t.Fatalf("repsB %d does not tile %d reps into 3 slabs", repsB, totalReps)
+	}
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.rvt")
+	work := filepath.Join(dir, "work")
+	opts := Options{
+		Alphabet: a, K: k,
+		WorkDir:   work,
+		MemBudget: repsA * 2 * perRepBytes,
+		Workers:   1, // sequential slabs: the crash leaves exactly {0, 1} sealed
+		OutPath:   out,
+		FailPoint: func(stage string, level, slab int) error {
+			if stage == "run" && level == k && slab == 1 {
+				return errCrash
+			}
+			return nil
+		},
+	}
+	if _, err := Build(opts); !errors.Is(err, errCrash) {
+		t.Fatal("expected simulated crash")
+	}
+	man, err := tablesio.ReadManifestFile(filepath.Join(work, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard the hazard preconditions, so planSlabs drift cannot quietly
+	// turn this into a no-op test.
+	if man.LevelSlabs != 3 || man.LevelReps != repsA {
+		t.Fatalf("crashed partition %d×%d, want 3×%d", man.LevelSlabs, man.LevelReps, repsA)
+	}
+	if len(man.Runs) != 2 {
+		t.Fatalf("crash sealed %d runs, want 2", len(man.Runs))
+	}
+
+	opts.FailPoint = nil
+	opts.Resume = true
+	opts.MemBudget = repsB * 2 * perRepBytes
+	stats, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LevelCounts[k] != bfs.GateReducedCounts[k] {
+		t.Errorf("level %d count %d, want %d (reused runs left a frontier gap)",
+			k, stats.LevelCounts[k], bfs.GateReducedCounts[k])
+	}
+	if !bytes.Equal(mustRead(t, out), ref) {
+		t.Fatal("partition-changed resume differs from reference")
+	}
+}
+
 // TestResumeRejectsCorruptLevel: a checkpoint whose level artifact was
 // tampered with must refuse to resume (the ≤ 1 level rework contract
 // cannot be honored from corrupt state).

@@ -122,8 +122,8 @@ func (b *builder) mergeLevel(c int, p levelPlan) error {
 		chunk.present = chunk.present[:len(chunk.keys)]
 		if b.prior != nil {
 			b.prior.ContainsBatchSorted(chunk.keys, chunk.present)
-		} else {
-			joinPresent(chunk, priors)
+		} else if err := joinPresent(chunk, priors); err != nil {
+			return err
 		}
 		survK, survV := chunk.keys[:0:len(chunk.keys)], chunk.vals[:0:len(chunk.vals)]
 		var rec [srtRecordBytes]byte
@@ -231,6 +231,7 @@ func (b *builder) mergeLevel(c int, p levelPlan) error {
 	oldRuns := b.man.Runs
 	b.man.Runs = nil
 	b.man.LevelSlabs = 0
+	b.man.LevelReps = 0
 	err = b.writeManifest()
 	b.manMu.Unlock()
 	if err != nil {
@@ -293,19 +294,17 @@ func (p *probeChunk) reset() {
 // merge-joining against the levels' sorted shard segments: chunk keys
 // ascend, each reader's segment ascends, so every reader advances
 // monotonically — the disk dedup path costs one sequential pass over
-// the priors per level built.
-func joinPresent(chunk *probeChunk, priors []*srtReader) {
+// the priors per level built. A read error aborts the merge: treating
+// a prior as exhausted would mark its keys absent and re-emit them
+// into the new level, publishing a store with duplicate keys.
+func joinPresent(chunk *probeChunk, priors []*srtReader) error {
 	chunk.present = chunk.present[:len(chunk.keys)]
 	for i, key := range chunk.keys {
 		hit := false
 		for _, pr := range priors {
 			for pr.ok && pr.key < key {
 				if err := pr.advance(); err != nil {
-					// Propagated by the reader's next enterShard; a
-					// truncated prior here can only mark keys absent,
-					// which the artifact fingerprint check already
-					// ruled out at adoption time.
-					break
+					return err
 				}
 			}
 			if pr.ok && pr.key == key {
@@ -314,6 +313,7 @@ func joinPresent(chunk *probeChunk, priors []*srtReader) {
 		}
 		chunk.present[i] = hit
 	}
+	return nil
 }
 
 // consolidateRuns reduces the merge fan-in below maxFanIn by merging

@@ -25,7 +25,10 @@ import (
 // goes — deep-tier answers are exactly the traffic worth keeping,
 // because recomputing them replays the whole escalation chain. With a
 // non-tiered backend every entry has tier 0 and the policy degenerates
-// to plain LRU.
+// to plain LRU. Each eviction scans a bounded window at the cold end
+// (evictOne), so when every resident entry still holds lives the policy
+// degrades toward least-lives-within-window rather than rotating the
+// whole list under the lock.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
@@ -86,24 +89,54 @@ func (c *lruCache) put(key perm.Perm, circ circuit.Circuit, info core.Info, err 
 		return
 	}
 	for c.l.Len() >= c.cap {
-		oldest := c.l.Back()
-		e := oldest.Value.(*lruEntry)
-		if e.lives > 0 {
-			// Second chance: spend a life and rotate to the warm end.
-			// The loop terminates because each pass burns one life from
-			// a finite pool.
-			e.lives--
-			c.l.MoveToFront(oldest)
-			c.tierCounter(&c.retained, e.tier)
-			c.retained[e.tier]++
-			continue
-		}
-		c.l.Remove(oldest)
-		delete(c.m, e.key)
-		c.tierCounter(&c.evicted, e.tier)
-		c.evicted[e.tier]++
+		c.evictOne()
 	}
 	c.m[key] = c.l.PushFront(&lruEntry{key: key, c: circ, info: info, err: err, tier: tier, lives: tier})
+}
+
+// evictScanMax bounds the second-chance scan of one eviction, keeping
+// the worst-case work per insert a small constant even when the cache
+// is full of deep-tier entries — an unbounded rotation would hold the
+// mutex for O(cap · maxTier) list moves on the serving hot path.
+const evictScanMax = 8
+
+// evictOne removes exactly one entry: it scans at most evictScanMax
+// entries from the cold end, evicts the first with no lives left — or,
+// if every scanned entry still has lives, the scanned entry with the
+// fewest — and grants the other scanned entries their second chance
+// (spend a life, rotate to the warm end). Caller holds c.mu and
+// guarantees the list is non-empty.
+func (c *lruCache) evictOne() {
+	var scan [evictScanMax]*list.Element
+	n, victim := 0, -1
+	for el := c.l.Back(); el != nil && n < evictScanMax; el = el.Prev() {
+		scan[n] = el
+		e := el.Value.(*lruEntry)
+		if e.lives == 0 {
+			victim = n
+			n++
+			break
+		}
+		if victim < 0 || e.lives < scan[victim].Value.(*lruEntry).lives {
+			victim = n
+		}
+		n++
+	}
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		e := scan[i].Value.(*lruEntry)
+		e.lives--
+		c.l.MoveToFront(scan[i])
+		c.tierCounter(&c.retained, e.tier)
+		c.retained[e.tier]++
+	}
+	e := scan[victim].Value.(*lruEntry)
+	c.l.Remove(scan[victim])
+	delete(c.m, e.key)
+	c.tierCounter(&c.evicted, e.tier)
+	c.evicted[e.tier]++
 }
 
 // len reports the number of cached entries.

@@ -151,6 +151,7 @@ func FuzzManifest(f *testing.F) {
 		Alphabet:   tables.FingerprintOf(bfs.GateAlphabet()),
 		Shards:     64,
 		LevelSlabs: 3,
+		LevelReps:  50,
 		Levels: []ManifestLevel{
 			{Level: 0, Entries: 1,
 				Srt: ManifestFile{Name: "level_0.srt", Size: 10, Hash: 0x1234},
@@ -201,6 +202,8 @@ func FuzzManifest(f *testing.F) {
 	f.Add(reseal(func(m *BuildManifest) { m.Generation = 0 }))
 	f.Add(reseal(func(m *BuildManifest) { m.Runs[0].Slab = 99 }))
 	f.Add(reseal(func(m *BuildManifest) { m.Runs[1].Slab = 0 }))
+	f.Add(reseal(func(m *BuildManifest) { m.LevelReps = 0 }))
+	f.Add(reseal(func(m *BuildManifest) { m.LevelReps = -1 }))
 	f.Add(reseal(func(m *BuildManifest) { m.Levels[1].Level = 7 }))
 	f.Add(reseal(func(m *BuildManifest) { m.K = 77 }))
 	f.Add(reseal(func(m *BuildManifest) { m.Levels[0].Entries = -1 }))
@@ -230,6 +233,9 @@ func FuzzManifest(f *testing.F) {
 			}
 			if r.Slab < 0 || r.Slab >= m.LevelSlabs {
 				t.Fatalf("accepted manifest with out-of-range slab %d", r.Slab)
+			}
+			if m.LevelReps < 1 {
+				t.Fatalf("accepted manifest with sealed runs but slab size %d", m.LevelReps)
 			}
 		}
 		re, err := EncodeManifest(m)

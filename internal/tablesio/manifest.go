@@ -89,10 +89,15 @@ type BuildManifest struct {
 	Reduced    bool               `json:"reduced"`
 	Alphabet   tables.Fingerprint `json:"alphabet"`
 	Shards     int                `json:"shards"`
-	// LevelSlabs is the slab count of the in-progress level (level
-	// len(Levels)); sealed runs are only reusable under the identical
-	// partition. Zero when no expansion has started.
+	// LevelSlabs and LevelReps pin the slab partition of the in-progress
+	// level (level len(Levels)): the slab count and the representatives
+	// per slab. Sealed runs are only reusable when BOTH match the
+	// resuming build's plan — the count alone does not determine the
+	// partition, since different budget/worker combinations can tile the
+	// same frontier into the same number of differently-sized slabs.
+	// Zero when no expansion has started.
 	LevelSlabs int             `json:"level_slabs,omitempty"`
+	LevelReps  int64           `json:"level_reps,omitempty"`
 	Levels     []ManifestLevel `json:"levels"`
 	Runs       []ManifestRun   `json:"runs,omitempty"`
 }
@@ -204,6 +209,9 @@ func validateManifest(m *BuildManifest) error {
 	if m.LevelSlabs < 0 || m.LevelSlabs > maxManifestRuns {
 		return fmt.Errorf("%w: manifest slab count %d outside [0, %d]", ErrCorrupt, m.LevelSlabs, maxManifestRuns)
 	}
+	if m.LevelReps < 0 || uint64(m.LevelReps) > maxTotalSlots {
+		return fmt.Errorf("%w: manifest slab size %d outside [0, %d]", ErrCorrupt, m.LevelReps, maxTotalSlots)
+	}
 	if len(m.Levels) > m.K+1 {
 		return fmt.Errorf("%w: manifest lists %d levels for horizon %d", ErrCorrupt, len(m.Levels), m.K)
 	}
@@ -233,6 +241,9 @@ func validateManifest(m *BuildManifest) error {
 	}
 	if len(m.Runs) > maxManifestRuns {
 		return fmt.Errorf("%w: manifest lists %d sealed runs (cap %d)", ErrCorrupt, len(m.Runs), maxManifestRuns)
+	}
+	if len(m.Runs) > 0 && m.LevelReps < 1 {
+		return fmt.Errorf("%w: manifest seals runs without a pinned slab size", ErrCorrupt)
 	}
 	inProgress := len(m.Levels)
 	seenSlab := make(map[int]bool, len(m.Runs))

@@ -228,6 +228,7 @@ func TestManifestRoundTrip(t *testing.T) {
 		Alphabet:   tables.FingerprintOf(bfs.GateAlphabet()),
 		Shards:     128,
 		LevelSlabs: 2,
+		LevelReps:  33,
 		Levels: []ManifestLevel{
 			{Level: 0, Entries: 1,
 				Srt: ManifestFile{Name: "level_0.srt", Size: 10, Hash: 1},
